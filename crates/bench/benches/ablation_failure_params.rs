@@ -1,0 +1,8 @@
+//! Ablation (paper §III-D): the `waiting-time` / `min-slaves` parameters.
+//! Shorter waiting-time detects a crashed slave sooner, so min-slaves
+//! write rejection kicks in earlier (more NOREPLICAS errors).
+use skv_bench::ablations as abl;
+
+fn main() {
+    abl::print_failure_params(&abl::ablation_failure_params());
+}

@@ -1,0 +1,8 @@
+//! Ablation (paper §IV-A): the rejected design of storing data on the
+//! off-path SmartNIC. Expected: strictly worse latency and throughput than
+//! host-resident data, justifying SKV's host-side store.
+use skv_bench::ablations as abl;
+
+fn main() {
+    abl::print_nic_datastore(&abl::ablation_nic_datastore());
+}

@@ -1,0 +1,8 @@
+//! Extension ablation: client pipelining depth (redis-benchmark -P).
+//! Pipeline depth substitutes for connection concurrency: one pipelined
+//! client saturates the server core just like many unpipelined ones.
+use skv_bench::ablations as abl;
+
+fn main() {
+    abl::print_pipeline(&abl::ablation_pipeline());
+}

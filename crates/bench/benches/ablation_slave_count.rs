@@ -1,0 +1,7 @@
+//! Ablation: offload gain vs number of slaves. The host saves (N-1) WR
+//! posts per write, so the gain grows with N and vanishes at N <= 1.
+use skv_bench::ablations as abl;
+
+fn main() {
+    abl::print_slave_count(&abl::ablation_slave_count());
+}

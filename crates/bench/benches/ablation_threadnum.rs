@@ -1,0 +1,9 @@
+//! Ablation (paper §III-C): multi-threaded replication on the SmartNIC.
+//! Expected: client throughput/latency flat (replication is background),
+//! replication lag shrinks as threads increase, clamped at
+//! min(NIC cores, slaves).
+use skv_bench::ablations as abl;
+
+fn main() {
+    abl::print_threadnum(&abl::ablation_threadnum());
+}

@@ -1,0 +1,8 @@
+//! Ablation (paper §V-C): SKV's gain comes from posting one Work Request
+//! per write instead of one per slave; the gain must scale with the per-WR
+//! host CPU cost.
+use skv_bench::ablations as abl;
+
+fn main() {
+    abl::print_wr_cost(&abl::ablation_wr_cost());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 3: RDMA WRITE latency between two hosts,
+//! from a remote host to the SmartNIC, and from the local host to its own
+//! SmartNIC.
+use skv_bench::experiments as exp;
+
+fn main() {
+    exp::print_fig03(&exp::fig03_rdma_write_latency());
+}

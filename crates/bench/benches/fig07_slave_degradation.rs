@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 7: RDMA-Redis SET performance degradation
+//! when the master replicates to three slaves (avg latency up, 99% tail up
+//! by more than 25%, throughput down).
+use skv_bench::experiments as exp;
+
+fn main() {
+    exp::print_fig07(&exp::fig07_slave_degradation());
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 10: original Redis vs RDMA-Redis
+//! throughput (a) and 99% tail latency (b) as client concurrency grows.
+//! Expected shape: Redis plateaus early near 130 kops/s; RDMA-Redis climbs
+//! past 330 kops/s; Redis's tail latency is roughly double at high
+//! concurrency.
+use skv_bench::experiments as exp;
+
+fn main() {
+    exp::print_fig10(&exp::fig10_redis_vs_rdma(&[1, 2, 4, 8, 16, 24, 32]));
+}

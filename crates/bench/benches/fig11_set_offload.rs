@@ -1,0 +1,11 @@
+//! Regenerates the paper's Figure 11: SET with one master and three slaves
+//! at 4/8/16 clients. Expected shape at 8 clients: SKV ~+14% throughput,
+//! ~-14% average latency, ~-21% tail latency vs RDMA-Redis.
+use skv_bench::experiments as exp;
+
+fn main() {
+    exp::print_vs(
+        "Figure 11 — SET, 1 master + 3 slaves (SKV vs RDMA-Redis)",
+        &exp::fig11_set_offload(),
+    );
+}

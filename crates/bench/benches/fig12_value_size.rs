@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 12: SET throughput across value sizes;
+//! SKV stays above RDMA-Redis throughout.
+use skv_bench::experiments as exp;
+
+fn main() {
+    exp::print_fig12(&exp::fig12_value_size(&[64, 256, 1024, 4096, 16384]));
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper's Figure 13: GET with one master and three slaves.
+//! Reads don't replicate, so SKV and RDMA-Redis perform identically
+//! (~340 kops/s at 8/16 clients).
+use skv_bench::experiments as exp;
+
+fn main() {
+    exp::print_vs(
+        "Figure 13 — GET, 1 master + 3 slaves (SKV vs RDMA-Redis)",
+        &exp::fig13_get_parity(),
+    );
+}

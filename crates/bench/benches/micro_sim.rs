@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for the simulation engine itself: how fast
+//! the reproduction can push events, which bounds how much simulated time
+//! the figure benches can afford.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use skv_core::cluster::{Cluster, RunSpec};
+use skv_core::config::{ClusterConfig, Mode};
+use skv_simcore::{Actor, ActorId, Context, CorePool, Payload, SimDuration, SimTime, Simulation};
+
+/// Minimal self-ticking actor for raw event-loop throughput.
+struct Ticker {
+    remaining: u64,
+}
+struct Tick;
+impl Actor for Ticker {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.timer(SimDuration::from_nanos(10), Tick);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: ActorId, _msg: Payload) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.timer(SimDuration::from_nanos(10), Tick);
+        }
+    }
+}
+
+fn bench_event_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simcore");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("events_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            sim.add_actor(Box::new(Ticker { remaining: n }));
+            sim.run_to_completion();
+            black_box(sim.events_processed())
+        })
+    });
+    g.bench_function("corepool_run_on", |b| {
+        let mut pool = CorePool::new(8, 1.0);
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_nanos(100);
+            black_box(pool.run_any(t, SimDuration::from_nanos(250)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_cluster_second(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    g.sample_size(10);
+    g.bench_function("skv_200ms_sim", |b| {
+        b.iter(|| {
+            let mut cfg = ClusterConfig::for_mode(Mode::Skv);
+            cfg.num_slaves = 3;
+            let mut cluster = Cluster::build(RunSpec {
+                cfg,
+                num_clients: 8,
+                warmup: SimDuration::from_millis(50),
+                measure: SimDuration::from_millis(150),
+                ..Default::default()
+            });
+            black_box(cluster.run().ops)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
+    targets = bench_event_loop, bench_cluster_second
+}
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Criterion micro-benchmarks for the storage engine's hot paths: the
+//! structures whose costs the simulation's CPU model abstracts.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use skv_store::backlog::Backlog;
+use skv_store::dict::Dict;
+use skv_store::engine::Engine;
+use skv_store::hash::siphash13;
+use skv_store::rdb;
+use skv_store::resp::Resp;
+use skv_store::sds::Sds;
+use skv_store::skiplist::SkipList;
+
+fn bench_dict(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dict");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("insert_10k_keyspace", |b| {
+        let mut d: Dict<u64> = Dict::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("key:{:08}", i % 10_000);
+            d.insert(key.as_bytes(), i);
+            i += 1;
+        });
+    });
+    g.bench_function("get_hit", |b| {
+        let mut d: Dict<u64> = Dict::new();
+        for i in 0..10_000u64 {
+            d.insert(format!("key:{i:08}").as_bytes(), i);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("key:{:08}", i % 10_000);
+            black_box(d.get(key.as_bytes()));
+            i += 1;
+        });
+    });
+    g.finish();
+}
+
+fn bench_skiplist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("skiplist");
+    g.bench_function("insert_sequential", |b| {
+        let mut sl = SkipList::new(7);
+        let mut i = 0u64;
+        b.iter(|| {
+            sl.insert(i as f64, Sds::from(format!("m{i:010}").as_str()));
+            i += 1;
+        });
+    });
+    g.bench_function("rank_lookup_10k", |b| {
+        let mut sl = SkipList::new(7);
+        for i in 0..10_000u64 {
+            sl.insert(i as f64, Sds::from(format!("m{i:06}").as_str()));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let m = format!("m{:06}", i % 10_000);
+            black_box(sl.rank((i % 10_000) as f64, m.as_bytes()));
+            i += 1;
+        });
+    });
+    g.finish();
+}
+
+fn bench_resp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resp");
+    let cmd = Resp::command(["SET", "key:000000000042", &"x".repeat(64)]);
+    let wire = cmd.encode();
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode_set", |b| b.iter(|| black_box(cmd.encode())));
+    g.bench_function("decode_set", |b| {
+        b.iter(|| black_box(Resp::decode(&wire)))
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("set_64b", |b| {
+        let mut e = Engine::new(1);
+        let val = "x".repeat(64);
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("key:{:08}", i % 10_000);
+            black_box(e.exec_str(0, &["SET", &key, &val]));
+            i += 1;
+        });
+    });
+    g.bench_function("get_hit", |b| {
+        let mut e = Engine::new(1);
+        for i in 0..10_000u64 {
+            e.exec_str(0, &["SET", &format!("key:{i:08}"), "v"]);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("key:{:08}", i % 10_000);
+            black_box(e.exec_str(0, &["GET", &key]));
+            i += 1;
+        });
+    });
+    g.finish();
+}
+
+fn bench_rdb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rdb");
+    let mut e = Engine::new(3);
+    for i in 0..10_000u64 {
+        e.exec_str(0, &["SET", &format!("key:{i:08}"), &"v".repeat(64)]);
+    }
+    let snapshot = rdb::save(e.db());
+    g.throughput(Throughput::Bytes(snapshot.len() as u64));
+    g.bench_function("save_10k_keys", |b| b.iter(|| black_box(rdb::save(e.db()))));
+    g.bench_function("load_10k_keys", |b| {
+        let mut target = Engine::new(5);
+        b.iter(|| {
+            rdb::load(target.db_mut(), &snapshot, 5).expect("valid snapshot");
+        })
+    });
+    g.finish();
+}
+
+fn bench_hash_and_backlog(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives");
+    let data = vec![0xABu8; 64];
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("siphash13_64b", |b| {
+        b.iter(|| black_box(siphash13(&data)))
+    });
+    g.bench_function("backlog_feed_64b", |b| {
+        let mut log = Backlog::new(1 << 20);
+        b.iter(|| log.feed(&data));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
+    targets = bench_dict, bench_skiplist, bench_resp, bench_engine, bench_rdb,
+        bench_hash_and_backlog
+}
+criterion_main!(benches);

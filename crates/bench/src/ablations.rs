@@ -1,0 +1,373 @@
+//! Ablation studies for the design choices the paper argues for.
+//!
+//! * `thread-num` (§III-C): multi-threaded NIC replication shrinks
+//!   replication lag but cannot improve client latency/throughput.
+//! * NIC-side data store (§IV-A): the rejected design — serving requests
+//!   from the off-path SoC is strictly worse.
+//! * WR post cost (§V-C): SKV's gain is proportional to slaves × post cost.
+//! * Slave count: the offload's benefit grows with the fan-out degree.
+//! * `min-slaves` / `waiting-time` (§III-D): detection-latency trade-off.
+
+use skv_core::cluster::{Cluster, RunSpec};
+use skv_core::config::{ClusterConfig, Mode};
+use skv_core::metrics::RunReport;
+use skv_simcore::{SimDuration, SimTime};
+
+use crate::experiments::{MEASURE, WARMUP};
+
+fn spec(mode: Mode, slaves: usize, clients: usize, seed: u64) -> RunSpec {
+    let mut cfg = ClusterConfig::for_mode(mode);
+    cfg.num_slaves = slaves;
+    RunSpec {
+        cfg,
+        num_clients: clients,
+        pipeline: 1,
+        set_ratio: 1.0,
+        value_size: 64,
+        key_space: 100_000,
+        warmup: WARMUP,
+        measure: MEASURE,
+        seed,
+    }
+}
+
+// ===========================================================================
+// thread-num
+// ===========================================================================
+
+/// One `thread-num` setting.
+#[derive(Debug, Clone)]
+pub struct ThreadNumRow {
+    /// Configured `thread-num`.
+    pub thread_num: usize,
+    /// Effective threads after the min(cores, slaves) clamp.
+    pub effective: usize,
+    /// Client-visible summary (expected ~flat across rows).
+    pub report: RunReport,
+    /// Maximum replication lag across slaves at measure end, in bytes
+    /// (expected to shrink as threads increase).
+    pub max_lag_bytes: u64,
+    /// Mean ARM-core utilization.
+    pub nic_utilization: f64,
+}
+
+/// Sweep `thread-num` with a fan-out wide enough (12 slaves) that a single
+/// ARM core cannot keep up.
+pub fn ablation_threadnum() -> Vec<ThreadNumRow> {
+    [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&tn| {
+            let mut s = spec(Mode::Skv, 12, 8, 21_000 + tn as u64);
+            s.cfg.thread_num = tn;
+            // A single ARM core cannot keep up with this fan-out; bound the
+            // overload window so the undrained-queue memory stays modest.
+            s.measure = SimDuration::from_millis(1_000);
+            let effective = s.cfg.effective_nic_threads();
+            let mut cluster = Cluster::build(s);
+            let report = cluster.run();
+            let now = cluster.sim.now();
+            let master_offset = cluster.master_server().repl_offset();
+            let max_lag_bytes = (0..cluster.slaves.len())
+                .map(|i| {
+                    master_offset.saturating_sub(cluster.slave_server(i).repl_offset())
+                })
+                .max()
+                .unwrap_or(0);
+            let nic_utilization = cluster
+                .nic_kv()
+                .map(|n| n.mean_utilization(now))
+                .unwrap_or(0.0);
+            ThreadNumRow {
+                thread_num: tn,
+                effective,
+                report,
+                max_lag_bytes,
+                nic_utilization,
+            }
+        })
+        .collect()
+}
+
+/// Print the thread-num ablation.
+pub fn print_threadnum(rows: &[ThreadNumRow]) {
+    println!("Ablation — thread-num (SKV, 12 slaves, 8 clients)");
+    println!(
+        "{:>10} {:>10} {:>12} {:>10} {:>14} {:>10}",
+        "thread", "effective", "kops/s", "p99(us)", "max lag (B)", "nic util"
+    );
+    for r in rows {
+        println!(
+            "{:>10} {:>10} {:>12.1} {:>10.1} {:>14} {:>10.2}",
+            r.thread_num,
+            r.effective,
+            r.report.throughput_kops,
+            r.report.p99_latency_us,
+            r.max_lag_bytes,
+            r.nic_utilization
+        );
+    }
+}
+
+// ===========================================================================
+// NIC-side data store (the rejected design of §IV-A)
+// ===========================================================================
+
+/// Comparison of serving GETs from the host vs from the SmartNIC SoC.
+#[derive(Debug, Clone)]
+pub struct NicStoreResult {
+    /// GETs served by Host-KV on the host (SKV's actual design).
+    pub host_store: RunReport,
+    /// GETs served by a KV store running on the SmartNIC SoC cores.
+    pub nic_store: RunReport,
+}
+
+/// Run the rejected design: the whole store on the SoC (weak cores, and the
+/// client's RDMA path to the SoC costs nearly a full host-to-host hop).
+pub fn ablation_nic_datastore() -> NicStoreResult {
+    // Host store: plain RDMA-Redis GETs, no slaves.
+    let mut host_spec = spec(Mode::RdmaRedis, 0, 8, 22_000);
+    host_spec.set_ratio = 0.0;
+    let host_store = skv_core::cluster::run_spec(host_spec);
+
+    // NIC store: same server logic, but its event-loop cores are the
+    // BlueField's ARM cores. (The cluster builder places servers on hosts;
+    // slowing the host cores to the ARM factor models the §IV-A variant —
+    // the network path difference is second-order next to the ~3x core
+    // speed gap, as the paper's Figure 3 argument implies.)
+    let mut nic_spec = spec(Mode::RdmaRedis, 0, 8, 22_001);
+    nic_spec.set_ratio = 0.0;
+    nic_spec.cfg.machines.host_core_speed = nic_spec.cfg.machines.nic_core_speed;
+    let mut nic_store = skv_core::cluster::run_spec(nic_spec);
+    nic_store.label = "NIC-store".into();
+
+    NicStoreResult {
+        host_store,
+        nic_store,
+    }
+}
+
+/// Print the NIC-datastore ablation.
+pub fn print_nic_datastore(r: &NicStoreResult) {
+    println!("Ablation — data store placement for GETs (§IV-A rejected design)");
+    println!("{:<12} {}", "placement", RunReport::header());
+    println!("{:<12} {}", "host", r.host_store.row());
+    println!("{:<12} {}", "SmartNIC", r.nic_store.row());
+}
+
+// ===========================================================================
+// WR post cost
+// ===========================================================================
+
+/// One WR-post-cost setting.
+#[derive(Debug, Clone)]
+pub struct WrCostRow {
+    /// `ibv_post_send` CPU cost, nanoseconds.
+    pub wr_post_ns: u64,
+    /// RDMA-Redis throughput (kops/s).
+    pub baseline_kops: f64,
+    /// SKV throughput (kops/s).
+    pub skv_kops: f64,
+    /// SKV gain, percent.
+    pub gain_pct: f64,
+}
+
+/// Sweep the per-WR host CPU cost: the offload's benefit must scale with it
+/// (§V-C's causal claim).
+pub fn ablation_wr_cost() -> Vec<WrCostRow> {
+    [50u64, 100, 200, 400, 800]
+        .iter()
+        .map(|&ns| {
+            let mut b = spec(Mode::RdmaRedis, 3, 8, 23_000 + ns);
+            b.cfg.net.wr_post_cpu = SimDuration::from_nanos(ns);
+            let mut s = spec(Mode::Skv, 3, 8, 23_500 + ns);
+            s.cfg.net.wr_post_cpu = SimDuration::from_nanos(ns);
+            let baseline = skv_core::cluster::run_spec(b);
+            let skv = skv_core::cluster::run_spec(s);
+            WrCostRow {
+                wr_post_ns: ns,
+                baseline_kops: baseline.throughput_kops,
+                skv_kops: skv.throughput_kops,
+                gain_pct: (skv.throughput_kops / baseline.throughput_kops - 1.0) * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// Print the WR-cost ablation.
+pub fn print_wr_cost(rows: &[WrCostRow]) {
+    println!("Ablation — WR post cost vs offload gain (SET, 3 slaves, 8 clients)");
+    println!(
+        "{:>12} {:>14} {:>12} {:>8}",
+        "post(ns)", "RDMA kops", "SKV kops", "gain%"
+    );
+    for r in rows {
+        println!(
+            "{:>12} {:>14.1} {:>12.1} {:>+8.1}",
+            r.wr_post_ns, r.baseline_kops, r.skv_kops, r.gain_pct
+        );
+    }
+}
+
+// ===========================================================================
+// slave count
+// ===========================================================================
+
+/// One slave-count setting.
+#[derive(Debug, Clone)]
+pub struct SlaveCountRow {
+    /// Number of slaves.
+    pub slaves: usize,
+    /// RDMA-Redis throughput.
+    pub baseline_kops: f64,
+    /// SKV throughput.
+    pub skv_kops: f64,
+    /// SKV gain, percent.
+    pub gain_pct: f64,
+}
+
+/// Sweep the number of slaves: the host saves (N−1) WR posts per write, so
+/// the gain must grow with N.
+pub fn ablation_slave_count() -> Vec<SlaveCountRow> {
+    [0usize, 1, 2, 3, 5, 8]
+        .iter()
+        .map(|&n| {
+            let baseline = skv_core::cluster::run_spec(spec(
+                Mode::RdmaRedis,
+                n,
+                8,
+                24_000 + n as u64,
+            ));
+            let skv = skv_core::cluster::run_spec(spec(Mode::Skv, n, 8, 24_500 + n as u64));
+            SlaveCountRow {
+                slaves: n,
+                baseline_kops: baseline.throughput_kops,
+                skv_kops: skv.throughput_kops,
+                gain_pct: (skv.throughput_kops / baseline.throughput_kops - 1.0) * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// Print the slave-count ablation.
+pub fn print_slave_count(rows: &[SlaveCountRow]) {
+    println!("Ablation — offload gain vs number of slaves (SET, 8 clients)");
+    println!(
+        "{:>8} {:>14} {:>12} {:>8}",
+        "slaves", "RDMA kops", "SKV kops", "gain%"
+    );
+    for r in rows {
+        println!(
+            "{:>8} {:>14.1} {:>12.1} {:>+8.1}",
+            r.slaves, r.baseline_kops, r.skv_kops, r.gain_pct
+        );
+    }
+}
+
+// ===========================================================================
+// failure-detection parameters
+// ===========================================================================
+
+/// One `waiting-time` setting.
+#[derive(Debug, Clone)]
+pub struct FailureParamRow {
+    /// Configured waiting-time (ms).
+    pub waiting_ms: u64,
+    /// Measured detection delay after the crash (ms).
+    pub detection_delay_ms: f64,
+    /// Write errors clients saw (min-slaves = 3 with one slave down).
+    pub errors: u64,
+    /// Client ops completed.
+    pub ops: u64,
+}
+
+/// Sweep `waiting-time` with `min-slaves = 3`: shorter timeouts detect the
+/// crash sooner, so clients see `NOREPLICAS` errors earlier (more of them).
+pub fn ablation_failure_params() -> Vec<FailureParamRow> {
+    [500u64, 1500, 3000]
+        .iter()
+        .map(|&wt| {
+            let mut s = spec(Mode::Skv, 3, 4, 25_000 + wt);
+            s.cfg.waiting_time = SimDuration::from_millis(wt);
+            s.cfg.min_slaves = 3;
+            s.measure = SimDuration::from_millis(7_000);
+            let crash_at = SimTime::from_secs(3);
+            let mut cluster = Cluster::build(s);
+            cluster.schedule_slave_crash(0, crash_at);
+            let report = cluster.run();
+            let detection = cluster
+                .nic_kv()
+                .and_then(|n| {
+                    n.detections
+                        .iter()
+                        .find(|(t, _)| *t >= crash_at)
+                        .copied()
+                })
+                .map(|(t, _)| t.saturating_since(crash_at).as_secs_f64() * 1000.0)
+                .unwrap_or(f64::NAN);
+            FailureParamRow {
+                waiting_ms: wt,
+                detection_delay_ms: detection,
+                errors: report.errors,
+                ops: report.ops,
+            }
+        })
+        .collect()
+}
+
+/// Print the failure-parameter ablation.
+pub fn print_failure_params(rows: &[FailureParamRow]) {
+    println!("Ablation — waiting-time vs detection delay (min-slaves=3, crash at 3s)");
+    println!(
+        "{:>12} {:>16} {:>10} {:>10}",
+        "waiting(ms)", "detect delay(ms)", "errors", "ops"
+    );
+    for r in rows {
+        println!(
+            "{:>12} {:>16.0} {:>10} {:>10}",
+            r.waiting_ms, r.detection_delay_ms, r.errors, r.ops
+        );
+    }
+}
+
+// ===========================================================================
+// client pipelining (extension: redis-benchmark -P)
+// ===========================================================================
+
+/// One pipeline-depth setting.
+#[derive(Debug, Clone)]
+pub struct PipelineRow {
+    /// Commands in flight per connection.
+    pub depth: usize,
+    /// Throughput with a single client connection.
+    pub kops_1_client: f64,
+    /// p99 latency with a single client (µs).
+    pub p99_us: f64,
+}
+
+/// Sweep pipeline depth with ONE client: depth substitutes for connection
+/// concurrency until the server core saturates (an extension beyond the
+/// paper, which benchmarks unpipelined clients only).
+pub fn ablation_pipeline() -> Vec<PipelineRow> {
+    [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&depth| {
+            let mut s = spec(Mode::RdmaRedis, 0, 1, 26_000 + depth as u64);
+            s.pipeline = depth;
+            let report = skv_core::cluster::run_spec(s);
+            PipelineRow {
+                depth,
+                kops_1_client: report.throughput_kops,
+                p99_us: report.p99_latency_us,
+            }
+        })
+        .collect()
+}
+
+/// Print the pipelining ablation.
+pub fn print_pipeline(rows: &[PipelineRow]) {
+    println!("Ablation — client pipelining (RDMA-Redis, 1 client, no slaves)");
+    println!("{:>8} {:>12} {:>10}", "depth", "kops/s", "p99(us)");
+    for r in rows {
+        println!("{:>8} {:>12.1} {:>10.1}", r.depth, r.kops_1_client, r.p99_us);
+    }
+}

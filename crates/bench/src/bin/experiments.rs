@@ -1,0 +1,47 @@
+//! CLI driver: regenerate any (or all) of the paper's figures.
+//!
+//! Usage: `experiments [fig3|fig7|fig10|fig11|fig12|fig13|fig14|all]...`
+
+use skv_bench::ablations as abl;
+use skv_bench::experiments as exp;
+
+fn run(which: &str) {
+    match which {
+        "fig3" => exp::print_fig03(&exp::fig03_rdma_write_latency()),
+        "fig7" => exp::print_fig07(&exp::fig07_slave_degradation()),
+        "fig10" => exp::print_fig10(&exp::fig10_redis_vs_rdma(&[1, 2, 4, 8, 16, 24, 32])),
+        "fig11" => exp::print_vs(
+            "Figure 11 — SET, 1 master + 3 slaves (SKV vs RDMA-Redis)",
+            &exp::fig11_set_offload(),
+        ),
+        "fig12" => exp::print_fig12(&exp::fig12_value_size(&[64, 256, 1024, 4096, 16384])),
+        "fig13" => exp::print_vs(
+            "Figure 13 — GET, 1 master + 3 slaves (SKV vs RDMA-Redis)",
+            &exp::fig13_get_parity(),
+        ),
+        "fig14" => exp::print_fig14(&exp::fig14_availability()),
+        "threadnum" => abl::print_threadnum(&abl::ablation_threadnum()),
+        "nicstore" => abl::print_nic_datastore(&abl::ablation_nic_datastore()),
+        "wrcost" => abl::print_wr_cost(&abl::ablation_wr_cost()),
+        "slavecount" => abl::print_slave_count(&abl::ablation_slave_count()),
+        "failparams" => abl::print_failure_params(&abl::ablation_failure_params()),
+        "pipeline" => abl::print_pipeline(&abl::ablation_pipeline()),
+        other => eprintln!("unknown experiment {other:?}"),
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let list: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "fig3", "fig7", "fig10", "fig11", "fig12", "fig13", "fig14", "threadnum",
+            "nicstore", "wrcost", "slavecount", "failparams", "pipeline",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for which in list {
+        run(which);
+    }
+}

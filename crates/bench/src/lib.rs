@@ -1,0 +1,13 @@
+//! # skv-bench — experiment harness for the SKV reproduction
+//!
+//! One entry point per figure of the paper's evaluation, plus ablations.
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p skv-bench --bin experiments -- all
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod experiments;

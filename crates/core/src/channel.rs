@@ -1,0 +1,329 @@
+//! Transport-agnostic message channels.
+//!
+//! Server code talks in `(tag, payload)` messages; a [`Channel`] maps those
+//! onto either transport:
+//!
+//! * **RDMA** — the paper's scheme (§III-B): each peer registers a receive
+//!   ring Memory Region, the MR handles are exchanged with SEND/RECV right
+//!   after RDMA_CM establishes the QP, and every message is then a
+//!   `WRITE_WITH_IMM` into the peer's ring (the immediate carries the
+//!   message tag, the completion carries where the bytes landed).
+//! * **TCP** — a length-prefixed frame stream, used by the original-Redis
+//!   baseline.
+//!
+//! The channel never charges CPU time; the owning actor accounts for WR
+//! posting and kernel-stack costs itself, because those costs are exactly
+//! what the paper's evaluation is about.
+
+use skv_netsim::{MrId, Net, NodeId, QpId, SendOp, SendWr, TcpConnId, Wc, WcOpcode};
+use skv_simcore::Context;
+
+/// Receive WRs kept posted on an RDMA channel.
+const RECV_DEPTH: usize = 128;
+
+/// A `(tag, payload)` message delivered by a channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelMsg {
+    /// Routing tag (see [`crate::protocol::tag`]).
+    pub tag: u32,
+    /// The bytes.
+    pub payload: Vec<u8>,
+}
+
+enum TransportState {
+    Rdma {
+        qp: QpId,
+        /// Ring the peer writes into (ours).
+        my_ring: MrId,
+        /// Ring we write into (theirs), learned via handshake.
+        peer_ring: Option<MrId>,
+        send_pos: usize,
+        ring_size: usize,
+        /// Messages queued until the handshake completes.
+        pending: Vec<(u32, Vec<u8>)>,
+        /// Whether we've sent our MR handle yet.
+        handshake_sent: bool,
+    },
+    Tcp {
+        conn: TcpConnId,
+        /// Reassembly buffer for inbound frames.
+        inbuf: Vec<u8>,
+    },
+}
+
+/// One end of a connection, over either transport.
+pub struct Channel {
+    state: TransportState,
+    /// Total messages sent (diagnostics).
+    pub sent: u64,
+    /// Total messages received (diagnostics).
+    pub received: u64,
+}
+
+impl Channel {
+    /// Wrap a freshly established QP. Registers this side's receive ring,
+    /// posts receives, and sends the MR handshake.
+    pub fn rdma(
+        net: &Net,
+        ctx: &mut Context<'_>,
+        node: NodeId,
+        qp: QpId,
+        ring_size: usize,
+    ) -> Channel {
+        let my_ring = net.register_mr(node, ring_size);
+        for i in 0..RECV_DEPTH {
+            net.post_recv(qp, i as u64).expect("fresh QP accepts recvs");
+        }
+        let mut ch = Channel {
+            state: TransportState::Rdma {
+                qp,
+                my_ring,
+                peer_ring: None,
+                send_pos: 0,
+                ring_size,
+                pending: Vec::new(),
+                handshake_sent: false,
+            },
+            sent: 0,
+            received: 0,
+        };
+        ch.send_handshake(net, ctx);
+        ch
+    }
+
+    /// Wrap a TCP connection endpoint.
+    pub fn tcp(conn: TcpConnId) -> Channel {
+        Channel {
+            state: TransportState::Tcp {
+                conn,
+                inbuf: Vec::new(),
+            },
+            sent: 0,
+            received: 0,
+        }
+    }
+
+    /// The RDMA QP backing this channel, if any.
+    pub fn qp(&self) -> Option<QpId> {
+        match &self.state {
+            TransportState::Rdma { qp, .. } => Some(*qp),
+            TransportState::Tcp { .. } => None,
+        }
+    }
+
+    /// The TCP connection backing this channel, if any.
+    pub fn tcp_conn(&self) -> Option<TcpConnId> {
+        match &self.state {
+            TransportState::Tcp { conn, .. } => Some(*conn),
+            TransportState::Rdma { .. } => None,
+        }
+    }
+
+    /// True once messages can flow (RDMA: MR handshake completed).
+    pub fn ready(&self) -> bool {
+        match &self.state {
+            TransportState::Rdma { peer_ring, .. } => peer_ring.is_some(),
+            TransportState::Tcp { .. } => true,
+        }
+    }
+
+    fn send_handshake(&mut self, net: &Net, ctx: &mut Context<'_>) {
+        if let TransportState::Rdma {
+            qp,
+            my_ring,
+            handshake_sent,
+            ..
+        } = &mut self.state
+        {
+            if !*handshake_sent {
+                *handshake_sent = true;
+                let _ = net.post_send(
+                    ctx,
+                    *qp,
+                    SendWr {
+                        wr_id: u64::MAX - 1,
+                        op: SendOp::Send,
+                        data: my_ring.0.to_le_bytes().to_vec(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Send a message. Over RDMA this is one `WRITE_WITH_IMM` (one Work
+    /// Request — the unit of host CPU cost the paper counts).
+    ///
+    /// Messages sent before the handshake completes are queued and flushed
+    /// on completion.
+    pub fn send(&mut self, net: &Net, ctx: &mut Context<'_>, tag: u32, payload: &[u8]) {
+        match &mut self.state {
+            TransportState::Rdma {
+                qp,
+                peer_ring,
+                send_pos,
+                ring_size,
+                pending,
+                ..
+            } => {
+                let Some(ring) = *peer_ring else {
+                    pending.push((tag, payload.to_vec()));
+                    return;
+                };
+                assert!(
+                    payload.len() <= *ring_size,
+                    "message of {} bytes exceeds ring of {}",
+                    payload.len(),
+                    ring_size
+                );
+                if *send_pos + payload.len() > *ring_size {
+                    *send_pos = 0;
+                }
+                let offset = *send_pos;
+                *send_pos += payload.len();
+                self.sent += 1;
+                let _ = net.post_send(
+                    ctx,
+                    *qp,
+                    SendWr {
+                        wr_id: self.sent,
+                        op: SendOp::WriteImm {
+                            remote_mr: ring,
+                            remote_offset: offset,
+                            imm: tag,
+                        },
+                        data: payload.to_vec(),
+                    },
+                );
+            }
+            TransportState::Tcp { conn, .. } => {
+                let mut frame = Vec::with_capacity(payload.len() + 8);
+                frame.extend_from_slice(&tag.to_le_bytes());
+                frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                frame.extend_from_slice(payload);
+                self.sent += 1;
+                net.tcp_send(ctx, *conn, frame);
+            }
+        }
+    }
+
+    /// Process a work completion belonging to this channel's QP.
+    /// Returns any application message it carried.
+    pub fn on_wc(&mut self, net: &Net, ctx: &mut Context<'_>, wc: &Wc) -> Option<ChannelMsg> {
+        let TransportState::Rdma {
+            qp,
+            my_ring,
+            peer_ring,
+            pending,
+            ..
+        } = &mut self.state
+        else {
+            return None;
+        };
+        debug_assert_eq!(wc.qp, *qp);
+        match wc.opcode {
+            WcOpcode::Recv => {
+                // The MR handshake: peer's ring handle.
+                if peer_ring.is_none() && wc.data.len() == 4 {
+                    let raw = u32::from_le_bytes(wc.data[..4].try_into().expect("4 bytes"));
+                    *peer_ring = Some(MrId(raw));
+                    let queued = std::mem::take(pending);
+                    net.post_recv(*qp, wc.wr_id).ok();
+                    for (tag, payload) in queued {
+                        self.send(net, ctx, tag, &payload);
+                    }
+                } else {
+                    net.post_recv(*qp, wc.wr_id).ok();
+                }
+                None
+            }
+            WcOpcode::RecvRdmaWithImm => {
+                // Replenish the receive slot, then read the landed bytes.
+                net.post_recv(*qp, wc.wr_id).ok();
+                let payload = net.mr_read(*my_ring, wc.mr_offset, wc.byte_len);
+                self.received += 1;
+                Some(ChannelMsg {
+                    tag: wc.imm,
+                    payload,
+                })
+            }
+            // Send-side completions carry no application data.
+            WcOpcode::Send | WcOpcode::RdmaWrite | WcOpcode::RdmaRead => None,
+        }
+    }
+
+    /// Process inbound TCP bytes, returning all completed frames.
+    pub fn on_tcp_bytes(&mut self, bytes: &[u8]) -> Vec<ChannelMsg> {
+        let TransportState::Tcp { inbuf, .. } = &mut self.state else {
+            return Vec::new();
+        };
+        inbuf.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while inbuf.len() - pos >= 8 {
+            let tag = u32::from_le_bytes(inbuf[pos..pos + 4].try_into().expect("4 bytes"));
+            let len =
+                u32::from_le_bytes(inbuf[pos + 4..pos + 8].try_into().expect("4 bytes")) as usize;
+            if inbuf.len() - pos - 8 < len {
+                break;
+            }
+            out.push(ChannelMsg {
+                tag,
+                payload: inbuf[pos + 8..pos + 8 + len].to_vec(),
+            });
+            pos += 8 + len;
+        }
+        inbuf.drain(..pos);
+        self.received += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_framing_roundtrip_fragmented() {
+        // Encode three frames, feed byte by byte, expect exact reassembly.
+        let tx = Channel::tcp(TcpConnId(0));
+        let mut wire = Vec::new();
+        // Build frames by hand (send() needs a live fabric; framing is what
+        // we're testing).
+        for (tag, payload) in [(1u32, &b"abc"[..]), (2, &b""[..]), (900, &[0u8, 255][..])] {
+            wire.extend_from_slice(&tag.to_le_bytes());
+            wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            wire.extend_from_slice(payload);
+        }
+        let mut rx = Channel::tcp(TcpConnId(1));
+        let mut got = Vec::new();
+        for b in wire {
+            got.extend(rx.on_tcp_bytes(&[b]));
+        }
+        assert_eq!(
+            got,
+            vec![
+                ChannelMsg {
+                    tag: 1,
+                    payload: b"abc".to_vec()
+                },
+                ChannelMsg {
+                    tag: 2,
+                    payload: Vec::new()
+                },
+                ChannelMsg {
+                    tag: 900,
+                    payload: vec![0, 255]
+                },
+            ]
+        );
+        let _ = tx;
+    }
+
+    #[test]
+    fn tcp_channel_reports_identity() {
+        let ch = Channel::tcp(TcpConnId(7));
+        assert!(ch.ready());
+        assert_eq!(ch.tcp_conn(), Some(TcpConnId(7)));
+        assert_eq!(ch.qp(), None);
+    }
+}

@@ -1,0 +1,234 @@
+//! Closed-loop benchmark clients, modelled on `redis-benchmark` (§V-B:
+//! "each client issues queries as quickly as possible").
+//!
+//! A client opens one connection, then repeats: build a command, send it,
+//! wait for the reply, record the latency, send the next. Throughput at a
+//! given concurrency level therefore emerges from server service times and
+//! round-trip latency exactly as it does for the paper's load generator.
+
+use skv_netsim::{CqId, Net, NetEvent, NodeId, SocketAddr};
+use skv_simcore::{Actor, ActorId, Context, DetRng, Payload, SimTime};
+use skv_store::resp::Resp;
+
+use crate::channel::{Channel, ChannelMsg};
+use crate::config::{ClusterConfig, Mode};
+use crate::metrics::SharedMetrics;
+use crate::protocol::tag;
+
+/// Workload shape for one client.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Commands kept in flight per connection (`redis-benchmark -P`);
+    /// 1 reproduces the paper's strictly closed loop.
+    pub pipeline: usize,
+    /// Fraction of operations that are SET (the rest are GET).
+    pub set_ratio: f64,
+    /// Number of distinct keys (uniform access).
+    pub key_space: u64,
+    /// Value payload size in bytes for SET.
+    pub value_size: usize,
+    /// When to open the connection and start issuing.
+    pub start_at: SimTime,
+    /// Stop issuing new operations after this instant.
+    pub stop_at: SimTime,
+}
+
+enum ClientMsg {
+    /// Time to connect and start.
+    Start,
+    /// Issue the next operation (after per-op client overhead).
+    IssueNext,
+}
+
+/// A benchmark client actor.
+pub struct BenchClient {
+    net: Net,
+    cfg: ClusterConfig,
+    node: NodeId,
+    server: SocketAddr,
+    workload: Workload,
+    metrics: SharedMetrics,
+    cq: Option<CqId>,
+    channel: Option<Channel>,
+    rng: Option<DetRng>,
+    /// FIFO of (send instant, is_write) for commands awaiting replies.
+    in_flight: std::collections::VecDeque<(SimTime, bool)>,
+    /// Operations issued.
+    pub stat_issued: u64,
+    /// Replies received.
+    pub stat_replies: u64,
+}
+
+impl BenchClient {
+    /// Create a client on `node` targeting `server`.
+    pub fn new(
+        net: Net,
+        cfg: ClusterConfig,
+        node: NodeId,
+        server: SocketAddr,
+        workload: Workload,
+        metrics: SharedMetrics,
+    ) -> Self {
+        BenchClient {
+            net,
+            cfg,
+            node,
+            server,
+            workload,
+            metrics,
+            cq: None,
+            channel: None,
+            rng: None,
+            in_flight: Default::default(),
+            stat_issued: 0,
+            stat_replies: 0,
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut Context<'_>) {
+        if ctx.now() >= self.workload.stop_at {
+            return;
+        }
+        let Some(channel) = self.channel.as_mut() else {
+            return;
+        };
+        let rng = self.rng.as_mut().expect("started");
+        let key = format!("key:{:012}", rng.below(self.workload.key_space.max(1)));
+        let is_write = rng.chance(self.workload.set_ratio);
+        let cmd = if is_write {
+            Resp::command([
+                b"SET".as_slice(),
+                key.as_bytes(),
+                &vec![b'x'; self.workload.value_size],
+            ])
+        } else {
+            Resp::command([b"GET".as_slice(), key.as_bytes()])
+        };
+        self.in_flight.push_back((ctx.now(), is_write));
+        self.stat_issued += 1;
+        let net = self.net.clone();
+        channel.send(&net, ctx, tag::CMD, &cmd.encode());
+    }
+
+    /// Fill the pipeline up to its configured depth.
+    fn fill_pipeline(&mut self, ctx: &mut Context<'_>) {
+        while self.in_flight.len() < self.workload.pipeline.max(1) {
+            let before = self.in_flight.len();
+            self.issue(ctx);
+            if self.in_flight.len() == before {
+                break; // stopped issuing (deadline passed / not connected)
+            }
+        }
+    }
+
+    fn on_reply(&mut self, ctx: &mut Context<'_>, payload: &[u8]) {
+        self.stat_replies += 1;
+        let Some((sent_at, is_write)) = self.in_flight.pop_front() else {
+            return;
+        };
+        let latency = ctx.now().saturating_since(sent_at);
+        let is_error = payload.first() == Some(&b'-');
+        self.metrics
+            .borrow_mut()
+            .record(ctx.now(), latency, is_write, is_error);
+        // Closed loop: think for the client-side overhead, then refill.
+        ctx.timer(self.cfg.costs.client_op, ClientMsg::IssueNext);
+    }
+}
+
+impl Actor for BenchClient {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.rng = Some(ctx.rng().split());
+        let start = self.workload.start_at;
+        ctx.timer_at(start, ClientMsg::Start);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: ActorId, msg: Payload) {
+        let msg = match msg.downcast::<ClientMsg>() {
+            Ok(m) => {
+                match *m {
+                    ClientMsg::Start => {
+                        let me = ctx.id();
+                        if self.cfg.mode.uses_rdma() {
+                            let cq = self.net.create_cq(me);
+                            self.cq = Some(cq);
+                            self.net.req_notify_cq(ctx, cq);
+                            self.net.rdma_connect(ctx, self.node, me, cq, self.server);
+                        } else {
+                            self.net.tcp_connect(ctx, self.node, me, self.server);
+                        }
+                    }
+                    ClientMsg::IssueNext => self.fill_pipeline(ctx),
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let Ok(ev) = msg.downcast::<NetEvent>() else {
+            return;
+        };
+        match *ev {
+            NetEvent::CmEstablished { qp, .. } => {
+                let net = self.net.clone();
+                let ch = Channel::rdma(&net, ctx, self.node, qp, self.cfg.ring_size);
+                self.channel = Some(ch);
+                // First burst; the channel queues until the MR handshake
+                // completes.
+                self.fill_pipeline(ctx);
+            }
+            NetEvent::TcpConnected { conn, .. } => {
+                self.channel = Some(Channel::tcp(conn));
+                self.fill_pipeline(ctx);
+            }
+            NetEvent::CqNotify { cq } => {
+                loop {
+                    let wcs = self.net.poll_cq(cq, 16);
+                    if wcs.is_empty() {
+                        break;
+                    }
+                    for wc in wcs {
+                        let net = self.net.clone();
+                        let Some(ch) = self.channel.as_mut() else {
+                            continue;
+                        };
+                        if let Some(ChannelMsg { tag: t, payload }) = ch.on_wc(&net, ctx, &wc)
+                        {
+                            if t == tag::REPLY {
+                                self.on_reply(ctx, &payload);
+                            }
+                        }
+                    }
+                }
+                self.net.req_notify_cq(ctx, cq);
+            }
+            NetEvent::TcpDelivered { bytes, .. } => {
+                let msgs = self
+                    .channel
+                    .as_mut()
+                    .map(|ch| ch.on_tcp_bytes(&bytes))
+                    .unwrap_or_default();
+                for m in msgs {
+                    if m.tag == tag::REPLY {
+                        self.on_reply(ctx, &m.payload);
+                    }
+                }
+            }
+            NetEvent::CmConnectFailed { .. } | NetEvent::TcpConnectFailed { .. } => {
+                // Retry once the servers are up (startup race).
+                ctx.timer(skv_simcore::SimDuration::from_millis(5), ClientMsg::Start);
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "bench-client"
+    }
+
+}
+
+/// Check whether `mode` clients keep their transport invariant: clients in
+/// TCP mode never create CQs.
+pub fn client_uses_cq(mode: Mode) -> bool {
+    mode.uses_rdma()
+}

@@ -1,0 +1,342 @@
+//! Cluster builder and experiment harness.
+//!
+//! Assembles the paper's testbed in the simulator: a master host (with a
+//! SmartNIC SoC in SKV mode), N slave hosts, a client host, and the 100 Gb
+//! fabric between them; wires up the replication topology; runs a measured
+//! workload; and produces a [`RunReport`].
+
+use skv_netsim::{Net, NodeId, SocketAddr, Topology};
+use skv_simcore::{ActorId, SimDuration, SimTime, Simulation};
+
+use crate::client::{BenchClient, Workload};
+use crate::config::{ClusterConfig, Mode};
+use crate::metrics::{MetricsHub, RunReport, SharedMetrics};
+use crate::nickv::NicKv;
+use crate::server::{Control, KvServer};
+
+/// Well-known ports.
+pub const KV_PORT: u16 = 6379;
+/// Nic-KV's RDMA listen port on the SmartNIC SoC.
+pub const NIC_PORT: u16 = 7000;
+
+/// Workload + measurement parameters for one run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Cluster shape and calibration.
+    pub cfg: ClusterConfig,
+    /// Number of concurrent closed-loop client connections.
+    pub num_clients: usize,
+    /// Commands in flight per connection (1 = the paper's setting).
+    pub pipeline: usize,
+    /// Fraction of SET operations (1.0 = pure SET, 0.0 = pure GET).
+    pub set_ratio: f64,
+    /// SET value size in bytes.
+    pub value_size: usize,
+    /// Number of distinct keys.
+    pub key_space: u64,
+    /// Warm-up time before measurement starts (after sync grace).
+    pub warmup: SimDuration,
+    /// Measurement window length.
+    pub measure: SimDuration,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            cfg: ClusterConfig::default(),
+            num_clients: 8,
+            pipeline: 1,
+            set_ratio: 1.0,
+            value_size: 64,
+            key_space: 10_000,
+            warmup: SimDuration::from_millis(500),
+            measure: SimDuration::from_secs(4),
+            seed: 42,
+        }
+    }
+}
+
+/// A built cluster ready to run.
+pub struct Cluster {
+    /// The simulation (exposed for tests that drive time manually).
+    pub sim: Simulation,
+    /// The fabric handle.
+    pub net: Net,
+    /// Master Host-KV actor.
+    pub master: ActorId,
+    /// Nic-KV actor (SKV mode only).
+    pub nic: Option<ActorId>,
+    /// Slave Host-KV actors.
+    pub slaves: Vec<ActorId>,
+    /// Nodes the slaves run on (for failure injection).
+    pub slave_nodes: Vec<NodeId>,
+    /// Client actors.
+    pub clients: Vec<ActorId>,
+    /// Shared metrics sink.
+    pub metrics: SharedMetrics,
+    /// The spec this cluster was built from.
+    pub spec: RunSpec,
+    /// When clients start issuing.
+    pub clients_start: SimTime,
+    /// Start of the measurement window.
+    pub measure_from: SimTime,
+    /// End of the measurement window (clients stop issuing).
+    pub measure_until: SimTime,
+}
+
+impl Cluster {
+    /// Build the full testbed for `spec`.
+    pub fn build(spec: RunSpec) -> Cluster {
+        let mut sim = Simulation::new(spec.seed);
+        let cfg = &spec.cfg;
+
+        // --- topology: master + slaves + one client machine + SmartNIC ---
+        let mut topo = Topology::new();
+        let master_node = topo.add_host();
+        let slave_nodes: Vec<NodeId> = (0..cfg.num_slaves).map(|_| topo.add_host()).collect();
+        let client_node = topo.add_host();
+        let nic_node = if cfg.mode == Mode::Skv {
+            Some(topo.add_smartnic(master_node))
+        } else {
+            None
+        };
+        let net = Net::install(&mut sim, topo, cfg.net.clone());
+
+        // --- timeline ---
+        let sync_grace = SimDuration::from_millis(100);
+        let clients_start = SimTime::ZERO + sync_grace;
+        let measure_from = clients_start + spec.warmup;
+        let measure_until = measure_from + spec.measure;
+        let metrics = MetricsHub::new(measure_from, measure_until);
+
+        // --- servers ---
+        let master_addr = SocketAddr::new(master_node, KV_PORT);
+        let master = sim.add_actor(Box::new(KvServer::new(
+            net.clone(),
+            cfg.clone(),
+            master_node,
+            master_addr,
+            spec.seed ^ 0x11,
+        )));
+
+        let nic_addr = nic_node.map(|n| SocketAddr::new(n, NIC_PORT));
+        let nic = nic_node.map(|n| {
+            sim.add_actor(Box::new(NicKv::new(
+                net.clone(),
+                cfg.clone(),
+                n,
+                SocketAddr::new(n, NIC_PORT),
+            )))
+        });
+
+        let mut slaves = Vec::with_capacity(cfg.num_slaves);
+        for (i, &node) in slave_nodes.iter().enumerate() {
+            let addr = SocketAddr::new(node, KV_PORT);
+            let id = sim.add_actor(Box::new(KvServer::new(
+                net.clone(),
+                cfg.clone(),
+                node,
+                addr,
+                spec.seed ^ (0x100 + i as u64),
+            )));
+            slaves.push(id);
+        }
+
+        // --- wiring: master → NIC, then slaves → SLAVEOF ---
+        if let (Some(nic_addr), Some(_)) = (nic_addr, nic) {
+            sim.schedule(
+                SimTime::from_millis(1),
+                master,
+                Control::ConnectNic { nic: nic_addr },
+            );
+        }
+        for (i, &slave) in slaves.iter().enumerate() {
+            sim.schedule(
+                SimTime::from_millis(5 + 2 * i as u64),
+                slave,
+                Control::Slaveof {
+                    master: master_addr,
+                    nic: nic_addr,
+                },
+            );
+        }
+
+        // --- clients ---
+        let workload = Workload {
+            pipeline: spec.pipeline,
+            set_ratio: spec.set_ratio,
+            key_space: spec.key_space,
+            value_size: spec.value_size,
+            start_at: clients_start,
+            stop_at: measure_until,
+        };
+        let clients: Vec<ActorId> = (0..spec.num_clients)
+            .map(|_| {
+                sim.add_actor(Box::new(BenchClient::new(
+                    net.clone(),
+                    cfg.clone(),
+                    client_node,
+                    master_addr,
+                    workload.clone(),
+                    metrics.clone(),
+                )))
+            })
+            .collect();
+
+        Cluster {
+            sim,
+            net,
+            master,
+            nic,
+            slaves,
+            slave_nodes,
+            clients,
+            metrics,
+            spec,
+            clients_start,
+            measure_from,
+            measure_until,
+        }
+    }
+
+    /// Schedule a slave crash at `at` (relative to simulation start).
+    pub fn schedule_slave_crash(&mut self, slave_idx: usize, at: SimTime) {
+        self.sim
+            .schedule(at, self.slaves[slave_idx], Control::Crash);
+    }
+
+    /// Schedule a slave recovery at `at`.
+    pub fn schedule_slave_recover(&mut self, slave_idx: usize, at: SimTime) {
+        self.sim
+            .schedule(at, self.slaves[slave_idx], Control::Recover);
+    }
+
+    /// Schedule a master crash / recovery (for failover experiments).
+    pub fn schedule_master_crash(&mut self, at: SimTime) {
+        self.sim.schedule(at, self.master, Control::Crash);
+    }
+
+    /// Schedule the master's recovery.
+    pub fn schedule_master_recover(&mut self, at: SimTime) {
+        self.sim.schedule(at, self.master, Control::Recover);
+    }
+
+    /// Run to just past the measurement window and summarize.
+    pub fn run(&mut self) -> RunReport {
+        let deadline = self.measure_until + SimDuration::from_millis(200);
+        self.sim.run_until(deadline);
+        RunReport::from_hub(self.spec.cfg.mode.label(), &self.metrics.borrow())
+    }
+
+    /// Run until `deadline` (for experiments with their own schedules).
+    pub fn run_until(&mut self, deadline: SimTime) -> RunReport {
+        self.sim.run_until(deadline);
+        RunReport::from_hub(self.spec.cfg.mode.label(), &self.metrics.borrow())
+    }
+
+    /// Execute commands directly on the master's engine — for preloading a
+    /// dataset before slaves attach (it bypasses the replication stream and
+    /// reaches slaves only via the initial full sync).
+    pub fn preload_master(&mut self, commands: &[&[&str]]) {
+        let server = self
+            .sim
+            .actor_mut::<KvServer>(self.master)
+            .expect("master is a KvServer");
+        for parts in commands {
+            let r = server.engine_mut().exec_str(0, parts);
+            assert!(!r.reply.is_error(), "preload failed: {parts:?}");
+        }
+    }
+
+    /// Borrow the master server for inspection.
+    pub fn master_server(&self) -> &KvServer {
+        self.sim
+            .actor_ref::<KvServer>(self.master)
+            .expect("master is a KvServer")
+    }
+
+    /// Borrow a slave server for inspection.
+    pub fn slave_server(&self, idx: usize) -> &KvServer {
+        self.sim
+            .actor_ref::<KvServer>(self.slaves[idx])
+            .expect("slave is a KvServer")
+    }
+
+    /// Borrow the Nic-KV for inspection (SKV mode).
+    pub fn nic_kv(&self) -> Option<&NicKv> {
+        self.nic.and_then(|id| self.sim.actor_ref::<NicKv>(id))
+    }
+
+    /// All keyspace digests (master first), for convergence checks.
+    pub fn keyspace_digests(&self) -> Vec<u64> {
+        let mut out = vec![self.master_server().engine().keyspace_digest()];
+        for i in 0..self.slaves.len() {
+            out.push(self.slave_server(i).engine().keyspace_digest());
+        }
+        out
+    }
+}
+
+/// Convenience: build and run one spec, returning the report.
+pub fn run_spec(spec: RunSpec) -> RunReport {
+    Cluster::build(spec).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(mode: Mode) -> RunSpec {
+        let mut cfg = ClusterConfig::for_mode(mode);
+        cfg.num_slaves = if mode == Mode::TcpRedis { 0 } else { 2 };
+        RunSpec {
+            cfg,
+            num_clients: 2,
+            warmup: SimDuration::from_millis(100),
+            measure: SimDuration::from_millis(400),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn skv_cluster_smoke() {
+        let mut cluster = Cluster::build(small_spec(Mode::Skv));
+        let report = cluster.run();
+        assert!(report.ops > 100, "ops {}", report.ops);
+        assert_eq!(report.errors, 0);
+        assert!(report.throughput_kops > 1.0);
+        // All slaves synced.
+        for i in 0..cluster.slaves.len() {
+            assert!(cluster.slave_server(i).is_synced_slave(), "slave {i}");
+        }
+        // NIC actually fanned out.
+        let nic = cluster.nic_kv().expect("SKV has a NIC");
+        assert!(nic.stat_fanout_msgs > 0);
+        assert_eq!(nic.available_slaves(), 2);
+    }
+
+    #[test]
+    fn rdma_redis_cluster_smoke() {
+        let mut cluster = Cluster::build(small_spec(Mode::RdmaRedis));
+        let report = cluster.run();
+        assert!(report.ops > 100);
+        assert!(cluster.nic_kv().is_none());
+    }
+
+    #[test]
+    fn tcp_redis_cluster_smoke() {
+        let mut cluster = Cluster::build(small_spec(Mode::TcpRedis));
+        let report = cluster.run();
+        assert!(report.ops > 50, "ops {}", report.ops);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let r1 = run_spec(small_spec(Mode::Skv));
+        let r2 = run_spec(small_spec(Mode::Skv));
+        assert_eq!(r1.ops, r2.ops);
+        assert_eq!(r1.p99_latency_us, r2.p99_latency_us);
+    }
+}

@@ -1,0 +1,188 @@
+//! Cluster and server configuration.
+
+use skv_netsim::{MachineParams, NetParams};
+use skv_simcore::SimDuration;
+
+/// Which system variant a cluster runs — the paper's three contenders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Original Redis: kernel TCP transport, replication fan-out on the
+    /// master host (Figure 10 baseline).
+    TcpRedis,
+    /// Redis with the network layer replaced by RDMA; replication still
+    /// posts one Work Request per slave from the master host, serially
+    /// (Figures 7, 10–13 baseline).
+    RdmaRedis,
+    /// SKV: RDMA transport plus replication and failure detection offloaded
+    /// to the SmartNIC's Nic-KV (the paper's contribution).
+    Skv,
+}
+
+impl Mode {
+    /// Human-readable name used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::TcpRedis => "Redis",
+            Mode::RdmaRedis => "RDMA-Redis",
+            Mode::Skv => "SKV",
+        }
+    }
+
+    /// Does this mode use the RDMA transport?
+    pub fn uses_rdma(self) -> bool {
+        !matches!(self, Mode::TcpRedis)
+    }
+}
+
+/// CPU cost model for server-side command processing, in reference-core
+/// time. Calibrated so RDMA-Redis SET saturates near the paper's
+/// ~330 kops/s and original Redis near ~130 kops/s (Figure 10).
+#[derive(Debug, Clone)]
+pub struct CostParams {
+    /// Fixed cost to read/parse/dispatch one command and build its reply.
+    pub cmd_base: SimDuration,
+    /// Additional cost per KiB of payload touched (memcpy, hashing).
+    pub cmd_per_kib: SimDuration,
+    /// Cost for a slave to apply one replicated command.
+    pub apply_base: SimDuration,
+    /// RDB persist cost per key (master side, initial sync).
+    pub persist_per_key: SimDuration,
+    /// RDB load cost per key (slave side, initial sync).
+    pub load_per_key: SimDuration,
+    /// Nic-KV cost to parse one replication request (reference-core time;
+    /// the SmartNIC's core pool scales it by the ARM speed factor).
+    pub nic_fanout_base: SimDuration,
+    /// Nic-KV cost per slave per replicated message (ring write + WR post).
+    pub nic_per_slave: SimDuration,
+    /// Relative jitter applied to service times (gives realistic p99s).
+    pub jitter: f64,
+    /// Probability that any single WR post stalls (doorbell/CQ contention).
+    /// More posts per operation ⇒ more frequent stalls ⇒ heavier tails —
+    /// the mechanism behind Figure 7's ">25%" tail-latency growth.
+    pub post_spike_prob: f64,
+    /// Duration of one such stall.
+    pub post_spike_cost: SimDuration,
+    /// Client-side per-op overhead (request build + reply parse).
+    pub client_op: SimDuration,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            cmd_base: SimDuration::from_nanos(2_500),
+            cmd_per_kib: SimDuration::from_nanos(220),
+            apply_base: SimDuration::from_nanos(1_100),
+            persist_per_key: SimDuration::from_nanos(800),
+            load_per_key: SimDuration::from_nanos(700),
+            nic_fanout_base: SimDuration::from_nanos(120),
+            nic_per_slave: SimDuration::from_nanos(100),
+            jitter: 0.12,
+            post_spike_prob: 0.006,
+            post_spike_cost: SimDuration::from_micros(6),
+            client_op: SimDuration::from_nanos(2_000),
+        }
+    }
+}
+
+/// Full configuration for one SKV/baseline cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// System variant.
+    pub mode: Mode,
+    /// Number of slave servers.
+    pub num_slaves: usize,
+    /// Replication threads on the SmartNIC (paper §III-C `thread-num`).
+    /// Clamped to `min(nic cores, slaves)`; 1 disables multi-threading
+    /// (the paper's default).
+    pub thread_num: usize,
+    /// Minimum available slaves before writes are rejected (`min-slaves`).
+    pub min_slaves: usize,
+    /// Probe timeout before a node is declared failed (`waiting-time`).
+    pub waiting_time: SimDuration,
+    /// Interval between Nic-KV probe rounds (paper: 1 second).
+    pub probe_interval: SimDuration,
+    /// How often slaves report replication progress to the master.
+    pub progress_interval: SimDuration,
+    /// Replication backlog capacity in bytes.
+    pub backlog_size: usize,
+    /// Per-connection receive-ring size in bytes.
+    pub ring_size: usize,
+    /// Maximum replication lag (bytes) before the master returns errors
+    /// (paper §III-C: "if the progress is too slow … return an error").
+    pub max_slave_lag: u64,
+    /// CPU cost model.
+    pub costs: CostParams,
+    /// Fabric calibration.
+    pub net: NetParams,
+    /// Machine shapes (cores, speeds).
+    pub machines: MachineParams,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            mode: Mode::Skv,
+            num_slaves: 3,
+            thread_num: 1,
+            min_slaves: 0,
+            waiting_time: SimDuration::from_millis(1500),
+            probe_interval: SimDuration::from_secs(1),
+            progress_interval: SimDuration::from_millis(100),
+            backlog_size: 1 << 20,
+            ring_size: 1 << 20,
+            max_slave_lag: 256 << 20,
+            costs: CostParams::default(),
+            net: NetParams::default(),
+            machines: MachineParams::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A config for the given mode with everything else default.
+    pub fn for_mode(mode: Mode) -> Self {
+        ClusterConfig {
+            mode,
+            ..Default::default()
+        }
+    }
+
+    /// Effective number of NIC replication threads (paper §III-C: "the
+    /// actual number of threads used for replication cannot be greater
+    /// than the minimum value of the number of SmartNIC cores and slave
+    /// nodes").
+    pub fn effective_nic_threads(&self) -> usize {
+        self.thread_num
+            .max(1)
+            .min(self.machines.nic_cores)
+            .min(self.num_slaves.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(Mode::TcpRedis.label(), "Redis");
+        assert_eq!(Mode::RdmaRedis.label(), "RDMA-Redis");
+        assert_eq!(Mode::Skv.label(), "SKV");
+        assert!(!Mode::TcpRedis.uses_rdma());
+        assert!(Mode::Skv.uses_rdma());
+    }
+
+    #[test]
+    fn nic_threads_clamped() {
+        let mut cfg = ClusterConfig {
+            thread_num: 16,
+            num_slaves: 3,
+            ..Default::default()
+        };
+        assert_eq!(cfg.effective_nic_threads(), 3, "min(cores=8, slaves=3)");
+        cfg.num_slaves = 20;
+        assert_eq!(cfg.effective_nic_threads(), 8, "min(cores=8, slaves=20)");
+        cfg.thread_num = 0;
+        assert_eq!(cfg.effective_nic_threads(), 1, "at least one");
+    }
+}

@@ -1,0 +1,47 @@
+//! # skv-core — SKV: a SmartNIC-offloaded distributed key-value store
+//!
+//! Reproduction of *"SKV: A SmartNIC-Offloaded Distributed Key-Value
+//! Store"* (CLUSTER 2022) over the `skv-netsim` fabric and `skv-store`
+//! engine:
+//!
+//! * [`server::KvServer`] — Host-KV: single-threaded command execution,
+//!   replication backlog, initial synchronization (Figure 8), and
+//!   per-mode write propagation,
+//! * [`nickv::NicKv`] — the SmartNIC-resident component: node list,
+//!   steady-state replication fan-out (Figure 9), `thread-num`
+//!   multi-threading, and probe-based failure detection with failover,
+//! * [`client::BenchClient`] — closed-loop load generation à la
+//!   `redis-benchmark`,
+//! * [`cluster`] — the harness that assembles testbeds and produces
+//!   [`metrics::RunReport`]s,
+//! * three run modes ([`config::Mode`]): original **Redis** over TCP,
+//!   **RDMA-Redis**, and **SKV** — the paper's baselines and contribution.
+//!
+//! ```
+//! use skv_core::cluster::{Cluster, RunSpec};
+//! use skv_core::config::{ClusterConfig, Mode};
+//! use skv_simcore::SimDuration;
+//!
+//! let mut cfg = ClusterConfig::for_mode(Mode::Skv);
+//! cfg.num_slaves = 2;
+//! let mut cluster = Cluster::build(RunSpec {
+//!     cfg,
+//!     num_clients: 2,
+//!     measure: SimDuration::from_millis(300),
+//!     warmup: SimDuration::from_millis(100),
+//!     ..Default::default()
+//! });
+//! let report = cluster.run();
+//! assert!(report.ops > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod client;
+pub mod cluster;
+pub mod config;
+pub mod metrics;
+pub mod nickv;
+pub mod protocol;
+pub mod server;

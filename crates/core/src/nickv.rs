@@ -1,0 +1,496 @@
+//! Nic-KV: the offloaded component running on the SmartNIC SoC.
+//!
+//! Implements §III-C/§III-D of the paper on the BlueField's (simulated)
+//! ARM cores:
+//!
+//! * maintains the **node list** — master and slaves with their replication
+//!   state and validity flags,
+//! * relays initial synchronization requests to the master (Fig. 8 ①→②),
+//! * performs **steady-state replication fan-out** (Fig. 9): one request
+//!   from the master becomes one `WRITE_WITH_IMM` per valid slave, written
+//!   from the slaves' send buffers on the NIC, optionally spread over
+//!   `thread-num` ARM cores,
+//! * runs **failure detection**: 1-second probes, `waiting-time` timeouts,
+//!   invalid flags, `min-slaves` notifications to the master, and master
+//!   failover with downgrade-on-return.
+
+use std::collections::HashMap;
+
+use skv_netsim::{CqId, Net, NetEvent, NodeId, QpId, SocketAddr};
+use skv_simcore::{Actor, ActorId, Context, CorePool, Payload, SimDuration, SimTime};
+use skv_store::repl::ReplicationPosition;
+
+use crate::channel::{Channel, ChannelMsg};
+use crate::config::ClusterConfig;
+use crate::protocol::{tag, NodeMsg};
+
+/// An entry in the node list (paper §III-C: "a node list storing the
+/// corresponding relationship between the master node and the slave node
+/// is maintained on the SmartNIC").
+#[derive(Debug, Clone)]
+pub struct NodeEntry {
+    /// The node's server address.
+    pub addr: SocketAddr,
+    /// Whether this entry is the master.
+    pub is_master: bool,
+    /// Replication state as last reported.
+    pub position: ReplicationPosition,
+    /// The invalid flag (§III-D): cleared while the node answers probes.
+    pub valid: bool,
+    /// Last time this node answered a probe (or any message).
+    pub last_reply: SimTime,
+    /// When the oldest unanswered probe was sent (§III-D: a node is failed
+    /// when a probe sent `waiting-time` ago has no reply).
+    pub pending_probe_since: Option<SimTime>,
+    /// Connection index, once the node has a channel to Nic-KV.
+    conn: Option<usize>,
+}
+
+enum NicMsg {
+    /// Probe round timer.
+    ProbeTick,
+    /// Fan-out work for one slave finished; send the frame now.
+    FanoutSend { conn: usize, frame: Vec<u8> },
+}
+
+struct ConnState {
+    channel: Channel,
+    open: bool,
+}
+
+/// The Nic-KV actor.
+pub struct NicKv {
+    net: Net,
+    cfg: ClusterConfig,
+    node: NodeId,
+    addr: SocketAddr,
+    cq: Option<CqId>,
+    /// The SmartNIC's ARM cores (slow; speed factor from `MachineParams`).
+    cpu: CorePool,
+    conns: Vec<ConnState>,
+    by_qp: HashMap<QpId, usize>,
+    nodes: Vec<NodeEntry>,
+    probe_seq: u64,
+    /// Address of a slave promoted during master failover, if any.
+    promoted: Option<SocketAddr>,
+    /// Round-robin cursor for thread assignment.
+    fanout_cursor: usize,
+    /// Highest master replication offset observed in forwarded frames.
+    master_offset: u64,
+    /// Last `(available, lagging)` pair pushed to the master.
+    last_update_sent: Option<(u32, bool)>,
+    /// Statistics.
+    pub stat_fanout_msgs: u64,
+    /// Total per-slave sends performed.
+    pub stat_fanout_sends: u64,
+    /// Probes sent.
+    pub stat_probes: u64,
+    /// Failovers performed.
+    pub stat_failovers: u64,
+    /// Instants at which a node was declared failed (detection latency
+    /// analysis for the `waiting-time` ablation).
+    pub detections: Vec<(SimTime, SocketAddr)>,
+    /// Instants at which a previously failed node was seen alive again.
+    pub recoveries: Vec<(SimTime, SocketAddr)>,
+}
+
+impl NicKv {
+    /// Create a Nic-KV bound to `addr` on the SmartNIC SoC node.
+    pub fn new(net: Net, cfg: ClusterConfig, node: NodeId, addr: SocketAddr) -> Self {
+        let cores = cfg.machines.nic_cores.max(1);
+        let speed = cfg.machines.nic_core_speed;
+        NicKv {
+            net,
+            node,
+            addr,
+            cq: None,
+            cpu: CorePool::new(cores, speed),
+            conns: Vec::new(),
+            by_qp: HashMap::new(),
+            nodes: Vec::new(),
+            probe_seq: 0,
+            promoted: None,
+            fanout_cursor: 0,
+            master_offset: 0,
+            last_update_sent: None,
+            cfg,
+            stat_fanout_msgs: 0,
+            stat_fanout_sends: 0,
+            stat_probes: 0,
+            stat_failovers: 0,
+            detections: Vec::new(),
+            recoveries: Vec::new(),
+        }
+    }
+
+    /// The node list (for tests and reports).
+    pub fn node_list(&self) -> &[NodeEntry] {
+        &self.nodes
+    }
+
+    /// Currently valid slaves.
+    pub fn available_slaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| !n.is_master && n.valid)
+            .count()
+    }
+
+    /// Mean ARM-core utilization so far.
+    pub fn mean_utilization(&self, now: SimTime) -> f64 {
+        self.cpu.mean_utilization(now)
+    }
+
+    fn entry_mut(&mut self, addr: SocketAddr) -> Option<&mut NodeEntry> {
+        self.nodes.iter_mut().find(|n| n.addr == addr)
+    }
+
+    fn master_conn(&self) -> Option<usize> {
+        self.nodes
+            .iter()
+            .find(|n| n.is_master)
+            .and_then(|n| n.conn)
+            .filter(|&c| self.conns[c].open)
+    }
+
+    fn send_on(&mut self, ctx: &mut Context<'_>, conn: usize, tag: u32, payload: &[u8]) {
+        if !self.conns[conn].open {
+            return;
+        }
+        let net = self.net.clone();
+        self.conns[conn].channel.send(&net, ctx, tag, payload);
+    }
+
+    /// Whether any *valid* slave lags beyond the configured bound.
+    fn any_valid_slave_lagging(&self) -> bool {
+        self.nodes.iter().any(|n| {
+            !n.is_master
+                && n.valid
+                && n.position.offset > 0
+                && self.master_offset.saturating_sub(n.position.offset)
+                    > self.cfg.max_slave_lag
+        })
+    }
+
+    fn notify_available(&mut self, ctx: &mut Context<'_>) {
+        let available = self.available_slaves() as u32;
+        let lagging = self.any_valid_slave_lagging();
+        if self.last_update_sent == Some((available, lagging)) {
+            return;
+        }
+        if let Some(conn) = self.master_conn() {
+            self.last_update_sent = Some((available, lagging));
+            let msg = NodeMsg::SlaveSetUpdate { available, lagging }.encode();
+            self.send_on(ctx, conn, tag::NODE, &msg);
+        }
+    }
+
+    // -- message handling ------------------------------------------------------
+
+    fn on_channel_msg(&mut self, ctx: &mut Context<'_>, conn: usize, msg: ChannelMsg) {
+        match msg.tag {
+            tag::NODE => {
+                if let Some(m) = NodeMsg::decode(&msg.payload) {
+                    self.on_node_msg(ctx, conn, m);
+                }
+            }
+            // Steady-state replication request from the master (Fig. 9 ①).
+            tag::REPL_STREAM => self.fan_out(ctx, msg.payload),
+            _ => {}
+        }
+    }
+
+    fn on_node_msg(&mut self, ctx: &mut Context<'_>, conn: usize, msg: NodeMsg) {
+        match msg {
+            NodeMsg::Hello { from, is_master } => {
+                self.upsert_node(ctx.now(), from, is_master, Some(conn));
+                if is_master {
+                    // Tell the master how many slaves are already valid.
+                    self.notify_available(ctx);
+                }
+            }
+            NodeMsg::SyncRequest { slave, position } => {
+                // Fig. 8 ①: record the slave's replication status at the
+                // end of the node list, then notify the master (②).
+                self.upsert_node(ctx.now(), slave, false, Some(conn));
+                if let Some(e) = self.entry_mut(slave) {
+                    e.position = position;
+                }
+                // Small ARM-core cost for parsing + list update
+                // (reference-core time; the pool scales it down).
+                self.cpu.run_any(ctx.now(), SimDuration::from_nanos(400));
+                if let Some(mconn) = self.master_conn() {
+                    let relay = NodeMsg::SyncNotify { slave, position }.encode();
+                    self.send_on(ctx, mconn, tag::NODE, &relay);
+                }
+                self.notify_available(ctx);
+            }
+            NodeMsg::ProgressReport { slave, offset } => {
+                if let Some(e) = self.entry_mut(slave) {
+                    e.position.offset = e.position.offset.max(offset);
+                    e.last_reply = ctx.now();
+                }
+            }
+            NodeMsg::ProbeReply { seq: _, from } => {
+                let now = ctx.now();
+                let mut became_valid = false;
+                let mut master_returned = false;
+                if let Some(e) = self.entry_mut(from) {
+                    e.last_reply = now;
+                    e.pending_probe_since = None;
+                    if !e.valid {
+                        e.valid = true;
+                        became_valid = true;
+                        master_returned = e.is_master;
+                        // The node's replication state is unknown until it
+                        // reports fresh progress; don't let a stale offset
+                        // trip the lag check.
+                        e.position.offset = 0;
+                    }
+                }
+                if became_valid {
+                    self.recoveries.push((now, from));
+                }
+                if master_returned {
+                    // §III-D: "when the original master node is found
+                    // recovered, Nic-KV lets it continue to be the master
+                    // node and downgrades the previously selected master".
+                    if let Some(promoted) = self.promoted.take() {
+                        if let Some(conn) =
+                            self.entry_mut(promoted).and_then(|e| e.conn)
+                        {
+                            let msg = NodeMsg::Demote.encode();
+                            self.send_on(ctx, conn, tag::NODE, &msg);
+                        }
+                    }
+                }
+                if became_valid {
+                    self.notify_available(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn upsert_node(
+        &mut self,
+        now: SimTime,
+        addr: SocketAddr,
+        is_master: bool,
+        conn: Option<usize>,
+    ) {
+        let mut revalidated = false;
+        match self.entry_mut(addr) {
+            Some(e) => {
+                e.last_reply = now;
+                e.pending_probe_since = None;
+                if !e.valid {
+                    e.valid = true;
+                    revalidated = true;
+                }
+                if conn.is_some() {
+                    e.conn = conn;
+                }
+                e.is_master = is_master || e.is_master;
+            }
+            None => self.nodes.push(NodeEntry {
+                addr,
+                is_master,
+                position: ReplicationPosition::unsynced(),
+                valid: true,
+                last_reply: now,
+                pending_probe_since: None,
+                conn,
+            }),
+        }
+        if revalidated {
+            self.recoveries.push((now, addr));
+        }
+    }
+
+    /// Steady-state fan-out (Fig. 9 ②): write the command into each valid
+    /// slave's send buffer and post one WRITE_WITH_IMM per slave, the work
+    /// spread round-robin across `thread-num` ARM cores.
+    fn fan_out(&mut self, ctx: &mut Context<'_>, frame: Vec<u8>) {
+        self.stat_fanout_msgs += 1;
+        // Track the master's offset from the frame header (first 8 bytes),
+        // for the lag check of §III-C.
+        if let Some((from_offset, body)) = crate::server::parse_stream_frame(&frame) {
+            self.master_offset = self
+                .master_offset
+                .max(from_offset + body.len() as u64);
+        }
+        let threads = self.cfg.effective_nic_threads();
+        let base = self.cfg.costs.nic_fanout_base;
+        let per_slave = self.cfg.costs.nic_per_slave;
+
+        let targets: Vec<usize> = self
+            .nodes
+            .iter()
+            .filter(|n| !n.is_master && n.valid)
+            .filter_map(|n| n.conn)
+            .filter(|&c| self.conns[c].open)
+            .collect();
+
+        // Parsing the request happens once, on the thread that owns the
+        // master connection (thread 0 by convention).
+        self.cpu.run_on(0, ctx.now(), base);
+        for conn in targets {
+            let thread = self.fanout_cursor % threads;
+            self.fanout_cursor += 1;
+            let done = self.cpu.run_on(thread, ctx.now(), per_slave).finished;
+            self.stat_fanout_sends += 1;
+            ctx.timer_at(
+                done,
+                NicMsg::FanoutSend {
+                    conn,
+                    frame: frame.clone(),
+                },
+            );
+        }
+    }
+
+    // -- failure detection (§III-D) ---------------------------------------------
+
+    fn on_probe_tick(&mut self, ctx: &mut Context<'_>) {
+        ctx.timer(self.cfg.probe_interval, NicMsg::ProbeTick);
+        let now = ctx.now();
+        self.probe_seq += 1;
+        let seq = self.probe_seq;
+
+        // A node is failed when a probe sent `waiting-time` ago has no
+        // reply (§III-D).
+        let waiting = self.cfg.waiting_time;
+        let mut detected = Vec::new();
+        let mut master_failed = false;
+        for e in &mut self.nodes {
+            let overdue = e
+                .pending_probe_since
+                .is_some_and(|t| now.saturating_since(t) > waiting);
+            if e.valid && overdue {
+                e.valid = false;
+                detected.push((now, e.addr));
+                if e.is_master {
+                    master_failed = true;
+                }
+            }
+        }
+        let any_detected = !detected.is_empty();
+        self.detections.extend(detected);
+        if master_failed && self.promoted.is_none() {
+            self.failover(ctx);
+        }
+
+        // Send this round's probes (cheap ARM work per probe).
+        let probe = NodeMsg::Probe { seq }.encode();
+        let targets: Vec<(usize, SocketAddr)> = self
+            .nodes
+            .iter()
+            .filter_map(|e| e.conn.map(|c| (c, e.addr)))
+            .filter(|&(c, _)| self.conns[c].open)
+            .collect();
+        for (conn, addr) in targets {
+            let cost = SimDuration::from_nanos(150);
+            self.cpu.run_any(now, cost);
+            self.stat_probes += 1;
+            if let Some(e) = self.entry_mut(addr) {
+                if e.pending_probe_since.is_none() {
+                    e.pending_probe_since = Some(now);
+                }
+            }
+            self.send_on(ctx, conn, tag::NODE, &probe);
+        }
+        // Push availability/lag state to the master when it changed.
+        let _ = any_detected;
+        self.notify_available(ctx);
+    }
+
+    /// §III-D: "one of the available slave nodes is selected as the master
+    /// node" — the one with the highest replication offset loses the least.
+    fn failover(&mut self, ctx: &mut Context<'_>) {
+        let best = self
+            .nodes
+            .iter()
+            .filter(|n| !n.is_master && n.valid)
+            .max_by_key(|n| (n.position.offset, std::cmp::Reverse(n.addr)))
+            .map(|n| (n.addr, n.conn));
+        let Some((addr, Some(conn))) = best else {
+            return;
+        };
+        self.promoted = Some(addr);
+        self.stat_failovers += 1;
+        let msg = NodeMsg::Promote.encode();
+        self.send_on(ctx, conn, tag::NODE, &msg);
+    }
+}
+
+impl Actor for NicKv {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let me = ctx.id();
+        self.cq = Some(self.net.create_cq(me));
+        self.net.rdma_listen(self.addr, me);
+        let cq = self.cq.expect("just created");
+        self.net.req_notify_cq(ctx, cq);
+        ctx.timer(self.cfg.probe_interval, NicMsg::ProbeTick);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: ActorId, msg: Payload) {
+        let msg = match msg.downcast::<NicMsg>() {
+            Ok(m) => {
+                match *m {
+                    NicMsg::ProbeTick => self.on_probe_tick(ctx),
+                    NicMsg::FanoutSend { conn, frame } => {
+                        self.send_on(ctx, conn, tag::REPL_STREAM, &frame);
+                    }
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let Ok(ev) = msg.downcast::<NetEvent>() else {
+            return;
+        };
+        match *ev {
+            NetEvent::CmConnectRequest { req, .. } => {
+                let cq = self.cq.expect("created at start");
+                let _qp = self.net.rdma_accept(ctx, req, cq);
+            }
+            NetEvent::CmEstablished { qp, .. } => {
+                if self.by_qp.contains_key(&qp) {
+                    return;
+                }
+                let net = self.net.clone();
+                let ch = Channel::rdma(&net, ctx, self.node, qp, self.cfg.ring_size);
+                let idx = self.conns.len();
+                self.by_qp.insert(qp, idx);
+                self.conns.push(ConnState {
+                    channel: ch,
+                    open: true,
+                });
+            }
+            NetEvent::CqNotify { cq } => {
+                loop {
+                    let wcs = self.net.poll_cq(cq, 64);
+                    if wcs.is_empty() {
+                        break;
+                    }
+                    for wc in wcs {
+                        let Some(&conn) = self.by_qp.get(&wc.qp) else {
+                            continue;
+                        };
+                        let net = self.net.clone();
+                        if let Some(m) = self.conns[conn].channel.on_wc(&net, ctx, &wc) {
+                            self.on_channel_msg(ctx, conn, m);
+                        }
+                    }
+                }
+                self.net.req_notify_cq(ctx, cq);
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "nic-kv"
+    }
+}

@@ -1,0 +1,360 @@
+//! The inter-node wire protocol.
+//!
+//! Everything that crosses the network is real bytes. Client↔server traffic
+//! is RESP (inherited from Redis); node↔node coordination uses the compact
+//! binary frames defined here, mirroring the messages of the paper's
+//! Figures 8 and 9: initial-sync requests, sync notifications, RDB chunks,
+//! steady-state replication requests, probes, and progress reports.
+
+use skv_netsim::SocketAddr;
+use skv_store::repl::{ReplicationId, ReplicationPosition};
+
+/// Message tags carried in the RDMA immediate field (and as the first byte
+/// of TCP frames) to route payloads without peeking inside.
+pub mod tag {
+    /// RESP command from a client.
+    pub const CMD: u32 = 1;
+    /// RESP reply to a client.
+    pub const REPLY: u32 = 2;
+    /// A [`super::NodeMsg`] coordination frame.
+    pub const NODE: u32 = 3;
+    /// A chunk of replication stream bytes (RESP-encoded write commands).
+    pub const REPL_STREAM: u32 = 4;
+    /// A chunk of an RDB snapshot transfer.
+    pub const RDB_CHUNK: u32 = 5;
+}
+
+/// Node-to-node coordination messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeMsg {
+    /// Slave → Nic-KV (or master in baseline modes): start initial sync
+    /// (paper Fig. 8 ①). Carries the slave's replication position, its
+    /// listen address, and the master's address as the slave knows it.
+    SyncRequest {
+        /// Who is asking (the slave's server address).
+        slave: SocketAddr,
+        /// The slave's current replication position.
+        position: ReplicationPosition,
+    },
+    /// Nic-KV → master Host-KV: a slave wants to synchronize (Fig. 8 ②).
+    SyncNotify {
+        /// The slave's server address.
+        slave: SocketAddr,
+        /// The slave's replication position.
+        position: ReplicationPosition,
+    },
+    /// Master → slave: header before a full RDB transfer. `total_bytes` of
+    /// RDB_CHUNK frames follow; the slave's new position after loading is
+    /// `(repl_id, start_offset)`.
+    FullSyncBegin {
+        /// The master's replication history id.
+        repl_id: ReplicationId,
+        /// The replication offset the snapshot corresponds to.
+        start_offset: u64,
+        /// Total RDB bytes that will follow in chunks.
+        total_bytes: u64,
+    },
+    /// Master → slave: partial resynchronization accepted; REPL_STREAM
+    /// frames covering `[from_offset, to_offset)` follow.
+    PartialSyncBegin {
+        /// The master's replication history id.
+        repl_id: ReplicationId,
+        /// First byte offset being sent.
+        from_offset: u64,
+        /// One past the last byte offset being sent.
+        to_offset: u64,
+    },
+    /// Master Host-KV → Nic-KV: replicate these stream bytes to all valid
+    /// slaves (Fig. 9 ①). The single message whose posting cost replaces
+    /// N per-slave posts — the core of the offload.
+    Replicate {
+        /// Offset of the first byte in `stream` within the master history.
+        from_offset: u64,
+    },
+    /// Slave → Nic-KV (relayed to master) or slave → master: replication
+    /// progress report (Fig. 9 ③).
+    ProgressReport {
+        /// The reporting slave.
+        slave: SocketAddr,
+        /// Bytes of the master history applied so far.
+        offset: u64,
+    },
+    /// Nic-KV → any node: liveness probe (§III-D).
+    Probe {
+        /// Sequence number echoed in the reply.
+        seq: u64,
+    },
+    /// Any node → Nic-KV: probe reply.
+    ProbeReply {
+        /// Echoed sequence number.
+        seq: u64,
+        /// The responder's server address.
+        from: SocketAddr,
+    },
+    /// Nic-KV → master Host-KV: the health of the slave set changed;
+    /// carries the valid-slave count (drives `min-slaves` rejection) and
+    /// whether any valid slave lags beyond the configured bound (§III-C:
+    /// "if the progress is too slow … return an error message").
+    SlaveSetUpdate {
+        /// Number of slaves currently considered alive.
+        available: u32,
+        /// True when a *valid* slave's replication lag exceeds the bound.
+        lagging: bool,
+    },
+    /// Nic-KV → slave: you are promoted to master (master failover).
+    Promote,
+    /// Nic-KV → node: step down to slave (original master returned).
+    Demote,
+    /// First message on a freshly opened coordination channel, so the
+    /// receiver can label the connection before any other traffic.
+    Hello {
+        /// The sender's server address.
+        from: SocketAddr,
+        /// True when the sender is the master Host-KV.
+        is_master: bool,
+    },
+}
+
+impl NodeMsg {
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            NodeMsg::SyncRequest { slave, position } => {
+                out.push(0);
+                put_addr(&mut out, *slave);
+                put_position(&mut out, *position);
+            }
+            NodeMsg::SyncNotify { slave, position } => {
+                out.push(1);
+                put_addr(&mut out, *slave);
+                put_position(&mut out, *position);
+            }
+            NodeMsg::FullSyncBegin {
+                repl_id,
+                start_offset,
+                total_bytes,
+            } => {
+                out.push(2);
+                out.extend_from_slice(&repl_id.0);
+                out.extend_from_slice(&start_offset.to_le_bytes());
+                out.extend_from_slice(&total_bytes.to_le_bytes());
+            }
+            NodeMsg::PartialSyncBegin {
+                repl_id,
+                from_offset,
+                to_offset,
+            } => {
+                out.push(3);
+                out.extend_from_slice(&repl_id.0);
+                out.extend_from_slice(&from_offset.to_le_bytes());
+                out.extend_from_slice(&to_offset.to_le_bytes());
+            }
+            NodeMsg::Replicate { from_offset } => {
+                out.push(4);
+                out.extend_from_slice(&from_offset.to_le_bytes());
+            }
+            NodeMsg::ProgressReport { slave, offset } => {
+                out.push(5);
+                put_addr(&mut out, *slave);
+                out.extend_from_slice(&offset.to_le_bytes());
+            }
+            NodeMsg::Probe { seq } => {
+                out.push(6);
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
+            NodeMsg::ProbeReply { seq, from } => {
+                out.push(7);
+                out.extend_from_slice(&seq.to_le_bytes());
+                put_addr(&mut out, *from);
+            }
+            NodeMsg::SlaveSetUpdate { available, lagging } => {
+                out.push(8);
+                out.extend_from_slice(&available.to_le_bytes());
+                out.push(*lagging as u8);
+            }
+            NodeMsg::Promote => out.push(9),
+            NodeMsg::Demote => out.push(10),
+            NodeMsg::Hello { from, is_master } => {
+                out.push(11);
+                put_addr(&mut out, *from);
+                out.push(*is_master as u8);
+            }
+        }
+        out
+    }
+
+    /// Decode from bytes.
+    pub fn decode(buf: &[u8]) -> Option<NodeMsg> {
+        let mut pos = 1;
+        match *buf.first()? {
+            0 => Some(NodeMsg::SyncRequest {
+                slave: get_addr(buf, &mut pos)?,
+                position: get_position(buf, &mut pos)?,
+            }),
+            1 => Some(NodeMsg::SyncNotify {
+                slave: get_addr(buf, &mut pos)?,
+                position: get_position(buf, &mut pos)?,
+            }),
+            2 => Some(NodeMsg::FullSyncBegin {
+                repl_id: get_repl_id(buf, &mut pos)?,
+                start_offset: get_u64(buf, &mut pos)?,
+                total_bytes: get_u64(buf, &mut pos)?,
+            }),
+            3 => Some(NodeMsg::PartialSyncBegin {
+                repl_id: get_repl_id(buf, &mut pos)?,
+                from_offset: get_u64(buf, &mut pos)?,
+                to_offset: get_u64(buf, &mut pos)?,
+            }),
+            4 => Some(NodeMsg::Replicate {
+                from_offset: get_u64(buf, &mut pos)?,
+            }),
+            5 => Some(NodeMsg::ProgressReport {
+                slave: get_addr(buf, &mut pos)?,
+                offset: get_u64(buf, &mut pos)?,
+            }),
+            6 => Some(NodeMsg::Probe {
+                seq: get_u64(buf, &mut pos)?,
+            }),
+            7 => Some(NodeMsg::ProbeReply {
+                seq: get_u64(buf, &mut pos)?,
+                from: get_addr(buf, &mut pos)?,
+            }),
+            8 => {
+                let available = get_u32(buf, &mut pos)?;
+                let lagging = *buf.get(pos)? != 0;
+                Some(NodeMsg::SlaveSetUpdate { available, lagging })
+            }
+            9 => Some(NodeMsg::Promote),
+            10 => Some(NodeMsg::Demote),
+            11 => {
+                let from = get_addr(buf, &mut pos)?;
+                let is_master = *buf.get(pos)? != 0;
+                Some(NodeMsg::Hello { from, is_master })
+            }
+            _ => None,
+        }
+    }
+}
+
+fn put_addr(out: &mut Vec<u8>, addr: SocketAddr) {
+    out.extend_from_slice(&addr.node.0.to_le_bytes());
+    out.extend_from_slice(&addr.port.to_le_bytes());
+}
+
+fn get_addr(buf: &[u8], pos: &mut usize) -> Option<SocketAddr> {
+    let node = get_u32(buf, pos)?;
+    let port = get_u16(buf, pos)?;
+    Some(SocketAddr::new(skv_netsim::NodeId(node), port))
+}
+
+fn put_position(out: &mut Vec<u8>, p: ReplicationPosition) {
+    out.extend_from_slice(&p.repl_id.0);
+    out.extend_from_slice(&p.offset.to_le_bytes());
+}
+
+fn get_position(buf: &[u8], pos: &mut usize) -> Option<ReplicationPosition> {
+    Some(ReplicationPosition {
+        repl_id: get_repl_id(buf, pos)?,
+        offset: get_u64(buf, pos)?,
+    })
+}
+
+fn get_repl_id(buf: &[u8], pos: &mut usize) -> Option<ReplicationId> {
+    let end = *pos + 20;
+    let bytes: [u8; 20] = buf.get(*pos..end)?.try_into().ok()?;
+    *pos = end;
+    Some(ReplicationId(bytes))
+}
+
+fn get_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let end = *pos + 8;
+    let v = u64::from_le_bytes(buf.get(*pos..end)?.try_into().ok()?);
+    *pos = end;
+    Some(v)
+}
+
+fn get_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    let end = *pos + 4;
+    let v = u32::from_le_bytes(buf.get(*pos..end)?.try_into().ok()?);
+    *pos = end;
+    Some(v)
+}
+
+fn get_u16(buf: &[u8], pos: &mut usize) -> Option<u16> {
+    let end = *pos + 2;
+    let v = u16::from_le_bytes(buf.get(*pos..end)?.try_into().ok()?);
+    *pos = end;
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skv_netsim::NodeId;
+
+    fn addr(n: u32, p: u16) -> SocketAddr {
+        SocketAddr::new(NodeId(n), p)
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let msgs = vec![
+            NodeMsg::SyncRequest {
+                slave: addr(2, 6379),
+                position: ReplicationPosition::unsynced(),
+            },
+            NodeMsg::SyncNotify {
+                slave: addr(3, 6380),
+                position: ReplicationPosition {
+                    repl_id: ReplicationId::from_seed(7),
+                    offset: 12345,
+                },
+            },
+            NodeMsg::FullSyncBegin {
+                repl_id: ReplicationId::from_seed(1),
+                start_offset: 99,
+                total_bytes: 1 << 30,
+            },
+            NodeMsg::PartialSyncBegin {
+                repl_id: ReplicationId::from_seed(2),
+                from_offset: 10,
+                to_offset: 20,
+            },
+            NodeMsg::Replicate { from_offset: 777 },
+            NodeMsg::ProgressReport {
+                slave: addr(4, 1),
+                offset: u64::MAX,
+            },
+            NodeMsg::Probe { seq: 42 },
+            NodeMsg::ProbeReply {
+                seq: 42,
+                from: addr(9, 9),
+            },
+            NodeMsg::SlaveSetUpdate { available: 3, lagging: false },
+            NodeMsg::SlaveSetUpdate { available: 0, lagging: true },
+            NodeMsg::Promote,
+            NodeMsg::Demote,
+            NodeMsg::Hello {
+                from: addr(1, 7000),
+                is_master: true,
+            },
+            NodeMsg::Hello {
+                from: addr(5, 6379),
+                is_master: false,
+            },
+        ];
+        for msg in msgs {
+            let bytes = msg.encode();
+            assert_eq!(NodeMsg::decode(&bytes), Some(msg.clone()), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn garbage_decodes_to_none() {
+        assert_eq!(NodeMsg::decode(&[]), None);
+        assert_eq!(NodeMsg::decode(&[255]), None);
+        assert_eq!(NodeMsg::decode(&[0, 1]), None, "truncated");
+        assert_eq!(NodeMsg::decode(&[2, 0, 0]), None, "truncated repl id");
+    }
+}

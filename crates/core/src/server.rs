@@ -1,0 +1,1150 @@
+//! Host-KV: the server process running on a host (master or slave).
+//!
+//! One actor type plays every server role in every mode:
+//!
+//! * **master** — executes client commands on a single-threaded event loop
+//!   (core 0), feeds the replication backlog, and propagates write commands:
+//!   * `TcpRedis` / `RdmaRedis`: sends the stream to each synced slave
+//!     itself, one message (= one Work Request, = one chunk of host CPU)
+//!     per slave per command — the serial fan-out §V-C blames for the
+//!     degradation of Figure 7;
+//!   * `Skv`: sends **one** replication request to Nic-KV (Figure 9 ①) and
+//!     immediately returns to serving clients;
+//! * **slave** — runs the initial synchronization of Figure 8 (request via
+//!   Nic-KV, RDB or backlog transfer from the master), then applies the
+//!   replication stream and reports progress.
+//!
+//! Replication stream frames carry the master-history offset of their first
+//! byte, so receivers deduplicate overlaps (sync rides concurrently with
+//! steady-state fan-out) and detect gaps (a crashed-and-recovered slave
+//! re-requests synchronization from its last applied offset).
+
+use std::collections::HashMap;
+
+use skv_netsim::{CqId, Net, NetEvent, NodeId, QpId, SocketAddr, TcpConnId};
+use skv_simcore::{Actor, ActorId, Context, CorePool, DetRng, Payload, SimDuration, SimTime};
+use skv_store::backlog::Backlog;
+use skv_store::engine::Engine;
+use skv_store::rdb;
+use skv_store::repl::{ReplicationId, ReplicationPosition};
+use skv_store::resp::{Decoded, Resp};
+
+use crate::channel::{Channel, ChannelMsg};
+use crate::config::{ClusterConfig, Mode};
+use crate::protocol::{tag, NodeMsg};
+
+/// Maximum bytes per RDB transfer chunk.
+const RDB_CHUNK: usize = 64 * 1024;
+/// Maximum bytes per backlog-range replication frame (after the header).
+const STREAM_CHUNK: usize = 32 * 1024;
+
+/// External control events injected by the harness.
+#[derive(Debug, Clone)]
+pub enum Control {
+    /// Make this server a slave of `master`; in SKV mode `nic` is the
+    /// master's Nic-KV address to send the sync request to (Fig. 8 ①).
+    Slaveof {
+        /// The master's Host-KV address.
+        master: SocketAddr,
+        /// The master's Nic-KV address, if offloading is in use.
+        nic: Option<SocketAddr>,
+    },
+    /// Crash this server (stops responding; its node drops traffic).
+    Crash,
+    /// Recover from a crash; a synced slave re-requests synchronization.
+    Recover,
+    /// Master only: open the channel to its Nic-KV (SKV mode).
+    ConnectNic {
+        /// The Nic-KV address on the SmartNIC SoC.
+        nic: SocketAddr,
+    },
+}
+
+/// Messages the server schedules to itself.
+enum ServerMsg {
+    /// Cron tick: expire cycle, rehash, progress report.
+    Cron,
+    /// CPU work finished; emit the prepared frames.
+    SendFrames(Vec<OutFrame>),
+    /// The RDB persist (on the background core) completed.
+    PersistDone {
+        slave: SocketAddr,
+        position: ReplicationPosition,
+        snapshot: Vec<u8>,
+        start_offset: u64,
+    },
+}
+
+struct OutFrame {
+    conn: usize,
+    tag: u32,
+    payload: Vec<u8>,
+}
+
+/// What a connection is for (learned from traffic or connect intent).
+enum ConnKind {
+    Unknown,
+    Client,
+    /// The master's channel to its Nic-KV.
+    Nic,
+    /// A master's channel to one synced slave.
+    Slave {
+        addr: SocketAddr,
+        reported_offset: u64,
+    },
+    /// A slave's channel from/to its master.
+    Master,
+}
+
+struct ConnState {
+    channel: Channel,
+    kind: ConnKind,
+    open: bool,
+}
+
+/// Why we are dialling out, keyed by remote address.
+enum ConnectIntent {
+    /// Master → slave, to run the initial sync; frames to send when ready.
+    SyncSlave { frames: Vec<(u32, Vec<u8>)> },
+    /// To the coordination upstream — the master dialling its Nic-KV, or a
+    /// slave dialling Nic-KV (SKV) / the master (baselines); frames to send
+    /// once the channel is ready.
+    SyncUpstream { frames: Vec<(u32, Vec<u8>)> },
+}
+
+/// Replication role.
+enum Role {
+    Master,
+    Slave {
+        master: SocketAddr,
+        nic: Option<SocketAddr>,
+        syncing: bool,
+        /// RDB accumulation during a full sync.
+        rdb_expect: u64,
+        rdb_buf: Vec<u8>,
+        rdb_start_offset: u64,
+        /// Stream frames that arrived while syncing or beyond a gap.
+        stash: Vec<(u64, Vec<u8>)>,
+        /// Guard so a detected gap triggers at most one resync at a time.
+        resyncing: bool,
+    },
+}
+
+/// The Host-KV server actor.
+pub struct KvServer {
+    net: Net,
+    cfg: ClusterConfig,
+    node: NodeId,
+    addr: SocketAddr,
+    cq: Option<CqId>,
+    cpu: CorePool,
+    engine: Engine,
+    backlog: Backlog,
+    repl_id: ReplicationId,
+    role: Role,
+    conns: Vec<ConnState>,
+    by_qp: HashMap<QpId, usize>,
+    by_tcp: HashMap<TcpConnId, usize>,
+    intents: HashMap<SocketAddr, ConnectIntent>,
+    /// Slaves considered available (from Nic-KV updates, or own census in
+    /// baseline modes). Drives `min-slaves` rejection.
+    available_slaves: usize,
+    /// Whether any synced slave lags more than `max_slave_lag` bytes.
+    lag_exceeded: bool,
+    crashed: bool,
+    /// Remembered SLAVEOF target so a promoted slave can rejoin on Demote.
+    prior_slave_of: Option<(SocketAddr, Option<SocketAddr>)>,
+    rng: Option<DetRng>,
+    started: bool,
+    /// Statistics: commands executed, replication frames sent, etc.
+    pub stat_commands: u64,
+    /// Write commands rejected due to `min-slaves` or lag.
+    pub stat_rejected: u64,
+    /// Stream bytes applied (slave side).
+    pub stat_applied_bytes: u64,
+    /// Full syncs served (master) or performed (slave).
+    pub stat_full_syncs: u64,
+    /// Partial syncs served (master) or performed (slave).
+    pub stat_partial_syncs: u64,
+}
+
+impl KvServer {
+    /// Create a server bound to `addr` on `node`.
+    pub fn new(net: Net, cfg: ClusterConfig, node: NodeId, addr: SocketAddr, seed: u64) -> Self {
+        let cores = cfg.machines.host_cores.max(2);
+        KvServer {
+            net,
+            node,
+            addr,
+            cq: None,
+            cpu: CorePool::new(cores, cfg.machines.host_core_speed),
+            engine: Engine::new(seed),
+            backlog: Backlog::new(cfg.backlog_size),
+            repl_id: ReplicationId::from_seed(seed ^ 0xCAFE),
+            role: Role::Master,
+            conns: Vec::new(),
+            by_qp: HashMap::new(),
+            by_tcp: HashMap::new(),
+            intents: HashMap::new(),
+            available_slaves: 0,
+            lag_exceeded: false,
+            crashed: false,
+            prior_slave_of: None,
+            rng: None,
+            started: false,
+            cfg,
+            stat_commands: 0,
+            stat_rejected: 0,
+            stat_applied_bytes: 0,
+            stat_full_syncs: 0,
+            stat_partial_syncs: 0,
+        }
+    }
+
+    /// This server's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine (for test inspection).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access, for preloading data in tests and examples
+    /// *before* replication starts. Mutations made this way bypass the
+    /// backlog, so they only reach slaves through a subsequent full sync.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Master replication offset.
+    pub fn repl_offset(&self) -> u64 {
+        self.backlog.offset()
+    }
+
+    /// This server's replication position (slave view).
+    pub fn position(&self) -> ReplicationPosition {
+        ReplicationPosition {
+            repl_id: self.repl_id,
+            offset: self.backlog.offset(),
+        }
+    }
+
+    /// Is this server currently acting as a master?
+    pub fn is_master(&self) -> bool {
+        matches!(self.role, Role::Master)
+    }
+
+    /// Is a slave fully synchronized?
+    pub fn is_synced_slave(&self) -> bool {
+        matches!(
+            self.role,
+            Role::Slave {
+                syncing: false,
+                ..
+            }
+        )
+    }
+
+    /// Mean utilization of the event-loop core over the run so far.
+    pub fn core0_utilization(&self, now: SimTime) -> f64 {
+        self.cpu.utilization(0, now)
+    }
+
+    fn now_ms(ctx: &Context<'_>) -> u64 {
+        ctx.now().as_nanos() / 1_000_000
+    }
+
+    fn rng(&mut self) -> &mut DetRng {
+        self.rng.as_mut().expect("started")
+    }
+
+    // -- connection plumbing -------------------------------------------------
+
+    fn add_conn(&mut self, channel: Channel, kind: ConnKind) -> usize {
+        let idx = self.conns.len();
+        if let Some(qp) = channel.qp() {
+            self.by_qp.insert(qp, idx);
+        }
+        if let Some(tc) = channel.tcp_conn() {
+            self.by_tcp.insert(tc, idx);
+        }
+        self.conns.push(ConnState {
+            channel,
+            kind,
+            open: true,
+        });
+        idx
+    }
+
+    fn send_on(&mut self, ctx: &mut Context<'_>, conn: usize, tag: u32, payload: &[u8]) {
+        if !self.conns[conn].open {
+            return;
+        }
+        let net = self.net.clone();
+        self.conns[conn].channel.send(&net, ctx, tag, payload);
+    }
+
+    fn dial(&mut self, ctx: &mut Context<'_>, to: SocketAddr, intent: ConnectIntent) {
+        self.intents.insert(to, intent);
+        let me = ctx.id();
+        if self.cfg.mode.uses_rdma() {
+            let cq = self.cq.expect("cq created at start");
+            self.net.rdma_connect(ctx, self.node, me, cq, to);
+        } else {
+            self.net.tcp_connect(ctx, self.node, me, to);
+        }
+    }
+
+    fn conn_of_kind(&self, pred: impl Fn(&ConnKind) -> bool) -> Option<usize> {
+        self.conns
+            .iter()
+            .position(|c| c.open && pred(&c.kind))
+    }
+
+    fn synced_slave_conns(&self) -> Vec<usize> {
+        self.conns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.open && matches!(c.kind, ConnKind::Slave { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    // -- command path --------------------------------------------------------
+
+    /// Handle one client command frame (TAG_CMD).
+    fn on_client_command(&mut self, ctx: &mut Context<'_>, conn: usize, payload: Vec<u8>) {
+        if matches!(self.conns[conn].kind, ConnKind::Unknown) {
+            self.conns[conn].kind = ConnKind::Client;
+        }
+        let args = match Resp::decode(&payload) {
+            Decoded::Frame(v, _) => match v.into_command_args() {
+                Ok(args) => args,
+                Err(e) => {
+                    let reply = Resp::err(e).encode();
+                    self.finish_command(ctx, conn, payload.len(), reply, None);
+                    return;
+                }
+            },
+            _ => {
+                let reply = Resp::err("protocol error").encode();
+                self.finish_command(ctx, conn, payload.len(), reply, None);
+                return;
+            }
+        };
+
+        // min-slaves / lag write gating (paper §III-C, §III-D).
+        let spec = skv_store::cmd::lookup(&args[0]);
+        let is_write_cmd = spec.is_some_and(|s| s.is_write());
+        if is_write_cmd && self.write_gate_blocked() {
+            self.stat_rejected += 1;
+            let reply = Resp::Error(
+                "NOREPLICAS Not enough good replicas to write".into(),
+            )
+            .encode();
+            self.finish_command(ctx, conn, payload.len(), reply, None);
+            return;
+        }
+
+        let result = self.engine.execute(Self::now_ms(ctx), &args);
+        self.stat_commands += 1;
+        let replicate = if result.should_replicate() {
+            Some(payload.clone())
+        } else {
+            None
+        };
+        let reply = result.reply.encode();
+        self.finish_command(ctx, conn, payload.len(), reply, replicate);
+    }
+
+    fn write_gate_blocked(&self) -> bool {
+        if !self.is_master() {
+            return false; // slaves reject writes elsewhere (read-only is
+                          // not enforced: the paper's slaves serve reads)
+        }
+        let available = if self.cfg.mode == Mode::Skv {
+            self.available_slaves
+        } else {
+            self.synced_slave_conns().len()
+        };
+        if self.cfg.min_slaves > 0 && available < self.cfg.min_slaves {
+            return true;
+        }
+        self.lag_exceeded
+    }
+
+    /// Account CPU for a command and schedule its reply + replication.
+    fn finish_command(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: usize,
+        req_bytes: usize,
+        reply: Vec<u8>,
+        replicate: Option<Vec<u8>>,
+    ) {
+        let costs = &self.cfg.costs;
+        let net_p = &self.cfg.net;
+        let payload_kib = req_bytes as f64 / 1024.0;
+
+        let mut cost = costs.cmd_base + costs.cmd_per_kib.mul_f64(payload_kib);
+        let mut wr_posts = 0u32; // each post may stall (tail-latency model)
+        let mut frames: Vec<OutFrame> = Vec::with_capacity(2);
+
+        // Transport costs for receiving the request and posting the reply.
+        match self.cfg.mode {
+            Mode::TcpRedis => {
+                cost += net_p.tcp_recv_cost(req_bytes);
+                cost += net_p.tcp_send_cost(reply.len());
+            }
+            Mode::RdmaRedis | Mode::Skv => {
+                cost += net_p.cq_poll_cpu;
+                cost += net_p.wr_post_cpu;
+                wr_posts += 1;
+            }
+        }
+        frames.push(OutFrame {
+            conn,
+            tag: tag::REPLY,
+            payload: reply,
+        });
+
+        // Replication propagation (the heart of the experiment).
+        if let Some(cmd_bytes) = replicate {
+            let from_offset = self.backlog.offset();
+            self.backlog.feed(&cmd_bytes);
+            let frame = stream_frame(from_offset, &cmd_bytes);
+            match self.cfg.mode {
+                Mode::Skv => {
+                    // One request to Nic-KV, regardless of slave count
+                    // (Figure 9 ①): a single WR post on the host.
+                    if let Some(nic) = self.conn_of_kind(|k| matches!(k, ConnKind::Nic)) {
+                        cost += net_p.wr_post_cpu;
+                        wr_posts += 1;
+                        frames.push(OutFrame {
+                            conn: nic,
+                            tag: tag::REPL_STREAM,
+                            payload: frame,
+                        });
+                    }
+                }
+                Mode::RdmaRedis => {
+                    // One WR post per slave, serially on the event loop —
+                    // the CPU the paper measures RDMA-Redis burning.
+                    for slave in self.synced_slave_conns() {
+                        cost += net_p.wr_post_cpu;
+                        wr_posts += 1;
+                        frames.push(OutFrame {
+                            conn: slave,
+                            tag: tag::REPL_STREAM,
+                            payload: frame.clone(),
+                        });
+                    }
+                }
+                Mode::TcpRedis => {
+                    for slave in self.synced_slave_conns() {
+                        cost += net_p.tcp_send_cost(frame.len());
+                        frames.push(OutFrame {
+                            conn: slave,
+                            tag: tag::REPL_STREAM,
+                            payload: frame.clone(),
+                        });
+                    }
+                }
+            }
+        }
+
+        let jitter = self.cfg.costs.jitter;
+        let spike_prob = self.cfg.costs.post_spike_prob;
+        let spike_cost = self.cfg.costs.post_spike_cost;
+        let mut cost = cost.mul_f64(self.rng().service_jitter(jitter));
+        for _ in 0..wr_posts {
+            if self.rng().chance(spike_prob) {
+                cost += spike_cost;
+            }
+        }
+        let done = self.cpu.run_on(0, ctx.now(), cost).finished;
+        ctx.timer_at(done, ServerMsg::SendFrames(frames));
+    }
+
+    // -- master-side synchronization ------------------------------------------
+
+    /// A slave asked to synchronize (directly, or relayed by Nic-KV).
+    fn on_sync_request(
+        &mut self,
+        ctx: &mut Context<'_>,
+        slave: SocketAddr,
+        position: ReplicationPosition,
+    ) {
+        // Fast path: partial resync needs no persist step.
+        if position.matches(self.repl_id) && self.backlog.can_serve(position.offset) {
+            self.begin_slave_transfer(ctx, slave, position, None, position.offset);
+            return;
+        }
+        // Full sync: capture the snapshot now (fork-style copy-on-write
+        // semantics) but charge the persist time on a background core, so
+        // the event loop keeps serving clients (paper: "starts a child
+        // process to persist all the data").
+        let snapshot = rdb::save(self.engine.db());
+        let start_offset = self.backlog.offset();
+        let keys = self.engine.db().len() as u64;
+        let cost = SimDuration::from_micros(150) + self.cfg.costs.persist_per_key * keys;
+        let done = self.cpu.run_on(1, ctx.now(), cost).finished;
+        ctx.timer_at(
+            done,
+            ServerMsg::PersistDone {
+                slave,
+                position,
+                snapshot,
+                start_offset,
+            },
+        );
+    }
+
+    /// Persist finished (or partial path): connect to the slave and send.
+    fn begin_slave_transfer(
+        &mut self,
+        ctx: &mut Context<'_>,
+        slave: SocketAddr,
+        position: ReplicationPosition,
+        snapshot: Option<(Vec<u8>, u64)>,
+        resume_from: u64,
+    ) {
+        let mut frames: Vec<(u32, Vec<u8>)> = Vec::new();
+        match snapshot {
+            Some((rdb_bytes, start_offset)) => {
+                self.stat_full_syncs += 1;
+                frames.push((
+                    tag::NODE,
+                    NodeMsg::FullSyncBegin {
+                        repl_id: self.repl_id,
+                        start_offset,
+                        total_bytes: rdb_bytes.len() as u64,
+                    }
+                    .encode(),
+                ));
+                for chunk in rdb_bytes.chunks(RDB_CHUNK.max(1)) {
+                    frames.push((tag::RDB_CHUNK, chunk.to_vec()));
+                }
+                if rdb_bytes.is_empty() {
+                    frames.push((tag::RDB_CHUNK, Vec::new()));
+                }
+                // Stream everything that happened since the snapshot.
+                self.push_backlog_range(start_offset, &mut frames);
+            }
+            None => {
+                self.stat_partial_syncs += 1;
+                frames.push((
+                    tag::NODE,
+                    NodeMsg::PartialSyncBegin {
+                        repl_id: self.repl_id,
+                        from_offset: resume_from,
+                        to_offset: self.backlog.offset(),
+                    }
+                    .encode(),
+                ));
+                self.push_backlog_range(resume_from, &mut frames);
+            }
+        }
+        let _ = position;
+        // Reuse an existing channel to this slave if one is open.
+        if let Some(conn) = self.conn_of_kind(
+            |k| matches!(k, ConnKind::Slave { addr, .. } if *addr == slave),
+        ) {
+            for (t, p) in frames {
+                self.send_on(ctx, conn, t, &p);
+            }
+        } else {
+            self.dial(ctx, slave, ConnectIntent::SyncSlave { frames });
+        }
+    }
+
+    fn push_backlog_range(&self, from: u64, frames: &mut Vec<(u32, Vec<u8>)>) {
+        if let Some(bytes) = self.backlog.range_from(from) {
+            let mut offset = from;
+            for chunk in bytes.chunks(STREAM_CHUNK) {
+                frames.push((tag::REPL_STREAM, stream_frame(offset, chunk)));
+                offset += chunk.len() as u64;
+            }
+        }
+    }
+
+    // -- slave-side synchronization -------------------------------------------
+
+    fn begin_slaveof(&mut self, ctx: &mut Context<'_>, master: SocketAddr, nic: Option<SocketAddr>) {
+        self.prior_slave_of = Some((master, nic));
+        let position = ReplicationPosition::unsynced();
+        self.role = Role::Slave {
+            master,
+            nic,
+            syncing: true,
+            rdb_expect: 0,
+            rdb_buf: Vec::new(),
+            rdb_start_offset: 0,
+            stash: Vec::new(),
+            resyncing: false,
+        };
+        self.send_sync_request(ctx, position);
+    }
+
+    fn send_sync_request(&mut self, ctx: &mut Context<'_>, position: ReplicationPosition) {
+        let Role::Slave { master, nic, .. } = &self.role else {
+            return;
+        };
+        let upstream = nic.unwrap_or(*master);
+        let msg = NodeMsg::SyncRequest {
+            slave: self.addr,
+            position,
+        }
+        .encode();
+        if let Some(conn) = self.conn_of_kind(|k| matches!(k, ConnKind::Nic)) {
+            self.send_on(ctx, conn, tag::NODE, &msg);
+        } else {
+            // The connection to the upstream (Nic-KV or master) is reused
+            // for probes and progress, so label it Nic.
+            self.dial(
+                ctx,
+                upstream,
+                ConnectIntent::SyncUpstream {
+                    frames: vec![(tag::NODE, msg)],
+                },
+            );
+        }
+    }
+
+    fn on_full_sync_begin(
+        &mut self,
+        conn: usize,
+        repl_id: ReplicationId,
+        start_offset: u64,
+        total_bytes: u64,
+    ) {
+        self.conns[conn].kind = ConnKind::Master;
+        if let Role::Slave {
+            syncing,
+            rdb_expect,
+            rdb_buf,
+            rdb_start_offset,
+            ..
+        } = &mut self.role
+        {
+            *syncing = true;
+            *rdb_expect = total_bytes;
+            *rdb_buf = Vec::with_capacity(total_bytes as usize);
+            *rdb_start_offset = start_offset;
+            self.repl_id = repl_id;
+        }
+    }
+
+    fn on_rdb_chunk(&mut self, ctx: &mut Context<'_>, chunk: &[u8]) {
+        let Role::Slave {
+            rdb_expect,
+            rdb_buf,
+            rdb_start_offset,
+            syncing,
+            ..
+        } = &mut self.role
+        else {
+            return;
+        };
+        rdb_buf.extend_from_slice(chunk);
+        if (rdb_buf.len() as u64) < *rdb_expect {
+            return;
+        }
+        // Snapshot complete: load it (charging CPU), then adopt the offset.
+        let snapshot = std::mem::take(rdb_buf);
+        let start_offset = *rdb_start_offset;
+        *syncing = false;
+        let loaded = {
+            let seed = self.rng().gen_u64();
+            rdb::load(self.engine.db_mut(), &snapshot, seed).expect("master sent valid RDB")
+        };
+        self.stat_full_syncs += 1;
+        let cost = SimDuration::from_micros(100) + self.cfg.costs.load_per_key * loaded as u64;
+        self.cpu.run_on(0, ctx.now(), cost);
+        // Adopt the master's history at the snapshot point. The backlog is
+        // reset by feeding a placeholder of the right length conceptually;
+        // we track the slave offset via a dedicated counter instead.
+        self.slave_set_offset(start_offset);
+        self.drain_stash(ctx);
+    }
+
+    fn on_partial_sync_begin(&mut self, conn: usize, repl_id: ReplicationId) {
+        self.conns[conn].kind = ConnKind::Master;
+        self.repl_id = repl_id;
+        if let Role::Slave {
+            syncing, resyncing, ..
+        } = &mut self.role
+        {
+            *syncing = false;
+            *resyncing = false;
+        }
+        self.stat_partial_syncs += 1;
+    }
+
+    // The slave tracks its applied offset in `slave_offset`; stored in the
+    // backlog-offset field of a master, but slaves don't use their backlog,
+    // so keep a plain counter:
+    fn slave_offset(&self) -> u64 {
+        self.backlog.offset()
+    }
+
+    fn slave_set_offset(&mut self, offset: u64) {
+        // Feed zero-bytes to advance the counter to `offset`. The backlog
+        // content of a slave is never served, only the offset matters.
+        let cur = self.backlog.offset();
+        if offset > cur {
+            let gap = (offset - cur) as usize;
+            // Feed in bounded chunks to avoid one huge allocation.
+            let mut left = gap;
+            let chunk = vec![0u8; left.min(64 * 1024)];
+            while left > 0 {
+                let n = left.min(chunk.len());
+                self.backlog.feed(&chunk[..n]);
+                left -= n;
+            }
+        }
+    }
+
+    /// Apply a replication stream frame (slave side).
+    fn on_repl_stream(&mut self, ctx: &mut Context<'_>, payload: Vec<u8>) {
+        let Some((from_offset, bytes)) = parse_stream_frame(&payload) else {
+            return;
+        };
+        let Role::Slave {
+            syncing, stash, ..
+        } = &mut self.role
+        else {
+            return;
+        };
+        if *syncing {
+            stash.push((from_offset, bytes.to_vec()));
+            return;
+        }
+        self.apply_stream(ctx, from_offset, bytes.to_vec());
+        self.drain_stash(ctx);
+    }
+
+    fn drain_stash(&mut self, ctx: &mut Context<'_>) {
+        let Role::Slave { stash, .. } = &mut self.role else {
+            return;
+        };
+        if stash.is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(stash);
+        pending.sort_by_key(|(off, _)| *off);
+        for (off, bytes) in pending {
+            self.apply_stream(ctx, off, bytes);
+        }
+    }
+
+    fn apply_stream(&mut self, ctx: &mut Context<'_>, from_offset: u64, bytes: Vec<u8>) {
+        let my_offset = self.slave_offset();
+        if from_offset > my_offset {
+            // Gap: we missed bytes (e.g. we were crashed). Stash the frame
+            // and ask the master for the missing range (self-healing
+            // partial resync).
+            let Role::Slave {
+                stash, resyncing, ..
+            } = &mut self.role
+            else {
+                return;
+            };
+            stash.push((from_offset, bytes));
+            if !*resyncing {
+                *resyncing = true;
+                let pos = ReplicationPosition {
+                    repl_id: self.repl_id,
+                    offset: my_offset,
+                };
+                self.send_sync_request(ctx, pos);
+            }
+            return;
+        }
+        let skip = (my_offset - from_offset) as usize;
+        if skip >= bytes.len() {
+            return; // entirely duplicate
+        }
+        let fresh = &bytes[skip..];
+        // Parse and execute each RESP command in the fresh region.
+        let mut pos = 0;
+        let now_ms = Self::now_ms(ctx);
+        let mut applied = 0usize;
+        let mut total_cost = SimDuration::ZERO;
+        while pos < fresh.len() {
+            match Resp::decode(&fresh[pos..]) {
+                Decoded::Frame(v, used) => {
+                    if let Ok(args) = v.into_command_args() {
+                        let kib = used as f64 / 1024.0;
+                        total_cost += self.cfg.costs.apply_base
+                            + self.cfg.costs.cmd_per_kib.mul_f64(kib);
+                        let _ = self.engine.execute(now_ms, &args);
+                    }
+                    pos += used;
+                    applied = pos;
+                }
+                _ => break, // partial command (not expected: frames align)
+            }
+        }
+        self.stat_applied_bytes += applied as u64;
+        self.backlog.feed(&fresh[..applied]);
+        if !total_cost.is_zero() {
+            self.cpu.run_on(0, ctx.now(), total_cost);
+        }
+    }
+
+    // -- node messages ---------------------------------------------------------
+
+    fn on_node_msg(&mut self, ctx: &mut Context<'_>, conn: usize, msg: NodeMsg) {
+        match msg {
+            NodeMsg::SyncRequest { slave, position } => {
+                // Arrives directly in baseline modes (and when a recovered
+                // slave re-dials the master in any mode).
+                self.on_sync_request(ctx, slave, position);
+            }
+            NodeMsg::SyncNotify { slave, position } => {
+                // Relayed by Nic-KV (Fig. 8 ②).
+                self.conns[conn].kind = ConnKind::Nic;
+                self.on_sync_request(ctx, slave, position);
+            }
+            NodeMsg::FullSyncBegin {
+                repl_id,
+                start_offset,
+                total_bytes,
+            } => self.on_full_sync_begin(conn, repl_id, start_offset, total_bytes),
+            NodeMsg::PartialSyncBegin { repl_id, .. } => {
+                self.on_partial_sync_begin(conn, repl_id)
+            }
+            NodeMsg::ProgressReport { slave, offset } => {
+                let mut worst_lag = 0u64;
+                let master_offset = self.backlog.offset();
+                for c in &mut self.conns {
+                    if let ConnKind::Slave {
+                        addr,
+                        reported_offset,
+                    } = &mut c.kind
+                    {
+                        if *addr == slave {
+                            *reported_offset = (*reported_offset).max(offset);
+                        }
+                        if *reported_offset > 0 {
+                            worst_lag = worst_lag
+                                .max(master_offset.saturating_sub(*reported_offset));
+                        }
+                    }
+                }
+                // In SKV mode the lag verdict comes from Nic-KV, which
+                // knows which slaves are still valid; the master's own
+                // census would keep counting a crashed slave forever.
+                if self.cfg.mode != Mode::Skv {
+                    self.lag_exceeded = worst_lag > self.cfg.max_slave_lag;
+                }
+            }
+            NodeMsg::Probe { seq } => {
+                // Reply immediately (paper: "they reply to Nic-KV
+                // immediately"); tiny cost on the event loop.
+                self.cpu
+                    .run_on(0, ctx.now(), SimDuration::from_nanos(300));
+                let reply = NodeMsg::ProbeReply {
+                    seq,
+                    from: self.addr,
+                }
+                .encode();
+                self.send_on(ctx, conn, tag::NODE, &reply);
+            }
+            NodeMsg::SlaveSetUpdate { available, lagging } => {
+                self.available_slaves = available as usize;
+                if self.cfg.mode == Mode::Skv {
+                    self.lag_exceeded = lagging;
+                }
+            }
+            NodeMsg::Promote => {
+                self.role = Role::Master;
+            }
+            NodeMsg::Demote => {
+                // Rejoin as a slave of the original master and resync from
+                // the current offset. (A real system would also reconcile
+                // any writes accepted while promoted; the paper's scenario
+                // has the original master simply resume.)
+                if let Some((master, nic)) = self.prior_slave_of {
+                    self.role = Role::Slave {
+                        master,
+                        nic,
+                        syncing: false,
+                        rdb_expect: 0,
+                        rdb_buf: Vec::new(),
+                        rdb_start_offset: 0,
+                        stash: Vec::new(),
+                        resyncing: false,
+                    };
+                    let pos = ReplicationPosition {
+                        repl_id: self.repl_id,
+                        offset: self.slave_offset(),
+                    };
+                    self.send_sync_request(ctx, pos);
+                }
+            }
+            NodeMsg::ProbeReply { .. } | NodeMsg::Replicate { .. } | NodeMsg::Hello { .. } => {}
+        }
+    }
+
+    // -- cron -------------------------------------------------------------------
+
+    fn on_cron(&mut self, ctx: &mut Context<'_>) {
+        ctx.timer(SimDuration::from_millis(100), ServerMsg::Cron);
+        if self.crashed {
+            return;
+        }
+        self.engine.cron(Self::now_ms(ctx));
+        // Slaves report progress on the master channel (Fig. 9 ③).
+        if let Role::Slave { syncing: false, .. } = &self.role {
+            let offset = self.slave_offset();
+            if let Some(conn) = self.conn_of_kind(|k| matches!(k, ConnKind::Master)) {
+                let msg = NodeMsg::ProgressReport {
+                    slave: self.addr,
+                    offset,
+                }
+                .encode();
+                self.send_on(ctx, conn, tag::NODE, &msg);
+            }
+        }
+    }
+
+    // -- channel message routing --------------------------------------------------
+
+    fn on_channel_msg(&mut self, ctx: &mut Context<'_>, conn: usize, msg: ChannelMsg) {
+        match msg.tag {
+            tag::CMD => self.on_client_command(ctx, conn, msg.payload),
+            tag::NODE => {
+                if let Some(m) = NodeMsg::decode(&msg.payload) {
+                    self.on_node_msg(ctx, conn, m);
+                }
+            }
+            tag::REPL_STREAM => self.on_repl_stream(ctx, msg.payload),
+            tag::RDB_CHUNK => self.on_rdb_chunk(ctx, &msg.payload),
+            _ => {}
+        }
+    }
+}
+
+/// Encode a replication stream frame: `[u64 from_offset][stream bytes]`.
+pub fn stream_frame(from_offset: u64, bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len() + 8);
+    out.extend_from_slice(&from_offset.to_le_bytes());
+    out.extend_from_slice(bytes);
+    out
+}
+
+/// Decode a replication stream frame.
+pub fn parse_stream_frame(frame: &[u8]) -> Option<(u64, &[u8])> {
+    let header = frame.get(..8)?;
+    let offset = u64::from_le_bytes(header.try_into().ok()?);
+    Some((offset, &frame[8..]))
+}
+
+impl Actor for KvServer {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.rng = Some(ctx.rng().split());
+        self.started = true;
+        let me = ctx.id();
+        if self.cfg.mode.uses_rdma() {
+            self.cq = Some(self.net.create_cq(me));
+            self.net.rdma_listen(self.addr, me);
+            let cq = self.cq.expect("just created");
+            self.net.req_notify_cq(ctx, cq);
+        } else {
+            self.net.tcp_listen(self.addr, me);
+        }
+        ctx.timer(SimDuration::from_millis(100), ServerMsg::Cron);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: ActorId, msg: Payload) {
+        // Control events work even while crashed (Recover must).
+        let msg = match msg.downcast::<Control>() {
+            Ok(ctrl) => {
+                match *ctrl {
+                    Control::Slaveof { master, nic } => {
+                        if !self.crashed {
+                            self.begin_slaveof(ctx, master, nic);
+                        }
+                    }
+                    Control::Crash => {
+                        self.crashed = true;
+                        self.net.set_node_up(self.node, false);
+                    }
+                    Control::ConnectNic { nic } => {
+                        let hello = NodeMsg::Hello {
+                            from: self.addr,
+                            is_master: true,
+                        }
+                        .encode();
+                        self.dial(
+                            ctx,
+                            nic,
+                            ConnectIntent::SyncUpstream {
+                                frames: vec![(tag::NODE, hello)],
+                            },
+                        );
+                    }
+                    Control::Recover => {
+                        self.crashed = false;
+                        self.net.set_node_up(self.node, true);
+                        // Notifications delivered while crashed were lost;
+                        // drain stale completions (replenishing receive
+                        // slots) and re-arm the completion channel.
+                        if let Some(cq) = self.cq {
+                            loop {
+                                let wcs = self.net.poll_cq(cq, 64);
+                                if wcs.is_empty() {
+                                    break;
+                                }
+                                for wc in wcs {
+                                    if let Some(&conn) = self.by_qp.get(&wc.qp) {
+                                        let net = self.net.clone();
+                                        // Drop whatever the message was: the
+                                        // process "restarted".
+                                        let _ =
+                                            self.conns[conn].channel.on_wc(&net, ctx, &wc);
+                                    }
+                                }
+                            }
+                            self.net.req_notify_cq(ctx, cq);
+                        }
+                        // A synced slave re-requests sync from its current
+                        // offset; the backlog usually serves it partially.
+                        if let Role::Slave { syncing: false, .. } = &self.role {
+                            let pos = ReplicationPosition {
+                                repl_id: self.repl_id,
+                                offset: self.slave_offset(),
+                            };
+                            self.send_sync_request(ctx, pos);
+                        }
+                    }
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        if self.crashed {
+            return; // a crashed process handles nothing
+        }
+        let msg = match msg.downcast::<ServerMsg>() {
+            Ok(m) => {
+                match *m {
+                    ServerMsg::Cron => self.on_cron(ctx),
+                    ServerMsg::SendFrames(frames) => {
+                        for f in frames {
+                            self.send_on(ctx, f.conn, f.tag, &f.payload);
+                        }
+                    }
+                    ServerMsg::PersistDone {
+                        slave,
+                        position,
+                        snapshot,
+                        start_offset,
+                    } => {
+                        self.begin_slave_transfer(
+                            ctx,
+                            slave,
+                            position,
+                            Some((snapshot, start_offset)),
+                            0,
+                        );
+                    }
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let Ok(ev) = msg.downcast::<NetEvent>() else {
+            return;
+        };
+        match *ev {
+            NetEvent::CmConnectRequest { req, .. } => {
+                // Accept now; the channel (ring registration, receive
+                // posting, MR handshake) is created when CmEstablished
+                // arrives, so both sides post receives before either
+                // side's handshake SEND can land.
+                let cq = self.cq.expect("rdma mode");
+                let _qp = self.net.rdma_accept(ctx, req, cq);
+            }
+            NetEvent::CmEstablished { qp, peer } => {
+                if self.by_qp.contains_key(&qp) {
+                    return;
+                }
+                let net = self.net.clone();
+                let ch = Channel::rdma(&net, ctx, self.node, qp, self.cfg.ring_size);
+                let (kind, frames) = self.intent_to_kind(peer);
+                let conn = self.add_conn(ch, kind);
+                for (t, p) in frames {
+                    self.send_on(ctx, conn, t, &p);
+                }
+            }
+            NetEvent::CqNotify { cq } => {
+                loop {
+                    let wcs = self.net.poll_cq(cq, 64);
+                    if wcs.is_empty() {
+                        break;
+                    }
+                    for wc in wcs {
+                        let Some(&conn) = self.by_qp.get(&wc.qp) else {
+                            continue;
+                        };
+                        let net = self.net.clone();
+                        if let Some(msg) = self.conns[conn].channel.on_wc(&net, ctx, &wc) {
+                            self.on_channel_msg(ctx, conn, msg);
+                        }
+                    }
+                }
+                self.net.req_notify_cq(ctx, cq);
+            }
+            NetEvent::TcpAccepted { conn, .. } => {
+                self.add_conn(Channel::tcp(conn), ConnKind::Unknown);
+            }
+            NetEvent::TcpConnected { conn, peer } => {
+                let (kind, frames) = self.intent_to_kind(peer);
+                let idx = self.add_conn(Channel::tcp(conn), kind);
+                for (t, p) in frames {
+                    self.send_on(ctx, idx, t, &p);
+                }
+            }
+            NetEvent::TcpDelivered { conn, bytes } => {
+                let Some(&idx) = self.by_tcp.get(&conn) else {
+                    return;
+                };
+                let msgs = self.conns[idx].channel.on_tcp_bytes(&bytes);
+                for m in msgs {
+                    self.on_channel_msg(ctx, idx, m);
+                }
+            }
+            NetEvent::TcpClosed { conn } => {
+                if let Some(&idx) = self.by_tcp.get(&conn) {
+                    self.conns[idx].open = false;
+                }
+            }
+            NetEvent::TcpConnectFailed { .. } | NetEvent::CmConnectFailed { .. } => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "kv-server"
+    }
+}
+
+impl KvServer {
+    fn intent_to_kind(&mut self, peer: SocketAddr) -> (ConnKind, Vec<(u32, Vec<u8>)>) {
+        match self.intents.remove(&peer) {
+            Some(ConnectIntent::SyncSlave { frames }) => (
+                ConnKind::Slave {
+                    addr: peer,
+                    reported_offset: 0,
+                },
+                frames,
+            ),
+            Some(ConnectIntent::SyncUpstream { frames }) => (ConnKind::Nic, frames),
+            None => (ConnKind::Unknown, Vec::new()),
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # skv-netsim — simulated network fabric for the SKV reproduction
+//!
+//! The SKV paper runs on 100 Gb RoCE hardware with a Mellanox BlueField
+//! SmartNIC; this crate substitutes a deterministic software model with the
+//! properties the paper's design reacts to:
+//!
+//! * [`Topology`] — hosts and off-path SmartNIC SoCs; a SoC is "almost a
+//!   separate endpoint" (paper Figure 3), so its path to the co-located
+//!   host costs nearly a full network hop,
+//! * a TCP-like transport with kernel-stack latency and per-message CPU
+//!   cost (the original-Redis baseline of Figure 10),
+//! * RDMA verbs — QPs, MRs holding real bytes, SEND/RECV, WRITE,
+//!   WRITE_WITH_IMM, READ, CQs with completion-event-channel semantics,
+//!   and RDMA_CM connection management,
+//! * calibration constants in [`NetParams`] / [`MachineParams`].
+//!
+//! Endpoint actors drive the fabric through the cloneable [`Net`] handle
+//! and receive [`NetEvent`] messages back through the simulation queue.
+
+#![warn(missing_docs)]
+
+mod fabric;
+mod params;
+mod rdma;
+mod tcp;
+mod topology;
+mod types;
+
+pub use fabric::{Net, RNR_WR_ID};
+pub use params::{MachineParams, NetParams};
+pub use rdma::PostError;
+pub use topology::{NodeKind, Topology};
+pub use types::{
+    CmReqId, CqId, MrId, NetEvent, NodeId, QpId, SendOp, SendWr, SocketAddr, TcpConnId, Wc,
+    WcOpcode, WcStatus,
+};

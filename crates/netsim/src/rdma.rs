@@ -1,0 +1,542 @@
+//! RDMA verbs over the simulated fabric.
+//!
+//! Models the subset of the verbs API that SKV uses (§III-B of the paper):
+//! RDMA_CM connection establishment, memory regions, queue pairs,
+//! SEND/RECV, WRITE, WRITE_WITH_IMM, READ, and completion queues with
+//! completion-event-channel semantics (`ibv_req_notify_cq` /
+//! `ibv_get_cq_event`).
+//!
+//! Memory regions hold real bytes: an RDMA WRITE physically copies the
+//! payload into the target region at the arrival instant, so protocols
+//! built on top (command rings, replication streams, RDB transfer) move
+//! real data and can be checked end-to-end for correctness, not just for
+//! timing.
+//!
+//! Divergences from hardware, chosen deliberately:
+//!
+//! * A send to a crashed node completes "successfully" at the sender (a
+//!   real NIC would eventually retry out and error the QP). SKV's failure
+//!   handling is probe-timeout-based, so nothing in the system depends on
+//!   send errors, and this keeps QP lifecycle out of the hot path.
+//! * `req_notify_cq` fires immediately when completions are already queued,
+//!   removing the classic poll/arm race without requiring apps to re-poll.
+
+use skv_simcore::{ActorId, Context, SimDuration};
+
+use crate::fabric::{CmRequest, CqState, FabricMsg, MrState, Net, NetInner, QpState, RNR_WR_ID};
+use crate::types::*;
+
+/// Why a post failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostError {
+    /// The QP has been closed.
+    QpClosed,
+    /// The QP is not connected to a peer.
+    NotConnected,
+}
+
+impl Net {
+    /// Create a completion queue owned by `owner`.
+    pub fn create_cq(&self, owner: ActorId) -> CqId {
+        let mut inner = self.inner.borrow_mut();
+        let id = CqId(inner.cqs.len() as u32);
+        inner.cqs.push(CqState {
+            owner,
+            queue: Default::default(),
+            armed: false,
+        });
+        id
+    }
+
+    /// Register a memory region of `len` zeroed bytes on `node`.
+    pub fn register_mr(&self, node: NodeId, len: usize) -> MrId {
+        let mut inner = self.inner.borrow_mut();
+        let id = MrId(inner.mrs.len() as u32);
+        inner.mrs.push(MrState {
+            node,
+            buf: vec![0; len],
+        });
+        id
+    }
+
+    /// Length of a memory region.
+    pub fn mr_len(&self, mr: MrId) -> usize {
+        self.inner.borrow().mrs[mr.0 as usize].buf.len()
+    }
+
+    /// Read bytes out of a local memory region.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds (a protocol bug).
+    pub fn mr_read(&self, mr: MrId, offset: usize, len: usize) -> Vec<u8> {
+        let inner = self.inner.borrow();
+        let buf = &inner.mrs[mr.0 as usize].buf;
+        assert!(
+            offset + len <= buf.len(),
+            "MR read out of bounds: {}+{} > {}",
+            offset,
+            len,
+            buf.len()
+        );
+        buf[offset..offset + len].to_vec()
+    }
+
+    /// Write bytes into a local memory region.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds (a protocol bug).
+    pub fn mr_write(&self, mr: MrId, offset: usize, data: &[u8]) {
+        let mut inner = self.inner.borrow_mut();
+        let buf = &mut inner.mrs[mr.0 as usize].buf;
+        assert!(
+            offset + data.len() <= buf.len(),
+            "MR write out of bounds: {}+{} > {}",
+            offset,
+            data.len(),
+            buf.len()
+        );
+        buf[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Register `actor` as the RDMA_CM listener on `addr`.
+    ///
+    /// # Panics
+    /// Panics if the address is already bound.
+    pub fn rdma_listen(&self, addr: SocketAddr, actor: ActorId) {
+        let mut inner = self.inner.borrow_mut();
+        let prev = inner.cm_listeners.insert(addr, actor);
+        assert!(prev.is_none(), "RDMA address {addr} already bound");
+    }
+
+    /// Initiate an RDMA_CM connection to `to`.
+    ///
+    /// The listener receives [`NetEvent::CmConnectRequest`] and answers with
+    /// [`Net::rdma_accept`] or [`Net::rdma_reject`]. On success the caller
+    /// receives [`NetEvent::CmEstablished`] carrying its new QP, whose
+    /// completions go to `cq`.
+    pub fn rdma_connect(
+        &self,
+        ctx: &mut Context<'_>,
+        from_node: NodeId,
+        from_actor: ActorId,
+        cq: CqId,
+        to: SocketAddr,
+    ) {
+        let mut inner = self.inner.borrow_mut();
+        let half = inner.params.connect_latency / 2;
+        let reachable =
+            inner.up(from_node) && inner.up(to.node) && inner.cm_listeners.contains_key(&to);
+        if !reachable {
+            ctx.send_in(half * 2, from_actor, NetEvent::CmConnectFailed { to });
+            return;
+        }
+        let port = inner.alloc_ephemeral();
+        let req = CmReqId(inner.cm_requests.len() as u32);
+        inner.cm_requests.push(Some(CmRequest {
+            from_actor,
+            from_node,
+            from_cq: cq,
+            from_addr: SocketAddr::new(from_node, port),
+            listener_addr: to,
+        }));
+        let fabric = inner.fabric_actor;
+        ctx.send_in(half, fabric, FabricMsg::CmRequestArrive { req });
+    }
+
+    /// Accept a pending connection request, creating this side's QP with
+    /// completions directed to `cq`. Returns the acceptor-side QP.
+    ///
+    /// Both sides receive [`NetEvent::CmEstablished`] once the handshake
+    /// completes.
+    ///
+    /// # Panics
+    /// Panics if the request token has already been answered.
+    pub fn rdma_accept(&self, ctx: &mut Context<'_>, req: CmReqId, cq: CqId) -> QpId {
+        let mut inner = self.inner.borrow_mut();
+        let request = inner.cm_requests[req.0 as usize]
+            .take()
+            .expect("CM request already answered");
+        let half = inner.params.connect_latency / 2;
+        let acceptor = ctx.id();
+        let acceptor_node = request.listener_addr.node;
+
+        let initiator_qp = QpId(inner.qps.len() as u32);
+        inner.qps.push(QpState {
+            node: request.from_node,
+            actor: request.from_actor,
+            cq: request.from_cq,
+            peer: None,
+            peer_addr: request.listener_addr,
+            recv_queue: Default::default(),
+            open: true,
+        });
+        let acceptor_qp = QpId(inner.qps.len() as u32);
+        inner.qps.push(QpState {
+            node: acceptor_node,
+            actor: acceptor,
+            cq,
+            peer: Some(initiator_qp),
+            peer_addr: request.from_addr,
+            recv_queue: Default::default(),
+            open: true,
+        });
+        inner.qps[initiator_qp.0 as usize].peer = Some(acceptor_qp);
+        inner.counters.inc("rdma.connections");
+
+        let fabric = inner.fabric_actor;
+        ctx.send_in(
+            half,
+            fabric,
+            FabricMsg::CmEstablishedArrive {
+                actor: request.from_actor,
+                qp: initiator_qp,
+                peer: request.listener_addr,
+            },
+        );
+        ctx.send_in(
+            half,
+            fabric,
+            FabricMsg::CmEstablishedArrive {
+                actor: acceptor,
+                qp: acceptor_qp,
+                peer: request.from_addr,
+            },
+        );
+        acceptor_qp
+    }
+
+    /// Reject a pending connection request.
+    pub fn rdma_reject(&self, ctx: &mut Context<'_>, req: CmReqId) {
+        let mut inner = self.inner.borrow_mut();
+        let request = inner.cm_requests[req.0 as usize]
+            .take()
+            .expect("CM request already answered");
+        let half = inner.params.connect_latency / 2;
+        ctx.send_in(
+            half,
+            request.from_actor,
+            NetEvent::CmConnectFailed {
+                to: request.listener_addr,
+            },
+        );
+    }
+
+    /// Post a receive work request (a buffer slot for `Send`/`WriteImm`).
+    pub fn post_recv(&self, qp: QpId, wr_id: u64) -> Result<(), PostError> {
+        let mut inner = self.inner.borrow_mut();
+        let state = &mut inner.qps[qp.0 as usize];
+        if !state.open {
+            return Err(PostError::QpClosed);
+        }
+        state.recv_queue.push_back(wr_id);
+        Ok(())
+    }
+
+    /// Post a send-side work request.
+    ///
+    /// The *caller* is responsible for charging
+    /// [`crate::NetParams::wr_post_cpu`] to its own core — that per-WR CPU
+    /// cost is precisely what SKV's replication offload saves the master.
+    pub fn post_send(&self, ctx: &mut Context<'_>, qp: QpId, wr: SendWr) -> Result<(), PostError> {
+        let mut inner = self.inner.borrow_mut();
+        let state = &inner.qps[qp.0 as usize];
+        if !state.open {
+            return Err(PostError::QpClosed);
+        }
+        let Some(peer_qp) = state.peer else {
+            return Err(PostError::NotConnected);
+        };
+        let src_node = state.node;
+        let dst_node = inner.qps[peer_qp.0 as usize].node;
+
+        let wire_bytes = match &wr.op {
+            SendOp::Read { .. } => 32, // a read request is a small packet
+            _ => wr.data.len().max(32),
+        };
+        let counter = match &wr.op {
+            SendOp::Send => "rdma.sends",
+            SendOp::Write { .. } => "rdma.writes",
+            SendOp::WriteImm { .. } => "rdma.write_imm",
+            SendOp::Read { .. } => "rdma.reads",
+        };
+        inner.counters.inc(counter);
+        inner.counters.add("rdma.bytes", wr.data.len() as u64);
+
+        let dma = inner.params.dma_delay;
+        let (arrival, lat) = inner.wire(ctx.now(), src_node, dst_node, wire_bytes);
+        let fabric = inner.fabric_actor;
+        ctx.send_at(
+            arrival + dma,
+            fabric,
+            FabricMsg::RdmaArrive {
+                src_qp: qp,
+                dst_qp: peer_qp,
+                op: wr.op,
+                data: wr.data,
+                wr_id: wr.wr_id,
+                path_latency: lat,
+            },
+        );
+        Ok(())
+    }
+
+    /// Drain up to `max` completions from `cq`.
+    pub fn poll_cq(&self, cq: CqId, max: usize) -> Vec<Wc> {
+        let mut inner = self.inner.borrow_mut();
+        let q = &mut inner.cqs[cq.0 as usize].queue;
+        let n = q.len().min(max);
+        q.drain(..n).collect()
+    }
+
+    /// Number of completions currently queued on `cq`.
+    pub fn cq_depth(&self, cq: CqId) -> usize {
+        self.inner.borrow().cqs[cq.0 as usize].queue.len()
+    }
+
+    /// Arm the completion event channel: the owner receives
+    /// [`NetEvent::CqNotify`] when the next completion arrives (immediately
+    /// if completions are already pending).
+    pub fn req_notify_cq(&self, ctx: &mut Context<'_>, cq: CqId) {
+        let mut inner = self.inner.borrow_mut();
+        let state = &mut inner.cqs[cq.0 as usize];
+        if !state.queue.is_empty() {
+            state.armed = false;
+            let owner = state.owner;
+            ctx.send(owner, NetEvent::CqNotify { cq });
+        } else {
+            state.armed = true;
+        }
+    }
+
+    /// Tear down a QP. In-flight operations targeting it are discarded at
+    /// arrival.
+    pub fn destroy_qp(&self, qp: QpId) {
+        let mut inner = self.inner.borrow_mut();
+        inner.qps[qp.0 as usize].open = false;
+        inner.qps[qp.0 as usize].recv_queue.clear();
+        if let Some(peer) = inner.qps[qp.0 as usize].peer {
+            inner.qps[peer.0 as usize].peer = None;
+        }
+    }
+
+    /// The remote address a QP is connected to.
+    pub fn qp_peer_addr(&self, qp: QpId) -> SocketAddr {
+        self.inner.borrow().qps[qp.0 as usize].peer_addr
+    }
+
+    /// The node a QP lives on.
+    pub fn qp_node(&self, qp: QpId) -> NodeId {
+        self.inner.borrow().qps[qp.0 as usize].node
+    }
+
+    /// The actor that owns a QP endpoint.
+    pub fn qp_actor(&self, qp: QpId) -> ActorId {
+        self.inner.borrow().qps[qp.0 as usize].actor
+    }
+
+    /// Number of posted, unconsumed receive WRs on a QP.
+    pub fn qp_recv_depth(&self, qp: QpId) -> usize {
+        self.inner.borrow().qps[qp.0 as usize].recv_queue.len()
+    }
+}
+
+/// Apply an RDMA arrival at the destination NIC (fabric-actor context).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn handle_arrival(
+    net: &mut NetInner,
+    ctx: &mut Context<'_>,
+    src_qp: QpId,
+    dst_qp: QpId,
+    op: SendOp,
+    data: Vec<u8>,
+    wr_id: u64,
+    path_latency: SimDuration,
+) {
+    let fabric = net.fabric_actor;
+    let sender_cq = net.qps[src_qp.0 as usize].cq;
+    let dst_open = net.qps[dst_qp.0 as usize].open;
+    let dst_node = net.qps[dst_qp.0 as usize].node;
+    let dst_up = net.up(dst_node);
+
+    // Sender-side completion: success unless the destination is gone.
+    // (See module docs: sends to crashed nodes complete optimistically.)
+    let sender_opcode = match &op {
+        SendOp::Send => WcOpcode::Send,
+        SendOp::Write { .. } | SendOp::WriteImm { .. } => WcOpcode::RdmaWrite,
+        SendOp::Read { .. } => WcOpcode::RdmaRead,
+    };
+    let byte_len = data.len();
+
+    if !dst_open || !dst_up {
+        net.counters.inc("rdma.drops");
+        let wc = Wc {
+            wr_id,
+            opcode: sender_opcode,
+            status: WcStatus::RemoteUnreachable,
+            qp: src_qp,
+            byte_len,
+            imm: 0,
+            mr_offset: 0,
+            data: Vec::new(),
+        };
+        ctx.send_in(path_latency, fabric, FabricMsg::PushWc { cq: sender_cq, wc });
+        return;
+    }
+
+    match op {
+        SendOp::Send => {
+            let recv_wr = pop_recv(net, dst_qp);
+            let dst_cq = net.qps[dst_qp.0 as usize].cq;
+            let wc = Wc {
+                wr_id: recv_wr.unwrap_or(RNR_WR_ID),
+                opcode: WcOpcode::Recv,
+                status: if recv_wr.is_some() {
+                    WcStatus::Success
+                } else {
+                    WcStatus::ReceiverNotReady
+                },
+                qp: dst_qp,
+                byte_len,
+                imm: 0,
+                mr_offset: 0,
+                data,
+            };
+            net.push_wc(ctx, dst_cq, wc);
+            push_sender_success(net, ctx, sender_cq, src_qp, wr_id, sender_opcode, byte_len, path_latency);
+        }
+        SendOp::Write {
+            remote_mr,
+            remote_offset,
+        } => {
+            write_mr(net, dst_node, remote_mr, remote_offset, &data);
+            push_sender_success(net, ctx, sender_cq, src_qp, wr_id, sender_opcode, byte_len, path_latency);
+        }
+        SendOp::WriteImm {
+            remote_mr,
+            remote_offset,
+            imm,
+        } => {
+            write_mr(net, dst_node, remote_mr, remote_offset, &data);
+            let recv_wr = pop_recv(net, dst_qp);
+            let dst_cq = net.qps[dst_qp.0 as usize].cq;
+            let wc = Wc {
+                wr_id: recv_wr.unwrap_or(RNR_WR_ID),
+                opcode: WcOpcode::RecvRdmaWithImm,
+                status: if recv_wr.is_some() {
+                    WcStatus::Success
+                } else {
+                    WcStatus::ReceiverNotReady
+                },
+                qp: dst_qp,
+                byte_len,
+                imm,
+                mr_offset: remote_offset,
+                data: Vec::new(),
+            };
+            net.push_wc(ctx, dst_cq, wc);
+            push_sender_success(net, ctx, sender_cq, src_qp, wr_id, sender_opcode, byte_len, path_latency);
+        }
+        SendOp::Read {
+            remote_mr,
+            remote_offset,
+            len,
+        } => {
+            let mr = &net.mrs[remote_mr.0 as usize];
+            assert_eq!(mr.node, dst_node, "READ must target an MR on the peer node");
+            assert!(
+                remote_offset + len <= mr.buf.len(),
+                "MR read out of bounds: {}+{} > {}",
+                remote_offset,
+                len,
+                mr.buf.len()
+            );
+            let payload = mr.buf[remote_offset..remote_offset + len].to_vec();
+            // Response: serialization of the payload plus the return hop.
+            let resp_delay =
+                net.params.serialize_time(len) + path_latency + net.params.dma_delay;
+            let wc = Wc {
+                wr_id,
+                opcode: WcOpcode::RdmaRead,
+                status: WcStatus::Success,
+                qp: src_qp,
+                byte_len: len,
+                imm: 0,
+                mr_offset: remote_offset,
+                data: payload,
+            };
+            ctx.send_in(resp_delay, fabric, FabricMsg::PushWc { cq: sender_cq, wc });
+        }
+    }
+}
+
+/// Deliver a CM connection request to its listener (fabric-actor context).
+pub(crate) fn handle_cm_request_arrival(net: &mut NetInner, ctx: &mut Context<'_>, req: CmReqId) {
+    let Some(request) = net.cm_requests[req.0 as usize].as_ref() else {
+        return;
+    };
+    let listener = net.cm_listeners.get(&request.listener_addr).copied();
+    let listener_up = net.up(request.listener_addr.node);
+    let from = request.from_addr;
+    match listener {
+        Some(actor) if listener_up => {
+            ctx.send(actor, NetEvent::CmConnectRequest { req, from });
+        }
+        _ => {
+            let to = request.listener_addr;
+            let from_actor = request.from_actor;
+            let half = net.params.connect_latency / 2;
+            net.cm_requests[req.0 as usize] = None;
+            ctx.send_in(half, from_actor, NetEvent::CmConnectFailed { to });
+        }
+    }
+}
+
+fn pop_recv(net: &mut NetInner, qp: QpId) -> Option<u64> {
+    let popped = net.qps[qp.0 as usize].recv_queue.pop_front();
+    if popped.is_none() {
+        net.counters.inc("rdma.rnr");
+    }
+    popped
+}
+
+fn write_mr(net: &mut NetInner, dst_node: NodeId, mr: MrId, offset: usize, data: &[u8]) {
+    let state = &mut net.mrs[mr.0 as usize];
+    assert_eq!(
+        state.node, dst_node,
+        "WRITE must target an MR on the peer node"
+    );
+    assert!(
+        offset + data.len() <= state.buf.len(),
+        "MR write out of bounds: {}+{} > {}",
+        offset,
+        data.len(),
+        state.buf.len()
+    );
+    state.buf[offset..offset + data.len()].copy_from_slice(data);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_sender_success(
+    net: &mut NetInner,
+    ctx: &mut Context<'_>,
+    sender_cq: CqId,
+    src_qp: QpId,
+    wr_id: u64,
+    opcode: WcOpcode,
+    byte_len: usize,
+    path_latency: SimDuration,
+) {
+    let fabric = net.fabric_actor;
+    let wc = Wc {
+        wr_id,
+        opcode,
+        status: WcStatus::Success,
+        qp: src_qp,
+        byte_len,
+        imm: 0,
+        mr_offset: 0,
+        data: Vec::new(),
+    };
+    // The sender observes completion one ACK-hop later.
+    ctx.send_in(path_latency, fabric, FabricMsg::PushWc { cq: sender_cq, wc });
+}

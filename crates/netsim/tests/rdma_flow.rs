@@ -1,0 +1,424 @@
+//! End-to-end behaviour of the simulated RDMA verbs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use skv_netsim::{
+    MrId, Net, NetEvent, NetParams, NodeId, QpId, SendOp, SendWr, SocketAddr, Topology, Wc,
+    WcOpcode, WcStatus,
+};
+use skv_simcore::{FnActor, SimTime, Simulation};
+
+struct World {
+    sim: Simulation,
+    net: Net,
+    a: NodeId,
+    b: NodeId,
+}
+
+fn world() -> World {
+    let mut sim = Simulation::new(3);
+    let mut topo = Topology::new();
+    let a = topo.add_host();
+    let b = topo.add_host();
+    let net = Net::install(&mut sim, topo, NetParams::default());
+    World { sim, net, a, b }
+}
+
+/// Establish a QP pair between two scripted endpoints and return the
+/// handles. The server posts `server_recvs` receives up front.
+type SharedQp = Rc<RefCell<Option<QpId>>>;
+type SharedWcs = Rc<RefCell<Vec<Wc>>>;
+
+fn establish(
+    w: &mut World,
+    server_recvs: usize,
+) -> (SharedQp, SharedQp, SharedWcs, SharedWcs, MrId) {
+    let server_mr = w.net.register_mr(w.b, 1 << 20);
+    let addr = SocketAddr::new(w.b, 6379);
+
+    let server_qp: Rc<RefCell<Option<QpId>>> = Rc::default();
+    let client_qp: Rc<RefCell<Option<QpId>>> = Rc::default();
+    let server_wcs: Rc<RefCell<Vec<Wc>>> = Rc::default();
+    let client_wcs: Rc<RefCell<Vec<Wc>>> = Rc::default();
+
+    // Server: accept, post receives, then drain completions forever.
+    let net = w.net.clone();
+    let sq = server_qp.clone();
+    let swc = server_wcs.clone();
+    let server_cq: Rc<RefCell<Option<skv_netsim::CqId>>> = Rc::default();
+    let scq = server_cq.clone();
+    let server = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+        let Ok(ev) = msg.downcast::<NetEvent>() else {
+            return;
+        };
+        match *ev {
+            NetEvent::CmConnectRequest { req, .. } => {
+                let cq = net.create_cq(ctx.id());
+                *scq.borrow_mut() = Some(cq);
+                let qp = net.rdma_accept(ctx, req, cq);
+                for i in 0..server_recvs {
+                    net.post_recv(qp, 1000 + i as u64).unwrap();
+                }
+                *sq.borrow_mut() = Some(qp);
+                net.req_notify_cq(ctx, cq);
+            }
+            NetEvent::CqNotify { cq } => {
+                swc.borrow_mut().extend(net.poll_cq(cq, 64));
+                net.req_notify_cq(ctx, cq);
+            }
+            _ => {}
+        }
+    })));
+    w.net.rdma_listen(addr, server);
+
+    // Client: connect and record its QP / completions.
+    let net = w.net.clone();
+    let cqp = client_qp.clone();
+    let cwc = client_wcs.clone();
+    let a = w.a;
+    let client = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+        let Ok(ev) = msg.downcast::<NetEvent>() else {
+            return;
+        };
+        match *ev {
+            NetEvent::CmEstablished { qp, .. } => {
+                *cqp.borrow_mut() = Some(qp);
+            }
+            NetEvent::CqNotify { cq } => {
+                cwc.borrow_mut().extend(net.poll_cq(cq, 64));
+                net.req_notify_cq(ctx, cq);
+            }
+            _ => {}
+        }
+    })));
+    let net = w.net.clone();
+    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+        let cq = net.create_cq(client);
+        net.req_notify_cq(ctx, cq);
+        net.rdma_connect(ctx, a, client, cq, addr);
+    })));
+    w.sim.schedule(SimTime::ZERO, starter, ());
+    w.sim.run_to_completion();
+
+    assert!(server_qp.borrow().is_some(), "connection must establish");
+    assert!(client_qp.borrow().is_some(), "connection must establish");
+    (client_qp, server_qp, client_wcs, server_wcs, server_mr)
+}
+
+/// Post a WR from a one-shot helper actor and run to completion.
+fn post_from_helper(w: &mut World, qp: QpId, wr: SendWr) {
+    let net = w.net.clone();
+    let helper = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+        net.post_send(ctx, qp, wr.clone()).unwrap();
+    })));
+    w.sim.schedule(w.sim.now(), helper, ());
+    w.sim.run_to_completion();
+}
+
+#[test]
+fn cm_establishes_qp_pair() {
+    let mut w = world();
+    let (cqp, sqp, _, _, _) = establish(&mut w, 0);
+    let c = cqp.borrow().unwrap();
+    let s = sqp.borrow().unwrap();
+    assert_eq!(w.net.qp_node(c), w.a);
+    assert_eq!(w.net.qp_node(s), w.b);
+    assert_eq!(w.net.qp_peer_addr(c), SocketAddr::new(w.b, 6379));
+    assert_eq!(w.net.counters().get("rdma.connections"), 1);
+}
+
+#[test]
+fn write_imm_moves_real_bytes_and_completes_both_sides() {
+    let mut w = world();
+    let (cqp, _sqp, cwcs, swcs, server_mr) = establish(&mut w, 4);
+    let c = cqp.borrow().unwrap();
+
+    post_from_helper(
+        &mut w,
+        c,
+        SendWr {
+            wr_id: 7,
+            op: SendOp::WriteImm {
+                remote_mr: server_mr,
+                remote_offset: 128,
+                imm: 0xDEAD,
+            },
+            data: b"replicate me".to_vec(),
+        },
+    );
+
+    // Receiver side: completion consumed a posted recv, reports offset/imm.
+    let swcs = swcs.borrow();
+    assert_eq!(swcs.len(), 1);
+    let rwc = &swcs[0];
+    assert_eq!(rwc.opcode, WcOpcode::RecvRdmaWithImm);
+    assert_eq!(rwc.status, WcStatus::Success);
+    assert_eq!(rwc.imm, 0xDEAD);
+    assert_eq!(rwc.mr_offset, 128);
+    assert_eq!(rwc.wr_id, 1000);
+    assert_eq!(rwc.byte_len, 12);
+    // The bytes physically landed in the MR.
+    assert_eq!(w.net.mr_read(server_mr, 128, 12), b"replicate me");
+
+    // Sender side: RDMA_WRITE completion.
+    let cwcs = cwcs.borrow();
+    assert_eq!(cwcs.len(), 1);
+    assert_eq!(cwcs[0].opcode, WcOpcode::RdmaWrite);
+    assert_eq!(cwcs[0].wr_id, 7);
+}
+
+#[test]
+fn plain_write_generates_no_receiver_completion() {
+    let mut w = world();
+    let (cqp, _sqp, cwcs, swcs, server_mr) = establish(&mut w, 4);
+    let c = cqp.borrow().unwrap();
+
+    post_from_helper(
+        &mut w,
+        c,
+        SendWr {
+            wr_id: 1,
+            op: SendOp::Write {
+                remote_mr: server_mr,
+                remote_offset: 0,
+            },
+            data: vec![9, 9, 9],
+        },
+    );
+    assert_eq!(swcs.borrow().len(), 0, "one-sided write is silent at peer");
+    assert_eq!(cwcs.borrow().len(), 1);
+    assert_eq!(w.net.mr_read(server_mr, 0, 3), vec![9, 9, 9]);
+}
+
+#[test]
+fn send_recv_carries_payload() {
+    let mut w = world();
+    let (cqp, _sqp, _cwcs, swcs, _mr) = establish(&mut w, 2);
+    let c = cqp.borrow().unwrap();
+
+    post_from_helper(
+        &mut w,
+        c,
+        SendWr {
+            wr_id: 2,
+            op: SendOp::Send,
+            data: b"mr-info-exchange".to_vec(),
+        },
+    );
+    let swcs = swcs.borrow();
+    assert_eq!(swcs.len(), 1);
+    assert_eq!(swcs[0].opcode, WcOpcode::Recv);
+    assert_eq!(swcs[0].data, b"mr-info-exchange");
+}
+
+#[test]
+fn read_fetches_remote_bytes() {
+    let mut w = world();
+    let (cqp, _sqp, cwcs, _swcs, server_mr) = establish(&mut w, 0);
+    let c = cqp.borrow().unwrap();
+    w.net.mr_write(server_mr, 64, b"snapshot-bytes");
+
+    post_from_helper(
+        &mut w,
+        c,
+        SendWr {
+            wr_id: 3,
+            op: SendOp::Read {
+                remote_mr: server_mr,
+                remote_offset: 64,
+                len: 14,
+            },
+            data: Vec::new(),
+        },
+    );
+    let cwcs = cwcs.borrow();
+    assert_eq!(cwcs.len(), 1);
+    assert_eq!(cwcs[0].opcode, WcOpcode::RdmaRead);
+    assert_eq!(cwcs[0].data, b"snapshot-bytes");
+}
+
+#[test]
+fn missing_recv_reports_rnr() {
+    let mut w = world();
+    let (cqp, _sqp, _cwcs, swcs, server_mr) = establish(&mut w, 0);
+    let c = cqp.borrow().unwrap();
+
+    post_from_helper(
+        &mut w,
+        c,
+        SendWr {
+            wr_id: 4,
+            op: SendOp::WriteImm {
+                remote_mr: server_mr,
+                remote_offset: 0,
+                imm: 1,
+            },
+            data: vec![1],
+        },
+    );
+    let swcs = swcs.borrow();
+    assert_eq!(swcs.len(), 1);
+    assert_eq!(swcs[0].status, WcStatus::ReceiverNotReady);
+    assert_eq!(swcs[0].wr_id, skv_netsim::RNR_WR_ID);
+    assert_eq!(w.net.counters().get("rdma.rnr"), 1);
+}
+
+#[test]
+fn write_to_down_node_errors_at_sender() {
+    let mut w = world();
+    let (cqp, _sqp, cwcs, swcs, server_mr) = establish(&mut w, 4);
+    let c = cqp.borrow().unwrap();
+    w.net.set_node_up(w.b, false);
+
+    post_from_helper(
+        &mut w,
+        c,
+        SendWr {
+            wr_id: 5,
+            op: SendOp::WriteImm {
+                remote_mr: server_mr,
+                remote_offset: 0,
+                imm: 0,
+            },
+            data: vec![42],
+        },
+    );
+    assert_eq!(swcs.borrow().len(), 0, "down node receives nothing");
+    let cwcs = cwcs.borrow();
+    assert_eq!(cwcs.len(), 1);
+    assert_eq!(cwcs[0].status, WcStatus::RemoteUnreachable);
+    // The payload must NOT have been placed.
+    assert_eq!(w.net.mr_read(server_mr, 0, 1), vec![0]);
+}
+
+#[test]
+fn figure3_rdma_write_latency_ordering() {
+    // Host→host, remote-host→SmartNIC, and local-host→SmartNIC WRITE
+    // latencies must reproduce Figure 3's ordering.
+    let mut sim = Simulation::new(9);
+    let mut topo = Topology::new();
+    let master = topo.add_host();
+    let remote = topo.add_host();
+    let soc = topo.add_smartnic(master);
+    let net = Net::install(&mut sim, topo, NetParams::default());
+
+    let l_hh = net.base_latency(master, remote);
+    let l_local = net.base_latency(master, soc);
+    let l_remote = net.base_latency(remote, soc);
+    assert!(l_local < l_hh);
+    assert_eq!(l_remote, l_hh);
+}
+
+#[test]
+fn connect_to_unbound_rdma_port_fails() {
+    let mut w = world();
+    let failed: Rc<RefCell<u32>> = Rc::default();
+    let f2 = failed.clone();
+    let client = w.sim.add_actor(Box::new(FnActor::new(move |_ctx, _from, msg| {
+        if let Ok(ev) = msg.downcast::<NetEvent>() {
+            if matches!(*ev, NetEvent::CmConnectFailed { .. }) {
+                *f2.borrow_mut() += 1;
+            }
+        }
+    })));
+    let net = w.net.clone();
+    let a = w.a;
+    let b = w.b;
+    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+        let cq = net.create_cq(client);
+        net.rdma_connect(ctx, a, client, cq, SocketAddr::new(b, 12345));
+    })));
+    w.sim.schedule(SimTime::ZERO, starter, ());
+    w.sim.run_to_completion();
+    assert_eq!(*failed.borrow(), 1);
+}
+
+#[test]
+fn rejected_connection_reports_failure() {
+    let mut w = world();
+    let addr = SocketAddr::new(w.b, 6380);
+    let net = w.net.clone();
+    let server = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+        if let Ok(ev) = msg.downcast::<NetEvent>() {
+            if let NetEvent::CmConnectRequest { req, .. } = *ev {
+                net.rdma_reject(ctx, req);
+            }
+        }
+    })));
+    w.net.rdma_listen(addr, server);
+
+    let failed: Rc<RefCell<u32>> = Rc::default();
+    let f2 = failed.clone();
+    let client = w.sim.add_actor(Box::new(FnActor::new(move |_ctx, _from, msg| {
+        if let Ok(ev) = msg.downcast::<NetEvent>() {
+            if matches!(*ev, NetEvent::CmConnectFailed { .. }) {
+                *f2.borrow_mut() += 1;
+            }
+        }
+    })));
+    let net = w.net.clone();
+    let a = w.a;
+    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+        let cq = net.create_cq(client);
+        net.rdma_connect(ctx, a, client, cq, addr);
+    })));
+    w.sim.schedule(SimTime::ZERO, starter, ());
+    w.sim.run_to_completion();
+    assert_eq!(*failed.borrow(), 1);
+}
+
+#[test]
+fn destroyed_qp_rejects_posts() {
+    let mut w = world();
+    let (cqp, _sqp, _cwcs, _swcs, _mr) = establish(&mut w, 0);
+    let c = cqp.borrow().unwrap();
+    w.net.destroy_qp(c);
+
+    let result: Rc<RefCell<Option<Result<(), skv_netsim::PostError>>>> = Rc::default();
+    let r2 = result.clone();
+    let net = w.net.clone();
+    let helper = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+        *r2.borrow_mut() = Some(net.post_send(
+            ctx,
+            c,
+            SendWr {
+                wr_id: 0,
+                op: SendOp::Send,
+                data: vec![],
+            },
+        ));
+    })));
+    w.sim.schedule(w.sim.now(), helper, ());
+    w.sim.run_to_completion();
+    assert_eq!(
+        result.borrow().unwrap(),
+        Err(skv_netsim::PostError::QpClosed)
+    );
+}
+
+#[test]
+fn deterministic_event_counts() {
+    fn run() -> (u64, u64) {
+        let mut w = world();
+        let (cqp, _s, _cw, _sw, mr) = establish(&mut w, 8);
+        let c = cqp.borrow().unwrap();
+        for i in 0..8 {
+            post_from_helper(
+                &mut w,
+                c,
+                SendWr {
+                    wr_id: i,
+                    op: SendOp::WriteImm {
+                        remote_mr: mr,
+                        remote_offset: (i as usize) * 64,
+                        imm: i as u32,
+                    },
+                    data: vec![i as u8; 64],
+                },
+            );
+        }
+        (w.sim.events_processed(), w.net.counters().get("rdma.bytes"))
+    }
+    assert_eq!(run(), run());
+}

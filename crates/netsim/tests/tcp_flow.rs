@@ -1,0 +1,259 @@
+//! End-to-end behaviour of the TCP-like transport.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use skv_netsim::{Net, NetEvent, NetParams, SocketAddr, TcpConnId, Topology};
+use skv_simcore::{ActorId, FnActor, SimDuration, SimTime, Simulation};
+
+struct World {
+    sim: Simulation,
+    net: Net,
+    a: skv_netsim::NodeId,
+    b: skv_netsim::NodeId,
+}
+
+fn world() -> World {
+    let mut sim = Simulation::new(1);
+    let mut topo = Topology::new();
+    let a = topo.add_host();
+    let b = topo.add_host();
+    let net = Net::install(&mut sim, topo, NetParams::default());
+    World { sim, net, a, b }
+}
+
+/// An echo server: accepts connections and echoes every delivery back.
+fn spawn_echo_server(w: &mut World, port: u16) -> ActorId {
+    let net = w.net.clone();
+    let addr = SocketAddr::new(w.b, port);
+    let id = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+        if let Ok(ev) = msg.downcast::<NetEvent>() {
+            if let NetEvent::TcpDelivered { conn, bytes } = *ev {
+                net.tcp_send(ctx, conn, bytes);
+            }
+        }
+    })));
+    w.net.tcp_listen(addr, id);
+    id
+}
+
+#[test]
+fn connect_send_echo_roundtrip() {
+    let mut w = world();
+    spawn_echo_server(&mut w, 6379);
+
+    type EchoLog = Rc<RefCell<Vec<(SimTime, Vec<u8>)>>>;
+    let log: EchoLog = Rc::default();
+    let log2 = log.clone();
+    let net = w.net.clone();
+    let a = w.a;
+    let client = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+        if let Ok(ev) = msg.downcast::<NetEvent>() {
+            match *ev {
+                NetEvent::TcpConnected { conn, .. } => {
+                    net.tcp_send(ctx, conn, b"hello skv".to_vec());
+                }
+                NetEvent::TcpDelivered { bytes, .. } => {
+                    log2.borrow_mut().push((ctx.now(), bytes));
+                }
+                _ => {}
+            }
+        }
+    })));
+    // Kick off the connect from inside the client's own context.
+    let net = w.net.clone();
+    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+        net.tcp_connect(ctx, a, client, SocketAddr::new(skv_netsim::NodeId(1), 6379));
+    })));
+    w.sim.schedule(SimTime::ZERO, starter, ());
+    w.sim.run_to_completion();
+
+    let log = log.borrow();
+    assert_eq!(log.len(), 1);
+    assert_eq!(log[0].1, b"hello skv");
+    // Round trip must cost at least the handshake plus two stack+wire hops.
+    let p = w.net.params();
+    let min = p.connect_latency
+        + (p.tcp_stack_latency + p.tcp_stack_latency + p.tcp_base_latency) * 2;
+    assert!(log[0].0 >= SimTime::ZERO + min, "echo at {} < {min}", log[0].0);
+    assert_eq!(w.net.counters().get("tcp.messages"), 2);
+}
+
+#[test]
+fn tcp_latency_exceeds_rdma_scale() {
+    // The kernel-stack path must be several times more expensive than a
+    // kernel-bypass RDMA hop — the premise of the paper's Figure 10.
+    let w = world();
+    let p = w.net.params();
+    let tcp_one_way = p.tcp_stack_latency + p.tcp_stack_latency + p.tcp_base_latency;
+    assert!(tcp_one_way.as_nanos() > 2 * p.host_host_latency.as_nanos());
+    // And the per-message CPU cost dwarfs a WR post.
+    assert!(p.tcp_send_cpu.as_nanos() > 5 * p.wr_post_cpu.as_nanos());
+}
+
+#[test]
+fn deliveries_are_in_order() {
+    let mut w = world();
+    spawn_echo_server(&mut w, 7000);
+
+    let got: Rc<RefCell<Vec<u8>>> = Rc::default();
+    let got2 = got.clone();
+    let net = w.net.clone();
+    let client = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+        if let Ok(ev) = msg.downcast::<NetEvent>() {
+            match *ev {
+                NetEvent::TcpConnected { conn, .. } => {
+                    // Burst of differently-sized messages: a large one first,
+                    // then small ones that would overtake it were ordering
+                    // not enforced.
+                    net.tcp_send(ctx, conn, vec![0u8; 64 * 1024]);
+                    for i in 1..=5u8 {
+                        net.tcp_send(ctx, conn, vec![i]);
+                    }
+                }
+                NetEvent::TcpDelivered { bytes, .. } => {
+                    got2.borrow_mut().push(if bytes.len() > 1 { 0 } else { bytes[0] });
+                }
+                _ => {}
+            }
+        }
+    })));
+    let net = w.net.clone();
+    let a = w.a;
+    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+        net.tcp_connect(ctx, a, client, SocketAddr::new(skv_netsim::NodeId(1), 7000));
+    })));
+    w.sim.schedule(SimTime::ZERO, starter, ());
+    w.sim.run_to_completion();
+    assert_eq!(*got.borrow(), vec![0, 1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn connect_to_unbound_port_fails() {
+    let mut w = world();
+    let failed: Rc<RefCell<u32>> = Rc::default();
+    let f2 = failed.clone();
+    let client = w.sim.add_actor(Box::new(FnActor::new(move |_ctx, _from, msg| {
+        if let Ok(ev) = msg.downcast::<NetEvent>() {
+            if matches!(*ev, NetEvent::TcpConnectFailed { .. }) {
+                *f2.borrow_mut() += 1;
+            }
+        }
+    })));
+    let net = w.net.clone();
+    let a = w.a;
+    let b = w.b;
+    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+        net.tcp_connect(ctx, a, client, SocketAddr::new(b, 9999));
+    })));
+    w.sim.schedule(SimTime::ZERO, starter, ());
+    w.sim.run_to_completion();
+    assert_eq!(*failed.borrow(), 1);
+}
+
+#[test]
+fn connect_to_down_node_fails() {
+    let mut w = world();
+    spawn_echo_server(&mut w, 6379);
+    w.net.set_node_up(w.b, false);
+
+    let failed: Rc<RefCell<u32>> = Rc::default();
+    let f2 = failed.clone();
+    let client = w.sim.add_actor(Box::new(FnActor::new(move |_ctx, _from, msg| {
+        if let Ok(ev) = msg.downcast::<NetEvent>() {
+            if matches!(*ev, NetEvent::TcpConnectFailed { .. }) {
+                *f2.borrow_mut() += 1;
+            }
+        }
+    })));
+    let net = w.net.clone();
+    let a = w.a;
+    let b = w.b;
+    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+        net.tcp_connect(ctx, a, client, SocketAddr::new(b, 6379));
+    })));
+    w.sim.schedule(SimTime::ZERO, starter, ());
+    w.sim.run_to_completion();
+    assert_eq!(*failed.borrow(), 1);
+}
+
+#[test]
+fn sends_to_down_node_are_dropped() {
+    let mut w = world();
+    let delivered: Rc<RefCell<u32>> = Rc::default();
+    let d2 = delivered.clone();
+    let server = w.sim.add_actor(Box::new(FnActor::new(move |_ctx, _from, msg| {
+        if let Ok(ev) = msg.downcast::<NetEvent>() {
+            if matches!(*ev, NetEvent::TcpDelivered { .. }) {
+                *d2.borrow_mut() += 1;
+            }
+        }
+    })));
+    w.net.tcp_listen(SocketAddr::new(w.b, 6379), server);
+
+    let conn_slot: Rc<RefCell<Option<TcpConnId>>> = Rc::default();
+    let cs = conn_slot.clone();
+    let net = w.net.clone();
+    let client = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+        if let Ok(ev) = msg.downcast::<NetEvent>() {
+            if let NetEvent::TcpConnected { conn, .. } = *ev {
+                *cs.borrow_mut() = Some(conn);
+                net.tcp_send(ctx, conn, b"one".to_vec());
+            }
+        }
+    })));
+    let net = w.net.clone();
+    let a = w.a;
+    let b = w.b;
+    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+        net.tcp_connect(ctx, a, client, SocketAddr::new(b, 6379));
+    })));
+    w.sim.schedule(SimTime::ZERO, starter, ());
+    w.sim.run_to_completion();
+    assert_eq!(*delivered.borrow(), 1);
+
+    // Crash the server node; further sends are silently dropped.
+    w.net.set_node_up(w.b, false);
+    let conn = conn_slot.borrow().unwrap();
+    let net = w.net.clone();
+    let sender = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+        net.tcp_send(ctx, conn, b"two".to_vec());
+    })));
+    w.sim.schedule_in(SimDuration::from_millis(1), sender, ());
+    w.sim.run_to_completion();
+    assert_eq!(*delivered.borrow(), 1);
+    assert_eq!(w.net.counters().get("tcp.drops"), 1);
+}
+
+#[test]
+fn close_notifies_peer() {
+    let mut w = world();
+    let closed: Rc<RefCell<u32>> = Rc::default();
+    let c2 = closed.clone();
+    let server = w.sim.add_actor(Box::new(FnActor::new(move |_ctx, _from, msg| {
+        if let Ok(ev) = msg.downcast::<NetEvent>() {
+            if matches!(*ev, NetEvent::TcpClosed { .. }) {
+                *c2.borrow_mut() += 1;
+            }
+        }
+    })));
+    w.net.tcp_listen(SocketAddr::new(w.b, 6379), server);
+
+    let net = w.net.clone();
+    let client = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+        if let Ok(ev) = msg.downcast::<NetEvent>() {
+            if let NetEvent::TcpConnected { conn, .. } = *ev {
+                net.tcp_close(ctx, conn);
+            }
+        }
+    })));
+    let net = w.net.clone();
+    let a = w.a;
+    let b = w.b;
+    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+        net.tcp_connect(ctx, a, client, SocketAddr::new(b, 6379));
+    })));
+    w.sim.schedule(SimTime::ZERO, starter, ());
+    w.sim.run_to_completion();
+    assert_eq!(*closed.borrow(), 1);
+}

@@ -1,0 +1,154 @@
+//! The simulation event queue.
+//!
+//! Events are totally ordered by `(time, sequence)`. The sequence number is
+//! assigned at scheduling time, so two events scheduled for the same instant
+//! fire in scheduling order — this is what makes the simulation fully
+//! deterministic regardless of hash-map iteration order elsewhere.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::actor::ActorId;
+use crate::time::SimTime;
+
+/// An opaque message payload delivered to an actor.
+///
+/// Actors downcast payloads to the concrete types they understand; see
+/// [`crate::actor::Actor::on_message`].
+pub type Payload = Box<dyn Any>;
+
+/// A scheduled delivery.
+pub struct Event {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Tie-break for events at the same instant (scheduling order).
+    pub seq: u64,
+    /// Destination actor.
+    pub to: ActorId,
+    /// Source actor (the scheduler itself uses [`ActorId::SYSTEM`]).
+    pub from: ActorId,
+    /// The message.
+    pub payload: Payload,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is popped
+        // first, with the lowest sequence number breaking ties.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of pending events.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule a delivery. Events at equal times fire in insertion order.
+    pub fn push(&mut self, time: SimTime, to: ActorId, from: ActorId, payload: Payload) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            time,
+            seq,
+            to,
+            from,
+            payload,
+        });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> ActorId {
+        ActorId::from_raw(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), id(1), id(0), Box::new(3u32));
+        q.push(SimTime::from_nanos(10), id(1), id(0), Box::new(1u32));
+        q.push(SimTime::from_nanos(20), id(1), id(0), Box::new(2u32));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| *e.payload.downcast::<u32>().unwrap())
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100u32 {
+            q.push(t, id(1), id(0), Box::new(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| *e.payload.downcast::<u32>().unwrap())
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_nanos(42), id(1), id(0), Box::new(()));
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(42)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Time-bucketed event counting.
+//!
+//! Used for throughput-over-time plots such as the paper's Figure 14
+//! (availability during a slave failure): each completed operation is
+//! recorded at its completion instant, and the series reports operations
+//! per second per fixed-width bucket.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Counts events into fixed-width time buckets.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bucket_width: SimDuration,
+    counts: Vec<u64>,
+}
+
+/// One point of a rendered series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Start of the bucket.
+    pub time: SimTime,
+    /// Raw event count in the bucket.
+    pub count: u64,
+    /// Event rate in events/second over the bucket.
+    pub rate_per_sec: f64,
+}
+
+impl TimeSeries {
+    /// Create a series with the given bucket width.
+    ///
+    /// # Panics
+    /// Panics if `bucket_width` is zero.
+    pub fn new(bucket_width: SimDuration) -> Self {
+        assert!(!bucket_width.is_zero(), "bucket width must be positive");
+        TimeSeries {
+            bucket_width,
+            counts: Vec::new(),
+        }
+    }
+
+    /// The configured bucket width.
+    pub fn bucket_width(&self) -> SimDuration {
+        self.bucket_width
+    }
+
+    /// Record one event at time `t`.
+    pub fn record(&mut self, t: SimTime) {
+        let idx = (t.as_nanos() / self.bucket_width.as_nanos()) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Record `n` events at time `t`.
+    pub fn record_n(&mut self, t: SimTime, n: u64) {
+        let idx = (t.as_nanos() / self.bucket_width.as_nanos()) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Render all buckets (including trailing empties up to the last
+    /// recorded bucket).
+    pub fn points(&self) -> Vec<SeriesPoint> {
+        let w = self.bucket_width;
+        let secs = w.as_secs_f64();
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| SeriesPoint {
+                time: SimTime::from_nanos(i as u64 * w.as_nanos()),
+                count,
+                rate_per_sec: count as f64 / secs,
+            })
+            .collect()
+    }
+
+    /// Count within the bucket containing `t` (0 if none recorded).
+    pub fn count_at(&self, t: SimTime) -> u64 {
+        let idx = (t.as_nanos() / self.bucket_width.as_nanos()) as usize;
+        self.counts.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Total events recorded in `[from, to)`.
+    pub fn count_between(&self, from: SimTime, to: SimTime) -> u64 {
+        let w = self.bucket_width.as_nanos();
+        let lo = (from.as_nanos() / w) as usize;
+        let hi = (to.as_nanos().saturating_add(w - 1) / w) as usize;
+        self.counts
+            .iter()
+            .enumerate()
+            .skip(lo)
+            .take(hi.saturating_sub(lo))
+            .map(|(_, &c)| c)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: u64) -> SimTime {
+        SimTime::from_secs(v)
+    }
+
+    #[test]
+    fn buckets_by_width() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+        ts.record(SimTime::from_millis(100));
+        ts.record(SimTime::from_millis(900));
+        ts.record(SimTime::from_millis(1100));
+        let pts = ts.points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].count, 2);
+        assert_eq!(pts[1].count, 1);
+        assert_eq!(pts[0].rate_per_sec, 2.0);
+        assert_eq!(ts.total(), 3);
+    }
+
+    #[test]
+    fn count_at_and_between() {
+        let mut ts = TimeSeries::new(SimDuration::from_secs(1));
+        for ms in [100u64, 1500, 1700, 2500] {
+            ts.record(SimTime::from_millis(ms));
+        }
+        assert_eq!(ts.count_at(SimTime::from_millis(1600)), 2);
+        assert_eq!(ts.count_between(s(0), s(2)), 3);
+        assert_eq!(ts.count_between(s(1), s(3)), 3);
+        assert_eq!(ts.count_between(s(3), s(9)), 0);
+    }
+
+    #[test]
+    fn record_n_bulk() {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(100));
+        ts.record_n(SimTime::from_millis(250), 7);
+        assert_eq!(ts.count_at(SimTime::from_millis(299)), 7);
+        assert_eq!(ts.count_at(SimTime::from_millis(300)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_width_rejected() {
+        let _ = TimeSeries::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,114 @@
+//! SipHash-1-3 — the hash function Redis uses for its dictionaries.
+//!
+//! Implemented from the reference algorithm with a fixed key so that
+//! simulation runs are bit-for-bit reproducible. (Real Redis randomizes the
+//! key at startup for HashDoS resistance; determinism matters more here.)
+
+/// Fixed 128-bit key (split into two words).
+const K0: u64 = 0x0706_0504_0302_0100;
+const K1: u64 = 0x0F0E_0D0C_0B0A_0908;
+
+#[inline]
+fn sipround(v0: &mut u64, v1: &mut u64, v2: &mut u64, v3: &mut u64) {
+    *v0 = v0.wrapping_add(*v1);
+    *v1 = v1.rotate_left(13);
+    *v1 ^= *v0;
+    *v0 = v0.rotate_left(32);
+    *v2 = v2.wrapping_add(*v3);
+    *v3 = v3.rotate_left(16);
+    *v3 ^= *v2;
+    *v0 = v0.wrapping_add(*v3);
+    *v3 = v3.rotate_left(21);
+    *v3 ^= *v0;
+    *v2 = v2.wrapping_add(*v1);
+    *v1 = v1.rotate_left(17);
+    *v1 ^= *v2;
+    *v2 = v2.rotate_left(32);
+}
+
+/// Hash `data` with SipHash-1-3 (1 compression round, 3 finalization
+/// rounds), Redis's default since 4.0.
+pub fn siphash13(data: &[u8]) -> u64 {
+    let mut v0 = 0x736F_6D65_7073_6575 ^ K0;
+    let mut v1 = 0x646F_7261_6E64_6F6D ^ K1;
+    let mut v2 = 0x6C79_6765_6E65_7261 ^ K0;
+    let mut v3 = 0x7465_6462_7974_6573 ^ K1;
+
+    let len = data.len();
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let m = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        v3 ^= m;
+        sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+        v0 ^= m;
+    }
+
+    // Final block: remaining bytes plus the length in the top byte.
+    let rem = chunks.remainder();
+    let mut b = (len as u64) << 56;
+    for (i, &byte) in rem.iter().enumerate() {
+        b |= (byte as u64) << (8 * i);
+    }
+    v3 ^= b;
+    sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+    v0 ^= b;
+
+    v2 ^= 0xFF;
+    sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+    sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+    sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+
+    v0 ^ v1 ^ v2 ^ v3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(siphash13(b"key"), siphash13(b"key"));
+        assert_ne!(siphash13(b"key"), siphash13(b"kez"));
+        assert_ne!(siphash13(b""), siphash13(b"\0"));
+    }
+
+    #[test]
+    fn all_lengths_hash() {
+        // Exercise every remainder length of the final block.
+        let data: Vec<u8> = (0..64u8).collect();
+        let mut seen = HashSet::new();
+        for l in 0..=data.len() {
+            assert!(seen.insert(siphash13(&data[..l])), "collision at len {l}");
+        }
+    }
+
+    #[test]
+    fn avalanche_rough_check() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let base = siphash13(b"hello world, this is skv");
+        let mut input = b"hello world, this is skv".to_vec();
+        input[3] ^= 1;
+        let flipped = siphash13(&input);
+        let differing = (base ^ flipped).count_ones();
+        assert!(
+            (16..=48).contains(&differing),
+            "weak avalanche: {differing} bits"
+        );
+    }
+
+    #[test]
+    fn distribution_over_buckets() {
+        // Hash 10k sequential keys into 128 buckets; no bucket should be
+        // wildly over-loaded.
+        let mut counts = [0u32; 128];
+        for i in 0..10_000 {
+            let k = format!("key:{i}");
+            counts[(siphash13(k.as_bytes()) % 128) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < 140, "max bucket {max}");
+        assert!(min > 30, "min bucket {min}");
+    }
+}

@@ -1,0 +1,204 @@
+//! Sorted integer set with encoding upgrades, after Redis's `intset.c`.
+//!
+//! Small sets of integers are stored as a sorted array of the narrowest
+//! integer width that fits all members; inserting a wider value upgrades
+//! the encoding permanently (Redis never downgrades). The owning set object
+//! converts to a hash-table representation once the intset grows past a
+//! configured size.
+
+/// The integer width currently in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IntSetEncoding {
+    /// 16-bit members only.
+    I16,
+    /// Up to 32-bit members.
+    I32,
+    /// Up to 64-bit members.
+    I64,
+}
+
+impl IntSetEncoding {
+    fn for_value(v: i64) -> Self {
+        if i16::try_from(v).is_ok() {
+            IntSetEncoding::I16
+        } else if i32::try_from(v).is_ok() {
+            IntSetEncoding::I32
+        } else {
+            IntSetEncoding::I64
+        }
+    }
+
+    /// Bytes per member under this encoding.
+    pub fn width(self) -> usize {
+        match self {
+            IntSetEncoding::I16 => 2,
+            IntSetEncoding::I32 => 4,
+            IntSetEncoding::I64 => 8,
+        }
+    }
+}
+
+/// A sorted, deduplicated set of integers.
+#[derive(Debug, Clone)]
+pub struct IntSet {
+    // Stored widened for simplicity; `encoding` tracks what the on-the-wire
+    // width would be, for memory accounting and upgrade semantics.
+    values: Vec<i64>,
+    encoding: IntSetEncoding,
+}
+
+impl Default for IntSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IntSet {
+    /// Create an empty set (narrowest encoding).
+    pub fn new() -> Self {
+        IntSet {
+            values: Vec::new(),
+            encoding: IntSetEncoding::I16,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Current encoding.
+    pub fn encoding(&self) -> IntSetEncoding {
+        self.encoding
+    }
+
+    /// Insert a value. Returns true if it was not already present.
+    pub fn insert(&mut self, v: i64) -> bool {
+        let needed = IntSetEncoding::for_value(v);
+        if needed > self.encoding {
+            self.encoding = needed; // upgrade is permanent
+        }
+        match self.values.binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.values.insert(pos, v);
+                true
+            }
+        }
+    }
+
+    /// Remove a value. Returns true if it was present.
+    pub fn remove(&mut self, v: i64) -> bool {
+        match self.values.binary_search(&v) {
+            Ok(pos) => {
+                self.values.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, v: i64) -> bool {
+        self.values.binary_search(&v).is_ok()
+    }
+
+    /// Members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        self.values.iter().copied()
+    }
+
+    /// The member at sorted position `i`.
+    pub fn get(&self, i: usize) -> Option<i64> {
+        self.values.get(i).copied()
+    }
+
+    /// Approximate serialized size (members × encoding width).
+    pub fn memory_usage(&self) -> usize {
+        self.values.len() * self.encoding.width() + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_sorted_dedup() {
+        let mut s = IntSet::new();
+        assert!(s.insert(5));
+        assert!(s.insert(1));
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn encoding_upgrades_and_never_downgrades() {
+        let mut s = IntSet::new();
+        s.insert(100);
+        assert_eq!(s.encoding(), IntSetEncoding::I16);
+        s.insert(100_000);
+        assert_eq!(s.encoding(), IntSetEncoding::I32);
+        s.insert(10_000_000_000);
+        assert_eq!(s.encoding(), IntSetEncoding::I64);
+        s.remove(10_000_000_000);
+        s.remove(100_000);
+        assert_eq!(s.encoding(), IntSetEncoding::I64, "no downgrade");
+    }
+
+    #[test]
+    fn boundaries_pick_correct_encoding() {
+        assert_eq!(
+            IntSetEncoding::for_value(i16::MAX as i64),
+            IntSetEncoding::I16
+        );
+        assert_eq!(
+            IntSetEncoding::for_value(i16::MAX as i64 + 1),
+            IntSetEncoding::I32
+        );
+        assert_eq!(
+            IntSetEncoding::for_value(i16::MIN as i64),
+            IntSetEncoding::I16
+        );
+        assert_eq!(
+            IntSetEncoding::for_value(i32::MIN as i64 - 1),
+            IntSetEncoding::I64
+        );
+        assert_eq!(IntSetEncoding::I16.width(), 2);
+        assert_eq!(IntSetEncoding::I32.width(), 4);
+        assert_eq!(IntSetEncoding::I64.width(), 8);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut s = IntSet::new();
+        for v in [10, -10, 0] {
+            s.insert(v);
+        }
+        assert!(s.contains(-10));
+        assert!(s.remove(-10));
+        assert!(!s.contains(-10));
+        assert!(!s.remove(-10));
+        assert_eq!(s.get(0), Some(0));
+        assert_eq!(s.get(1), Some(10));
+        assert_eq!(s.get(2), None);
+    }
+
+    #[test]
+    fn memory_usage_reflects_width() {
+        let mut narrow = IntSet::new();
+        let mut wide = IntSet::new();
+        for i in 0..100 {
+            narrow.insert(i);
+            wide.insert(i + 10_000_000_000);
+        }
+        assert!(wide.memory_usage() > narrow.memory_usage());
+    }
+}

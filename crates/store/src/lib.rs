@@ -1,0 +1,46 @@
+//! # skv-store — a Redis-like storage engine
+//!
+//! SKV "uses Redis as a building block" and inherits its data structures,
+//! persistence format and hash algorithm (paper §IV). This crate is that
+//! building block, written from scratch:
+//!
+//! * [`sds::Sds`] — dynamic strings with Redis's preallocation policy,
+//! * [`dict::Dict`] — hash table with *incremental rehashing*,
+//! * [`skiplist::SkipList`] / [`object::ZSet`] — sorted sets with ranks,
+//! * [`intset::IntSet`] — compact integer sets with encoding upgrades,
+//! * [`resp`] — the RESP2 wire protocol,
+//! * [`cmd`] — a ~80-command dispatch table with write flags,
+//! * [`engine::Engine`] — the single-node event-loop core,
+//! * [`rdb`] — canonical CRC-checked snapshots (full resync transfers),
+//! * [`backlog::Backlog`] — the replication backlog ring buffer,
+//! * [`repl`] — replication IDs and offsets.
+//!
+//! Everything is deterministic: callers supply the clock and all seeds.
+//!
+//! ```
+//! use skv_store::engine::Engine;
+//! use skv_store::resp::Resp;
+//!
+//! let mut e = Engine::new(42);
+//! assert_eq!(e.exec_str(0, &["SET", "greeting", "hello"]).reply, Resp::ok());
+//! assert_eq!(
+//!     e.exec_str(0, &["GET", "greeting"]).reply,
+//!     Resp::Bulk(b"hello".to_vec()),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod backlog;
+pub mod cmd;
+pub mod db;
+pub mod dict;
+pub mod engine;
+pub mod hash;
+pub mod intset;
+pub mod object;
+pub mod rdb;
+pub mod repl;
+pub mod resp;
+pub mod sds;
+pub mod skiplist;

@@ -1,0 +1,101 @@
+//! Replication identity types shared by master and slaves.
+//!
+//! A replication history is identified by a 40-hex-character *replication
+//! ID* plus a byte offset into that history (paper Figure 8: the slave's
+//! initial synchronization request "contains its own replication ID,
+//! replication offset and the address and port number of the master").
+
+use std::fmt;
+
+/// A 40-hex-character replication history identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReplicationId(pub [u8; 20]);
+
+impl ReplicationId {
+    /// The null ID a fresh slave presents before its first sync.
+    pub const NONE: ReplicationId = ReplicationId([0; 20]);
+
+    /// Derive a replication ID from a seed (deterministic).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut bytes = [0u8; 20];
+        let mut state = seed ^ 0xA5A5_5A5A_DEAD_BEEF;
+        for chunk in bytes.chunks_mut(8) {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let le = state.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&le[..n]);
+        }
+        ReplicationId(bytes)
+    }
+
+    /// Render as 40 lowercase hex characters.
+    pub fn to_hex(self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Display for ReplicationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+/// A slave's view of where it stands in a replication history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationPosition {
+    /// Which history.
+    pub repl_id: ReplicationId,
+    /// How many bytes of it have been applied.
+    pub offset: u64,
+}
+
+impl ReplicationPosition {
+    /// The position of a slave that has never synchronized.
+    pub fn unsynced() -> Self {
+        ReplicationPosition {
+            repl_id: ReplicationId::NONE,
+            offset: 0,
+        }
+    }
+
+    /// True if this position belongs to `master`'s history.
+    pub fn matches(&self, master: ReplicationId) -> bool {
+        self.repl_id == master
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_deterministic_and_distinct() {
+        assert_eq!(ReplicationId::from_seed(1), ReplicationId::from_seed(1));
+        assert_ne!(ReplicationId::from_seed(1), ReplicationId::from_seed(2));
+        assert_ne!(ReplicationId::from_seed(1), ReplicationId::NONE);
+    }
+
+    #[test]
+    fn hex_rendering() {
+        let id = ReplicationId::from_seed(7);
+        let hex = id.to_hex();
+        assert_eq!(hex.len(), 40);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(format!("{id}"), hex);
+        assert_eq!(ReplicationId::NONE.to_hex(), "0".repeat(40));
+    }
+
+    #[test]
+    fn position_matching() {
+        let master = ReplicationId::from_seed(3);
+        let pos = ReplicationPosition {
+            repl_id: master,
+            offset: 100,
+        };
+        assert!(pos.matches(master));
+        assert!(!pos.matches(ReplicationId::from_seed(4)));
+        assert!(!ReplicationPosition::unsynced().matches(master));
+    }
+}

@@ -1,0 +1,410 @@
+//! RESP2 — the REdis Serialization Protocol.
+//!
+//! SKV keeps Redis's wire protocol (clients are unchanged); commands arrive
+//! as arrays of bulk strings and replies use the full RESP2 type set. The
+//! decoder is incremental: it consumes complete frames from a byte buffer
+//! and reports how many bytes each frame used, so a transport can deliver
+//! arbitrary fragments.
+
+use std::fmt;
+
+/// A RESP2 value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resp {
+    /// `+OK\r\n`
+    Simple(String),
+    /// `-ERR ...\r\n`
+    Error(String),
+    /// `:42\r\n`
+    Int(i64),
+    /// `$5\r\nhello\r\n`
+    Bulk(Vec<u8>),
+    /// `$-1\r\n`
+    NullBulk,
+    /// `*N\r\n...`
+    Array(Vec<Resp>),
+    /// `*-1\r\n`
+    NullArray,
+}
+
+/// Decoder outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decoded {
+    /// A complete frame and the bytes it consumed.
+    Frame(Resp, usize),
+    /// More bytes are needed.
+    Incomplete,
+    /// The input violates the protocol.
+    ProtocolError(String),
+}
+
+impl Resp {
+    /// The canonical `+OK` reply.
+    pub fn ok() -> Resp {
+        Resp::Simple("OK".into())
+    }
+
+    /// An `-ERR`-prefixed error reply.
+    pub fn err(msg: impl fmt::Display) -> Resp {
+        Resp::Error(format!("ERR {msg}"))
+    }
+
+    /// The `WRONGTYPE` error Redis returns on type mismatches.
+    pub fn wrongtype() -> Resp {
+        Resp::Error(
+            "WRONGTYPE Operation against a key holding the wrong kind of value".into(),
+        )
+    }
+
+    /// Build a command frame: an array of bulk strings.
+    pub fn command<I, B>(parts: I) -> Resp
+    where
+        I: IntoIterator<Item = B>,
+        B: AsRef<[u8]>,
+    {
+        Resp::Array(
+            parts
+                .into_iter()
+                .map(|p| Resp::Bulk(p.as_ref().to_vec()))
+                .collect(),
+        )
+    }
+
+    /// True for `-...` replies.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Resp::Error(_))
+    }
+
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len_hint());
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        match self {
+            Resp::Bulk(b) => b.len() + 16,
+            Resp::Array(items) => items.iter().map(|i| i.encoded_len_hint()).sum::<usize>() + 16,
+            _ => 32,
+        }
+    }
+
+    /// Serialize, appending to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Resp::Simple(s) => {
+                out.push(b'+');
+                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            Resp::Error(s) => {
+                out.push(b'-');
+                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            Resp::Int(v) => {
+                out.push(b':');
+                out.extend_from_slice(v.to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            Resp::Bulk(b) => {
+                out.push(b'$');
+                out.extend_from_slice(b.len().to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+                out.extend_from_slice(b);
+                out.extend_from_slice(b"\r\n");
+            }
+            Resp::NullBulk => out.extend_from_slice(b"$-1\r\n"),
+            Resp::Array(items) => {
+                out.push(b'*');
+                out.extend_from_slice(items.len().to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+                for item in items {
+                    item.encode_into(out);
+                }
+            }
+            Resp::NullArray => out.extend_from_slice(b"*-1\r\n"),
+        }
+    }
+
+    /// Decode one frame from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> Decoded {
+        match parse(buf) {
+            Ok(Some((v, used))) => Decoded::Frame(v, used),
+            Ok(None) => Decoded::Incomplete,
+            Err(e) => Decoded::ProtocolError(e),
+        }
+    }
+
+    /// Interpret this value as a command (array of bulk strings), returning
+    /// the argument vector.
+    pub fn into_command_args(self) -> Result<Vec<Vec<u8>>, String> {
+        let Resp::Array(items) = self else {
+            return Err("expected array".into());
+        };
+        if items.is_empty() {
+            return Err("empty command".into());
+        }
+        items
+            .into_iter()
+            .map(|item| match item {
+                Resp::Bulk(b) => Ok(b),
+                other => Err(format!("expected bulk string, got {other:?}")),
+            })
+            .collect()
+    }
+}
+
+type ParseResult = Result<Option<(Resp, usize)>, String>;
+
+/// Find `\r\n` starting at `from`; return the index of `\r`.
+fn find_crlf(buf: &[u8], from: usize) -> Option<usize> {
+    buf[from..]
+        .windows(2)
+        .position(|w| w == b"\r\n")
+        .map(|p| p + from)
+}
+
+fn parse_line(buf: &[u8], from: usize) -> Result<Option<(&[u8], usize)>, String> {
+    match find_crlf(buf, from) {
+        Some(cr) => Ok(Some((&buf[from..cr], cr + 2))),
+        None => Ok(None),
+    }
+}
+
+fn parse_int_line(buf: &[u8], from: usize) -> Result<Option<(i64, usize)>, String> {
+    let Some((line, next)) = parse_line(buf, from)? else {
+        return Ok(None);
+    };
+    let s = std::str::from_utf8(line).map_err(|_| "non-utf8 length".to_string())?;
+    let v: i64 = s.parse().map_err(|_| format!("bad integer: {s:?}"))?;
+    Ok(Some((v, next)))
+}
+
+fn parse_at(buf: &[u8], at: usize) -> ParseResult {
+    if at >= buf.len() {
+        return Ok(None);
+    }
+    match buf[at] {
+        b'+' => Ok(parse_line(buf, at + 1)?.map(|(line, next)| {
+            (Resp::Simple(String::from_utf8_lossy(line).into_owned()), next)
+        })),
+        b'-' => Ok(parse_line(buf, at + 1)?.map(|(line, next)| {
+            (Resp::Error(String::from_utf8_lossy(line).into_owned()), next)
+        })),
+        b':' => Ok(parse_int_line(buf, at + 1)?.map(|(v, next)| (Resp::Int(v), next))),
+        b'$' => {
+            let Some((len, next)) = parse_int_line(buf, at + 1)? else {
+                return Ok(None);
+            };
+            if len == -1 {
+                return Ok(Some((Resp::NullBulk, next)));
+            }
+            if len < 0 {
+                return Err(format!("bad bulk length {len}"));
+            }
+            let len = len as usize;
+            if buf.len() < next + len + 2 {
+                return Ok(None);
+            }
+            if &buf[next + len..next + len + 2] != b"\r\n" {
+                return Err("bulk string not CRLF-terminated".into());
+            }
+            Ok(Some((Resp::Bulk(buf[next..next + len].to_vec()), next + len + 2)))
+        }
+        b'*' => {
+            let Some((n, mut next)) = parse_int_line(buf, at + 1)? else {
+                return Ok(None);
+            };
+            if n == -1 {
+                return Ok(Some((Resp::NullArray, next)));
+            }
+            if n < 0 {
+                return Err(format!("bad array length {n}"));
+            }
+            let mut items = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                match parse_at(buf, next)? {
+                    Some((item, after)) => {
+                        items.push(item);
+                        next = after;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            Ok(Some((Resp::Array(items), next)))
+        }
+        other => Err(format!("unknown type byte {:?}", other as char)),
+    }
+}
+
+fn parse(buf: &[u8]) -> ParseResult {
+    parse_at(buf, 0)
+}
+
+/// A stateful frame assembler over a byte stream.
+///
+/// Feed arbitrary fragments with [`RespStream::feed`]; pull complete frames
+/// with [`RespStream::next_frame`].
+#[derive(Debug, Default)]
+pub struct RespStream {
+    buf: Vec<u8>,
+    /// consumed prefix length (compacted lazily)
+    read: usize,
+}
+
+impl RespStream {
+    /// Create an empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn pending_len(&self) -> usize {
+        self.buf.len() - self.read
+    }
+
+    /// Pull the next complete frame, if any.
+    ///
+    /// # Errors
+    /// Returns the protocol error message if the stream is corrupt; the
+    /// caller should drop the connection, as Redis does.
+    pub fn next_frame(&mut self) -> Result<Option<Resp>, String> {
+        match Resp::decode(&self.buf[self.read..]) {
+            Decoded::Frame(v, used) => {
+                self.read += used;
+                // Compact once half the buffer is dead space.
+                if self.read > 4096 && self.read * 2 > self.buf.len() {
+                    self.buf.drain(..self.read);
+                    self.read = 0;
+                }
+                Ok(Some(v))
+            }
+            Decoded::Incomplete => Ok(None),
+            Decoded::ProtocolError(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Resp) {
+        let bytes = v.encode();
+        match Resp::decode(&bytes) {
+            Decoded::Frame(out, used) => {
+                assert_eq!(&out, v);
+                assert_eq!(used, bytes.len());
+            }
+            other => panic!("decode failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrips_all_types() {
+        roundtrip(&Resp::ok());
+        roundtrip(&Resp::err("something broke"));
+        roundtrip(&Resp::Int(-42));
+        roundtrip(&Resp::Int(i64::MAX));
+        roundtrip(&Resp::Bulk(b"hello\r\nworld".to_vec()));
+        roundtrip(&Resp::Bulk(Vec::new()));
+        roundtrip(&Resp::NullBulk);
+        roundtrip(&Resp::NullArray);
+        roundtrip(&Resp::Array(vec![]));
+        roundtrip(&Resp::Array(vec![
+            Resp::Bulk(b"SET".to_vec()),
+            Resp::Bulk(b"k".to_vec()),
+            Resp::Bulk(vec![0, 1, 2, 255]),
+            Resp::Array(vec![Resp::Int(7), Resp::NullBulk]),
+        ]));
+    }
+
+    #[test]
+    fn known_wire_encodings() {
+        assert_eq!(Resp::ok().encode(), b"+OK\r\n");
+        assert_eq!(Resp::Int(42).encode(), b":42\r\n");
+        assert_eq!(Resp::Bulk(b"hi".to_vec()).encode(), b"$2\r\nhi\r\n");
+        assert_eq!(Resp::NullBulk.encode(), b"$-1\r\n");
+        assert_eq!(
+            Resp::command(["GET", "key"]).encode(),
+            b"*2\r\n$3\r\nGET\r\n$3\r\nkey\r\n"
+        );
+    }
+
+    #[test]
+    fn incomplete_frames_wait() {
+        let full = Resp::command(["SET", "key", "value"]).encode();
+        for cut in 0..full.len() {
+            assert_eq!(
+                Resp::decode(&full[..cut]),
+                Decoded::Incomplete,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn protocol_errors_detected() {
+        assert!(matches!(
+            Resp::decode(b"?bogus\r\n"),
+            Decoded::ProtocolError(_)
+        ));
+        assert!(matches!(
+            Resp::decode(b"$abc\r\n"),
+            Decoded::ProtocolError(_)
+        ));
+        assert!(matches!(
+            Resp::decode(b"$-5\r\n"),
+            Decoded::ProtocolError(_)
+        ));
+        assert!(matches!(
+            Resp::decode(b"$2\r\nhiXX"),
+            Decoded::ProtocolError(_)
+        ));
+    }
+
+    #[test]
+    fn stream_reassembles_fragments() {
+        let mut s = RespStream::new();
+        let frames: Vec<Resp> = (0..10)
+            .map(|i| Resp::command(["SET", &format!("k{i}"), &"v".repeat(i * 7)]))
+            .collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut wire);
+        }
+        // Feed in 3-byte fragments.
+        let mut got = Vec::new();
+        for chunk in wire.chunks(3) {
+            s.feed(chunk);
+            while let Some(f) = s.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(s.pending_len(), 0);
+    }
+
+    #[test]
+    fn stream_reports_corruption() {
+        let mut s = RespStream::new();
+        s.feed(b"!nope\r\n");
+        assert!(s.next_frame().is_err());
+    }
+
+    #[test]
+    fn into_command_args() {
+        let args = Resp::command(["SET", "k", "v"]).into_command_args().unwrap();
+        assert_eq!(args, vec![b"SET".to_vec(), b"k".to_vec(), b"v".to_vec()]);
+        assert!(Resp::Int(5).into_command_args().is_err());
+        assert!(Resp::Array(vec![]).into_command_args().is_err());
+        assert!(Resp::Array(vec![Resp::Int(1)]).into_command_args().is_err());
+    }
+}

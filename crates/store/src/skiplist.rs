@@ -1,0 +1,506 @@
+//! Skip list for sorted sets, after Redis's `t_zset.c`.
+//!
+//! Ordered by `(score, member)` with per-link spans so rank queries
+//! (`ZRANK`, `ZRANGE` by index) are O(log n). Nodes live in an arena and
+//! link by index, keeping the structure safe-Rust without reference
+//! gymnastics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sds::Sds;
+
+/// Maximum tower height (Redis `ZSKIPLIST_MAXLEVEL` is 32; 24 is ample for
+/// the sizes simulated here while keeping headers small).
+const MAX_LEVEL: usize = 24;
+/// Probability of promoting a node one more level (Redis uses 0.25).
+const P: f64 = 0.25;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Link {
+    forward: usize,
+    /// Number of elements this link skips over (inclusive of the target).
+    span: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    member: Sds,
+    score: f64,
+    links: Vec<Link>,
+    backward: usize,
+}
+
+/// A skip list of `(score, member)` pairs, unique by member at a given
+/// score position (member uniqueness is enforced by the owning `ZSet`'s
+/// dict, as in Redis).
+#[derive(Debug, Clone)]
+pub struct SkipList {
+    /// Arena of nodes; index 0 is the header (no member).
+    nodes: Vec<Node>,
+    /// Recycled arena slots.
+    free: Vec<usize>,
+    level: usize,
+    len: usize,
+    rng: StdRng,
+}
+
+impl SkipList {
+    /// Create an empty list. `seed` fixes the level-generation stream so
+    /// runs are reproducible.
+    pub fn new(seed: u64) -> Self {
+        let header = Node {
+            member: Sds::new(),
+            score: f64::NEG_INFINITY,
+            links: (0..MAX_LEVEL)
+                .map(|_| Link {
+                    forward: NIL,
+                    span: 0,
+                })
+                .collect(),
+            backward: NIL,
+        };
+        SkipList {
+            nodes: vec![header],
+            free: Vec::new(),
+            level: 1,
+            len: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn random_level(&mut self) -> usize {
+        let mut level = 1;
+        while level < MAX_LEVEL && self.rng.gen_range(0.0..1.0) < P {
+            level += 1;
+        }
+        level
+    }
+
+    /// Ordering used throughout: by score, then lexicographically by member.
+    #[inline]
+    fn precedes(score_a: f64, member_a: &[u8], score_b: f64, member_b: &[u8]) -> bool {
+        score_a < score_b || (score_a == score_b && member_a < member_b)
+    }
+
+    /// Insert a `(score, member)` pair. The caller (the ZSet layer)
+    /// guarantees the member is not already present.
+    // Levels index `update`, `rank`, and the arena simultaneously; index
+    // loops are clearer than zipped iterators here.
+    #[allow(clippy::needless_range_loop)]
+    pub fn insert(&mut self, score: f64, member: Sds) {
+        let mut update = [0usize; MAX_LEVEL]; // last node before insert point per level
+        let mut rank = [0usize; MAX_LEVEL]; // rank of that node per level
+
+        let mut x = 0;
+        for lvl in (0..self.level).rev() {
+            rank[lvl] = if lvl == self.level - 1 { 0 } else { rank[lvl + 1] };
+            loop {
+                let fwd = self.nodes[x].links[lvl].forward;
+                if fwd == NIL {
+                    break;
+                }
+                let f = &self.nodes[fwd];
+                if Self::precedes(f.score, &f.member, score, &member) {
+                    rank[lvl] += self.nodes[x].links[lvl].span;
+                    x = fwd;
+                } else {
+                    break;
+                }
+            }
+            update[lvl] = x;
+        }
+
+        let new_level = self.random_level();
+        if new_level > self.level {
+            for item in update.iter_mut().take(new_level).skip(self.level) {
+                *item = 0;
+            }
+            for lvl in self.level..new_level {
+                rank[lvl] = 0;
+                // Freshly activated header links have no forward node yet;
+                // the invariant (NIL ⇒ span 0) already holds.
+                debug_assert_eq!(self.nodes[0].links[lvl].forward, NIL);
+            }
+            self.level = new_level;
+        }
+
+        let node = Node {
+            member,
+            score,
+            links: (0..new_level)
+                .map(|_| Link {
+                    forward: NIL,
+                    span: 0,
+                })
+                .collect(),
+            backward: NIL,
+        };
+        let idx = if let Some(slot) = self.free.pop() {
+            self.nodes[slot] = node;
+            slot
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        };
+
+        for lvl in 0..new_level {
+            let prev = update[lvl];
+            let next = self.nodes[prev].links[lvl].forward;
+            self.nodes[idx].links[lvl].forward = next;
+            let prev_span = self.nodes[prev].links[lvl].span;
+            // rank[0] is the rank of the node immediately before `idx`.
+            let new_span_prev = rank[0] + 1 - rank[lvl];
+            // Invariant: links with no forward node always carry span 0.
+            self.nodes[idx].links[lvl].span = if next == NIL {
+                0
+            } else {
+                prev_span + 1 - new_span_prev
+            };
+            self.nodes[prev].links[lvl].span = new_span_prev;
+            self.nodes[prev].links[lvl].forward = idx;
+        }
+        // Levels above the new node's height just gained one skipped element.
+        for lvl in new_level..self.level {
+            let link = &mut self.nodes[update[lvl]].links[lvl];
+            if link.forward != NIL {
+                link.span += 1;
+            }
+        }
+
+        self.nodes[idx].backward = if update[0] == 0 { NIL } else { update[0] };
+        let next0 = self.nodes[idx].links[0].forward;
+        if next0 != NIL {
+            self.nodes[next0].backward = idx;
+        }
+        self.len += 1;
+    }
+
+    /// Remove a `(score, member)` pair. Returns true if it was present.
+    #[allow(clippy::needless_range_loop)]
+    pub fn delete(&mut self, score: f64, member: &[u8]) -> bool {
+        let mut update = [0usize; MAX_LEVEL];
+        let mut x = 0;
+        for lvl in (0..self.level).rev() {
+            loop {
+                let fwd = self.nodes[x].links[lvl].forward;
+                if fwd == NIL {
+                    break;
+                }
+                let f = &self.nodes[fwd];
+                if Self::precedes(f.score, &f.member, score, member) {
+                    x = fwd;
+                } else {
+                    break;
+                }
+            }
+            update[lvl] = x;
+        }
+        let target = self.nodes[x].links[0].forward;
+        if target == NIL {
+            return false;
+        }
+        {
+            let t = &self.nodes[target];
+            if t.score != score || &*t.member != member {
+                return false;
+            }
+        }
+
+        for lvl in 0..self.level {
+            let prev = update[lvl];
+            if self.nodes[prev].links[lvl].forward == target {
+                let target_span = self.nodes[target].links[lvl].span;
+                let target_fwd = self.nodes[target].links[lvl].forward;
+                let link = &mut self.nodes[prev].links[lvl];
+                link.forward = target_fwd;
+                link.span = if target_fwd == NIL {
+                    0
+                } else {
+                    link.span + target_span - 1
+                };
+            } else if self.nodes[prev].links[lvl].forward != NIL {
+                self.nodes[prev].links[lvl].span -= 1;
+            }
+        }
+        let next0 = self.nodes[target].links[0].forward;
+        if next0 != NIL {
+            self.nodes[next0].backward = self.nodes[target].backward;
+        }
+        while self.level > 1 && self.nodes[0].links[self.level - 1].forward == NIL {
+            self.level -= 1;
+        }
+        self.free.push(target);
+        self.len -= 1;
+        true
+    }
+
+    /// 0-based rank of a member with the given score, if present.
+    pub fn rank(&self, score: f64, member: &[u8]) -> Option<usize> {
+        let mut x = 0;
+        let mut rank = 0usize;
+        for lvl in (0..self.level).rev() {
+            loop {
+                let fwd = self.nodes[x].links[lvl].forward;
+                if fwd == NIL {
+                    break;
+                }
+                let f = &self.nodes[fwd];
+                let go = f.score < score
+                    || (f.score == score && f.member.as_bytes() <= member);
+                if go {
+                    rank += self.nodes[x].links[lvl].span;
+                    x = fwd;
+                } else {
+                    break;
+                }
+                if self.nodes[x].score == score && &*self.nodes[x].member == member {
+                    return Some(rank - 1);
+                }
+            }
+        }
+        None
+    }
+
+    /// The `(score, member)` at 0-based rank `r`.
+    pub fn by_rank(&self, r: usize) -> Option<(f64, &Sds)> {
+        if r >= self.len {
+            return None;
+        }
+        let target = r + 1; // spans are 1-based
+        let mut x = 0;
+        let mut traversed = 0;
+        for lvl in (0..self.level).rev() {
+            loop {
+                let link = &self.nodes[x].links[lvl];
+                if link.forward != NIL && traversed + link.span <= target {
+                    traversed += link.span;
+                    x = link.forward;
+                } else {
+                    break;
+                }
+            }
+            if traversed == target {
+                let n = &self.nodes[x];
+                return Some((n.score, &n.member));
+            }
+        }
+        None
+    }
+
+    /// Iterate in order over all `(score, member)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &Sds)> {
+        let mut x = self.nodes[0].links[0].forward;
+        std::iter::from_fn(move || {
+            if x == NIL {
+                return None;
+            }
+            let n = &self.nodes[x];
+            x = n.links[0].forward;
+            Some((n.score, &n.member))
+        })
+    }
+
+    /// All members with `min <= score <= max`, in order.
+    pub fn range_by_score(&self, min: f64, max: f64) -> Vec<(f64, &Sds)> {
+        // Skip to the first candidate using the index levels.
+        let mut x = 0;
+        for lvl in (0..self.level).rev() {
+            loop {
+                let fwd = self.nodes[x].links[lvl].forward;
+                if fwd != NIL && self.nodes[fwd].score < min {
+                    x = fwd;
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        let mut cur = self.nodes[x].links[0].forward;
+        while cur != NIL {
+            let n = &self.nodes[cur];
+            if n.score > max {
+                break;
+            }
+            out.push((n.score, &n.member));
+            cur = n.links[0].forward;
+        }
+        out
+    }
+
+    /// Count elements with `min <= score <= max`.
+    pub fn count_by_score(&self, min: f64, max: f64) -> usize {
+        self.range_by_score(min, max).len()
+    }
+
+    /// Check internal invariants (test support): ordering, spans, len.
+    pub fn check_invariants(&self) {
+        // Order and backward pointers on level 0.
+        let mut prev = 0usize;
+        let mut x = self.nodes[0].links[0].forward;
+        let mut count = 0;
+        while x != NIL {
+            let n = &self.nodes[x];
+            if prev != 0 {
+                let p = &self.nodes[prev];
+                assert!(
+                    Self::precedes(p.score, &p.member, n.score, &n.member),
+                    "ordering violated"
+                );
+                assert_eq!(n.backward, prev, "backward pointer wrong");
+            } else {
+                assert_eq!(n.backward, NIL);
+            }
+            prev = x;
+            x = n.links[0].forward;
+            count += 1;
+        }
+        assert_eq!(count, self.len, "len mismatch");
+        // Span consistency: walking any level's spans must agree with rank.
+        for lvl in 0..self.level {
+            let mut x = 0;
+            let mut pos = 0usize;
+            loop {
+                let link = &self.nodes[x].links[lvl];
+                if link.forward == NIL {
+                    break;
+                }
+                pos += link.span;
+                x = link.forward;
+                let r = self
+                    .rank(self.nodes[x].score, &self.nodes[x].member)
+                    .expect("node must have a rank");
+                assert_eq!(pos - 1, r, "span walk disagrees with rank at level {lvl}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sl(pairs: &[(f64, &str)]) -> SkipList {
+        let mut s = SkipList::new(42);
+        for &(score, m) in pairs {
+            s.insert(score, Sds::from(m));
+        }
+        s
+    }
+
+    #[test]
+    fn insert_orders_by_score_then_member() {
+        let s = sl(&[(3.0, "c"), (1.0, "a"), (2.0, "b"), (2.0, "a")]);
+        let items: Vec<(f64, String)> = s
+            .iter()
+            .map(|(sc, m)| (sc, String::from_utf8_lossy(m).into_owned()))
+            .collect();
+        assert_eq!(
+            items,
+            vec![
+                (1.0, "a".into()),
+                (2.0, "a".into()),
+                (2.0, "b".into()),
+                (3.0, "c".into())
+            ]
+        );
+        s.check_invariants();
+    }
+
+    #[test]
+    fn rank_and_by_rank_agree() {
+        let mut s = SkipList::new(7);
+        for i in 0..200 {
+            s.insert(i as f64, Sds::from(format!("m{i:04}").as_str()));
+        }
+        s.check_invariants();
+        for i in 0..200 {
+            let m = format!("m{i:04}");
+            assert_eq!(s.rank(i as f64, m.as_bytes()), Some(i), "rank of {m}");
+            let (score, member) = s.by_rank(i).unwrap();
+            assert_eq!(score, i as f64);
+            assert_eq!(member.as_bytes(), m.as_bytes());
+        }
+        assert_eq!(s.by_rank(200), None);
+        assert_eq!(s.rank(5.0, b"nope"), None);
+    }
+
+    #[test]
+    fn delete_maintains_structure() {
+        let mut s = SkipList::new(11);
+        for i in 0..100 {
+            s.insert((i % 10) as f64, Sds::from(format!("m{i:03}").as_str()));
+        }
+        s.check_invariants();
+        // Delete every other element.
+        for i in (0..100).step_by(2) {
+            assert!(s.delete((i % 10) as f64, format!("m{i:03}").as_bytes()));
+        }
+        assert_eq!(s.len(), 50);
+        s.check_invariants();
+        // Deleting a missing element fails cleanly.
+        assert!(!s.delete(0.0, b"m000"));
+        assert!(!s.delete(99.0, b"zzz"));
+        s.check_invariants();
+    }
+
+    #[test]
+    fn range_by_score_inclusive() {
+        let s = sl(&[(1.0, "a"), (2.0, "b"), (3.0, "c"), (4.0, "d")]);
+        let r: Vec<&str> = s
+            .range_by_score(2.0, 3.0)
+            .into_iter()
+            .map(|(_, m)| std::str::from_utf8(m).unwrap())
+            .collect();
+        assert_eq!(r, vec!["b", "c"]);
+        assert_eq!(s.count_by_score(f64::NEG_INFINITY, f64::INFINITY), 4);
+        assert_eq!(s.count_by_score(10.0, 20.0), 0);
+    }
+
+    #[test]
+    fn empty_list_behaviour() {
+        let s = SkipList::new(1);
+        assert!(s.is_empty());
+        assert_eq!(s.by_rank(0), None);
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.range_by_score(0.0, 100.0).len(), 0);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn arena_slots_are_recycled() {
+        let mut s = SkipList::new(3);
+        for i in 0..50 {
+            s.insert(i as f64, Sds::from(format!("a{i}").as_str()));
+        }
+        let arena_before = s.nodes.len();
+        for i in 0..50 {
+            assert!(s.delete(i as f64, format!("a{i}").as_bytes()));
+        }
+        for i in 0..50 {
+            s.insert(i as f64, Sds::from(format!("b{i}").as_str()));
+        }
+        assert_eq!(s.nodes.len(), arena_before, "arena should not grow");
+        s.check_invariants();
+    }
+
+    #[test]
+    fn negative_and_fractional_scores() {
+        let s = sl(&[(-1.5, "n"), (0.0, "z"), (0.25, "q")]);
+        let items: Vec<f64> = s.iter().map(|(sc, _)| sc).collect();
+        assert_eq!(items, vec![-1.5, 0.0, 0.25]);
+        s.check_invariants();
+    }
+}

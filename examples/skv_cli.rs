@@ -1,0 +1,115 @@
+//! An interactive `redis-cli`-style REPL against the embedded engine —
+//! handy for exploring the ~100-command surface without building a cluster.
+//!
+//! ```text
+//! cargo run --release -p skv-examples --bin skv_cli
+//! skv> SET greeting "hello world"
+//! OK
+//! skv> GET greeting
+//! "hello world"
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use skv_store::engine::Engine;
+use skv_store::resp::Resp;
+
+/// Split a line into arguments, honouring double quotes.
+fn tokenize(line: &str) -> Result<Vec<Vec<u8>>, String> {
+    let mut args = Vec::new();
+    let mut cur = Vec::new();
+    let mut in_quotes = false;
+    let mut any = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                any = true;
+            }
+            '\\' if in_quotes => match chars.next() {
+                Some('n') => cur.push(b'\n'),
+                Some('t') => cur.push(b'\t'),
+                Some('"') => cur.push(b'"'),
+                Some('\\') => cur.push(b'\\'),
+                Some(other) => cur.extend(other.to_string().as_bytes()),
+                None => return Err("dangling escape".into()),
+            },
+            c if c.is_whitespace() && !in_quotes => {
+                if any || !cur.is_empty() {
+                    args.push(std::mem::take(&mut cur));
+                    any = false;
+                }
+            }
+            c => {
+                let mut buf = [0u8; 4];
+                cur.extend(c.encode_utf8(&mut buf).as_bytes());
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quote".into());
+    }
+    if any || !cur.is_empty() {
+        args.push(cur);
+    }
+    Ok(args)
+}
+
+/// Render a reply the way redis-cli does.
+fn render(reply: &Resp, indent: usize) -> String {
+    let pad = "  ".repeat(indent);
+    match reply {
+        Resp::Simple(s) => format!("{pad}{s}"),
+        Resp::Error(e) => format!("{pad}(error) {e}"),
+        Resp::Int(v) => format!("{pad}(integer) {v}"),
+        Resp::Bulk(b) => format!("{pad}\"{}\"", String::from_utf8_lossy(b)),
+        Resp::NullBulk | Resp::NullArray => format!("{pad}(nil)"),
+        Resp::Array(items) if items.is_empty() => format!("{pad}(empty array)"),
+        Resp::Array(items) => items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| format!("{pad}{}) {}", i + 1, render(item, 0).trim_start()))
+            .collect::<Vec<_>>()
+            .join("\n"),
+    }
+}
+
+fn main() {
+    let mut engine = Engine::new(0xC11);
+    // A wall-clock-ish monotonic ms counter so TTLs behave naturally.
+    let start = std::time::Instant::now();
+
+    println!("skv-cli — embedded skv-store engine ({} commands)", skv_store::cmd::COMMANDS.len());
+    println!("type commands (QUIT to exit):");
+    let stdin = io::stdin();
+    loop {
+        print!("skv> ");
+        io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let args = match tokenize(line.trim()) {
+            Ok(a) => a,
+            Err(e) => {
+                println!("(error) {e}");
+                continue;
+            }
+        };
+        if args.is_empty() {
+            continue;
+        }
+        if args[0].eq_ignore_ascii_case(b"QUIT") || args[0].eq_ignore_ascii_case(b"EXIT") {
+            break;
+        }
+        let now_ms = start.elapsed().as_millis() as u64;
+        let result = engine.execute(now_ms, &args);
+        println!("{}", render(&result.reply, 0));
+    }
+}

@@ -1,0 +1,1 @@
+//! Shared helpers for the SKV integration test suite.

@@ -1,0 +1,205 @@
+//! Failure detection, min-slaves gating, failover, and self-healing resync
+//! — the §III-D machinery, exercised end to end.
+
+use skv_core::cluster::{Cluster, RunSpec};
+use skv_core::config::{ClusterConfig, Mode};
+use skv_simcore::{SimDuration, SimTime};
+
+fn spec(slaves: usize, clients: usize, measure_ms: u64) -> RunSpec {
+    let mut cfg = ClusterConfig::for_mode(Mode::Skv);
+    cfg.num_slaves = slaves;
+    // Compressed time scales keep these scenarios fast while preserving
+    // the probe/waiting-time relationships of the real configuration.
+    cfg.probe_interval = SimDuration::from_millis(200);
+    cfg.waiting_time = SimDuration::from_millis(400);
+    RunSpec {
+        cfg,
+        num_clients: clients,
+        pipeline: 1,
+        set_ratio: 1.0,
+        value_size: 64,
+        key_space: 2_000,
+        warmup: SimDuration::from_millis(100),
+        measure: SimDuration::from_millis(measure_ms),
+        seed: 77,
+    }
+}
+
+#[test]
+fn nic_detects_slave_crash_within_waiting_time() {
+    let mut cluster = Cluster::build(spec(3, 2, 2_000));
+    let crash_at = SimTime::from_millis(800);
+    cluster.schedule_slave_crash(1, crash_at);
+    cluster.run();
+
+    let nic = cluster.nic_kv().expect("SKV has a NIC");
+    assert_eq!(nic.available_slaves(), 2);
+    let (detected_at, _) = nic
+        .detections
+        .iter()
+        .find(|(t, _)| *t >= crash_at)
+        .copied()
+        .expect("crash must be detected");
+    let delay = detected_at.saturating_since(crash_at);
+    // Bound: waiting-time plus up to two probe intervals of slack.
+    let bound = cluster.spec.cfg.waiting_time
+        + cluster.spec.cfg.probe_interval
+        + cluster.spec.cfg.probe_interval;
+    assert!(
+        delay <= bound,
+        "detection took {delay}, bound {bound}"
+    );
+}
+
+#[test]
+fn crashed_slave_recovery_is_detected_and_resynced() {
+    let mut cluster = Cluster::build(spec(3, 4, 3_000));
+    cluster.schedule_slave_crash(0, SimTime::from_millis(800));
+    cluster.schedule_slave_recover(0, SimTime::from_millis(1_800));
+    let report = cluster.run();
+    assert_eq!(report.errors, 0, "clients must not see the failure");
+
+    let nic = cluster.nic_kv().expect("nic");
+    assert!(nic
+        .recoveries
+        .iter()
+        .any(|(t, _)| *t >= SimTime::from_millis(1_800)));
+    assert_eq!(nic.available_slaves(), 3);
+
+    // After a drain, every replica matches again (the recovered slave
+    // resynchronized from its stale offset).
+    cluster
+        .sim
+        .run_until(cluster.measure_until + SimDuration::from_secs(1));
+    let digests = cluster.keyspace_digests();
+    assert!(
+        digests.iter().all(|&d| d == digests[0]),
+        "diverged: {digests:x?}"
+    );
+    // The recovered slave needed a (full or partial) resync.
+    let s0 = cluster.slave_server(0);
+    assert!(s0.stat_full_syncs + s0.stat_partial_syncs >= 2);
+}
+
+#[test]
+fn partial_resync_used_when_backlog_covers_gap() {
+    // A big backlog and a short outage: the gap stays inside the backlog,
+    // so the master must serve a partial resync, not a second RDB.
+    let mut s = spec(2, 1, 2_000);
+    s.cfg.backlog_size = 256 << 20;
+    let mut cluster = Cluster::build(s);
+    cluster.schedule_slave_crash(0, SimTime::from_millis(600));
+    cluster.schedule_slave_recover(0, SimTime::from_millis(1_200));
+    cluster.run();
+    cluster
+        .sim
+        .run_until(cluster.measure_until + SimDuration::from_secs(1));
+
+    let s0 = cluster.slave_server(0);
+    assert!(s0.is_synced_slave());
+    assert_eq!(s0.stat_full_syncs, 1, "only the initial sync is full");
+    assert!(s0.stat_partial_syncs >= 1, "recovery must resync partially");
+    let digests = cluster.keyspace_digests();
+    assert!(digests.iter().all(|&d| d == digests[0]));
+}
+
+#[test]
+fn min_slaves_rejects_writes_after_detection() {
+    let mut s = spec(2, 2, 2_500);
+    s.cfg.min_slaves = 2;
+    let mut cluster = Cluster::build(s);
+    cluster.schedule_slave_crash(0, SimTime::from_millis(800));
+    let report = cluster.run();
+    // Before detection writes flow; afterwards NOREPLICAS errors appear.
+    assert!(report.errors > 0, "min-slaves must reject writes");
+    assert!(
+        cluster.master_server().stat_rejected > 0,
+        "rejections must come from the master's write gate"
+    );
+    // And plenty of writes succeeded before the crash was detected.
+    assert!(report.ops > report.errors);
+}
+
+#[test]
+fn min_slaves_recovers_after_slave_returns() {
+    let mut s = spec(2, 2, 3_000);
+    s.cfg.min_slaves = 2;
+    let mut cluster = Cluster::build(s);
+    cluster.schedule_slave_crash(0, SimTime::from_millis(800));
+    cluster.schedule_slave_recover(0, SimTime::from_millis(1_800));
+    cluster.run();
+    // After recovery the gate must reopen: count successes near the end.
+    let hub = cluster.metrics.borrow();
+    let late_ops = hub
+        .completions
+        .count_between(SimTime::from_millis(2_800), SimTime::from_millis(3_300));
+    drop(hub);
+    assert!(late_ops > 1_000, "writes must flow again, got {late_ops}");
+}
+
+#[test]
+fn master_failover_promotes_best_slave_and_demotes_on_return() {
+    let mut cluster = Cluster::build(spec(2, 1, 3_500));
+    cluster.schedule_master_crash(SimTime::from_millis(800));
+    cluster.schedule_master_recover(SimTime::from_millis(2_200));
+    cluster.sim.run_until(SimTime::from_millis(3_500));
+
+    let nic = cluster.nic_kv().expect("nic");
+    assert_eq!(nic.stat_failovers, 1, "exactly one failover");
+    // While the master was away, some slave was master; after its return
+    // and demote, nobody but the original is.
+    assert!(cluster.master_server().is_master());
+    for i in 0..cluster.slaves.len() {
+        assert!(
+            !cluster.slave_server(i).is_master(),
+            "slave {i} must have been demoted"
+        );
+    }
+    // The master is valid again in the node list.
+    let master_entry = nic
+        .node_list()
+        .iter()
+        .find(|e| e.is_master)
+        .expect("master entry");
+    assert!(master_entry.valid);
+}
+
+#[test]
+fn failure_detection_has_no_false_positives() {
+    // A healthy long run: nothing must ever be marked invalid.
+    let mut cluster = Cluster::build(spec(3, 4, 2_500));
+    cluster.run();
+    let nic = cluster.nic_kv().expect("nic");
+    assert!(
+        nic.detections.is_empty(),
+        "false positives: {:?}",
+        nic.detections
+    );
+    assert_eq!(nic.available_slaves(), 3);
+    assert_eq!(nic.stat_failovers, 0);
+}
+
+#[test]
+fn waiting_time_scales_detection_delay() {
+    let mut delays = Vec::new();
+    for wt_ms in [300u64, 1_200] {
+        let mut s = spec(2, 1, 3_000);
+        s.cfg.waiting_time = SimDuration::from_millis(wt_ms);
+        let crash_at = SimTime::from_millis(800);
+        let mut cluster = Cluster::build(s);
+        cluster.schedule_slave_crash(0, crash_at);
+        cluster.run();
+        let nic = cluster.nic_kv().expect("nic");
+        let (t, _) = nic
+            .detections
+            .iter()
+            .find(|(t, _)| *t >= crash_at)
+            .copied()
+            .expect("detected");
+        delays.push(t.saturating_since(crash_at));
+    }
+    assert!(
+        delays[0] < delays[1],
+        "longer waiting-time must delay detection: {delays:?}"
+    );
+}

@@ -1,0 +1,172 @@
+//! Performance-shape invariants: the orderings the paper's evaluation
+//! reports must hold in the reproduction for any reasonable seed. These are
+//! the cheap, always-on versions of the figure benches.
+
+use skv_core::cluster::{run_spec, RunSpec};
+use skv_core::config::{ClusterConfig, Mode};
+use skv_simcore::SimDuration;
+
+fn spec(mode: Mode, slaves: usize, clients: usize, set_ratio: f64, seed: u64) -> RunSpec {
+    let mut cfg = ClusterConfig::for_mode(mode);
+    cfg.num_slaves = slaves;
+    RunSpec {
+        cfg,
+        num_clients: clients,
+        pipeline: 1,
+        set_ratio,
+        value_size: 64,
+        key_space: 50_000,
+        warmup: SimDuration::from_millis(200),
+        measure: SimDuration::from_millis(500),
+        seed,
+    }
+}
+
+#[test]
+fn rdma_beats_tcp_by_a_wide_margin() {
+    // Figure 10's premise.
+    let tcp = run_spec(spec(Mode::TcpRedis, 0, 8, 1.0, 1));
+    let rdma = run_spec(spec(Mode::RdmaRedis, 0, 8, 1.0, 2));
+    assert!(
+        rdma.throughput_kops > 2.0 * tcp.throughput_kops,
+        "RDMA {:.0} kops vs TCP {:.0} kops",
+        rdma.throughput_kops,
+        tcp.throughput_kops
+    );
+    assert!(
+        tcp.p99_latency_us > 1.5 * rdma.p99_latency_us,
+        "TCP p99 {:.0}us vs RDMA p99 {:.0}us",
+        tcp.p99_latency_us,
+        rdma.p99_latency_us
+    );
+}
+
+#[test]
+fn slaves_degrade_rdma_redis() {
+    // Figure 7: with three slaves the master loses throughput and tail.
+    let without = run_spec(spec(Mode::RdmaRedis, 0, 8, 1.0, 3));
+    let with = run_spec(spec(Mode::RdmaRedis, 3, 8, 1.0, 4));
+    assert!(with.throughput_kops < 0.95 * without.throughput_kops);
+    assert!(with.p99_latency_us > 1.10 * without.p99_latency_us);
+    assert!(with.avg_latency_us > without.avg_latency_us);
+}
+
+#[test]
+fn skv_beats_rdma_redis_on_set_with_slaves() {
+    // Figure 11's headline: ~+14% throughput, lower latency at 8 clients.
+    let baseline = run_spec(spec(Mode::RdmaRedis, 3, 8, 1.0, 5));
+    let skv = run_spec(spec(Mode::Skv, 3, 8, 1.0, 6));
+    let gain = skv.throughput_kops / baseline.throughput_kops - 1.0;
+    assert!(
+        (0.05..0.30).contains(&gain),
+        "gain should be paper-sized (5-30%), got {:.1}%",
+        gain * 100.0
+    );
+    assert!(skv.avg_latency_us < baseline.avg_latency_us);
+    assert!(skv.p99_latency_us < baseline.p99_latency_us);
+}
+
+#[test]
+fn skv_matches_rdma_redis_on_get() {
+    // Figure 13: reads don't replicate; no offload advantage.
+    let baseline = run_spec(spec(Mode::RdmaRedis, 3, 8, 0.0, 7));
+    let skv = run_spec(spec(Mode::Skv, 3, 8, 0.0, 8));
+    let ratio = skv.throughput_kops / baseline.throughput_kops;
+    assert!(
+        (0.97..1.03).contains(&ratio),
+        "GET throughput should match, ratio {ratio:.3}"
+    );
+}
+
+#[test]
+fn skv_wins_across_value_sizes() {
+    // Figure 12.
+    for (i, &size) in [64usize, 1024, 8192].iter().enumerate() {
+        let mut b = spec(Mode::RdmaRedis, 3, 8, 1.0, 20 + i as u64);
+        b.value_size = size;
+        let mut s = spec(Mode::Skv, 3, 8, 1.0, 30 + i as u64);
+        s.value_size = size;
+        let baseline = run_spec(b);
+        let skv = run_spec(s);
+        assert!(
+            skv.throughput_kops > baseline.throughput_kops,
+            "size {size}: SKV {:.0} <= baseline {:.0}",
+            skv.throughput_kops,
+            baseline.throughput_kops
+        );
+    }
+}
+
+#[test]
+fn larger_values_are_slower() {
+    let small = run_spec({
+        let mut s = spec(Mode::Skv, 3, 8, 1.0, 40);
+        s.value_size = 64;
+        s
+    });
+    let large = run_spec({
+        let mut s = spec(Mode::Skv, 3, 8, 1.0, 41);
+        s.value_size = 16 * 1024;
+        s
+    });
+    assert!(large.throughput_kops < small.throughput_kops);
+}
+
+#[test]
+fn throughput_saturates_with_concurrency() {
+    // Closed-loop behaviour: throughput grows with clients, then flattens;
+    // latency keeps growing.
+    let one = run_spec(spec(Mode::RdmaRedis, 0, 1, 1.0, 50));
+    // (closed loop: more clients, more overlap)
+    let eight = run_spec(spec(Mode::RdmaRedis, 0, 8, 1.0, 51));
+    let thirty_two = run_spec(spec(Mode::RdmaRedis, 0, 32, 1.0, 52));
+    assert!(eight.throughput_kops > 2.0 * one.throughput_kops);
+    let sat_ratio = thirty_two.throughput_kops / eight.throughput_kops;
+    assert!(
+        (0.9..1.25).contains(&sat_ratio),
+        "saturated region should be flat, got {sat_ratio:.2}"
+    );
+    assert!(thirty_two.p99_latency_us > 2.0 * eight.p99_latency_us);
+}
+
+#[test]
+fn whole_experiments_are_deterministic() {
+    let a = run_spec(spec(Mode::Skv, 3, 8, 0.9, 60));
+    let b = run_spec(spec(Mode::Skv, 3, 8, 0.9, 60));
+    assert_eq!(a.ops, b.ops);
+    assert_eq!(a.errors, b.errors);
+    assert_eq!(a.avg_latency_us, b.avg_latency_us);
+    assert_eq!(a.p99_latency_us, b.p99_latency_us);
+    // And a different seed gives a (slightly) different run.
+    let c = run_spec(spec(Mode::Skv, 3, 8, 0.9, 61));
+    assert_ne!(a.ops, c.ops);
+}
+
+#[test]
+fn master_core_is_the_bottleneck_at_saturation() {
+    let mut cluster = skv_core::cluster::Cluster::build(spec(Mode::RdmaRedis, 3, 16, 1.0, 70));
+    cluster.run();
+    let util = cluster
+        .master_server()
+        .core0_utilization(cluster.sim.now());
+    // Utilization is measured over the whole run including startup and
+    // drain, so full saturation in the window reads as ~0.7-0.9 overall.
+    assert!(
+        util > 0.6,
+        "event-loop core should saturate under 16 clients, got {util:.2}"
+    );
+}
+
+#[test]
+fn nic_offload_actually_uses_the_nic() {
+    let mut cluster = skv_core::cluster::Cluster::build(spec(Mode::Skv, 3, 8, 1.0, 71));
+    cluster.run();
+    let now = cluster.sim.now();
+    let nic = cluster.nic_kv().expect("nic");
+    assert!(nic.stat_fanout_sends >= 3 * nic.stat_fanout_msgs / 2);
+    let util = nic.mean_utilization(now);
+    assert!(
+        util > 0.01 && util < 0.9,
+        "ARM cores busy but not overloaded, got {util:.3}"
+    );
+}
