@@ -11,6 +11,7 @@
 use skv_core::cluster::{Cluster, RunSpec};
 use skv_core::config::{ClusterConfig, Mode};
 use skv_core::metrics::RunReport;
+use skv_netsim::{FaultPlan, LinkFault, TimeWindow};
 use skv_simcore::{SimDuration, SimTime};
 
 use crate::experiments::{MEASURE, WARMUP};
@@ -325,6 +326,108 @@ pub fn print_failure_params(rows: &[FailureParamRow]) {
         println!(
             "{:>12} {:>16.0} {:>10} {:>10}",
             r.waiting_ms, r.detection_delay_ms, r.errors, r.ops
+        );
+    }
+}
+
+// ===========================================================================
+// probe loss — detection false positives vs waiting-time
+// ===========================================================================
+
+/// One (outage duration, waiting-time) cell.
+#[derive(Debug, Clone)]
+pub struct ProbeLossRow {
+    /// Duration of the NIC↔slave link outage (ms).
+    pub blip_ms: u64,
+    /// Configured `waiting-time` (ms).
+    pub waiting_ms: u64,
+    /// Nodes declared failed. The slave never crashes and keeps serving
+    /// through its other links, so every detection is a false positive.
+    pub false_positives: u64,
+    /// Failed nodes later seen alive again (the false alarm clearing).
+    pub recoveries: u64,
+    /// Client ops completed.
+    pub ops: u64,
+    /// Error replies clients saw.
+    pub errors: u64,
+}
+
+/// The cost of aggressive detection (§III-D): cut one slave's link to the
+/// NIC — probes, replies and re-registration — for a bounded blip while
+/// the slave itself stays alive, and sweep `waiting-time`. A timeout
+/// shorter than the blip flags the live slave as failed; a longer one
+/// rides it out (but would detect a real crash correspondingly later —
+/// the other half of the trade-off, in `ablation_failure_params`).
+///
+/// Independent per-message probe loss is deliberately *not* the x-axis:
+/// a dropped probe errors the sender's QP, the slave redials within
+/// milliseconds and registration resets the probe clock, so uniform loss
+/// up to 5% produces zero false positives at any `waiting-time`. Only
+/// sustained silence — an outage the retry machinery cannot route around
+/// — can outlive the timeout.
+pub fn ablation_probe_loss() -> Vec<ProbeLossRow> {
+    let mut rows = Vec::new();
+    for &blip_ms in &[250u64, 1_000, 2_500, 5_000] {
+        for &wt in &[500u64, 1_500, 3_000] {
+            let mut s = spec(Mode::Skv, 2, 1, 27_000 + wt + blip_ms);
+            s.cfg.waiting_time = SimDuration::from_millis(wt);
+            s.measure = SimDuration::from_millis(8_000);
+            let mut cluster = Cluster::build(s);
+
+            // Black out slave 0's link to the NIC, both directions, from
+            // t=2s. Clients and the master↔NIC path stay clean, and the
+            // slave still reaches the master directly — the write path is
+            // undisturbed except through the detector's own mistakes.
+            let window = Some(TimeWindow::new(
+                SimTime::from_secs(2),
+                SimTime::from_secs(2) + SimDuration::from_millis(blip_ms),
+            ));
+            let mut plan = FaultPlan::new(28_000 + wt + blip_ms);
+            if let Some(nic) = cluster.nic_node {
+                let node = cluster.slave_nodes[0];
+                for (src, dst) in [(nic, node), (node, nic)] {
+                    plan.links.push(LinkFault {
+                        src,
+                        dst,
+                        drop_prob: 1.0,
+                        delay_prob: 0.0,
+                        delay: SimDuration::ZERO,
+                        window,
+                    });
+                }
+            }
+            cluster.net.set_fault_plan(plan);
+
+            let report = cluster.run();
+            let (false_positives, recoveries) = cluster
+                .nic_kv()
+                .map_or((0, 0), |n| {
+                    (n.detections.len() as u64, n.recoveries.len() as u64)
+                });
+            rows.push(ProbeLossRow {
+                blip_ms,
+                waiting_ms: wt,
+                false_positives,
+                recoveries,
+                ops: report.ops,
+                errors: report.errors,
+            });
+        }
+    }
+    rows
+}
+
+/// Print the probe-outage ablation.
+pub fn print_probe_loss(rows: &[ProbeLossRow]) {
+    println!("Ablation — probe-path outage vs false detections (slave stays alive)");
+    println!(
+        "{:>9} {:>12} {:>10} {:>11} {:>9} {:>8}",
+        "blip(ms)", "waiting(ms)", "false-pos", "recoveries", "ops", "errors"
+    );
+    for r in rows {
+        println!(
+            "{:>9} {:>12} {:>10} {:>11} {:>9} {:>8}",
+            r.blip_ms, r.waiting_ms, r.false_positives, r.recoveries, r.ops, r.errors
         );
     }
 }

@@ -1,6 +1,6 @@
 //! CLI driver: regenerate any (or all) of the paper's figures.
 //!
-//! Usage: `experiments [fig3|fig7|fig10|fig11|fig12|fig13|fig14|all]...`
+//! Usage: `experiments [fig3|fig7|...|fig14|niccrash|threadnum|...|probeloss|all]...`
 
 use skv_bench::ablations as abl;
 use skv_bench::experiments as exp;
@@ -20,11 +20,13 @@ fn run(which: &str) {
             &exp::fig13_get_parity(),
         ),
         "fig14" => exp::print_fig14(&exp::fig14_availability()),
+        "niccrash" => exp::print_nic_crash(&exp::nic_crash_timeline()),
         "threadnum" => abl::print_threadnum(&abl::ablation_threadnum()),
         "nicstore" => abl::print_nic_datastore(&abl::ablation_nic_datastore()),
         "wrcost" => abl::print_wr_cost(&abl::ablation_wr_cost()),
         "slavecount" => abl::print_slave_count(&abl::ablation_slave_count()),
         "failparams" => abl::print_failure_params(&abl::ablation_failure_params()),
+        "probeloss" => abl::print_probe_loss(&abl::ablation_probe_loss()),
         "pipeline" => abl::print_pipeline(&abl::ablation_pipeline()),
         other => eprintln!("unknown experiment {other:?}"),
     }
@@ -35,8 +37,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let list: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "fig3", "fig7", "fig10", "fig11", "fig12", "fig13", "fig14", "threadnum",
-            "nicstore", "wrcost", "slavecount", "failparams", "pipeline",
+            "fig3", "fig7", "fig10", "fig11", "fig12", "fig13", "fig14", "niccrash",
+            "threadnum", "nicstore", "wrcost", "slavecount", "failparams", "probeloss",
+            "pipeline",
         ]
     } else {
         args.iter().map(String::as_str).collect()

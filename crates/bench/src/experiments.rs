@@ -458,3 +458,122 @@ pub fn print_fig14(r: &Fig14Result) {
         r.min_kops_during_failure, r.client_errors, r.converged
     );
 }
+
+// ===========================================================================
+// SmartNIC SoC failure — degradation timeline (extension beyond the paper)
+// ===========================================================================
+
+/// Result of the SoC-crash degradation run.
+#[derive(Debug, Clone)]
+pub struct NicCrashResult {
+    /// Throughput per 500 ms bucket (seconds, kops/s).
+    pub series: Vec<(f64, f64)>,
+    /// When the SoC crashed (s).
+    pub crash_at_s: f64,
+    /// When the SoC came back (s).
+    pub recover_at_s: f64,
+    /// The degraded window the master recorded: entered at / exited at (s).
+    pub degraded_from_s: f64,
+    /// End of the degraded window (NaN if it never closed).
+    pub degraded_until_s: f64,
+    /// Minimum bucket throughput while degraded (kops/s).
+    pub min_kops_degraded: f64,
+    /// NIC fan-out messages up to the SoC's return vs end of run — the
+    /// second exceeding the first proves replication was re-offloaded.
+    pub fanout_at_recovery: u64,
+    /// Fan-out total at the end of the run.
+    pub fanout_at_end: u64,
+    /// Error replies clients saw.
+    pub client_errors: u64,
+    /// Whether keyspaces converged after the run.
+    pub converged: bool,
+}
+
+/// The failure the paper does not plot: the SmartNIC SoC itself dies at 3 s
+/// and returns at 8 s. The master must notice the probe silence
+/// (`upstream-silence`), fall back to host-driven serial fan-out — degraded
+/// RDMA-Redis-shaped throughput, but *nonzero* — and hand replication back
+/// to the SoC once probes resume.
+pub fn nic_crash_timeline() -> NicCrashResult {
+    let mut spec = base_spec(Mode::Skv, 3, 8, 15_000);
+    spec.warmup = SimDuration::from_millis(400);
+    spec.measure = SimDuration::from_millis(11_600);
+    let crash_at = SimTime::from_secs(3);
+    let recover_at = SimTime::from_secs(8);
+    let mut cluster = Cluster::build(spec);
+    cluster.schedule_nic_crash(crash_at);
+    cluster.schedule_nic_recover(recover_at);
+
+    // Step to the SoC's return: its fan-out counter is frozen while it is
+    // down, so this snapshot is the pre-crash total.
+    cluster.sim.run_until(recover_at);
+    let fanout_at_recovery = cluster.nic_kv().map_or(0, |n| n.stat_fanout_msgs);
+
+    let report = cluster.run();
+    cluster.sim.run_until(cluster.measure_until + SimDuration::from_secs(2));
+    let fanout_at_end = cluster.nic_kv().map_or(0, |n| n.stat_fanout_msgs);
+    let digests = cluster.keyspace_digests();
+    let converged = digests.iter().all(|&d| d == digests[0]);
+
+    let (entered, exited) = cluster
+        .master_server()
+        .degraded_periods
+        .last()
+        .copied()
+        .expect("the SoC crash must degrade the master");
+    let degraded_from_s = entered.as_secs_f64();
+    let degraded_until_s = exited.map_or(f64::NAN, |t| t.as_secs_f64());
+
+    let series: Vec<(f64, f64)> = report
+        .series
+        .iter()
+        .map(|p| (p.time.as_secs_f64(), p.rate_per_sec / 1000.0))
+        .collect();
+    let min_kops_degraded = series
+        .iter()
+        .filter(|(t, _)| *t >= degraded_from_s && *t < recover_at.as_secs_f64())
+        .map(|(_, k)| *k)
+        .fold(f64::INFINITY, f64::min);
+    NicCrashResult {
+        series,
+        crash_at_s: crash_at.as_secs_f64(),
+        recover_at_s: recover_at.as_secs_f64(),
+        degraded_from_s,
+        degraded_until_s,
+        min_kops_degraded,
+        fanout_at_recovery,
+        fanout_at_end,
+        client_errors: report.errors,
+        converged,
+    }
+}
+
+/// Print the SoC-crash timeline.
+pub fn print_nic_crash(r: &NicCrashResult) {
+    println!(
+        "SmartNIC SoC failure — degradation timeline (crash at {:.0}s, return at {:.0}s)",
+        r.crash_at_s, r.recover_at_s
+    );
+    println!("{:>8} {:>12}  phase", "t(s)", "kops/s");
+    for &(t, kops) in &r.series {
+        let phase = if t < r.degraded_from_s {
+            "offloaded"
+        } else if r.degraded_until_s.is_nan() || t < r.degraded_until_s {
+            "degraded (host fan-out)"
+        } else {
+            "re-offloaded"
+        };
+        println!("{t:>8.1} {kops:>12.1}  {phase}");
+    }
+    println!(
+        "degraded {:.2}s → {:.2}s; min while degraded: {:.1} kops/s; \
+         NIC fan-out {} → {}; client errors: {}; converged: {}",
+        r.degraded_from_s,
+        r.degraded_until_s,
+        r.min_kops_degraded,
+        r.fanout_at_recovery,
+        r.fanout_at_end,
+        r.client_errors,
+        r.converged
+    );
+}

@@ -15,7 +15,7 @@
 //! posting and kernel-stack costs itself, because those costs are exactly
 //! what the paper's evaluation is about.
 
-use skv_netsim::{MrId, Net, NodeId, QpId, SendOp, SendWr, TcpConnId, Wc, WcOpcode};
+use skv_netsim::{MrId, Net, NodeId, QpId, SendOp, SendWr, TcpConnId, Wc, WcOpcode, WcStatus, RNR_WR_ID};
 use skv_simcore::Context;
 
 /// Receive WRs kept posted on an RDMA channel.
@@ -58,6 +58,10 @@ pub struct Channel {
     pub sent: u64,
     /// Total messages received (diagnostics).
     pub received: u64,
+    /// Set when the transport has failed (send-side error completion, post
+    /// failure, or closed TCP stream). The owner must tear the connection
+    /// down and re-establish it.
+    broken: bool,
 }
 
 impl Channel {
@@ -86,6 +90,7 @@ impl Channel {
             },
             sent: 0,
             received: 0,
+            broken: false,
         };
         ch.send_handshake(net, ctx);
         ch
@@ -100,7 +105,14 @@ impl Channel {
             },
             sent: 0,
             received: 0,
+            broken: false,
         }
+    }
+
+    /// Whether the transport has failed and the connection must be
+    /// re-established.
+    pub fn broken(&self) -> bool {
+        self.broken
     }
 
     /// The RDMA QP backing this channel, if any.
@@ -137,15 +149,20 @@ impl Channel {
         {
             if !*handshake_sent {
                 *handshake_sent = true;
-                let _ = net.post_send(
-                    ctx,
-                    *qp,
-                    SendWr {
-                        wr_id: u64::MAX - 1,
-                        op: SendOp::Send,
-                        data: my_ring.0.to_le_bytes().to_vec(),
-                    },
-                );
+                if net
+                    .post_send(
+                        ctx,
+                        *qp,
+                        SendWr {
+                            wr_id: u64::MAX - 1,
+                            op: SendOp::Send,
+                            data: my_ring.0.to_le_bytes().to_vec(),
+                        },
+                    )
+                    .is_err()
+                {
+                    self.broken = true;
+                }
             }
         }
     }
@@ -181,21 +198,30 @@ impl Channel {
                 let offset = *send_pos;
                 *send_pos += payload.len();
                 self.sent += 1;
-                let _ = net.post_send(
-                    ctx,
-                    *qp,
-                    SendWr {
-                        wr_id: self.sent,
-                        op: SendOp::WriteImm {
-                            remote_mr: ring,
-                            remote_offset: offset,
-                            imm: tag,
+                if net
+                    .post_send(
+                        ctx,
+                        *qp,
+                        SendWr {
+                            wr_id: self.sent,
+                            op: SendOp::WriteImm {
+                                remote_mr: ring,
+                                remote_offset: offset,
+                                imm: tag,
+                            },
+                            data: payload.to_vec(),
                         },
-                        data: payload.to_vec(),
-                    },
-                );
+                    )
+                    .is_err()
+                {
+                    self.broken = true;
+                }
             }
             TransportState::Tcp { conn, .. } => {
+                if !net.tcp_is_open(*conn) {
+                    self.broken = true;
+                    return;
+                }
                 let mut frame = Vec::with_capacity(payload.len() + 8);
                 frame.extend_from_slice(&tag.to_le_bytes());
                 frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -222,6 +248,11 @@ impl Channel {
         debug_assert_eq!(wc.qp, *qp);
         match wc.opcode {
             WcOpcode::Recv => {
+                // An RNR completion has no receive slot to replenish and
+                // carries no usable payload.
+                if wc.status != WcStatus::Success || wc.wr_id == RNR_WR_ID {
+                    return None;
+                }
                 // The MR handshake: peer's ring handle.
                 if peer_ring.is_none() && wc.data.len() == 4 {
                     let raw = u32::from_le_bytes(wc.data[..4].try_into().expect("4 bytes"));
@@ -237,6 +268,9 @@ impl Channel {
                 None
             }
             WcOpcode::RecvRdmaWithImm => {
+                if wc.status != WcStatus::Success || wc.wr_id == RNR_WR_ID {
+                    return None;
+                }
                 // Replenish the receive slot, then read the landed bytes.
                 net.post_recv(*qp, wc.wr_id).ok();
                 let payload = net.mr_read(*my_ring, wc.mr_offset, wc.byte_len);
@@ -246,8 +280,14 @@ impl Channel {
                     payload,
                 })
             }
-            // Send-side completions carry no application data.
-            WcOpcode::Send | WcOpcode::RdmaWrite | WcOpcode::RdmaRead => None,
+            // Send-side completions carry no application data, but an
+            // error status means the QP is dead.
+            WcOpcode::Send | WcOpcode::RdmaWrite | WcOpcode::RdmaRead => {
+                if wc.status != WcStatus::Success {
+                    self.broken = true;
+                }
+                None
+            }
         }
     }
 

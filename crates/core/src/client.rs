@@ -7,7 +7,7 @@
 //! round-trip latency exactly as it does for the paper's load generator.
 
 use skv_netsim::{CqId, Net, NetEvent, NodeId, SocketAddr};
-use skv_simcore::{Actor, ActorId, Context, DetRng, Payload, SimTime};
+use skv_simcore::{Actor, ActorId, Context, DetRng, Payload, SimDuration, SimTime};
 use skv_store::resp::Resp;
 
 use crate::channel::{Channel, ChannelMsg};
@@ -38,6 +38,9 @@ enum ClientMsg {
     Start,
     /// Issue the next operation (after per-op client overhead).
     IssueNext,
+    /// Periodic liveness check: reconnect when the oldest in-flight
+    /// command has waited longer than `client_retry_timeout`.
+    Watchdog,
 }
 
 /// A benchmark client actor.
@@ -57,6 +60,8 @@ pub struct BenchClient {
     pub stat_issued: u64,
     /// Replies received.
     pub stat_replies: u64,
+    /// Connections abandoned and re-established after reply timeouts.
+    pub stat_reconnects: u64,
 }
 
 impl BenchClient {
@@ -82,7 +87,25 @@ impl BenchClient {
             in_flight: Default::default(),
             stat_issued: 0,
             stat_replies: 0,
+            stat_reconnects: 0,
         }
+    }
+
+    /// Abandon the current connection (commands in flight are lost, like a
+    /// real client timing out) and dial again.
+    fn reconnect(&mut self, ctx: &mut Context<'_>) {
+        if let Some(ch) = self.channel.take() {
+            if let Some(qp) = ch.qp() {
+                self.net.destroy_qp(qp);
+            }
+            if let Some(conn) = ch.tcp_conn() {
+                self.net.tcp_close(ctx, conn);
+            }
+        }
+        self.in_flight.clear();
+        self.stat_reconnects += 1;
+        self.metrics.borrow_mut().chaos.inc("client.reconnects");
+        ctx.timer(SimDuration::from_millis(1), ClientMsg::Start);
     }
 
     fn issue(&mut self, ctx: &mut Context<'_>) {
@@ -141,6 +164,10 @@ impl Actor for BenchClient {
         self.rng = Some(ctx.rng().split());
         let start = self.workload.start_at;
         ctx.timer_at(start, ClientMsg::Start);
+        ctx.timer_at(
+            start + self.cfg.client_retry_timeout,
+            ClientMsg::Watchdog,
+        );
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_>, _from: ActorId, msg: Payload) {
@@ -148,17 +175,43 @@ impl Actor for BenchClient {
             Ok(m) => {
                 match *m {
                     ClientMsg::Start => {
+                        if self.channel.is_some() {
+                            return;
+                        }
                         let me = ctx.id();
                         if self.cfg.mode.uses_rdma() {
-                            let cq = self.net.create_cq(me);
-                            self.cq = Some(cq);
-                            self.net.req_notify_cq(ctx, cq);
+                            // Reuse the CQ across reconnects.
+                            let cq = match self.cq {
+                                Some(cq) => cq,
+                                None => {
+                                    let cq = self.net.create_cq(me);
+                                    self.cq = Some(cq);
+                                    self.net.req_notify_cq(ctx, cq);
+                                    cq
+                                }
+                            };
                             self.net.rdma_connect(ctx, self.node, me, cq, self.server);
                         } else {
                             self.net.tcp_connect(ctx, self.node, me, self.server);
                         }
                     }
                     ClientMsg::IssueNext => self.fill_pipeline(ctx),
+                    ClientMsg::Watchdog => {
+                        let now = ctx.now();
+                        if now >= self.workload.stop_at && self.in_flight.is_empty() {
+                            return; // run over, timer chain ends
+                        }
+                        let timeout = self.cfg.client_retry_timeout;
+                        let stuck = self
+                            .in_flight
+                            .front()
+                            .is_some_and(|&(sent, _)| now.saturating_since(sent) > timeout);
+                        let broken = self.channel.as_ref().is_some_and(|c| c.broken());
+                        if stuck || broken {
+                            self.reconnect(ctx);
+                        }
+                        ctx.timer(timeout, ClientMsg::Watchdog);
+                    }
                 }
                 return;
             }
@@ -169,6 +222,9 @@ impl Actor for BenchClient {
         };
         match *ev {
             NetEvent::CmEstablished { qp, .. } => {
+                if self.channel.is_some() {
+                    return;
+                }
                 let net = self.net.clone();
                 let ch = Channel::rdma(&net, ctx, self.node, qp, self.cfg.ring_size);
                 self.channel = Some(ch);
@@ -181,7 +237,8 @@ impl Actor for BenchClient {
                 self.fill_pipeline(ctx);
             }
             NetEvent::CqNotify { cq } => {
-                loop {
+                let mut broken = false;
+                'drain: loop {
                     let wcs = self.net.poll_cq(cq, 16);
                     if wcs.is_empty() {
                         break;
@@ -196,10 +253,16 @@ impl Actor for BenchClient {
                             if t == tag::REPLY {
                                 self.on_reply(ctx, &payload);
                             }
+                        } else if self.channel.as_ref().is_some_and(|c| c.broken()) {
+                            broken = true;
+                            break 'drain;
                         }
                     }
                 }
                 self.net.req_notify_cq(ctx, cq);
+                if broken {
+                    self.reconnect(ctx);
+                }
             }
             NetEvent::TcpDelivered { bytes, .. } => {
                 let msgs = self
@@ -213,9 +276,12 @@ impl Actor for BenchClient {
                     }
                 }
             }
+            NetEvent::TcpClosed { .. } if ctx.now() < self.workload.stop_at => {
+                self.reconnect(ctx);
+            }
             NetEvent::CmConnectFailed { .. } | NetEvent::TcpConnectFailed { .. } => {
                 // Retry once the servers are up (startup race).
-                ctx.timer(skv_simcore::SimDuration::from_millis(5), ClientMsg::Start);
+                ctx.timer(SimDuration::from_millis(5), ClientMsg::Start);
             }
             _ => {}
         }

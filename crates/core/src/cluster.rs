@@ -5,13 +5,13 @@
 //! fabric between them; wires up the replication topology; runs a measured
 //! workload; and produces a [`RunReport`].
 
-use skv_netsim::{Net, NodeId, SocketAddr, Topology};
+use skv_netsim::{FaultPlan, Net, NodeId, Partition, SocketAddr, TimeWindow, Topology};
 use skv_simcore::{ActorId, SimDuration, SimTime, Simulation};
 
 use crate::client::{BenchClient, Workload};
 use crate::config::{ClusterConfig, Mode};
 use crate::metrics::{MetricsHub, RunReport, SharedMetrics};
-use crate::nickv::NicKv;
+use crate::nickv::{NicControl, NicKv};
 use crate::server::{Control, KvServer};
 
 /// Well-known ports.
@@ -58,6 +58,44 @@ impl Default for RunSpec {
     }
 }
 
+/// A fault schedule for one run — plain data, composable with any
+/// [`RunSpec`]. Installed via [`Cluster::apply_chaos`].
+#[derive(Debug, Clone)]
+pub struct ChaosSpec {
+    /// Probability that any RDMA message is lost (→ retry-exhaustion
+    /// completion error) or any TCP segment costs a retransmission timeout.
+    pub loss_prob: f64,
+    /// Probability of a latency spike on any message.
+    pub delay_prob: f64,
+    /// Size of one latency spike.
+    pub delay: SimDuration,
+    /// Link flaps: `(slave_idx, from, until)` — the slave's node is fully
+    /// partitioned from everyone inside the window.
+    pub flaps: Vec<(usize, SimTime, SimTime)>,
+    /// One bidirectional partition: `(slave_idxs, from, until)` — the
+    /// listed slaves vs. the rest of the cluster.
+    pub partition: Option<(Vec<usize>, SimTime, SimTime)>,
+    /// SmartNIC SoC crash window `(crash_at, recover_at)` — independent of
+    /// the host (the degradation scenario). Ignored outside SKV mode.
+    pub nic_crash: Option<(SimTime, SimTime)>,
+    /// Seed for the fault-side RNG (independent of the workload seed).
+    pub seed: u64,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        ChaosSpec {
+            loss_prob: 0.0,
+            delay_prob: 0.0,
+            delay: SimDuration::from_micros(500),
+            flaps: Vec::new(),
+            partition: None,
+            nic_crash: None,
+            seed: 7,
+        }
+    }
+}
+
 /// A built cluster ready to run.
 pub struct Cluster {
     /// The simulation (exposed for tests that drive time manually).
@@ -72,6 +110,12 @@ pub struct Cluster {
     pub slaves: Vec<ActorId>,
     /// Nodes the slaves run on (for failure injection).
     pub slave_nodes: Vec<NodeId>,
+    /// Node the master runs on.
+    pub master_node: NodeId,
+    /// Node the clients run on.
+    pub client_node: NodeId,
+    /// Node the SmartNIC SoC runs on (SKV mode only).
+    pub nic_node: Option<NodeId>,
     /// Client actors.
     pub clients: Vec<ActorId>,
     /// Shared metrics sink.
@@ -192,12 +236,77 @@ impl Cluster {
             nic,
             slaves,
             slave_nodes,
+            master_node,
+            client_node,
+            nic_node,
             clients,
             metrics,
             spec,
             clients_start,
             measure_from,
             measure_until,
+        }
+    }
+
+    /// Every node in the testbed (master, slaves, client machine, SoC).
+    fn all_nodes(&self) -> Vec<NodeId> {
+        let mut nodes = vec![self.master_node, self.client_node];
+        nodes.extend(&self.slave_nodes);
+        nodes.extend(self.nic_node);
+        nodes
+    }
+
+    /// Install a fault schedule: builds the fabric's [`FaultPlan`] and
+    /// schedules any SoC crash/recovery events.
+    pub fn apply_chaos(&mut self, chaos: &ChaosSpec) {
+        let mut plan = FaultPlan::new(chaos.seed);
+        plan.default_loss = chaos.loss_prob;
+        plan.default_delay_prob = chaos.delay_prob;
+        plan.default_delay = chaos.delay;
+        for &(idx, from, until) in &chaos.flaps {
+            let node = self.slave_nodes[idx];
+            let others: Vec<NodeId> = self
+                .all_nodes()
+                .into_iter()
+                .filter(|&n| n != node)
+                .collect();
+            plan.partitions.push(Partition {
+                a: vec![node],
+                b: others,
+                window: TimeWindow::new(from, until),
+            });
+        }
+        if let Some((idxs, from, until)) = &chaos.partition {
+            let a: Vec<NodeId> = idxs.iter().map(|&i| self.slave_nodes[i]).collect();
+            let b: Vec<NodeId> = self
+                .all_nodes()
+                .into_iter()
+                .filter(|n| !a.contains(n))
+                .collect();
+            plan.partitions.push(Partition {
+                a,
+                b,
+                window: TimeWindow::new(*from, *until),
+            });
+        }
+        self.net.set_fault_plan(plan);
+        if let Some((crash_at, recover_at)) = chaos.nic_crash {
+            self.schedule_nic_crash(crash_at);
+            self.schedule_nic_recover(recover_at);
+        }
+    }
+
+    /// Schedule a SmartNIC SoC crash at `at` (SKV mode; no-op otherwise).
+    pub fn schedule_nic_crash(&mut self, at: SimTime) {
+        if let Some(nic) = self.nic {
+            self.sim.schedule(at, nic, NicControl::Crash);
+        }
+    }
+
+    /// Schedule the SoC's recovery.
+    pub fn schedule_nic_recover(&mut self, at: SimTime) {
+        if let Some(nic) = self.nic {
+            self.sim.schedule(at, nic, NicControl::Recover);
         }
     }
 
@@ -227,13 +336,36 @@ impl Cluster {
     pub fn run(&mut self) -> RunReport {
         let deadline = self.measure_until + SimDuration::from_millis(200);
         self.sim.run_until(deadline);
-        RunReport::from_hub(self.spec.cfg.mode.label(), &self.metrics.borrow())
+        self.report()
     }
 
     /// Run until `deadline` (for experiments with their own schedules).
     pub fn run_until(&mut self, deadline: SimTime) -> RunReport {
         self.sim.run_until(deadline);
-        RunReport::from_hub(self.spec.cfg.mode.label(), &self.metrics.borrow())
+        self.report()
+    }
+
+    /// Summarize the run so far, folding the fabric's fault counters and
+    /// the servers' robustness stats into the report's `chaos` set.
+    pub fn report(&self) -> RunReport {
+        let mut report =
+            RunReport::from_hub(self.spec.cfg.mode.label(), &self.metrics.borrow());
+        for (k, v) in self.net.counters().iter() {
+            if k.starts_with("faults.") || k == "rdma.qp_errors" {
+                report.chaos.add(k, v);
+            }
+        }
+        let mut servers = vec![self.master_server()];
+        for i in 0..self.slaves.len() {
+            servers.push(self.slave_server(i));
+        }
+        for s in servers {
+            report.chaos.add("server.reconnects", s.stat_reconnects);
+            report.chaos.add("server.conn_errors", s.stat_conn_errors);
+            report.chaos.add("server.degradations", s.stat_degradations);
+            report.chaos.add("server.partial_syncs", s.stat_partial_syncs);
+        }
+        report
     }
 
     /// Execute commands directly on the master's engine — for preloading a

@@ -110,6 +110,19 @@ pub struct ClusterConfig {
     /// Maximum replication lag (bytes) before the master returns errors
     /// (paper §III-C: "if the progress is too slow … return an error").
     pub max_slave_lag: u64,
+    /// Base delay for reconnect backoff after a failed dial; doubles per
+    /// attempt up to a cap.
+    pub reconnect_base: SimDuration,
+    /// Attempts before a single connect intent is abandoned (periodic
+    /// re-seeding from the cron loop takes over from there).
+    pub reconnect_max_attempts: u32,
+    /// Silence from the coordination upstream (Nic-KV probes, in SKV mode)
+    /// before a node declares the channel dead: the master falls back to
+    /// host-driven fan-out, a slave tears down and re-syncs.
+    pub upstream_silence: SimDuration,
+    /// A client abandons a connection when no reply arrives for this long,
+    /// tears it down, reconnects, and refills its pipeline.
+    pub client_retry_timeout: SimDuration,
     /// CPU cost model.
     pub costs: CostParams,
     /// Fabric calibration.
@@ -131,6 +144,10 @@ impl Default for ClusterConfig {
             backlog_size: 1 << 20,
             ring_size: 1 << 20,
             max_slave_lag: 256 << 20,
+            reconnect_base: SimDuration::from_millis(10),
+            reconnect_max_attempts: 8,
+            upstream_silence: SimDuration::from_millis(2_500),
+            client_retry_timeout: SimDuration::from_millis(250),
             costs: CostParams::default(),
             net: NetParams::default(),
             machines: MachineParams::default(),

@@ -53,6 +53,18 @@ enum NicMsg {
     FanoutSend { conn: usize, frame: Vec<u8> },
 }
 
+/// External control events injected by the harness. The SmartNIC SoC can
+/// crash independently of its host (the degradation scenario): the host
+/// keeps running, Nic-KV just disappears.
+#[derive(Debug, Clone)]
+pub enum NicControl {
+    /// Crash the SoC (its node drops traffic; process state is lost).
+    Crash,
+    /// Restart the SoC. The node list is empty until the master's Hello
+    /// and the slaves' re-registration polls rebuild it.
+    Recover,
+}
+
 struct ConnState {
     channel: Channel,
     open: bool,
@@ -75,6 +87,8 @@ pub struct NicKv {
     promoted: Option<SocketAddr>,
     /// Round-robin cursor for thread assignment.
     fanout_cursor: usize,
+    /// Whether the SoC is currently crashed.
+    crashed: bool,
     /// Highest master replication offset observed in forwarded frames.
     master_offset: u64,
     /// Last `(available, lagging)` pair pushed to the master.
@@ -111,6 +125,7 @@ impl NicKv {
             probe_seq: 0,
             promoted: None,
             fanout_cursor: 0,
+            crashed: false,
             master_offset: 0,
             last_update_sent: None,
             cfg,
@@ -159,6 +174,27 @@ impl NicKv {
         }
         let net = self.net.clone();
         self.conns[conn].channel.send(&net, ctx, tag, payload);
+        if self.conns[conn].channel.broken() {
+            self.close_conn(conn);
+        }
+    }
+
+    /// Tear down a failed connection; the node it belonged to stays in the
+    /// list (validity is the probe machinery's business) but loses its
+    /// channel until it re-registers.
+    fn close_conn(&mut self, conn: usize) {
+        if !self.conns[conn].open {
+            return;
+        }
+        self.conns[conn].open = false;
+        if let Some(qp) = self.conns[conn].channel.qp() {
+            self.net.destroy_qp(qp);
+        }
+        for e in &mut self.nodes {
+            if e.conn == Some(conn) {
+                e.conn = None;
+            }
+        }
     }
 
     /// Whether any *valid* slave lags beyond the configured bound.
@@ -205,6 +241,9 @@ impl NicKv {
             NodeMsg::Hello { from, is_master } => {
                 self.upsert_node(ctx.now(), from, is_master, Some(conn));
                 if is_master {
+                    // §III-D: a returning original master demotes whoever
+                    // was promoted in its absence.
+                    self.demote_promoted(ctx);
                     // Tell the master how many slaves are already valid.
                     self.notify_available(ctx);
                 }
@@ -255,20 +294,23 @@ impl NicKv {
                     // §III-D: "when the original master node is found
                     // recovered, Nic-KV lets it continue to be the master
                     // node and downgrades the previously selected master".
-                    if let Some(promoted) = self.promoted.take() {
-                        if let Some(conn) =
-                            self.entry_mut(promoted).and_then(|e| e.conn)
-                        {
-                            let msg = NodeMsg::Demote.encode();
-                            self.send_on(ctx, conn, tag::NODE, &msg);
-                        }
-                    }
+                    self.demote_promoted(ctx);
                 }
                 if became_valid {
                     self.notify_available(ctx);
                 }
             }
             _ => {}
+        }
+    }
+
+    /// Send Demote to the slave promoted during a failover, if any.
+    fn demote_promoted(&mut self, ctx: &mut Context<'_>) {
+        if let Some(promoted) = self.promoted.take() {
+            if let Some(conn) = self.entry_mut(promoted).and_then(|e| e.conn) {
+                let msg = NodeMsg::Demote.encode();
+                self.send_on(ctx, conn, tag::NODE, &msg);
+            }
         }
     }
 
@@ -435,10 +477,47 @@ impl Actor for NicKv {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_>, _from: ActorId, msg: Payload) {
+        // Control events work even while crashed (Recover must).
+        let msg = match msg.downcast::<NicControl>() {
+            Ok(ctrl) => {
+                match *ctrl {
+                    NicControl::Crash => {
+                        self.crashed = true;
+                        self.net.set_node_up(self.node, false);
+                    }
+                    NicControl::Recover => {
+                        self.crashed = false;
+                        self.net.set_node_up(self.node, true);
+                        // The SoC restarted: transport state and the node
+                        // list are gone. The master's Hello redial and the
+                        // slaves' re-registration polls rebuild the list.
+                        for i in 0..self.conns.len() {
+                            self.close_conn(i);
+                        }
+                        self.nodes.clear();
+                        self.promoted = None;
+                        self.master_offset = 0;
+                        self.last_update_sent = None;
+                        if let Some(cq) = self.cq {
+                            while !self.net.poll_cq(cq, 64).is_empty() {}
+                            self.net.req_notify_cq(ctx, cq);
+                        }
+                    }
+                }
+                return;
+            }
+            Err(other) => other,
+        };
         let msg = match msg.downcast::<NicMsg>() {
             Ok(m) => {
                 match *m {
+                    // Keep the probe-timer chain alive through a crash so
+                    // probing resumes on recovery.
+                    NicMsg::ProbeTick if self.crashed => {
+                        ctx.timer(self.cfg.probe_interval, NicMsg::ProbeTick);
+                    }
                     NicMsg::ProbeTick => self.on_probe_tick(ctx),
+                    NicMsg::FanoutSend { .. } if self.crashed => {}
                     NicMsg::FanoutSend { conn, frame } => {
                         self.send_on(ctx, conn, tag::REPL_STREAM, &frame);
                     }
@@ -447,6 +526,9 @@ impl Actor for NicKv {
             }
             Err(other) => other,
         };
+        if self.crashed {
+            return; // a crashed process handles nothing
+        }
         let Ok(ev) = msg.downcast::<NetEvent>() else {
             return;
         };
@@ -478,9 +560,14 @@ impl Actor for NicKv {
                         let Some(&conn) = self.by_qp.get(&wc.qp) else {
                             continue;
                         };
+                        if !self.conns[conn].open {
+                            continue;
+                        }
                         let net = self.net.clone();
                         if let Some(m) = self.conns[conn].channel.on_wc(&net, ctx, &wc) {
                             self.on_channel_msg(ctx, conn, m);
+                        } else if self.conns[conn].channel.broken() {
+                            self.close_conn(conn);
                         }
                     }
                 }

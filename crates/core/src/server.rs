@@ -38,6 +38,10 @@ const RDB_CHUNK: usize = 64 * 1024;
 /// Maximum bytes per backlog-range replication frame (after the header).
 const STREAM_CHUNK: usize = 32 * 1024;
 
+/// Most stream frames a slave keeps stashed while a sync is in flight.
+/// Anything dropped past the cap is re-sent by the resync stream itself.
+const STASH_CAP: usize = 1024;
+
 /// External control events injected by the harness.
 #[derive(Debug, Clone)]
 pub enum Control {
@@ -73,6 +77,8 @@ enum ServerMsg {
         snapshot: Vec<u8>,
         start_offset: u64,
     },
+    /// Backoff expired: retry the dial recorded in `intents` for `to`.
+    Redial { to: SocketAddr },
 }
 
 struct OutFrame {
@@ -100,6 +106,9 @@ struct ConnState {
     channel: Channel,
     kind: ConnKind,
     open: bool,
+    /// The listen address we dialled (outbound conns only; inbound peers
+    /// show an ephemeral port we can't route back to).
+    peer: Option<SocketAddr>,
 }
 
 /// Why we are dialling out, keyed by remote address.
@@ -154,6 +163,24 @@ pub struct KvServer {
     crashed: bool,
     /// Remembered SLAVEOF target so a promoted slave can rejoin on Demote.
     prior_slave_of: Option<(SocketAddr, Option<SocketAddr>)>,
+    /// Master (SKV): Nic-KV is unreachable, replication fan-out runs
+    /// host-driven (RDMA-Redis style) until the SoC comes back.
+    degraded: bool,
+    /// Degradation windows `(entered, exited)` for timeline reports.
+    pub degraded_periods: Vec<(SimTime, Option<SimTime>)>,
+    /// Master: remembered ConnectNic target for redials after NIC death.
+    nic_addr: Option<SocketAddr>,
+    /// Master: last traffic seen from Nic-KV (silence ⇒ degrade).
+    nic_last_seen: Option<SimTime>,
+    /// Slave: last traffic seen from the coordination upstream.
+    upstream_last_seen: Option<SimTime>,
+    /// Consecutive failed dials per target, for exponential backoff.
+    reconnect_attempts: HashMap<SocketAddr, u32>,
+    /// Rate limit for cron-driven upstream redials.
+    next_upstream_retry: SimTime,
+    /// When the last SyncRequest left, so cron can re-issue one that got
+    /// lost in flight (e.g. relayed through a Nic-KV with no master link).
+    sync_request_at: Option<SimTime>,
     rng: Option<DetRng>,
     started: bool,
     /// Statistics: commands executed, replication frames sent, etc.
@@ -166,6 +193,12 @@ pub struct KvServer {
     pub stat_full_syncs: u64,
     /// Partial syncs served (master) or performed (slave).
     pub stat_partial_syncs: u64,
+    /// Dial retries issued after connect failures.
+    pub stat_reconnects: u64,
+    /// Connections torn down after transport errors.
+    pub stat_conn_errors: u64,
+    /// Times the master fell back to host-driven fan-out (SKV mode).
+    pub stat_degradations: u64,
 }
 
 impl KvServer {
@@ -190,6 +223,14 @@ impl KvServer {
             lag_exceeded: false,
             crashed: false,
             prior_slave_of: None,
+            degraded: false,
+            degraded_periods: Vec::new(),
+            nic_addr: None,
+            nic_last_seen: None,
+            upstream_last_seen: None,
+            reconnect_attempts: HashMap::new(),
+            next_upstream_retry: SimTime::ZERO,
+            sync_request_at: None,
             rng: None,
             started: false,
             cfg,
@@ -198,7 +239,16 @@ impl KvServer {
             stat_applied_bytes: 0,
             stat_full_syncs: 0,
             stat_partial_syncs: 0,
+            stat_reconnects: 0,
+            stat_conn_errors: 0,
+            stat_degradations: 0,
         }
+    }
+
+    /// Is the master currently running host-driven fallback fan-out
+    /// because its Nic-KV is unreachable?
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// This server's address.
@@ -262,7 +312,7 @@ impl KvServer {
 
     // -- connection plumbing -------------------------------------------------
 
-    fn add_conn(&mut self, channel: Channel, kind: ConnKind) -> usize {
+    fn add_conn(&mut self, channel: Channel, kind: ConnKind, peer: Option<SocketAddr>) -> usize {
         let idx = self.conns.len();
         if let Some(qp) = channel.qp() {
             self.by_qp.insert(qp, idx);
@@ -274,6 +324,7 @@ impl KvServer {
             channel,
             kind,
             open: true,
+            peer,
         });
         idx
     }
@@ -284,17 +335,14 @@ impl KvServer {
         }
         let net = self.net.clone();
         self.conns[conn].channel.send(&net, ctx, tag, payload);
+        if self.conns[conn].channel.broken() {
+            self.on_conn_broken(ctx, conn);
+        }
     }
 
     fn dial(&mut self, ctx: &mut Context<'_>, to: SocketAddr, intent: ConnectIntent) {
         self.intents.insert(to, intent);
-        let me = ctx.id();
-        if self.cfg.mode.uses_rdma() {
-            let cq = self.cq.expect("cq created at start");
-            self.net.rdma_connect(ctx, self.node, me, cq, to);
-        } else {
-            self.net.tcp_connect(ctx, self.node, me, to);
-        }
+        self.connect_to(ctx, to);
     }
 
     fn conn_of_kind(&self, pred: impl Fn(&ConnKind) -> bool) -> Option<usize> {
@@ -310,6 +358,164 @@ impl KvServer {
             .filter(|(_, c)| c.open && matches!(c.kind, ConnKind::Slave { .. }))
             .map(|(i, _)| i)
             .collect()
+    }
+
+    fn open_conn_to(&self, addr: SocketAddr) -> Option<usize> {
+        self.conns
+            .iter()
+            .position(|c| c.open && c.peer == Some(addr))
+    }
+
+    // -- failure handling ----------------------------------------------------
+
+    /// Close a connection and release its transport resources.
+    fn close_conn(&mut self, conn: usize) {
+        if !self.conns[conn].open {
+            return;
+        }
+        self.conns[conn].open = false;
+        if let Some(qp) = self.conns[conn].channel.qp() {
+            self.net.destroy_qp(qp);
+        }
+    }
+
+    /// A connection's transport failed: tear it down and start whatever
+    /// recovery its role requires.
+    fn on_conn_broken(&mut self, ctx: &mut Context<'_>, conn: usize) {
+        if !self.conns[conn].open {
+            return;
+        }
+        self.stat_conn_errors += 1;
+        self.close_conn(conn);
+        match self.conns[conn].kind {
+            ConnKind::Nic if self.is_master() && self.cfg.mode == Mode::Skv => {
+                // The channel to Nic-KV died: fall back to host-driven
+                // fan-out and keep redialling until the SoC returns.
+                self.enter_degraded(ctx.now());
+                self.redial_nic(ctx);
+            }
+            ConnKind::Nic | ConnKind::Master => {
+                // A slave lost its upstream: re-request sync from the
+                // current offset (served from the backlog when possible).
+                self.schedule_upstream_resync(ctx);
+            }
+            _ => {} // clients and slave conns re-establish themselves
+        }
+    }
+
+    fn enter_degraded(&mut self, now: SimTime) {
+        if self.cfg.mode != Mode::Skv || !self.is_master() || self.degraded {
+            return;
+        }
+        self.degraded = true;
+        self.stat_degradations += 1;
+        self.degraded_periods.push((now, None));
+        // Stop queueing frames on the dead NIC channel.
+        if let Some(conn) = self.conn_of_kind(|k| matches!(k, ConnKind::Nic)) {
+            self.close_conn(conn);
+        }
+    }
+
+    fn exit_degraded(&mut self, now: SimTime) {
+        if !self.degraded {
+            return;
+        }
+        self.degraded = false;
+        if let Some(last) = self.degraded_periods.last_mut() {
+            last.1 = Some(now);
+        }
+    }
+
+    /// Master: dial the remembered Nic-KV address again (no-op while a dial
+    /// for it is already pending).
+    fn redial_nic(&mut self, ctx: &mut Context<'_>) {
+        let Some(nic) = self.nic_addr else { return };
+        if self.intents.contains_key(&nic) {
+            return;
+        }
+        let hello = NodeMsg::Hello {
+            from: self.addr,
+            is_master: true,
+        }
+        .encode();
+        self.dial(
+            ctx,
+            nic,
+            ConnectIntent::SyncUpstream {
+                frames: vec![(tag::NODE, hello)],
+            },
+        );
+    }
+
+    /// Slave: re-request synchronization from the current offset.
+    fn schedule_upstream_resync(&mut self, ctx: &mut Context<'_>) {
+        let Role::Slave { resyncing, .. } = &mut self.role else {
+            return;
+        };
+        *resyncing = false;
+        // Restart the silence clock so we don't double-trigger.
+        self.upstream_last_seen = Some(ctx.now());
+        let pos = ReplicationPosition {
+            repl_id: self.repl_id,
+            offset: self.slave_offset(),
+        };
+        self.send_sync_request(ctx, pos);
+    }
+
+    /// A dial failed: back off exponentially and retry, giving up after a
+    /// bounded number of attempts (cron re-seeds long-lived intents).
+    fn on_connect_failed(&mut self, ctx: &mut Context<'_>, to: SocketAddr) {
+        if !self.intents.contains_key(&to) {
+            return;
+        }
+        let attempts = {
+            let e = self.reconnect_attempts.entry(to).or_insert(0);
+            *e += 1;
+            *e
+        };
+        // A slave that cannot reach Nic-KV and has no working upstream at
+        // all falls back to syncing straight from the master.
+        if let Role::Slave {
+            master,
+            nic: Some(nic),
+            ..
+        } = &self.role
+        {
+            let (master, nic) = (*master, *nic);
+            if to == nic
+                && attempts >= 2
+                && master != nic
+                && !self.intents.contains_key(&master)
+                && self.open_conn_to(master).is_none()
+                && self.conn_of_kind(|k| matches!(k, ConnKind::Master)).is_none()
+            {
+                if let Some(intent) = self.intents.remove(&to) {
+                    self.reconnect_attempts.remove(&to);
+                    self.intents.insert(master, intent);
+                    ctx.timer(self.cfg.reconnect_base, ServerMsg::Redial { to: master });
+                    return;
+                }
+            }
+        }
+        if attempts > self.cfg.reconnect_max_attempts {
+            self.intents.remove(&to);
+            self.reconnect_attempts.remove(&to);
+            return;
+        }
+        let shift = (attempts - 1).min(6);
+        let delay = self.cfg.reconnect_base.mul_f64((1u64 << shift) as f64);
+        ctx.timer(delay, ServerMsg::Redial { to });
+    }
+
+    /// Re-issue the transport connect for an intent that is still wanted.
+    fn connect_to(&mut self, ctx: &mut Context<'_>, to: SocketAddr) {
+        let me = ctx.id();
+        if self.cfg.mode.uses_rdma() {
+            let cq = self.cq.expect("cq created at start");
+            self.net.rdma_connect(ctx, self.node, me, cq, to);
+        } else {
+            self.net.tcp_connect(ctx, self.node, me, to);
+        }
     }
 
     // -- command path --------------------------------------------------------
@@ -364,7 +570,9 @@ impl KvServer {
             return false; // slaves reject writes elsewhere (read-only is
                           // not enforced: the paper's slaves serve reads)
         }
-        let available = if self.cfg.mode == Mode::Skv {
+        // While degraded (Nic-KV dead) the master cannot trust stale NIC
+        // updates; fall back to its own census, like the baselines.
+        let available = if self.cfg.mode == Mode::Skv && !self.degraded {
             self.available_slaves
         } else {
             self.synced_slave_conns().len()
@@ -418,8 +626,16 @@ impl KvServer {
             match self.cfg.mode {
                 Mode::Skv => {
                     // One request to Nic-KV, regardless of slave count
-                    // (Figure 9 ①): a single WR post on the host.
-                    if let Some(nic) = self.conn_of_kind(|k| matches!(k, ConnKind::Nic)) {
+                    // (Figure 9 ①): a single WR post on the host. When the
+                    // SoC is dead (degraded mode, or the channel simply
+                    // isn't up) the master falls back to RDMA-Redis-style
+                    // serial fan-out so writes keep replicating.
+                    let nic_conn = if self.degraded {
+                        None
+                    } else {
+                        self.conn_of_kind(|k| matches!(k, ConnKind::Nic))
+                    };
+                    if let Some(nic) = nic_conn {
                         cost += net_p.wr_post_cpu;
                         wr_posts += 1;
                         frames.push(OutFrame {
@@ -427,6 +643,16 @@ impl KvServer {
                             tag: tag::REPL_STREAM,
                             payload: frame,
                         });
+                    } else {
+                        for slave in self.synced_slave_conns() {
+                            cost += net_p.wr_post_cpu;
+                            wr_posts += 1;
+                            frames.push(OutFrame {
+                                conn: slave,
+                                tag: tag::REPL_STREAM,
+                                payload: frame.clone(),
+                            });
+                        }
                     }
                 }
                 Mode::RdmaRedis => {
@@ -592,6 +818,7 @@ impl KvServer {
         let Role::Slave { master, nic, .. } = &self.role else {
             return;
         };
+        self.sync_request_at = Some(ctx.now());
         let upstream = nic.unwrap_or(*master);
         let msg = NodeMsg::SyncRequest {
             slave: self.addr,
@@ -599,6 +826,10 @@ impl KvServer {
         }
         .encode();
         if let Some(conn) = self.conn_of_kind(|k| matches!(k, ConnKind::Nic)) {
+            self.send_on(ctx, conn, tag::NODE, &msg);
+        } else if let Some(conn) = self.conn_of_kind(|k| matches!(k, ConnKind::Master)) {
+            // Nic-KV is unreachable but the master link survives: ask the
+            // master directly so a gap-resync doesn't dial a dead SoC.
             self.send_on(ctx, conn, tag::NODE, &msg);
         } else {
             // The connection to the upstream (Nic-KV or master) is reused
@@ -610,6 +841,12 @@ impl KvServer {
                     frames: vec![(tag::NODE, msg)],
                 },
             );
+        }
+        // The request is now outstanding; cron re-issues it if no
+        // Full/PartialSyncBegin answers within `waiting_time` (the request
+        // or its reply can be lost anywhere along the relay).
+        if let Role::Slave { resyncing, .. } = &mut self.role {
+            *resyncing = true;
         }
     }
 
@@ -623,6 +860,7 @@ impl KvServer {
         self.conns[conn].kind = ConnKind::Master;
         if let Role::Slave {
             syncing,
+            resyncing,
             rdb_expect,
             rdb_buf,
             rdb_start_offset,
@@ -630,6 +868,7 @@ impl KvServer {
         } = &mut self.role
         {
             *syncing = true;
+            *resyncing = false;
             *rdb_expect = total_bytes;
             *rdb_buf = Vec::with_capacity(total_bytes as usize);
             *rdb_start_offset = start_offset;
@@ -638,6 +877,8 @@ impl KvServer {
     }
 
     fn on_rdb_chunk(&mut self, ctx: &mut Context<'_>, chunk: &[u8]) {
+        // Transfer progress resets the stalled-sync clock.
+        self.sync_request_at = Some(ctx.now());
         let Role::Slave {
             rdb_expect,
             rdb_buf,
@@ -719,7 +960,9 @@ impl KvServer {
             return;
         };
         if *syncing {
-            stash.push((from_offset, bytes.to_vec()));
+            if stash.len() < STASH_CAP {
+                stash.push((from_offset, bytes.to_vec()));
+            }
             return;
         }
         self.apply_stream(ctx, from_offset, bytes.to_vec());
@@ -727,10 +970,14 @@ impl KvServer {
     }
 
     fn drain_stash(&mut self, ctx: &mut Context<'_>) {
+        let my_offset = self.slave_offset();
         let Role::Slave { stash, .. } = &mut self.role else {
             return;
         };
-        if stash.is_empty() {
+        // While a gap is still open nothing stashed can apply; skip the
+        // take-sort-restash churn (the stash can hold thousands of frames
+        // while a resync is in flight).
+        if stash.is_empty() || stash.iter().all(|&(off, _)| off > my_offset) {
             return;
         }
         let mut pending = std::mem::take(stash);
@@ -752,7 +999,11 @@ impl KvServer {
             else {
                 return;
             };
-            stash.push((from_offset, bytes));
+            // Bounded: the resync stream re-covers anything dropped here
+            // (a fresh gap just triggers another round).
+            if stash.len() < STASH_CAP {
+                stash.push((from_offset, bytes));
+            }
             if !*resyncing {
                 *resyncing = true;
                 let pos = ReplicationPosition {
@@ -813,13 +1064,17 @@ impl KvServer {
                 repl_id,
                 start_offset,
                 total_bytes,
-            } => self.on_full_sync_begin(conn, repl_id, start_offset, total_bytes),
+            } => {
+                self.sync_request_at = Some(ctx.now());
+                self.on_full_sync_begin(conn, repl_id, start_offset, total_bytes)
+            }
             NodeMsg::PartialSyncBegin { repl_id, .. } => {
                 self.on_partial_sync_begin(conn, repl_id)
             }
             NodeMsg::ProgressReport { slave, offset } => {
                 let mut worst_lag = 0u64;
                 let master_offset = self.backlog.offset();
+                let mut stalled = false;
                 for c in &mut self.conns {
                     if let ConnKind::Slave {
                         addr,
@@ -827,6 +1082,14 @@ impl KvServer {
                     } = &mut c.kind
                     {
                         if *addr == slave {
+                            // Two consecutive reports at the same offset
+                            // below ours: the stream tail was lost and no
+                            // later frame will surface the gap slave-side
+                            // (gap detection needs a next frame). Re-serve
+                            // from the stalled offset.
+                            stalled = c.open
+                                && offset < master_offset
+                                && offset == *reported_offset;
                             *reported_offset = (*reported_offset).max(offset);
                         }
                         if *reported_offset > 0 {
@@ -840,6 +1103,13 @@ impl KvServer {
                 // census would keep counting a crashed slave forever.
                 if self.cfg.mode != Mode::Skv {
                     self.lag_exceeded = worst_lag > self.cfg.max_slave_lag;
+                }
+                if stalled {
+                    let position = ReplicationPosition {
+                        repl_id: self.repl_id,
+                        offset,
+                    };
+                    self.on_sync_request(ctx, slave, position);
                 }
             }
             NodeMsg::Probe { seq } => {
@@ -910,11 +1180,109 @@ impl KvServer {
                 self.send_on(ctx, conn, tag::NODE, &msg);
             }
         }
+        // A sync can stall: the request lost in flight (e.g. relayed via a
+        // Nic-KV that had no master link at that instant), or the RDB/stream
+        // transfer cut by a transport error. `sync_request_at` doubles as a
+        // progress clock (bumped per RDB chunk); silence means re-request.
+        if let Role::Slave {
+            resyncing, syncing, ..
+        } = &self.role
+        {
+            if (*resyncing || *syncing)
+                && self
+                    .sync_request_at
+                    .is_none_or(|at| ctx.now() - at > self.cfg.waiting_time)
+            {
+                self.schedule_upstream_resync(ctx);
+            }
+        }
+        if self.cfg.mode == Mode::Skv {
+            self.cron_skv_liveness(ctx);
+        }
+    }
+
+    /// SKV-mode liveness checks: detect a silent Nic-KV (master falls back
+    /// to host-driven fan-out, a slave tears the channel down) and poll the
+    /// SoC so everyone re-attaches after it recovers.
+    fn cron_skv_liveness(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        if self.is_master() {
+            if !self.degraded {
+                if let Some(seen) = self.nic_last_seen {
+                    if now - seen > self.cfg.upstream_silence {
+                        self.enter_degraded(now);
+                    }
+                }
+            }
+            if self.degraded && now >= self.next_upstream_retry {
+                self.next_upstream_retry = now + SimDuration::from_millis(500);
+                self.redial_nic(ctx);
+            }
+            return;
+        }
+        let Role::Slave {
+            nic: Some(nic),
+            syncing: false,
+            ..
+        } = &self.role
+        else {
+            return;
+        };
+        let nic = *nic;
+        // Probe silence on a live-looking channel means the SoC is gone.
+        if let Some(seen) = self.upstream_last_seen {
+            if now - seen > self.cfg.upstream_silence {
+                if let Some(conn) = self.open_conn_to(nic) {
+                    self.on_conn_broken(ctx, conn);
+                } else {
+                    self.upstream_last_seen = Some(now);
+                }
+            }
+        }
+        // No channel to Nic-KV (it crashed, or the dial gave up): poll it
+        // so a recovered SoC re-learns this slave — without this the NIC
+        // comes back with an empty node list and fan-out goes nowhere.
+        if self.open_conn_to(nic).is_none()
+            && !self.intents.contains_key(&nic)
+            && self.conn_of_kind(|k| matches!(k, ConnKind::Nic)).is_none()
+            && now >= self.next_upstream_retry
+        {
+            self.next_upstream_retry = now + SimDuration::from_secs(1);
+            let msg = NodeMsg::SyncRequest {
+                slave: self.addr,
+                position: ReplicationPosition {
+                    repl_id: self.repl_id,
+                    offset: self.slave_offset(),
+                },
+            }
+            .encode();
+            self.dial(
+                ctx,
+                nic,
+                ConnectIntent::SyncUpstream {
+                    frames: vec![(tag::NODE, msg)],
+                },
+            );
+        }
     }
 
     // -- channel message routing --------------------------------------------------
 
     fn on_channel_msg(&mut self, ctx: &mut Context<'_>, conn: usize, msg: ChannelMsg) {
+        // Liveness bookkeeping: traffic on a Nic-KV channel proves the SoC
+        // alive (probes arrive every `probe_interval`, so silence is a
+        // reliable death signal).
+        match self.conns[conn].kind {
+            ConnKind::Nic if self.is_master() => {
+                self.nic_last_seen = Some(ctx.now());
+                // The SoC came back: re-offload replication fan-out.
+                self.exit_degraded(ctx.now());
+            }
+            ConnKind::Nic => {
+                self.upstream_last_seen = Some(ctx.now());
+            }
+            _ => {}
+        }
         match msg.tag {
             tag::CMD => self.on_client_command(ctx, conn, msg.payload),
             tag::NODE => {
@@ -975,6 +1343,8 @@ impl Actor for KvServer {
                         self.net.set_node_up(self.node, false);
                     }
                     Control::ConnectNic { nic } => {
+                        self.nic_addr = Some(nic);
+                        self.nic_last_seen = Some(ctx.now());
                         let hello = NodeMsg::Hello {
                             from: self.addr,
                             is_master: true,
@@ -991,6 +1361,11 @@ impl Actor for KvServer {
                     Control::Recover => {
                         self.crashed = false;
                         self.net.set_node_up(self.node, true);
+                        // Fresh start for the liveness clocks and backoff.
+                        self.nic_last_seen = Some(ctx.now());
+                        self.upstream_last_seen = Some(ctx.now());
+                        self.reconnect_attempts.clear();
+                        self.next_upstream_retry = ctx.now();
                         // Notifications delivered while crashed were lost;
                         // drain stale completions (replenishing receive
                         // slots) and re-arm the completion channel.
@@ -1020,6 +1395,16 @@ impl Actor for KvServer {
                                 offset: self.slave_offset(),
                             };
                             self.send_sync_request(ctx, pos);
+                        } else if self.cfg.mode == Mode::Skv && self.is_master() {
+                            // A recovered master re-registers with Nic-KV:
+                            // the SoC tore its channel down while the host
+                            // was gone, so the surviving half is stale.
+                            if let Some(nic) = self.nic_addr {
+                                if let Some(conn) = self.open_conn_to(nic) {
+                                    self.close_conn(conn);
+                                }
+                                self.redial_nic(ctx);
+                            }
                         }
                     }
                 }
@@ -1028,7 +1413,15 @@ impl Actor for KvServer {
             Err(other) => other,
         };
         if self.crashed {
-            return; // a crashed process handles nothing
+            // Keep the cron chain alive through a crash so the periodic
+            // recovery machinery resumes on Recover; all other messages
+            // are lost with the process.
+            if let Ok(m) = msg.downcast::<ServerMsg>() {
+                if matches!(*m, ServerMsg::Cron) {
+                    ctx.timer(SimDuration::from_millis(100), ServerMsg::Cron);
+                }
+            }
+            return;
         }
         let msg = match msg.downcast::<ServerMsg>() {
             Ok(m) => {
@@ -1052,6 +1445,12 @@ impl Actor for KvServer {
                             Some((snapshot, start_offset)),
                             0,
                         );
+                    }
+                    ServerMsg::Redial { to } => {
+                        if self.intents.contains_key(&to) {
+                            self.stat_reconnects += 1;
+                            self.connect_to(ctx, to);
+                        }
                     }
                 }
                 return;
@@ -1077,7 +1476,8 @@ impl Actor for KvServer {
                 let net = self.net.clone();
                 let ch = Channel::rdma(&net, ctx, self.node, qp, self.cfg.ring_size);
                 let (kind, frames) = self.intent_to_kind(peer);
-                let conn = self.add_conn(ch, kind);
+                self.reconnect_attempts.remove(&peer);
+                let conn = self.add_conn(ch, kind, Some(peer));
                 for (t, p) in frames {
                     self.send_on(ctx, conn, t, &p);
                 }
@@ -1095,17 +1495,20 @@ impl Actor for KvServer {
                         let net = self.net.clone();
                         if let Some(msg) = self.conns[conn].channel.on_wc(&net, ctx, &wc) {
                             self.on_channel_msg(ctx, conn, msg);
+                        } else if self.conns[conn].open && self.conns[conn].channel.broken() {
+                            self.on_conn_broken(ctx, conn);
                         }
                     }
                 }
                 self.net.req_notify_cq(ctx, cq);
             }
             NetEvent::TcpAccepted { conn, .. } => {
-                self.add_conn(Channel::tcp(conn), ConnKind::Unknown);
+                self.add_conn(Channel::tcp(conn), ConnKind::Unknown, None);
             }
             NetEvent::TcpConnected { conn, peer } => {
                 let (kind, frames) = self.intent_to_kind(peer);
-                let idx = self.add_conn(Channel::tcp(conn), kind);
+                self.reconnect_attempts.remove(&peer);
+                let idx = self.add_conn(Channel::tcp(conn), kind, Some(peer));
                 for (t, p) in frames {
                     self.send_on(ctx, idx, t, &p);
                 }
@@ -1121,10 +1524,12 @@ impl Actor for KvServer {
             }
             NetEvent::TcpClosed { conn } => {
                 if let Some(&idx) = self.by_tcp.get(&conn) {
-                    self.conns[idx].open = false;
+                    self.on_conn_broken(ctx, idx);
                 }
             }
-            NetEvent::TcpConnectFailed { .. } | NetEvent::CmConnectFailed { .. } => {}
+            NetEvent::TcpConnectFailed { to } | NetEvent::CmConnectFailed { to } => {
+                self.on_connect_failed(ctx, to);
+            }
         }
     }
 

@@ -15,8 +15,9 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use skv_simcore::stats::Counters;
-use skv_simcore::{Actor, ActorId, Context, Payload, SimDuration, SimTime, Simulation};
+use skv_simcore::{Actor, ActorId, Context, DetRng, Payload, SimDuration, SimTime, Simulation};
 
+use crate::faults::{FaultPlan, Verdict};
 use crate::params::NetParams;
 use crate::topology::{NodeKind, Topology};
 use crate::types::*;
@@ -49,6 +50,9 @@ pub(crate) struct QpState {
     pub(crate) peer_addr: SocketAddr,
     pub(crate) recv_queue: VecDeque<u64>,
     pub(crate) open: bool,
+    /// QP error state (entered on retry exhaustion / unreachable peer);
+    /// posting to an errored QP fails until it is re-established.
+    pub(crate) error: bool,
 }
 
 #[derive(Debug)]
@@ -117,6 +121,10 @@ pub(crate) struct NetInner {
     pub(crate) mrs: Vec<MrState>,
     pub(crate) next_ephemeral: u16,
     pub(crate) counters: Counters,
+    /// Installed fault schedule (empty plan = nothing goes wrong).
+    pub(crate) faults: FaultPlan,
+    /// RNG dedicated to fault verdicts, reseeded when a plan is installed.
+    pub(crate) fault_rng: DetRng,
 }
 
 impl NetInner {
@@ -137,6 +145,8 @@ impl NetInner {
             mrs: Vec::new(),
             next_ephemeral: 50_000,
             counters: Counters::new(),
+            faults: FaultPlan::new(0),
+            fault_rng: DetRng::new(0),
         }
     }
 
@@ -165,6 +175,15 @@ impl NetInner {
         let end = start + self.params.serialize_time(bytes);
         self.egress_free[src.0 as usize] = end;
         (end + lat, lat)
+    }
+
+    /// Decide the fate of one `src → dst` message under the installed
+    /// fault plan.
+    pub(crate) fn judge(&mut self, now: SimTime, src: NodeId, dst: NodeId) -> Verdict {
+        if self.faults.is_noop() {
+            return Verdict::Deliver;
+        }
+        self.faults.judge(now, src, dst, &mut self.fault_rng)
     }
 
     /// Append a WC to a CQ and fire its completion channel if armed.
@@ -229,9 +248,17 @@ impl Net {
         self.inner.borrow_mut().node_up[node.0 as usize] = up;
     }
 
-    /// Snapshot of fabric counters (messages, bytes, drops, RNRs).
+    /// Snapshot of fabric counters (messages, bytes, drops, RNRs, faults).
     pub fn counters(&self) -> Counters {
         self.inner.borrow().counters.clone()
+    }
+
+    /// Install a fault schedule. The plan's private RNG is reseeded from
+    /// `plan.seed`, so installing the same plan twice replays identically.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        let mut inner = self.inner.borrow_mut();
+        inner.fault_rng = DetRng::new(plan.seed);
+        inner.faults = plan;
     }
 
     /// One-way base latency between two nodes under the current parameters.

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 mod fabric;
+mod faults;
 mod params;
 mod rdma;
 mod tcp;
@@ -27,6 +28,7 @@ mod topology;
 mod types;
 
 pub use fabric::{Net, RNR_WR_ID};
+pub use faults::{FaultPlan, LinkFault, Partition, TimeWindow, Verdict};
 pub use params::{MachineParams, NetParams};
 pub use rdma::PostError;
 pub use topology::{NodeKind, Topology};

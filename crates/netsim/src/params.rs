@@ -58,6 +58,14 @@ pub struct NetParams {
     // ---- connection management ----
     /// Handshake round-trips cost for TCP connect and RDMA_CM establish.
     pub connect_latency: SimDuration,
+
+    // ---- fault injection (see `crate::FaultPlan`) ----
+    /// Time for an RC QP to exhaust its retransmits and surface an error
+    /// completion when the fault plan drops a message.
+    pub rc_retry_latency: SimDuration,
+    /// Extra delivery delay modelling one TCP retransmission timeout when
+    /// the fault plan drops a segment (the stream stays reliable).
+    pub tcp_rto: SimDuration,
 }
 
 impl Default for NetParams {
@@ -77,6 +85,8 @@ impl Default for NetParams {
             tcp_copy_cpu_per_kib: SimDuration::from_nanos(120),
             tcp_base_latency: SimDuration::from_nanos(1_900),
             connect_latency: SimDuration::from_micros(40),
+            rc_retry_latency: SimDuration::from_micros(500),
+            tcp_rto: SimDuration::from_millis(200),
         }
     }
 }

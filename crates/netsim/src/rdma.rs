@@ -12,18 +12,22 @@
 //! real data and can be checked end-to-end for correctness, not just for
 //! timing.
 //!
-//! Divergences from hardware, chosen deliberately:
+//! Error semantics follow reliable-connection hardware: a WR whose packets
+//! are lost (fault injection) or whose destination is gone surfaces as a
+//! completion-with-error at the sender — [`WcStatus::RetryExceeded`] /
+//! [`WcStatus::RemoteUnreachable`] — and moves the QP to the *error state*,
+//! after which posts fail with [`PostError::QpError`] until the application
+//! tears the QP down and re-establishes the connection. Nothing is ever
+//! silently lost without a send-side signal.
 //!
-//! * A send to a crashed node completes "successfully" at the sender (a
-//!   real NIC would eventually retry out and error the QP). SKV's failure
-//!   handling is probe-timeout-based, so nothing in the system depends on
-//!   send errors, and this keeps QP lifecycle out of the hot path.
-//! * `req_notify_cq` fires immediately when completions are already queued,
-//!   removing the classic poll/arm race without requiring apps to re-poll.
+//! One divergence from hardware, chosen deliberately: `req_notify_cq` fires
+//! immediately when completions are already queued, removing the classic
+//! poll/arm race without requiring apps to re-poll.
 
 use skv_simcore::{ActorId, Context, SimDuration};
 
 use crate::fabric::{CmRequest, CqState, FabricMsg, MrState, Net, NetInner, QpState, RNR_WR_ID};
+use crate::faults::Verdict;
 use crate::types::*;
 
 /// Why a post failed.
@@ -33,6 +37,9 @@ pub enum PostError {
     QpClosed,
     /// The QP is not connected to a peer.
     NotConnected,
+    /// The QP is in the error state (retries exhausted on an earlier WR);
+    /// tear it down and reconnect.
+    QpError,
 }
 
 impl Net {
@@ -126,7 +133,11 @@ impl Net {
         let half = inner.params.connect_latency / 2;
         let reachable =
             inner.up(from_node) && inner.up(to.node) && inner.cm_listeners.contains_key(&to);
-        if !reachable {
+        let judged = inner.judge(ctx.now(), from_node, to.node);
+        if !reachable || judged == Verdict::Drop {
+            if reachable {
+                inner.counters.inc("faults.cm_dropped");
+            }
             ctx.send_in(half * 2, from_actor, NetEvent::CmConnectFailed { to });
             return;
         }
@@ -169,6 +180,7 @@ impl Net {
             peer_addr: request.listener_addr,
             recv_queue: Default::default(),
             open: true,
+            error: false,
         });
         let acceptor_qp = QpId(inner.qps.len() as u32);
         inner.qps.push(QpState {
@@ -179,6 +191,7 @@ impl Net {
             peer_addr: request.from_addr,
             recv_queue: Default::default(),
             open: true,
+            error: false,
         });
         inner.qps[initiator_qp.0 as usize].peer = Some(acceptor_qp);
         inner.counters.inc("rdma.connections");
@@ -243,6 +256,9 @@ impl Net {
         if !state.open {
             return Err(PostError::QpClosed);
         }
+        if state.error {
+            return Err(PostError::QpError);
+        }
         let Some(peer_qp) = state.peer else {
             return Err(PostError::NotConnected);
         };
@@ -263,7 +279,37 @@ impl Net {
         inner.counters.add("rdma.bytes", wr.data.len() as u64);
 
         let dma = inner.params.dma_delay;
+        let mut extra = SimDuration::ZERO;
+        match inner.judge(ctx.now(), src_node, dst_node) {
+            Verdict::Deliver => {}
+            Verdict::Drop => {
+                // RC retransmits exhaust: the WR completes with an error
+                // after the retry budget and the QP enters the error state.
+                inner.counters.inc("faults.rdma_dropped");
+                inner.counters.inc("rdma.qp_errors");
+                inner.qps[qp.0 as usize].error = true;
+                let cq = inner.qps[qp.0 as usize].cq;
+                let fabric = inner.fabric_actor;
+                let wc = Wc {
+                    wr_id: wr.wr_id,
+                    opcode: sender_opcode(&wr.op),
+                    status: WcStatus::RetryExceeded,
+                    qp,
+                    byte_len: wr.data.len(),
+                    imm: 0,
+                    mr_offset: 0,
+                    data: Vec::new(),
+                };
+                ctx.send_in(inner.params.rc_retry_latency, fabric, FabricMsg::PushWc { cq, wc });
+                return Ok(());
+            }
+            Verdict::Delay(d) => {
+                inner.counters.inc("faults.rdma_delayed");
+                extra = d;
+            }
+        }
         let (arrival, lat) = inner.wire(ctx.now(), src_node, dst_node, wire_bytes);
+        let arrival = arrival + extra;
         let fabric = inner.fabric_actor;
         ctx.send_at(
             arrival + dma,
@@ -355,23 +401,25 @@ pub(crate) fn handle_arrival(
     let fabric = net.fabric_actor;
     let sender_cq = net.qps[src_qp.0 as usize].cq;
     let dst_open = net.qps[dst_qp.0 as usize].open;
+    let dst_err = net.qps[dst_qp.0 as usize].error;
     let dst_node = net.qps[dst_qp.0 as usize].node;
     let dst_up = net.up(dst_node);
 
-    // Sender-side completion: success unless the destination is gone.
-    // (See module docs: sends to crashed nodes complete optimistically.)
-    let sender_opcode = match &op {
-        SendOp::Send => WcOpcode::Send,
-        SendOp::Write { .. } | SendOp::WriteImm { .. } => WcOpcode::RdmaWrite,
-        SendOp::Read { .. } => WcOpcode::RdmaRead,
-    };
+    let opcode = sender_opcode(&op);
     let byte_len = data.len();
 
-    if !dst_open || !dst_up {
+    // A destination that is gone (crashed node, torn-down or errored QP)
+    // NAKs the sender into retry exhaustion: error completion + the
+    // sender's QP enters the error state.
+    if !dst_open || !dst_up || dst_err {
         net.counters.inc("rdma.drops");
+        if !net.qps[src_qp.0 as usize].error {
+            net.counters.inc("rdma.qp_errors");
+            net.qps[src_qp.0 as usize].error = true;
+        }
         let wc = Wc {
             wr_id,
-            opcode: sender_opcode,
+            opcode,
             status: WcStatus::RemoteUnreachable,
             qp: src_qp,
             byte_len,
@@ -402,14 +450,14 @@ pub(crate) fn handle_arrival(
                 data,
             };
             net.push_wc(ctx, dst_cq, wc);
-            push_sender_success(net, ctx, sender_cq, src_qp, wr_id, sender_opcode, byte_len, path_latency);
+            push_sender_success(net, ctx, sender_cq, src_qp, wr_id, opcode, byte_len, path_latency);
         }
         SendOp::Write {
             remote_mr,
             remote_offset,
         } => {
             write_mr(net, dst_node, remote_mr, remote_offset, &data);
-            push_sender_success(net, ctx, sender_cq, src_qp, wr_id, sender_opcode, byte_len, path_latency);
+            push_sender_success(net, ctx, sender_cq, src_qp, wr_id, opcode, byte_len, path_latency);
         }
         SendOp::WriteImm {
             remote_mr,
@@ -434,7 +482,7 @@ pub(crate) fn handle_arrival(
                 data: Vec::new(),
             };
             net.push_wc(ctx, dst_cq, wc);
-            push_sender_success(net, ctx, sender_cq, src_qp, wr_id, sender_opcode, byte_len, path_latency);
+            push_sender_success(net, ctx, sender_cq, src_qp, wr_id, opcode, byte_len, path_latency);
         }
         SendOp::Read {
             remote_mr,
@@ -488,6 +536,15 @@ pub(crate) fn handle_cm_request_arrival(net: &mut NetInner, ctx: &mut Context<'_
             net.cm_requests[req.0 as usize] = None;
             ctx.send_in(half, from_actor, NetEvent::CmConnectFailed { to });
         }
+    }
+}
+
+/// Sender-side completion opcode for a work-request operation.
+fn sender_opcode(op: &SendOp) -> WcOpcode {
+    match op {
+        SendOp::Send => WcOpcode::Send,
+        SendOp::Write { .. } | SendOp::WriteImm { .. } => WcOpcode::RdmaWrite,
+        SendOp::Read { .. } => WcOpcode::RdmaRead,
     }
 }
 

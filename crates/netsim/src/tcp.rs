@@ -13,9 +13,10 @@
 //!
 //! [`tcp_recv_cost`]: crate::NetParams::tcp_recv_cost
 
-use skv_simcore::{ActorId, Context};
+use skv_simcore::{ActorId, Context, SimDuration};
 
 use crate::fabric::{Net, TcpConnState};
+use crate::faults::Verdict;
 use crate::types::{NetEvent, NodeId, SocketAddr, TcpConnId};
 
 impl Net {
@@ -50,7 +51,11 @@ impl Net {
         let handshake = inner.params.connect_latency;
         let reachable =
             inner.up(from_node) && inner.up(to.node) && inner.tcp_listeners.contains_key(&to);
-        if !reachable {
+        let judged = inner.judge(ctx.now(), from_node, to.node);
+        if !reachable || judged == Verdict::Drop {
+            if reachable {
+                inner.counters.inc("faults.tcp_connect_dropped");
+            }
             ctx.send_in(handshake, from_actor, NetEvent::TcpConnectFailed { to });
             return;
         }
@@ -122,9 +127,22 @@ impl Net {
         let n = bytes.len();
         let stack = inner.params.tcp_stack_latency;
         let extra_base = inner.params.tcp_base_latency;
+        // Fault injection: TCP stays reliable, so a dropped segment costs a
+        // retransmission timeout rather than vanishing.
+        let fault_delay = match inner.judge(ctx.now(), src, dst_node) {
+            Verdict::Deliver => SimDuration::ZERO,
+            Verdict::Drop => {
+                inner.counters.inc("faults.tcp_retrans");
+                inner.params.tcp_rto
+            }
+            Verdict::Delay(d) => {
+                inner.counters.inc("faults.tcp_delayed");
+                d
+            }
+        };
         let (arrival, _lat) = inner.wire(ctx.now(), src, dst_node, n);
         // Kernel stack traversals on both ends plus the TCP path's base cost.
-        let mut deliver_at = arrival + stack + stack + extra_base;
+        let mut deliver_at = arrival + stack + stack + extra_base + fault_delay;
         // Enforce in-order delivery per connection.
         let peer = &mut inner.tcp_conns[peer_id.0 as usize];
         deliver_at = deliver_at.max(peer.next_delivery);

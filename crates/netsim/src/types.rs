@@ -127,6 +127,9 @@ pub enum WcStatus {
     RemoteUnreachable,
     /// A posted receive was not available for a `Send`/`WriteImm`.
     ReceiverNotReady,
+    /// Transport retries were exhausted (injected loss); the QP has
+    /// transitioned to the error state and must be re-established.
+    RetryExceeded,
 }
 
 /// A work completion, mirroring `ibv_wc`.

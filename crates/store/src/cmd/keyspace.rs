@@ -263,44 +263,6 @@ fn glob_at(mut p: &[u8], mut t: &[u8]) -> bool {
     t.is_empty()
 }
 
-#[cfg(test)]
-mod tests {
-    use super::glob_match;
-
-    #[test]
-    fn glob_literals_and_wildcards() {
-        assert!(glob_match(b"hello", b"hello"));
-        assert!(!glob_match(b"hello", b"hellO"));
-        assert!(glob_match(b"*", b"anything"));
-        assert!(glob_match(b"*", b""));
-        assert!(glob_match(b"h*llo", b"hello"));
-        assert!(glob_match(b"h*llo", b"heeeello"));
-        assert!(glob_match(b"h?llo", b"hallo"));
-        assert!(!glob_match(b"h?llo", b"hllo"));
-        assert!(glob_match(b"key:*", b"key:123"));
-        assert!(!glob_match(b"key:*", b"k:123"));
-        assert!(glob_match(b"**a**", b"bab"));
-    }
-
-    #[test]
-    fn glob_classes() {
-        assert!(glob_match(b"h[ae]llo", b"hallo"));
-        assert!(glob_match(b"h[ae]llo", b"hello"));
-        assert!(!glob_match(b"h[ae]llo", b"hillo"));
-        assert!(glob_match(b"h[^x]llo", b"hello"));
-        assert!(!glob_match(b"h[^e]llo", b"hello"));
-        assert!(glob_match(b"k[0-9]", b"k5"));
-        assert!(!glob_match(b"k[0-9]", b"kx"));
-    }
-
-    #[test]
-    fn glob_escapes() {
-        assert!(glob_match(b"a\\*b", b"a*b"));
-        assert!(!glob_match(b"a\\*b", b"axb"));
-        assert!(glob_match(b"a\\?b", b"a?b"));
-    }
-}
-
 pub(super) fn copy(ctx: &mut ExecCtx<'_>, args: &[Vec<u8>]) -> Resp {
     let replace = match args.get(3) {
         None => false,
@@ -349,5 +311,43 @@ pub(super) fn object(ctx: &mut ExecCtx<'_>, args: &[Vec<u8>]) -> Resp {
         Some(RObj::Set(SetObj::Dict(_))) => Resp::Bulk(b"hashtable".to_vec()),
         Some(RObj::Hash(_)) => Resp::Bulk(b"hashtable".to_vec()),
         Some(RObj::ZSet(_)) => Resp::Bulk(b"skiplist".to_vec()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::glob_match;
+
+    #[test]
+    fn glob_literals_and_wildcards() {
+        assert!(glob_match(b"hello", b"hello"));
+        assert!(!glob_match(b"hello", b"hellO"));
+        assert!(glob_match(b"*", b"anything"));
+        assert!(glob_match(b"*", b""));
+        assert!(glob_match(b"h*llo", b"hello"));
+        assert!(glob_match(b"h*llo", b"heeeello"));
+        assert!(glob_match(b"h?llo", b"hallo"));
+        assert!(!glob_match(b"h?llo", b"hllo"));
+        assert!(glob_match(b"key:*", b"key:123"));
+        assert!(!glob_match(b"key:*", b"k:123"));
+        assert!(glob_match(b"**a**", b"bab"));
+    }
+
+    #[test]
+    fn glob_classes() {
+        assert!(glob_match(b"h[ae]llo", b"hallo"));
+        assert!(glob_match(b"h[ae]llo", b"hello"));
+        assert!(!glob_match(b"h[ae]llo", b"hillo"));
+        assert!(glob_match(b"h[^x]llo", b"hello"));
+        assert!(!glob_match(b"h[^e]llo", b"hello"));
+        assert!(glob_match(b"k[0-9]", b"k5"));
+        assert!(!glob_match(b"k[0-9]", b"kx"));
+    }
+
+    #[test]
+    fn glob_escapes() {
+        assert!(glob_match(b"a\\*b", b"a*b"));
+        assert!(!glob_match(b"a\\*b", b"axb"));
+        assert!(glob_match(b"a\\?b", b"a?b"));
     }
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI would run.
+#
+#   scripts/check.sh          # tests + clippy
+#
+# Fails on the first red step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "OK"

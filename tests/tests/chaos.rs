@@ -1,0 +1,215 @@
+//! Chaos suite: randomized fault plans over the fault-injection substrate.
+//!
+//! Where `failure.rs` checks the §III-D detection machinery against clean
+//! crash/recover schedules, these tests inject *transport* faults — lost
+//! RDMA messages (surfacing as retry-exhaustion completion errors), latency
+//! spikes, link flaps, partitions, and SmartNIC SoC crashes — and assert
+//! the two system-level properties that matter: every replica converges to
+//! the same keyspace once the faults clear, and identical seeds produce
+//! identical runs.
+
+use proptest::prelude::*;
+use skv_core::cluster::{ChaosSpec, Cluster, RunSpec};
+use skv_core::config::{ClusterConfig, Mode};
+use skv_simcore::{SimDuration, SimTime};
+
+/// Compressed-time SKV spec, same scale trick as `failure.rs`.
+fn spec(slaves: usize, clients: usize, measure_ms: u64, seed: u64) -> RunSpec {
+    let mut cfg = ClusterConfig::for_mode(Mode::Skv);
+    cfg.num_slaves = slaves;
+    cfg.probe_interval = SimDuration::from_millis(200);
+    cfg.waiting_time = SimDuration::from_millis(300);
+    cfg.upstream_silence = SimDuration::from_millis(600);
+    cfg.reconnect_base = SimDuration::from_millis(5);
+    cfg.client_retry_timeout = SimDuration::from_millis(100);
+    RunSpec {
+        cfg,
+        num_clients: clients,
+        pipeline: 1,
+        set_ratio: 1.0,
+        value_size: 64,
+        key_space: 1_000,
+        warmup: SimDuration::from_millis(100),
+        measure: SimDuration::from_millis(measure_ms),
+        seed,
+    }
+}
+
+/// Run past the measurement window, then give resyncs time to drain.
+fn run_and_quiesce(cluster: &mut Cluster, drain: SimDuration) {
+    cluster.run();
+    cluster.sim.run_until(cluster.measure_until + drain);
+}
+
+fn assert_converged(cluster: &Cluster) {
+    let digests = cluster.keyspace_digests();
+    assert!(
+        digests.iter().all(|&d| d == digests[0]),
+        "replicas diverged: {digests:x?}"
+    );
+}
+
+#[test]
+fn partition_heals_and_replicas_converge() {
+    // Two of three slaves are cut off mid-run; after the partition heals
+    // they must detect the gap, resync, and end byte-identical.
+    let mut cluster = Cluster::build(spec(3, 2, 2_000, 21));
+    cluster.apply_chaos(&ChaosSpec {
+        partition: Some((
+            vec![0, 1],
+            SimTime::from_millis(800),
+            SimTime::from_millis(1_500),
+        )),
+        ..ChaosSpec::default()
+    });
+    run_and_quiesce(&mut cluster, SimDuration::from_secs(2));
+
+    let report = cluster.report();
+    assert!(report.ops > 1_000, "writes must keep flowing: {}", report.ops);
+    assert_converged(&cluster);
+    // The cut-off slaves had to resync (partial or full) after the heal.
+    let resyncs: u64 = (0..2)
+        .map(|i| {
+            let s = cluster.slave_server(i);
+            s.stat_full_syncs + s.stat_partial_syncs
+        })
+        .sum();
+    assert!(resyncs >= 3, "expected post-heal resyncs, got {resyncs}");
+}
+
+#[test]
+fn lossy_link_set_stream_completes() {
+    // 2% message loss everywhere: every lost WR surfaces as a completion
+    // error + QP error state, so clients and servers must keep tearing
+    // down and re-establishing QPs — and the SET stream must still finish.
+    let mut cluster = Cluster::build(spec(2, 2, 2_000, 22));
+    cluster.apply_chaos(&ChaosSpec {
+        loss_prob: 0.02,
+        ..ChaosSpec::default()
+    });
+    run_and_quiesce(&mut cluster, SimDuration::from_secs(2));
+
+    let report = cluster.report();
+    assert!(report.ops > 500, "stream stalled: {} ops", report.ops);
+    assert!(
+        report.chaos.get("faults.rdma_dropped") > 0,
+        "plan must actually drop messages"
+    );
+    assert!(
+        report.chaos.get("rdma.qp_errors") > 0,
+        "drops must surface as QP errors"
+    );
+    assert!(
+        report.chaos.get("client.reconnects") > 0,
+        "clients must recover by reconnecting"
+    );
+}
+
+#[test]
+fn nic_crash_degrades_master_but_writes_continue() {
+    // The SoC dies mid-run: the master must fall back to host-driven
+    // serial fan-out (RDMA-Redis style) and keep serving writes.
+    let crash_at = SimTime::from_millis(1_000);
+    let recover_at = SimTime::from_millis(2_500);
+    let mut cluster = Cluster::build(spec(2, 2, 3_000, 23));
+    cluster.apply_chaos(&ChaosSpec {
+        nic_crash: Some((crash_at, recover_at)),
+        ..ChaosSpec::default()
+    });
+
+    // Step to just before recovery: the master must be degraded by then,
+    // and the NIC's fan-out counter frozen.
+    cluster.sim.run_until(recover_at);
+    assert!(
+        cluster.master_server().is_degraded(),
+        "master must detect SoC death and degrade"
+    );
+    let fanout_before = cluster.nic_kv().expect("nic").stat_fanout_msgs;
+    let hub = cluster.metrics.borrow();
+    let degraded_ops = hub
+        .completions
+        .count_between(crash_at + SimDuration::from_millis(700), recover_at);
+    drop(hub);
+    assert!(
+        degraded_ops > 500,
+        "degraded mode must keep serving writes, got {degraded_ops}"
+    );
+
+    run_and_quiesce(&mut cluster, SimDuration::from_secs(2));
+    let master = cluster.master_server();
+    assert_eq!(master.stat_degradations, 1);
+    assert!(!master.is_degraded(), "master must re-offload after recovery");
+    let (entered, exited) = *master.degraded_periods.last().expect("one period");
+    assert!(entered >= crash_at && exited.expect("closed") >= recover_at);
+    // Fan-out went back to the SoC.
+    let fanout_after = cluster.nic_kv().expect("nic").stat_fanout_msgs;
+    assert!(
+        fanout_after > fanout_before,
+        "NIC must fan out again after recovery ({fanout_before} → {fanout_after})"
+    );
+    assert_converged(&cluster);
+}
+
+/// Build, apply chaos, run, quiesce — returns (ops, digests, qp_errors).
+fn chaos_run(spec: RunSpec, chaos: &ChaosSpec) -> (u64, Vec<u64>, u64) {
+    let mut cluster = Cluster::build(spec);
+    cluster.apply_chaos(chaos);
+    run_and_quiesce(&mut cluster, SimDuration::from_secs(2));
+    let report = cluster.report();
+    (
+        report.ops,
+        cluster.keyspace_digests(),
+        report.chaos.get("rdma.qp_errors"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Randomized fault plans: loss up to 5%, latency spikes, one link
+    /// flap, one partition, an optional SoC crash. Two properties:
+    /// replicas converge after the faults clear, and the identical
+    /// spec+seed reproduces the identical run.
+    #[test]
+    fn random_chaos_converges_and_is_deterministic(
+        loss in 0.0f64..0.05,
+        delay_prob in 0.0f64..0.1,
+        flap_start in 600u64..1_000,
+        chaos_seed in 0u64..1_000,
+        crash_nic in 0u32..2,
+    ) {
+        let chaos = ChaosSpec {
+            loss_prob: loss,
+            delay_prob,
+            delay: SimDuration::from_micros(500),
+            flaps: vec![(
+                0,
+                SimTime::from_millis(flap_start),
+                SimTime::from_millis(flap_start + 400),
+            )],
+            partition: Some((
+                vec![1],
+                SimTime::from_millis(1_100),
+                SimTime::from_millis(1_500),
+            )),
+            nic_crash: (crash_nic == 1).then(|| {
+                (SimTime::from_millis(900), SimTime::from_millis(1_600))
+            }),
+            seed: chaos_seed,
+        };
+        let s = spec(2, 1, 1_800, 1_000 + chaos_seed);
+
+        let (ops_a, digests_a, qp_err_a) = chaos_run(s.clone(), &chaos);
+        prop_assert!(ops_a > 50, "cluster made no progress: {} ops", ops_a);
+        prop_assert!(
+            digests_a.iter().all(|&d| d == digests_a[0]),
+            "replicas diverged: {:x?}", digests_a
+        );
+
+        // Same seeds → byte-identical outcome, faults and all.
+        let (ops_b, digests_b, qp_err_b) = chaos_run(s, &chaos);
+        prop_assert_eq!(ops_a, ops_b);
+        prop_assert_eq!(digests_a, digests_b);
+        prop_assert_eq!(qp_err_a, qp_err_b);
+    }
+}

@@ -1,0 +1,91 @@
+//! Collection strategies: `prop::collection::{vec, btree_set}`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// A `Vec` of values from `element`, with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.end.saturating_sub(self.size.start).max(1);
+        let len = self.size.start + rng.below(span);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A `BTreeSet` of values from `element` with a target size drawn from
+/// `size`. Duplicate draws are retried a bounded number of times, so for
+/// small element domains the realised size may fall below the target
+/// (never below what the domain admits in practice).
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// See [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let span = self.size.end.saturating_sub(self.size.start).max(1);
+        let target = self.size.start + rng.below(span);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0;
+        while out.len() < target && attempts < target * 10 + 100 {
+            out.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let strat = vec(any::<u8>(), 2..5);
+        let mut rng = TestRng::for_case("vec_len", 0);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((2..5).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn btree_set_meets_minimum_when_domain_allows() {
+        let strat = btree_set(any::<u64>(), 1..40);
+        let mut rng = TestRng::for_case("set_len", 0);
+        for _ in 0..100 {
+            let s = strat.sample(&mut rng);
+            assert!(!s.is_empty() && s.len() < 40, "len {}", s.len());
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Sampling strategies over explicit value lists: `prop::sample::select`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy choosing uniformly among the given values.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len())].clone()
+    }
+}

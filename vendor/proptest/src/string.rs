@@ -1,0 +1,89 @@
+//! String-pattern strategies: a `&str` literal acts as a strategy for
+//! strings matching it, as in upstream proptest.
+//!
+//! Only the pattern shape this workspace uses is supported:
+//! `[class]{m,n}` where `class` is a list of literal characters and
+//! `a-z`-style ranges. Any other pattern generates itself literally.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        match parse_class_repeat(self) {
+            Some((chars, lo, hi)) => {
+                let len = lo + rng.below(hi - lo + 1);
+                (0..len).map(|_| chars[rng.below(chars.len())]).collect()
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+/// Parse `[class]{m,n}` into (alphabet, m, n). Returns `None` for any
+/// other shape.
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let counts = rest[close + 1..]
+        .strip_prefix('{')?
+        .strip_suffix('}')?
+        .split_once(',')?;
+    let lo: usize = counts.0.trim().parse().ok()?;
+    let hi: usize = counts.1.trim().parse().ok()?;
+    if class.is_empty() || lo > hi {
+        return None;
+    }
+
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        // `a-z` range (a `-` needs a character on both sides).
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (start, end) = (class[i], class[i + 2]);
+            if start > end {
+                return None;
+            }
+            for c in start..=end {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    Some((chars, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ranges_and_literals() {
+        let (chars, lo, hi) = parse_class_repeat("[a-z]{1,6}").unwrap();
+        assert_eq!(chars.len(), 26);
+        assert_eq!((lo, hi), (1, 6));
+
+        // `[ -~]` is the printable-ASCII range, not three literals.
+        let (chars, lo, hi) = parse_class_repeat("[ -~]{0,20}").unwrap();
+        assert_eq!(chars.len(), 95);
+        assert_eq!((lo, hi), (0, 20));
+
+        assert!(parse_class_repeat("plain").is_none());
+    }
+
+    #[test]
+    fn generated_strings_match_pattern() {
+        let strat = "[a-z]{1,4}";
+        let mut rng = TestRng::for_case("strings", 0);
+        for _ in 0..200 {
+            let s = Strategy::sample(&strat, &mut rng);
+            assert!((1..=4).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+}
