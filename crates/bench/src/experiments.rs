@@ -78,7 +78,7 @@ fn write_latency(size: usize, to_local_soc: bool, from_remote: bool) -> f64 {
             match *ev {
                 NetEvent::CmConnectRequest { req, .. } => {
                     let cq = net2.create_cq(ctx.id());
-                    let qp = net2.rdma_accept(ctx, req, cq);
+                    let qp = net2.rdma_accept(ctx, req, cq).expect("fresh CM request");
                     for i in 0..8 {
                         net2.post_recv(qp, i).unwrap();
                     }

@@ -75,8 +75,15 @@ impl Channel {
         ring_size: usize,
     ) -> Channel {
         let my_ring = net.register_mr(node, ring_size);
+        // A post failure here means the QP died between establishment and
+        // channel construction; mark the channel broken so the owner tears
+        // it down and redials instead of running with a starved ring.
+        let mut recv_failed = false;
         for i in 0..RECV_DEPTH {
-            net.post_recv(qp, i as u64).expect("fresh QP accepts recvs");
+            if net.post_recv(qp, i as u64).is_err() {
+                recv_failed = true;
+                break;
+            }
         }
         let mut ch = Channel {
             state: TransportState::Rdma {
@@ -90,9 +97,11 @@ impl Channel {
             },
             sent: 0,
             received: 0,
-            broken: false,
+            broken: recv_failed,
         };
-        ch.send_handshake(net, ctx);
+        if !ch.broken {
+            ch.send_handshake(net, ctx);
+        }
         ch
     }
 
@@ -255,7 +264,7 @@ impl Channel {
                 }
                 // The MR handshake: peer's ring handle.
                 if peer_ring.is_none() && wc.data.len() == 4 {
-                    let raw = u32::from_le_bytes(wc.data[..4].try_into().expect("4 bytes"));
+                    let raw = read_u32_le(&wc.data)?;
                     *peer_ring = Some(MrId(raw));
                     let queued = std::mem::take(pending);
                     net.post_recv(*qp, wc.wr_id).ok();
@@ -300,9 +309,13 @@ impl Channel {
         let mut out = Vec::new();
         let mut pos = 0;
         while inbuf.len() - pos >= 8 {
-            let tag = u32::from_le_bytes(inbuf[pos..pos + 4].try_into().expect("4 bytes"));
-            let len =
-                u32::from_le_bytes(inbuf[pos + 4..pos + 8].try_into().expect("4 bytes")) as usize;
+            let (Some(tag), Some(len)) = (
+                read_u32_le(&inbuf[pos..]),
+                read_u32_le(&inbuf[pos + 4..]),
+            ) else {
+                break; // unreachable given the length guard above
+            };
+            let len = len as usize;
             if inbuf.len() - pos - 8 < len {
                 break;
             }
@@ -316,6 +329,12 @@ impl Channel {
         self.received += out.len() as u64;
         out
     }
+}
+
+/// Read a little-endian `u32` from the front of `bytes`, if long enough.
+fn read_u32_le(bytes: &[u8]) -> Option<u32> {
+    let arr: [u8; 4] = bytes.get(..4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
 }
 
 #[cfg(test)]

@@ -53,7 +53,9 @@ pub struct BenchClient {
     metrics: SharedMetrics,
     cq: Option<CqId>,
     channel: Option<Channel>,
-    rng: Option<DetRng>,
+    /// Placeholder seed until `on_start` replaces it with a split of the
+    /// simulation RNG; never absent, so no unwrap on the issue path.
+    rng: DetRng,
     /// FIFO of (send instant, is_write) for commands awaiting replies.
     in_flight: std::collections::VecDeque<(SimTime, bool)>,
     /// Operations issued.
@@ -83,7 +85,7 @@ impl BenchClient {
             metrics,
             cq: None,
             channel: None,
-            rng: None,
+            rng: DetRng::new(0),
             in_flight: Default::default(),
             stat_issued: 0,
             stat_replies: 0,
@@ -115,7 +117,7 @@ impl BenchClient {
         let Some(channel) = self.channel.as_mut() else {
             return;
         };
-        let rng = self.rng.as_mut().expect("started");
+        let rng = &mut self.rng;
         let key = format!("key:{:012}", rng.below(self.workload.key_space.max(1)));
         let is_write = rng.chance(self.workload.set_ratio);
         let cmd = if is_write {
@@ -161,7 +163,7 @@ impl BenchClient {
 
 impl Actor for BenchClient {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
-        self.rng = Some(ctx.rng().split());
+        self.rng = ctx.rng().split();
         let start = self.workload.start_at;
         ctx.timer_at(start, ClientMsg::Start);
         ctx.timer_at(

@@ -36,6 +36,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod channel;
 pub mod client;

@@ -14,9 +14,7 @@
 //!   invalid flags, `min-slaves` notifications to the master, and master
 //!   failover with downgrade-on-return.
 
-use std::collections::HashMap;
-
-use skv_netsim::{CqId, Net, NetEvent, NodeId, QpId, SocketAddr};
+use skv_netsim::{CqId, DetMap, Net, NetEvent, NodeId, QpId, SocketAddr};
 use skv_simcore::{Actor, ActorId, Context, CorePool, Payload, SimDuration, SimTime};
 use skv_store::repl::ReplicationPosition;
 
@@ -80,7 +78,7 @@ pub struct NicKv {
     /// The SmartNIC's ARM cores (slow; speed factor from `MachineParams`).
     cpu: CorePool,
     conns: Vec<ConnState>,
-    by_qp: HashMap<QpId, usize>,
+    by_qp: DetMap<QpId, usize>,
     nodes: Vec<NodeEntry>,
     probe_seq: u64,
     /// Address of a slave promoted during master failover, if any.
@@ -120,7 +118,7 @@ impl NicKv {
             cq: None,
             cpu: CorePool::new(cores, speed),
             conns: Vec::new(),
-            by_qp: HashMap::new(),
+            by_qp: DetMap::new(),
             nodes: Vec::new(),
             probe_seq: 0,
             promoted: None,
@@ -469,9 +467,9 @@ impl NicKv {
 impl Actor for NicKv {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         let me = ctx.id();
-        self.cq = Some(self.net.create_cq(me));
+        let cq = self.net.create_cq(me);
+        self.cq = Some(cq);
         self.net.rdma_listen(self.addr, me);
-        let cq = self.cq.expect("just created");
         self.net.req_notify_cq(ctx, cq);
         ctx.timer(self.cfg.probe_interval, NicMsg::ProbeTick);
     }
@@ -534,8 +532,9 @@ impl Actor for NicKv {
         };
         match *ev {
             NetEvent::CmConnectRequest { req, .. } => {
-                let cq = self.cq.expect("created at start");
-                let _qp = self.net.rdma_accept(ctx, req, cq);
+                // Stale or double-answered requests are benign: ignore.
+                let Some(cq) = self.cq else { return };
+                let _ = self.net.rdma_accept(ctx, req, cq);
             }
             NetEvent::CmEstablished { qp, .. } => {
                 if self.by_qp.contains_key(&qp) {

@@ -19,9 +19,7 @@
 //! steady-state fan-out) and detect gaps (a crashed-and-recovered slave
 //! re-requests synchronization from its last applied offset).
 
-use std::collections::HashMap;
-
-use skv_netsim::{CqId, Net, NetEvent, NodeId, QpId, SocketAddr, TcpConnId};
+use skv_netsim::{CqId, DetMap, Net, NetEvent, NodeId, QpId, SocketAddr, TcpConnId};
 use skv_simcore::{Actor, ActorId, Context, CorePool, DetRng, Payload, SimDuration, SimTime};
 use skv_store::backlog::Backlog;
 use skv_store::engine::Engine;
@@ -152,9 +150,9 @@ pub struct KvServer {
     repl_id: ReplicationId,
     role: Role,
     conns: Vec<ConnState>,
-    by_qp: HashMap<QpId, usize>,
-    by_tcp: HashMap<TcpConnId, usize>,
-    intents: HashMap<SocketAddr, ConnectIntent>,
+    by_qp: DetMap<QpId, usize>,
+    by_tcp: DetMap<TcpConnId, usize>,
+    intents: DetMap<SocketAddr, ConnectIntent>,
     /// Slaves considered available (from Nic-KV updates, or own census in
     /// baseline modes). Drives `min-slaves` rejection.
     available_slaves: usize,
@@ -175,13 +173,16 @@ pub struct KvServer {
     /// Slave: last traffic seen from the coordination upstream.
     upstream_last_seen: Option<SimTime>,
     /// Consecutive failed dials per target, for exponential backoff.
-    reconnect_attempts: HashMap<SocketAddr, u32>,
+    reconnect_attempts: DetMap<SocketAddr, u32>,
     /// Rate limit for cron-driven upstream redials.
     next_upstream_retry: SimTime,
     /// When the last SyncRequest left, so cron can re-issue one that got
     /// lost in flight (e.g. relayed through a Nic-KV with no master link).
     sync_request_at: Option<SimTime>,
-    rng: Option<DetRng>,
+    /// Seeded from `seed` at construction, replaced by a split of the
+    /// simulation RNG in `on_start` (so actor start order matters, not OS
+    /// state). Never absent — no unwrap on the command path.
+    rng: DetRng,
     started: bool,
     /// Statistics: commands executed, replication frames sent, etc.
     pub stat_commands: u64,
@@ -216,9 +217,9 @@ impl KvServer {
             repl_id: ReplicationId::from_seed(seed ^ 0xCAFE),
             role: Role::Master,
             conns: Vec::new(),
-            by_qp: HashMap::new(),
-            by_tcp: HashMap::new(),
-            intents: HashMap::new(),
+            by_qp: DetMap::new(),
+            by_tcp: DetMap::new(),
+            intents: DetMap::new(),
             available_slaves: 0,
             lag_exceeded: false,
             crashed: false,
@@ -228,10 +229,10 @@ impl KvServer {
             nic_addr: None,
             nic_last_seen: None,
             upstream_last_seen: None,
-            reconnect_attempts: HashMap::new(),
+            reconnect_attempts: DetMap::new(),
             next_upstream_retry: SimTime::ZERO,
             sync_request_at: None,
-            rng: None,
+            rng: DetRng::new(seed ^ 0xD1CE),
             started: false,
             cfg,
             stat_commands: 0,
@@ -307,7 +308,7 @@ impl KvServer {
     }
 
     fn rng(&mut self) -> &mut DetRng {
-        self.rng.as_mut().expect("started")
+        &mut self.rng
     }
 
     // -- connection plumbing -------------------------------------------------
@@ -469,7 +470,7 @@ impl KvServer {
             return;
         }
         let attempts = {
-            let e = self.reconnect_attempts.entry(to).or_insert(0);
+            let e = self.reconnect_attempts.or_insert(to, 0);
             *e += 1;
             *e
         };
@@ -511,7 +512,12 @@ impl KvServer {
     fn connect_to(&mut self, ctx: &mut Context<'_>, to: SocketAddr) {
         let me = ctx.id();
         if self.cfg.mode.uses_rdma() {
-            let cq = self.cq.expect("cq created at start");
+            let Some(cq) = self.cq else {
+                // Dial before on_start created the CQ: surface it as a
+                // failed connect so the backoff machinery retries.
+                ctx.send(me, NetEvent::CmConnectFailed { to });
+                return;
+            };
             self.net.rdma_connect(ctx, self.node, me, cq, to);
         } else {
             self.net.tcp_connect(ctx, self.node, me, to);
@@ -897,9 +903,19 @@ impl KvServer {
         let snapshot = std::mem::take(rdb_buf);
         let start_offset = *rdb_start_offset;
         *syncing = false;
-        let loaded = {
-            let seed = self.rng().gen_u64();
-            rdb::load(self.engine.db_mut(), &snapshot, seed).expect("master sent valid RDB")
+        let seed = self.rng().gen_u64();
+        let loaded = match rdb::load(self.engine.db_mut(), &snapshot, seed) {
+            Ok(n) => n,
+            Err(_) => {
+                // Corrupt snapshot (torn transfer): restart the sync from
+                // scratch instead of taking the whole process down.
+                self.stat_conn_errors += 1;
+                if let Role::Slave { syncing, .. } = &mut self.role {
+                    *syncing = true;
+                }
+                self.send_sync_request(ctx, ReplicationPosition::unsynced());
+                return;
+            }
         };
         self.stat_full_syncs += 1;
         let cost = SimDuration::from_micros(100) + self.cfg.costs.load_per_key * loaded as u64;
@@ -1314,13 +1330,13 @@ pub fn parse_stream_frame(frame: &[u8]) -> Option<(u64, &[u8])> {
 
 impl Actor for KvServer {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
-        self.rng = Some(ctx.rng().split());
+        self.rng = ctx.rng().split();
         self.started = true;
         let me = ctx.id();
         if self.cfg.mode.uses_rdma() {
-            self.cq = Some(self.net.create_cq(me));
+            let cq = self.net.create_cq(me);
+            self.cq = Some(cq);
             self.net.rdma_listen(self.addr, me);
-            let cq = self.cq.expect("just created");
             self.net.req_notify_cq(ctx, cq);
         } else {
             self.net.tcp_listen(self.addr, me);
@@ -1465,9 +1481,10 @@ impl Actor for KvServer {
                 // Accept now; the channel (ring registration, receive
                 // posting, MR handshake) is created when CmEstablished
                 // arrives, so both sides post receives before either
-                // side's handshake SEND can land.
-                let cq = self.cq.expect("rdma mode");
-                let _qp = self.net.rdma_accept(ctx, req, cq);
+                // side's handshake SEND can land. A request without a CQ
+                // (TCP mode race) or one already answered is ignored.
+                let Some(cq) = self.cq else { return };
+                let _ = self.net.rdma_accept(ctx, req, cq);
             }
             NetEvent::CmEstablished { qp, peer } => {
                 if self.by_qp.contains_key(&qp) {

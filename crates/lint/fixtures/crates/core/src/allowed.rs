@@ -1,0 +1,10 @@
+//! Fixture: properly justified escape hatches — must scan clean.
+
+use std::collections::HashMap; // skv-lint: allow(hashmap) -- fixture: never iterated, keyed lookups only
+
+fn f(q: &mut Vec<u8>) -> u8 {
+    let m: HashMap<u8, u8> = HashMap::new(); // skv-lint: allow(hashmap) -- fixture: local, drained sorted
+    // skv-lint: allow(unwrap) -- fixture: caller guarantees non-empty
+    let v = q.pop().unwrap();
+    v + m.len() as u8
+}

@@ -1,0 +1,8 @@
+//! Fixture: malformed escape hatches are themselves violations.
+
+use std::collections::HashMap; // skv-lint: allow(hashmap)
+
+fn f() -> usize {
+    let m: HashMap<u8, u8> = HashMap::new(); // skv-lint: allow(nosuchrule) -- typo'd rule name
+    m.len()
+}

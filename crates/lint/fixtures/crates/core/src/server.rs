@@ -1,0 +1,10 @@
+//! Fixture: rule `unwrap` violations on a protocol hot-path file.
+
+fn f(q: &mut Vec<u8>) -> u8 {
+    let first = q.pop().unwrap();
+    let second = q.pop().expect("queue drained");
+    // These must NOT match: combinators are fine on hot paths.
+    let third = q.pop().unwrap_or(0);
+    let fourth = q.pop().unwrap_or_default();
+    first + second + third + fourth
+}

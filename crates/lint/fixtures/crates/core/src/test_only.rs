@@ -1,0 +1,18 @@
+//! Fixture: violations confined to `#[cfg(test)]` — must scan clean.
+
+fn prod(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn t() {
+        let mut m = HashMap::new();
+        m.insert(1u8, 2u8);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+        assert_eq!(super::prod(Some(3)), 3);
+    }
+}

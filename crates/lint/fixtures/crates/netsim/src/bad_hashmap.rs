@@ -1,0 +1,9 @@
+//! Fixture: rule `hashmap` violations in a simulation crate.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn f() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+    let _ = (m, s);
+}

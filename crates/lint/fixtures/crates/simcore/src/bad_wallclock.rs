@@ -1,0 +1,8 @@
+//! Fixture: rule `wallclock` violations in a simulation crate.
+
+fn f() {
+    let _t = std::time::Instant::now();
+    let _s = std::time::SystemTime::now();
+    std::thread::spawn(|| {});
+    let _r = rand::thread_rng();
+}

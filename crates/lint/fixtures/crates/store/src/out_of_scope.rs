@@ -1,0 +1,11 @@
+//! Fixture: `store` is not a simulation crate — HashMap is allowed
+//! (its iteration order never feeds the event loop) and must not fire.
+
+use std::collections::HashMap;
+
+fn f() -> HashMap<u8, u8> {
+    let mut m = HashMap::new();
+    m.insert(1, 2);
+    m.unwrap_like(); // not a hot-path file, unwrap rule does not apply
+    m
+}

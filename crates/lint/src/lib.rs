@@ -1,0 +1,587 @@
+//! # skv-lint — workspace determinism & protocol-invariant checker
+//!
+//! The SKV reproduction's value rests on bit-for-bit determinism: every
+//! figure is regenerated from seeds, and a single `HashMap` iteration or
+//! wall-clock read can silently break that. This crate is a purpose-built
+//! static checker — zero dependencies, plain file-walking plus line/token
+//! scanning — that enforces the repo-specific rules `clippy` cannot express:
+//!
+//! * **`hashmap`** — no `std::collections::HashMap`/`HashSet` in the
+//!   simulation crates (`netsim`, `simcore`, `core`). Their iteration
+//!   order is seeded from the OS (`RandomState`), so any iteration leaks
+//!   nondeterminism into event order. Use `BTreeMap`/`BTreeSet` or the
+//!   [`skv_netsim::DetMap`]/`DetSet` wrappers.
+//! * **`wallclock`** — no `Instant::now`, `SystemTime`, `thread::spawn`
+//!   or `thread_rng` in simulation code. Time comes from the event loop
+//!   (`Context::now`) and randomness from `DetRng` splits.
+//! * **`unwrap`** — no `.unwrap()` / `.expect(...)` on the protocol hot
+//!   paths (`core::server`, `core::client`, `core::channel`,
+//!   `netsim::rdma`, `netsim::tcp`). A malformed frame or stale
+//!   completion must become a typed error, not a panic that takes down
+//!   the whole simulated cluster.
+//!
+//! Escape hatch: a justified exception is written as
+//!
+//! ```text
+//! // skv-lint: allow(hashmap) -- iteration order irrelevant: drained into a sorted Vec
+//! ```
+//!
+//! on the offending line or the line directly above it. The reason after
+//! `--` is mandatory; an allow without one is itself a violation
+//! (`allow-syntax`), keeping every exception self-documenting.
+//!
+//! Test code is exempt everywhere: `#[cfg(test)]` modules are skipped by
+//! brace tracking, and `tests/` / `benches/` directories are never
+//! scanned. Line comments, block comments and string literals are
+//! stripped before token matching, so prose about `HashMap` is fine.
+//!
+//! The binary (`cargo run -p skv-lint`) walks `crates/` under the
+//! workspace root, prints `file:line: rule(<name>): <message>` for every
+//! violation, and exits non-zero when any are found. The mechanically
+//! expressible subset of these rules is mirrored into `clippy.toml`
+//! (`disallowed-types` / `disallowed-methods`) so plain `cargo clippy`
+//! catches the common cases workspace-wide; skv-lint adds the
+//! path-scoping, the unwrap rule and the reasoned escape hatch.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` trees are simulation code (rules `hashmap` and
+/// `wallclock` apply).
+const SIM_CRATE_PREFIXES: [&str; 3] = [
+    "crates/netsim/src/",
+    "crates/simcore/src/",
+    "crates/core/src/",
+];
+
+/// Protocol hot-path files (rule `unwrap` applies).
+const HOT_PATH_FILES: [&str; 5] = [
+    "crates/core/src/server.rs",
+    "crates/core/src/client.rs",
+    "crates/core/src/channel.rs",
+    "crates/netsim/src/rdma.rs",
+    "crates/netsim/src/tcp.rs",
+];
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 5] = ["target", "fixtures", "tests", "benches", ".git"];
+
+/// All rule names, for `allow(...)` validation and `--help`.
+pub const RULES: [&str; 3] = ["hashmap", "wallclock", "unwrap"];
+
+/// One diagnostic: a rule violated at a specific file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name (`hashmap`, `wallclock`, `unwrap`, or `allow-syntax`).
+    pub rule: &'static str,
+    /// Human-readable explanation with the offending token.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: rule({}): {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A token pattern belonging to a rule.
+struct Pattern {
+    needle: &'static str,
+    /// Require identifier boundaries around the match (so `DetHashMap`
+    /// or `unwrap_or` never match).
+    ident: bool,
+    rule: &'static str,
+    message: &'static str,
+}
+
+const PATTERNS: [Pattern; 8] = [
+    Pattern {
+        needle: "HashMap",
+        ident: true,
+        rule: "hashmap",
+        message: "std HashMap iterates in nondeterministic order in sim code; \
+                  use BTreeMap or skv_netsim::DetMap",
+    },
+    Pattern {
+        needle: "HashSet",
+        ident: true,
+        rule: "hashmap",
+        message: "std HashSet iterates in nondeterministic order in sim code; \
+                  use BTreeSet or skv_netsim::DetSet",
+    },
+    Pattern {
+        needle: "Instant::now",
+        ident: true,
+        rule: "wallclock",
+        message: "wall-clock read in sim code; take time from Context::now()",
+    },
+    Pattern {
+        needle: "SystemTime",
+        ident: true,
+        rule: "wallclock",
+        message: "wall-clock read in sim code; take time from Context::now()",
+    },
+    Pattern {
+        needle: "thread::spawn",
+        ident: true,
+        rule: "wallclock",
+        message: "OS threads break deterministic replay; model concurrency as actors",
+    },
+    Pattern {
+        needle: "thread_rng",
+        ident: true,
+        rule: "wallclock",
+        message: "OS-seeded randomness in sim code; split a DetRng instead",
+    },
+    Pattern {
+        needle: ".unwrap()",
+        ident: false,
+        rule: "unwrap",
+        message: "unwrap() on a protocol hot path; convert to a typed error \
+                  or completion-with-error",
+    },
+    Pattern {
+        needle: ".expect(",
+        ident: false,
+        rule: "unwrap",
+        message: "expect() on a protocol hot path; convert to a typed error \
+                  or completion-with-error",
+    },
+];
+
+/// Which rule families apply to a workspace-relative path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scope {
+    sim: bool,
+    hot: bool,
+}
+
+fn scope_of(rel: &str) -> Scope {
+    Scope {
+        sim: SIM_CRATE_PREFIXES.iter().any(|p| rel.starts_with(p)),
+        hot: HOT_PATH_FILES.contains(&rel),
+    }
+}
+
+fn rule_applies(rule: &str, scope: Scope) -> bool {
+    match rule {
+        "hashmap" | "wallclock" => scope.sim,
+        "unwrap" => scope.hot,
+        _ => false,
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Find `needle` in `haystack` respecting identifier boundaries when
+/// `ident` is set. Returns the byte offset of the first match.
+fn find_token(haystack: &str, needle: &str, ident: bool) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let pos = from + pos;
+        if !ident {
+            return Some(pos);
+        }
+        let before_ok = haystack[..pos]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !is_ident_char(c));
+        let after_ok = haystack[pos + needle.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !is_ident_char(c));
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        from = pos + needle.len();
+    }
+    None
+}
+
+/// An `// skv-lint: allow(rule, ...) -- reason` directive parsed from a
+/// raw source line.
+#[derive(Debug, Default, Clone)]
+struct AllowDirective {
+    rules: Vec<String>,
+    /// `Some(msg)` when the directive is malformed.
+    error: Option<&'static str>,
+    /// True when the directive is the only thing on its line, so it
+    /// applies to the *next* line instead of its own.
+    standalone: bool,
+}
+
+const ALLOW_MARKER: &str = "skv-lint: allow(";
+
+/// Parse a directive from a line comment (`comment` starts at `//`).
+/// Doc comments (`///`, `//!`) are prose and never carry directives, so
+/// the checker's own documentation can discuss the syntax freely.
+fn parse_allow(comment: &str, standalone: bool) -> Option<AllowDirective> {
+    if comment.starts_with("///") || comment.starts_with("//!") {
+        return None;
+    }
+    let marker = comment.find(ALLOW_MARKER)?;
+    let rest = &comment[marker + ALLOW_MARKER.len()..];
+    let Some(close) = rest.find(')') else {
+        return Some(AllowDirective {
+            error: Some("unterminated allow(...) directive"),
+            standalone,
+            ..Default::default()
+        });
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() || rules.iter().any(|r| !RULES.contains(&r.as_str())) {
+        return Some(AllowDirective {
+            error: Some("allow(...) must name known rules: hashmap, wallclock, unwrap"),
+            standalone,
+            ..Default::default()
+        });
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason_ok = after
+        .strip_prefix("--")
+        .is_some_and(|r| !r.trim().is_empty());
+    if !reason_ok {
+        return Some(AllowDirective {
+            error: Some("allow(...) requires a justification: `-- <reason>`"),
+            standalone,
+            ..Default::default()
+        });
+    }
+    Some(AllowDirective {
+        rules,
+        error: None,
+        standalone,
+    })
+}
+
+/// Per-file scanner state that survives across lines.
+#[derive(Default)]
+struct ScanState {
+    /// Nesting depth of `/* ... */` block comments.
+    block_comment_depth: usize,
+    /// `Some(depth)` while inside a `#[cfg(test)]` item's braces.
+    test_skip_depth: Option<usize>,
+    /// A `#[cfg(test)]` attribute was seen; waiting for `{` or `;`.
+    awaiting_test_open: bool,
+}
+
+/// Strip comments and string/char-literal contents from one line,
+/// replacing them with spaces so byte offsets are preserved. Tracks
+/// block-comment state across lines and returns the byte offset of a
+/// genuine `//` line comment (outside strings and block comments), so
+/// directive parsing never fires on string literals. Raw strings are not
+/// handled (none in this workspace); the self-test fixtures pin current
+/// behaviour.
+fn sanitize(line: &str, state: &mut ScanState) -> (String, Option<usize>) {
+    // Char literals that would confuse the quote/brace tracking below.
+    let line = line
+        .replace("'\"'", "' '")
+        .replace("'{'", "' '")
+        .replace("'}'", "' '")
+        .replace("'\\''", "'  '");
+    let bytes = line.as_bytes();
+    let mut out = vec![b' '; bytes.len()];
+    let mut comment_at = None;
+    let mut i = 0;
+    let mut in_string = false;
+    while i < bytes.len() {
+        if state.block_comment_depth > 0 {
+            if bytes[i..].starts_with(b"*/") {
+                state.block_comment_depth -= 1;
+                i += 2;
+            } else if bytes[i..].starts_with(b"/*") {
+                state.block_comment_depth += 1;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if in_string {
+            if bytes[i] == b'\\' {
+                i += 2; // skip the escaped char
+                continue;
+            }
+            if bytes[i] == b'"' {
+                in_string = false;
+            }
+            i += 1;
+            continue;
+        }
+        match bytes[i] {
+            b'"' => {
+                in_string = true;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                comment_at = Some(i);
+                break; // line comment: rest of the line is prose
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                state.block_comment_depth += 1;
+                i += 2;
+            }
+            b => {
+                out[i] = b;
+                i += 1;
+            }
+        }
+    }
+    (String::from_utf8_lossy(&out).into_owned(), comment_at)
+}
+
+/// Scan one file's contents; `rel` is the workspace-relative path used
+/// both for scoping and for diagnostics.
+pub fn check_source(rel: &str, contents: &str) -> Vec<Violation> {
+    let scope = scope_of(rel);
+    let mut out = Vec::new();
+    let mut state = ScanState::default();
+    // Rules allowed on the *next* line by a standalone directive.
+    let mut pending_allow: Vec<String> = Vec::new();
+
+    for (idx, raw) in contents.lines().enumerate() {
+        let lineno = idx + 1;
+        let (code, comment_at) = sanitize(raw, &mut state);
+        let allow = comment_at.and_then(|at| {
+            parse_allow(&raw[at..], raw[..at].trim().is_empty())
+        });
+        let trimmed = code.trim();
+
+        // --- #[cfg(test)] skipping -----------------------------------
+        if let Some(depth) = &mut state.test_skip_depth {
+            *depth += code.matches('{').count();
+            let closes = code.matches('}').count();
+            *depth = depth.saturating_sub(closes);
+            if *depth == 0 {
+                state.test_skip_depth = None;
+            }
+            pending_allow.clear();
+            continue;
+        }
+        if state.awaiting_test_open {
+            let opens = code.matches('{').count();
+            if opens > 0 {
+                let depth = opens.saturating_sub(code.matches('}').count());
+                state.awaiting_test_open = false;
+                if depth > 0 {
+                    state.test_skip_depth = Some(depth);
+                }
+            } else if code.contains(';') {
+                // Single-item attribute (`#[cfg(test)] use ...;`).
+                state.awaiting_test_open = false;
+            }
+            pending_allow.clear();
+            continue;
+        }
+        if trimmed.starts_with("#[cfg(test)]") {
+            state.awaiting_test_open = true;
+            pending_allow.clear();
+            continue;
+        }
+
+        // --- allow directives ----------------------------------------
+        let mut line_allows: Vec<String> = std::mem::take(&mut pending_allow);
+        if let Some(d) = allow {
+            if let Some(err) = d.error {
+                // Only meaningful where some rule could be suppressed.
+                if scope.sim || scope.hot {
+                    out.push(Violation {
+                        file: rel.to_string(),
+                        line: lineno,
+                        rule: "allow-syntax",
+                        message: err.to_string(),
+                    });
+                }
+            } else if d.standalone {
+                pending_allow = d.rules;
+                continue;
+            } else {
+                line_allows.extend(d.rules);
+            }
+        }
+
+        // --- token matching ------------------------------------------
+        for p in &PATTERNS {
+            if !rule_applies(p.rule, scope) {
+                continue;
+            }
+            if line_allows.iter().any(|r| r == p.rule) {
+                continue;
+            }
+            if find_token(&code, p.needle, p.ident).is_some() {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: p.rule,
+                    message: format!("`{}`: {}", p.needle.trim_start_matches('.'), p.message),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort(); // deterministic diagnostic order
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Check every non-test `.rs` file under `<root>/crates/`.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let crates = root.join("crates");
+    if !crates.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{} is not a workspace root (no crates/)", root.display()),
+        ));
+    }
+    let mut files = Vec::new();
+    walk(&crates, &mut files)?;
+    let mut out = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let contents = fs::read_to_string(&path)?;
+        out.extend(check_source(&rel, &contents));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_boundaries() {
+        assert!(find_token("use std::collections::HashMap;", "HashMap", true).is_some());
+        assert!(find_token("DetHashMap", "HashMap", true).is_none());
+        assert!(find_token("HashMapLike", "HashMap", true).is_none());
+        assert!(find_token("x.unwrap()", ".unwrap()", false).is_some());
+        assert!(find_token("x.unwrap_or(0)", ".unwrap()", false).is_none());
+    }
+
+    #[test]
+    fn strings_and_comments_are_ignored() {
+        let v = check_source(
+            "crates/core/src/server.rs",
+            "fn f() { let s = \"call .unwrap() here\"; } // .unwrap()\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn scope_excludes_other_crates() {
+        let v = check_source(
+            "crates/store/src/dict.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn allow_requires_reason() {
+        let src = "use std::collections::HashMap; // skv-lint: allow(hashmap)\n";
+        let v = check_source("crates/core/src/server.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}"); // malformed allow + the violation
+        assert!(v.iter().any(|x| x.rule == "allow-syntax"));
+        assert!(v.iter().any(|x| x.rule == "hashmap"));
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_same_line_and_next_line() {
+        let same = "use std::collections::HashMap; // skv-lint: allow(hashmap) -- doc example\n";
+        assert!(check_source("crates/core/src/server.rs", same).is_empty());
+        let next = "// skv-lint: allow(unwrap) -- invariant: queue non-empty\nq.pop().unwrap();\n";
+        assert!(check_source("crates/core/src/server.rs", next).is_empty());
+        // ...but only the next line, not the one after.
+        let stale =
+            "// skv-lint: allow(unwrap) -- reason\nlet x = 1;\nq.pop().unwrap();\n";
+        assert_eq!(check_source("crates/core/src/server.rs", stale).len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_skipped() {
+        let src = "\
+fn prod() {}
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() { let m: HashMap<u8, u8> = HashMap::new(); assert!(m.is_empty()); }
+}
+";
+        assert!(check_source("crates/netsim/src/fabric.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_cfg_test_block_is_scanned() {
+        let src = "\
+#[cfg(test)]
+mod tests { fn t() {} }
+use std::collections::HashMap;
+";
+        let v = check_source("crates/netsim/src/fabric.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let src = "/*\n .unwrap() HashMap\n*/\nfn f() {}\n";
+        assert!(check_source("crates/core/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wallclock_tokens() {
+        let v = check_source(
+            "crates/simcore/src/engine.rs",
+            "let t = std::time::Instant::now();\nstd::thread::spawn(|| {});\n",
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "wallclock"));
+    }
+}

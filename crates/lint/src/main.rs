@@ -1,0 +1,92 @@
+//! Command-line entry point for `skv-lint`.
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+skv-lint: workspace determinism & protocol-invariant checker
+
+USAGE:
+    cargo run -p skv-lint [-- --root <dir>]
+
+Checks every non-test .rs file under <root>/crates/ for:
+    hashmap    std HashMap/HashSet in simulation crates (netsim, simcore, core)
+    wallclock  Instant::now / SystemTime / thread::spawn / thread_rng in sim code
+    unwrap     .unwrap() / .expect( on protocol hot paths
+
+Suppress a finding with a justified directive on (or directly above) the line:
+    // skv-lint: allow(<rule>) -- <reason>
+
+Without --root, the workspace root is located by walking up from the
+current directory to the first Cargo.toml containing [workspace].
+";
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("skv-lint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("skv-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(root) = root.or_else(find_workspace_root) else {
+        eprintln!("skv-lint: could not locate a workspace root (pass --root <dir>)");
+        return ExitCode::from(2);
+    };
+
+    match skv_lint::check_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("skv-lint: clean ({} rules enforced)", skv_lint::RULES.len());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!(
+                "skv-lint: {} violation{} found",
+                violations.len(),
+                if violations.len() == 1 { "" } else { "s" },
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("skv-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Fixture-driven self-tests: run the checker over a miniature workspace
+//! containing deliberate violations and assert the exact diagnostics, then
+//! assert the real workspace scans clean (the acceptance gate itself).
+
+use std::path::Path;
+
+use skv_lint::{check_workspace, Violation};
+
+fn fixture_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures"))
+}
+
+fn by_file<'a>(violations: &'a [Violation], file: &str) -> Vec<&'a Violation> {
+    violations.iter().filter(|v| v.file == file).collect()
+}
+
+#[test]
+fn fixtures_produce_expected_diagnostics() {
+    let violations = check_workspace(fixture_root()).expect("fixture walk");
+
+    let hashmap = by_file(&violations, "crates/netsim/src/bad_hashmap.rs");
+    assert_eq!(
+        hashmap.iter().map(|v| v.line).collect::<Vec<_>>(),
+        vec![2, 3, 6, 7],
+        "{hashmap:?}"
+    );
+    assert!(hashmap.iter().all(|v| v.rule == "hashmap"));
+
+    let wallclock = by_file(&violations, "crates/simcore/src/bad_wallclock.rs");
+    assert_eq!(
+        wallclock.iter().map(|v| v.line).collect::<Vec<_>>(),
+        vec![4, 5, 6, 7],
+        "{wallclock:?}"
+    );
+    assert!(wallclock.iter().all(|v| v.rule == "wallclock"));
+
+    let unwrap = by_file(&violations, "crates/core/src/server.rs");
+    assert_eq!(
+        unwrap.iter().map(|v| v.line).collect::<Vec<_>>(),
+        vec![4, 5],
+        "{unwrap:?}"
+    );
+    assert!(unwrap.iter().all(|v| v.rule == "unwrap"));
+
+    // A reason-less (or typo'd) allow is flagged AND does not suppress
+    // the underlying finding.
+    let bad_allow = by_file(&violations, "crates/core/src/bad_allow.rs");
+    let rules: Vec<_> = bad_allow.iter().map(|v| (v.line, v.rule)).collect();
+    assert_eq!(
+        rules,
+        vec![
+            (3, "allow-syntax"),
+            (3, "hashmap"),
+            (6, "allow-syntax"),
+            (6, "hashmap"),
+        ],
+        "{bad_allow:?}"
+    );
+
+    // Justified allows, cfg(test) code and out-of-scope crates are clean.
+    for clean in [
+        "crates/core/src/allowed.rs",
+        "crates/core/src/test_only.rs",
+        "crates/store/src/out_of_scope.rs",
+    ] {
+        assert!(
+            by_file(&violations, clean).is_empty(),
+            "{clean} should be clean: {:?}",
+            by_file(&violations, clean)
+        );
+    }
+
+    assert_eq!(violations.len(), 14, "{violations:?}");
+}
+
+#[test]
+fn diagnostics_render_as_file_line_rule() {
+    let violations = check_workspace(fixture_root()).expect("fixture walk");
+    let first = violations
+        .iter()
+        .find(|v| v.file == "crates/netsim/src/bad_hashmap.rs")
+        .expect("hashmap fixture diagnostic");
+    let rendered = first.to_string();
+    assert!(
+        rendered.starts_with("crates/netsim/src/bad_hashmap.rs:2: rule(hashmap): "),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let violations = check_workspace(root).expect("workspace walk");
+    assert!(
+        violations.is_empty(),
+        "skv-lint found violations in the real workspace:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -11,12 +11,13 @@
 //! simulation.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use skv_simcore::stats::Counters;
 use skv_simcore::{Actor, ActorId, Context, DetRng, Payload, SimDuration, SimTime, Simulation};
 
+use crate::det::DetMap;
 use crate::faults::{FaultPlan, Verdict};
 use crate::params::NetParams;
 use crate::topology::{NodeKind, Topology};
@@ -112,9 +113,9 @@ pub(crate) struct NetInner {
     pub(crate) node_up: Vec<bool>,
     /// Per-node egress serialization: instant the NIC's TX port frees up.
     pub(crate) egress_free: Vec<SimTime>,
-    pub(crate) tcp_listeners: HashMap<SocketAddr, ActorId>,
+    pub(crate) tcp_listeners: DetMap<SocketAddr, ActorId>,
     pub(crate) tcp_conns: Vec<TcpConnState>,
-    pub(crate) cm_listeners: HashMap<SocketAddr, ActorId>,
+    pub(crate) cm_listeners: DetMap<SocketAddr, ActorId>,
     pub(crate) cm_requests: Vec<Option<CmRequest>>,
     pub(crate) qps: Vec<QpState>,
     pub(crate) cqs: Vec<CqState>,
@@ -136,9 +137,9 @@ impl NetInner {
             fabric_actor: ActorId::SYSTEM,
             node_up: vec![true; n],
             egress_free: vec![SimTime::ZERO; n],
-            tcp_listeners: HashMap::new(),
+            tcp_listeners: DetMap::new(),
             tcp_conns: Vec::new(),
-            cm_listeners: HashMap::new(),
+            cm_listeners: DetMap::new(),
             cm_requests: Vec::new(),
             qps: Vec::new(),
             cqs: Vec::new(),

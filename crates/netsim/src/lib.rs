@@ -18,7 +18,10 @@
 //! and receive [`NetEvent`] messages back through the simulation queue.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
+mod det;
 mod fabric;
 mod faults;
 mod params;
@@ -27,10 +30,11 @@ mod tcp;
 mod topology;
 mod types;
 
+pub use det::{DetMap, DetSet};
 pub use fabric::{Net, RNR_WR_ID};
 pub use faults::{FaultPlan, LinkFault, Partition, TimeWindow, Verdict};
 pub use params::{MachineParams, NetParams};
-pub use rdma::PostError;
+pub use rdma::{CmError, PostError};
 pub use topology::{NodeKind, Topology};
 pub use types::{
     CmReqId, CqId, MrId, NetEvent, NodeId, QpId, SendOp, SendWr, SocketAddr, TcpConnId, Wc,

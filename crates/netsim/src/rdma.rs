@@ -42,6 +42,13 @@ pub enum PostError {
     QpError,
 }
 
+/// Why answering an RDMA_CM connection request failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmError {
+    /// The request token was already accepted or rejected (stale event).
+    AlreadyAnswered,
+}
+
 impl Net {
     /// Create a completion queue owned by `owner`.
     pub fn create_cq(&self, owner: ActorId) -> CqId {
@@ -160,13 +167,18 @@ impl Net {
     /// Both sides receive [`NetEvent::CmEstablished`] once the handshake
     /// completes.
     ///
-    /// # Panics
-    /// Panics if the request token has already been answered.
-    pub fn rdma_accept(&self, ctx: &mut Context<'_>, req: CmReqId, cq: CqId) -> QpId {
+    /// Answering a request that was already accepted or rejected returns
+    /// [`CmError::AlreadyAnswered`] instead of creating anything.
+    pub fn rdma_accept(
+        &self,
+        ctx: &mut Context<'_>,
+        req: CmReqId,
+        cq: CqId,
+    ) -> Result<QpId, CmError> {
         let mut inner = self.inner.borrow_mut();
         let request = inner.cm_requests[req.0 as usize]
             .take()
-            .expect("CM request already answered");
+            .ok_or(CmError::AlreadyAnswered)?;
         let half = inner.params.connect_latency / 2;
         let acceptor = ctx.id();
         let acceptor_node = request.listener_addr.node;
@@ -215,15 +227,18 @@ impl Net {
                 peer: request.from_addr,
             },
         );
-        acceptor_qp
+        Ok(acceptor_qp)
     }
 
     /// Reject a pending connection request.
-    pub fn rdma_reject(&self, ctx: &mut Context<'_>, req: CmReqId) {
+    ///
+    /// Answering a request that was already accepted or rejected returns
+    /// [`CmError::AlreadyAnswered`].
+    pub fn rdma_reject(&self, ctx: &mut Context<'_>, req: CmReqId) -> Result<(), CmError> {
         let mut inner = self.inner.borrow_mut();
         let request = inner.cm_requests[req.0 as usize]
             .take()
-            .expect("CM request already answered");
+            .ok_or(CmError::AlreadyAnswered)?;
         let half = inner.params.connect_latency / 2;
         ctx.send_in(
             half,
@@ -232,6 +247,7 @@ impl Net {
                 to: request.listener_addr,
             },
         );
+        Ok(())
     }
 
     /// Post a receive work request (a buffer slot for `Send`/`WriteImm`).

@@ -49,17 +49,19 @@ impl Net {
     ) {
         let mut inner = self.inner.borrow_mut();
         let handshake = inner.params.connect_latency;
-        let reachable =
-            inner.up(from_node) && inner.up(to.node) && inner.tcp_listeners.contains_key(&to);
+        let listener = inner.tcp_listeners.get(&to).copied();
+        let reachable = inner.up(from_node) && inner.up(to.node) && listener.is_some();
         let judged = inner.judge(ctx.now(), from_node, to.node);
-        if !reachable || judged == Verdict::Drop {
-            if reachable {
-                inner.counters.inc("faults.tcp_connect_dropped");
+        let listener = match listener {
+            Some(l) if reachable && judged != Verdict::Drop => l,
+            _ => {
+                if reachable {
+                    inner.counters.inc("faults.tcp_connect_dropped");
+                }
+                ctx.send_in(handshake, from_actor, NetEvent::TcpConnectFailed { to });
+                return;
             }
-            ctx.send_in(handshake, from_actor, NetEvent::TcpConnectFailed { to });
-            return;
-        }
-        let listener = inner.tcp_listeners[&to];
+        };
         let local_port = inner.alloc_ephemeral();
         let local_addr = SocketAddr::new(from_node, local_port);
 

@@ -56,7 +56,7 @@ fn establish(
             NetEvent::CmConnectRequest { req, .. } => {
                 let cq = net.create_cq(ctx.id());
                 *scq.borrow_mut() = Some(cq);
-                let qp = net.rdma_accept(ctx, req, cq);
+                let qp = net.rdma_accept(ctx, req, cq).expect("fresh CM request");
                 for i in 0..server_recvs {
                     net.post_recv(qp, 1000 + i as u64).unwrap();
                 }
@@ -342,7 +342,7 @@ fn rejected_connection_reports_failure() {
     let server = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
         if let Ok(ev) = msg.downcast::<NetEvent>() {
             if let NetEvent::CmConnectRequest { req, .. } = *ev {
-                net.rdma_reject(ctx, req);
+                net.rdma_reject(ctx, req).expect("fresh CM request");
             }
         }
     })));

@@ -351,6 +351,8 @@ fn reverse_increment(v: u64) -> u64 {
 }
 
 #[cfg(test)]
+// Test-only HashSet: checks *what* iteration yields, never its order.
+#[allow(clippy::disallowed_types)]
 mod tests {
     use super::*;
 

@@ -62,6 +62,8 @@ pub fn siphash13(data: &[u8]) -> u64 {
 }
 
 #[cfg(test)]
+// Test-only HashSet: checks *what* iteration yields, never its order.
+#[allow(clippy::disallowed_types)]
 mod tests {
     use super::*;
     use std::collections::HashSet;

@@ -30,6 +30,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 pub mod backlog;
 pub mod cmd;

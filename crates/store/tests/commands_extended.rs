@@ -2,6 +2,9 @@
 //! scans, set algebra, sorted-set range deletions, and the string/keyspace
 //! extensions.
 
+// Test-only HashSet: checks *what* iteration yields, never its order.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::HashSet;
 
 use skv_store::engine::Engine;

@@ -1,6 +1,9 @@
 //! Property-based tests: the from-scratch data structures must agree with
 //! std-library models under arbitrary operation sequences.
 
+// HashMap is the *model* here (Dict ≡ HashMap); order is never compared.
+#![allow(clippy::disallowed_types)]
+
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 

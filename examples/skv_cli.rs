@@ -78,6 +78,8 @@ fn render(reply: &Resp, indent: usize) -> String {
 fn main() {
     let mut engine = Engine::new(0xC11);
     // A wall-clock-ish monotonic ms counter so TTLs behave naturally.
+    // Interactive CLI, not simulation code: wall clock is the point.
+    #[allow(clippy::disallowed_methods)]
     let start = std::time::Instant::now();
 
     println!("skv-cli — embedded skv-store engine ({} commands)", skv_store::cmd::COMMANDS.len());

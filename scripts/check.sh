@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Full local gate: everything CI would run.
 #
-#   scripts/check.sh          # tests + clippy
+#   scripts/check.sh          # skv-lint + tests + clippy
 #
 # Fails on the first red step.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> skv-lint (determinism & protocol invariants)"
+cargo run -q -p skv-lint
 
 echo "==> cargo test --workspace"
 cargo test -q --workspace

@@ -1,0 +1,127 @@
+//! Cross-run determinism regression: the property every figure in the
+//! paper reproduction rests on. One arm executed twice with the same seed
+//! must produce *bit-for-bit* identical output — same op counts, same
+//! latency percentiles, same per-bucket throughput series, same chaos
+//! counters, same final keyspace digests. A single stray `HashMap`
+//! iteration or wall-clock read anywhere in the stack breaks this test
+//! (and `skv-lint` / `clippy.toml` exist to catch those statically; this
+//! is the dynamic backstop).
+
+use skv_core::cluster::{ChaosSpec, Cluster, RunSpec};
+use skv_core::config::{ClusterConfig, Mode};
+use skv_core::metrics::RunReport;
+use skv_simcore::SimDuration;
+
+/// FNV-1a over every observable byte of a run. Hand-rolled so the test
+/// depends on nothing but the report itself.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        // Bit-exact: determinism means the same bits, not "close enough".
+        self.u64(v.to_bits());
+    }
+}
+
+/// Fold a full run (report + replica keyspaces) into one digest.
+fn run_digest(report: &RunReport, keyspaces: &[u64]) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(report.ops);
+    h.u64(report.errors);
+    h.f64(report.throughput_kops);
+    h.f64(report.avg_latency_us);
+    h.f64(report.p50_latency_us);
+    h.f64(report.p95_latency_us);
+    h.f64(report.p99_latency_us);
+    for p in &report.series {
+        h.u64(p.time.as_nanos());
+        h.u64(p.count);
+        h.f64(p.rate_per_sec);
+    }
+    for (name, value) in report.chaos.iter() {
+        h.bytes(name.as_bytes());
+        h.u64(value);
+    }
+    for &d in keyspaces {
+        h.u64(d);
+    }
+    h.0
+}
+
+/// Compressed-time arm, sized to stay inside the tier-1 budget.
+fn arm(mode: Mode, seed: u64) -> RunSpec {
+    let mut cfg = ClusterConfig::for_mode(mode);
+    cfg.num_slaves = 2;
+    cfg.probe_interval = SimDuration::from_millis(200);
+    cfg.reconnect_base = SimDuration::from_millis(5);
+    cfg.client_retry_timeout = SimDuration::from_millis(100);
+    RunSpec {
+        cfg,
+        num_clients: 2,
+        pipeline: 1,
+        set_ratio: 0.5,
+        value_size: 64,
+        key_space: 500,
+        warmup: SimDuration::from_millis(50),
+        measure: SimDuration::from_millis(150),
+        seed,
+    }
+}
+
+fn execute(spec: RunSpec, chaos: Option<&ChaosSpec>) -> u64 {
+    let mut cluster = Cluster::build(spec);
+    if let Some(chaos) = chaos {
+        cluster.apply_chaos(chaos);
+    }
+    let report = cluster.run();
+    let digests = cluster.keyspace_digests();
+    run_digest(&report, &digests)
+}
+
+#[test]
+fn same_seed_same_bits_skv() {
+    let a = execute(arm(Mode::Skv, 0xD00D), None);
+    let b = execute(arm(Mode::Skv, 0xD00D), None);
+    assert_eq!(a, b, "identical SKV runs diverged: {a:#018x} vs {b:#018x}");
+}
+
+#[test]
+fn same_seed_same_bits_tcp_baseline() {
+    let a = execute(arm(Mode::TcpRedis, 0xBEEF), None);
+    let b = execute(arm(Mode::TcpRedis, 0xBEEF), None);
+    assert_eq!(a, b, "identical TCP runs diverged: {a:#018x} vs {b:#018x}");
+}
+
+#[test]
+fn same_seed_same_bits_under_chaos() {
+    let chaos = ChaosSpec {
+        loss_prob: 0.02,
+        delay_prob: 0.05,
+        delay: SimDuration::from_micros(300),
+        seed: 7,
+        ..Default::default()
+    };
+    let a = execute(arm(Mode::Skv, 0xFACE), Some(&chaos));
+    let b = execute(arm(Mode::Skv, 0xFACE), Some(&chaos));
+    assert_eq!(a, b, "identical chaos runs diverged: {a:#018x} vs {b:#018x}");
+}
+
+#[test]
+fn different_seeds_actually_differ() {
+    // Guards against the digest degenerating into a constant.
+    let a = execute(arm(Mode::Skv, 1), None);
+    let b = execute(arm(Mode::Skv, 2), None);
+    assert_ne!(a, b, "digest ignores the seed (constant hash?)");
+}

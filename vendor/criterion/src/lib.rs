@@ -7,6 +7,9 @@
 //! upstream's statistical machinery. Good enough to compare orders of
 //! magnitude and catch gross regressions; not a statistics suite.
 
+// Vendored benchmark harness: measuring wall-clock time is its job.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
