@@ -1,0 +1,65 @@
+//! Wall-clock: TCP frame reassembly in the channel layer — the host-side
+//! byte-shuffling the zero-copy frame pipeline is meant to eliminate.
+//! Two delivery patterns: one big burst (everything in one segment) and
+//! MSS-sized segments (partial frames straddle segment boundaries).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use skv_bench::wallclock::smoke;
+use skv_core::channel::Channel;
+use skv_netsim::{Frame, TcpConnId};
+use std::time::Duration;
+
+const PAYLOAD: usize = 4096;
+const MSS: usize = 1460;
+
+fn wire(frames: usize) -> Vec<u8> {
+    let payload = vec![0xA5u8; PAYLOAD];
+    let mut wire = Vec::with_capacity(frames * (PAYLOAD + 8));
+    for tag in 0..frames as u32 {
+        wire.extend_from_slice(&tag.to_le_bytes());
+        wire.extend_from_slice(&(PAYLOAD as u32).to_le_bytes());
+        wire.extend_from_slice(&payload);
+    }
+    wire
+}
+
+fn channel(c: &mut Criterion) {
+    let frames = if smoke() { 64 } else { 512 };
+    let wire = Frame::from(wire(frames));
+
+    let mut g = c.benchmark_group("channel");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("tcp-reassembly-burst", |b| {
+        b.iter(|| {
+            let mut rx = Channel::tcp(TcpConnId(1));
+            let got = rx.on_tcp_bytes(wire.clone());
+            assert_eq!(got.len(), frames);
+            black_box(got.len())
+        })
+    });
+    g.bench_function("tcp-reassembly-mss", |b| {
+        b.iter(|| {
+            let mut rx = Channel::tcp(TcpConnId(1));
+            let mut got = 0usize;
+            let mut at = 0;
+            while at < wire.len() {
+                let end = (at + MSS).min(wire.len());
+                got += rx.on_tcp_bytes(wire.slice(at..end)).len();
+                at = end;
+            }
+            assert_eq!(got, frames);
+            black_box(got)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1_500))
+        .sample_size(10);
+    targets = channel
+}
+criterion_main!(benches);

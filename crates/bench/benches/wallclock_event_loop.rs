@@ -1,0 +1,40 @@
+//! Wall-clock: raw discrete-event dispatch throughput of the simulation
+//! engine. Every experiment in this repo is bounded by how fast the event
+//! loop turns over, so this is the suite's canary for engine regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use skv_bench::wallclock::smoke;
+use skv_simcore::{FnActor, SimDuration, SimTime, Simulation};
+use std::time::Duration;
+
+fn event_loop(c: &mut Criterion) {
+    let events: u64 = if smoke() { 20_000 } else { 100_000 };
+    let mut g = c.benchmark_group("event_loop");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("timer-chain", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(7);
+            let actor = sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+                if let Ok(n) = msg.downcast::<u64>() {
+                    if *n > 0 {
+                        ctx.timer(SimDuration::from_nanos(100), *n - 1);
+                    }
+                }
+            })));
+            sim.schedule(SimTime::ZERO, actor, events);
+            sim.run_to_completion();
+            sim.now()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1_500))
+        .sample_size(10);
+    targets = event_loop
+}
+criterion_main!(benches);

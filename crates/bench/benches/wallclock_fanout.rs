@@ -1,0 +1,37 @@
+//! Wall-clock: N-slave replication fan-out. Pure SET with 4 KiB values so
+//! per-replica payload handling dominates host CPU; the sweep shows how
+//! the cost of one simulated run scales with the replica count. This is
+//! the headline number for the zero-copy frame pipeline: refcount bumps
+//! per slave instead of full payload clones.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use skv_bench::wallclock::{fanout_spec, smoke};
+use skv_core::cluster::run_spec;
+use skv_core::config::Mode;
+use std::time::Duration;
+
+fn fanout(c: &mut Criterion) {
+    let sweep: &[usize] = if smoke() { &[1, 5] } else { &[1, 5, 10] };
+    let mut g = c.benchmark_group("fanout");
+    g.sample_size(5);
+    for &slaves in sweep {
+        g.bench_function(&format!("skv-slaves-{slaves}"), |b| {
+            b.iter(|| {
+                let report = run_spec(fanout_spec(Mode::Skv, slaves, 0xFA0));
+                assert!(report.ops > 0, "fan-out run produced no operations");
+                black_box(report.ops)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(1))
+        .measurement_time(Duration::from_millis(2_000))
+        .sample_size(5);
+    targets = fanout
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Wall-clock: RESP protocol encode and parse throughput. Every simulated
+//! command and reply passes through these routines, on both the host and
+//! the SmartNIC data paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use skv_bench::wallclock::smoke;
+use skv_store::resp::{Resp, RespStream};
+use std::time::Duration;
+
+const VALUE: usize = 64;
+
+fn batch(n: usize) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for i in 0..n {
+        let key = format!("key:{i:012}");
+        Resp::command([b"SET".as_slice(), key.as_bytes(), &[b'x'; VALUE]])
+            .encode_into(&mut wire);
+    }
+    wire
+}
+
+fn resp(c: &mut Criterion) {
+    let cmds = if smoke() { 200 } else { 1_000 };
+    let wire = batch(cmds);
+
+    let mut g = c.benchmark_group("resp");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("parse-set-64", |b| {
+        b.iter(|| {
+            let mut stream = RespStream::new();
+            stream.feed(&wire);
+            let mut frames = 0u64;
+            while let Ok(Some(frame)) = stream.next_frame() {
+                black_box(&frame);
+                frames += 1;
+            }
+            assert_eq!(frames, cmds as u64);
+            frames
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("resp");
+    g.throughput(Throughput::Elements(cmds as u64));
+    g.bench_function("encode-set-64", |b| {
+        b.iter(|| black_box(batch(cmds)).len())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1_500))
+        .sample_size(10);
+    targets = resp
+}
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Collect criterion JSON-lines into `BENCH_results.json`, and validate it.
+//!
+//! Usage:
+//!   bench_report assemble <raw.jsonl> <out.json>   # build the report
+//!   bench_report check <out.json> [min_benches]    # validate (default 4)
+//!
+//! The raw input is the JSON-lines stream the vendored criterion shim
+//! appends when `CRITERION_JSON` is set (one object per benchmark). The
+//! parser here is deliberately narrow: it accepts exactly what the shim
+//! emits, so a malformed line means a broken producer and is a hard error.
+
+use std::process::ExitCode;
+
+/// One benchmark record, as parsed back from a shim-emitted JSON line.
+struct Record {
+    name: String,
+    median_ns: f64,
+    line: String,
+}
+
+/// Extract the value of `"key":` from a shim JSON line. Values are either
+/// a quoted string (no embedded escapes besides `\"`/`\\`) or a bare
+/// number/null token.
+fn field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    if let Some(inner) = rest.strip_prefix('"') {
+        let mut out = String::new();
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => out.push(chars.next()?),
+                '"' => return Some(out),
+                c => out.push(c),
+            }
+        }
+        None
+    } else {
+        let end = rest
+            .find([',', '}'])
+            .unwrap_or(rest.len());
+        Some(rest[..end].trim().to_string())
+    }
+}
+
+fn parse_line(line: &str) -> Result<Record, String> {
+    let name = field(line, "name").ok_or("missing \"name\"")?;
+    let median: f64 = field(line, "median_ns")
+        .ok_or("missing \"median_ns\"")?
+        .parse()
+        .map_err(|e| format!("bad median_ns: {e}"))?;
+    if name.is_empty() {
+        return Err("empty benchmark name".into());
+    }
+    if !(median.is_finite() && median > 0.0) {
+        return Err(format!("non-positive median_ns {median}"));
+    }
+    Ok(Record {
+        name,
+        median_ns: median,
+        line: line.to_string(),
+    })
+}
+
+fn load_records(path: &str, raw: bool) -> Result<Vec<Record>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim().trim_end_matches(',');
+        // In report mode only the per-benchmark object lines count.
+        let is_record = if raw {
+            !line.is_empty()
+        } else {
+            line.starts_with("{\"name\":")
+        };
+        if !is_record {
+            continue;
+        }
+        let rec = parse_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+fn assemble(raw_path: &str, out_path: &str) -> Result<(), String> {
+    let records = load_records(raw_path, true)?;
+    if records.is_empty() {
+        return Err(format!("{raw_path}: no benchmark records"));
+    }
+    let mut names = std::collections::BTreeSet::new();
+    for r in &records {
+        if !names.insert(r.name.clone()) {
+            return Err(format!("duplicate benchmark name {:?}", r.name));
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"skv-bench-results/v1\",\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&r.line);
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(out_path, out).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!(
+        "bench_report: wrote {out_path} ({} benchmarks)",
+        records.len()
+    );
+    Ok(())
+}
+
+fn check(path: &str, min: usize) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if !text.contains("\"schema\": \"skv-bench-results/v1\"") {
+        return Err(format!("{path}: missing schema marker"));
+    }
+    let records = load_records(path, false)?;
+    if records.len() < min {
+        return Err(format!(
+            "{path}: only {} benchmarks, expected at least {min}",
+            records.len()
+        ));
+    }
+    println!("bench_report: {path} OK ({} benchmarks)", records.len());
+    for r in &records {
+        println!("  {:<40} median {:>12.1} ns/iter", r.name, r.median_ns);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        ["assemble", raw, out] => assemble(raw, out),
+        ["check", path] => check(path, 4),
+        ["check", path, min] => match min.parse() {
+            Ok(min) => check(path, min),
+            Err(e) => Err(format!("bad min_benches {min:?}: {e}")),
+        },
+        _ => Err("usage: bench_report assemble <raw.jsonl> <out.json> | check <out.json> [min]"
+            .into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

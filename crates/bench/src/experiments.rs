@@ -116,7 +116,7 @@ fn write_latency(size: usize, to_local_soc: bool, from_remote: bool) -> f64 {
                             remote_offset: 0,
                             imm: 0,
                         },
-                        data: vec![0xAB; size],
+                        data: vec![0xAB; size].into(),
                     },
                 )
                 .unwrap();

@@ -11,3 +11,4 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod wallclock;

@@ -1,0 +1,62 @@
+//! Fixtures for the wall-clock benchmark suite (`benches/wallclock_*.rs`).
+//!
+//! Everything else in this crate measures *simulated* time — the numbers
+//! the paper's figures are made of. The wall-clock suite instead measures
+//! how much host CPU the reproduction itself burns, so perf PRs land with
+//! before/after numbers (`scripts/bench.sh` → `BENCH_results.json`).
+//! Keeping the specs here (rather than inline in each bench) guarantees
+//! the before/after runs execute the exact same workloads.
+
+use skv_core::cluster::RunSpec;
+use skv_core::config::{ClusterConfig, Mode};
+use skv_simcore::SimDuration;
+
+/// True when `SKV_BENCH_SMOKE` is set (non-empty): benches shrink their
+/// sweeps and windows so CI can smoke-test the suite in seconds.
+pub fn smoke() -> bool {
+    std::env::var("SKV_BENCH_SMOKE").is_ok_and(|v| !v.is_empty())
+}
+
+/// Replication fan-out workload: pure SET with a fat value so per-replica
+/// payload handling dominates, swept over the slave count.
+pub fn fanout_spec(mode: Mode, slaves: usize, seed: u64) -> RunSpec {
+    let mut cfg = ClusterConfig::for_mode(mode);
+    cfg.num_slaves = slaves;
+    RunSpec {
+        cfg,
+        num_clients: 4,
+        pipeline: 4,
+        set_ratio: 1.0,
+        value_size: 4096,
+        key_space: 1_000,
+        warmup: SimDuration::from_millis(20),
+        measure: if smoke() {
+            SimDuration::from_millis(30)
+        } else {
+            SimDuration::from_millis(100)
+        },
+        seed,
+    }
+}
+
+/// A Figure-10-style point: mixed GET/SET, small values, closed loop,
+/// 8 clients against 1 master + 3 slaves.
+pub fn fig10_style_spec(mode: Mode, seed: u64) -> RunSpec {
+    let mut cfg = ClusterConfig::for_mode(mode);
+    cfg.num_slaves = 3;
+    RunSpec {
+        cfg,
+        num_clients: 8,
+        pipeline: 1,
+        set_ratio: 0.5,
+        value_size: 64,
+        key_space: 10_000,
+        warmup: SimDuration::from_millis(20),
+        measure: if smoke() {
+            SimDuration::from_millis(30)
+        } else {
+            SimDuration::from_millis(100)
+        },
+        seed,
+    }
+}

@@ -132,7 +132,7 @@ impl BenchClient {
         self.in_flight.push_back((ctx.now(), is_write));
         self.stat_issued += 1;
         let net = self.net.clone();
-        channel.send(&net, ctx, tag::CMD, &cmd.encode());
+        channel.send(&net, ctx, tag::CMD, cmd.encode());
     }
 
     /// Fill the pipeline up to its configured depth.
@@ -270,7 +270,7 @@ impl Actor for BenchClient {
                 let msgs = self
                     .channel
                     .as_mut()
-                    .map(|ch| ch.on_tcp_bytes(&bytes))
+                    .map(|ch| ch.on_tcp_bytes(bytes))
                     .unwrap_or_default();
                 for m in msgs {
                     if m.tag == tag::REPLY {

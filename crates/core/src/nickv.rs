@@ -14,7 +14,7 @@
 //!   invalid flags, `min-slaves` notifications to the master, and master
 //!   failover with downgrade-on-return.
 
-use skv_netsim::{CqId, DetMap, Net, NetEvent, NodeId, QpId, SocketAddr};
+use skv_netsim::{CqId, DetMap, Frame, Net, NetEvent, NodeId, QpId, SocketAddr};
 use skv_simcore::{Actor, ActorId, Context, CorePool, Payload, SimDuration, SimTime};
 use skv_store::repl::ReplicationPosition;
 
@@ -47,8 +47,9 @@ pub struct NodeEntry {
 enum NicMsg {
     /// Probe round timer.
     ProbeTick,
-    /// Fan-out work for one slave finished; send the frame now.
-    FanoutSend { conn: usize, frame: Vec<u8> },
+    /// Fan-out work for one slave finished; send the frame now (a
+    /// [`Frame`] clone — each slave's copy is a refcount bump).
+    FanoutSend { conn: usize, frame: Frame },
 }
 
 /// External control events injected by the harness. The SmartNIC SoC can
@@ -166,7 +167,7 @@ impl NicKv {
             .filter(|&c| self.conns[c].open)
     }
 
-    fn send_on(&mut self, ctx: &mut Context<'_>, conn: usize, tag: u32, payload: &[u8]) {
+    fn send_on(&mut self, ctx: &mut Context<'_>, conn: usize, tag: u32, payload: impl Into<Frame>) {
         if !self.conns[conn].open {
             return;
         }
@@ -215,7 +216,7 @@ impl NicKv {
         if let Some(conn) = self.master_conn() {
             self.last_update_sent = Some((available, lagging));
             let msg = NodeMsg::SlaveSetUpdate { available, lagging }.encode();
-            self.send_on(ctx, conn, tag::NODE, &msg);
+            self.send_on(ctx, conn, tag::NODE, msg);
         }
     }
 
@@ -258,7 +259,7 @@ impl NicKv {
                 self.cpu.run_any(ctx.now(), SimDuration::from_nanos(400));
                 if let Some(mconn) = self.master_conn() {
                     let relay = NodeMsg::SyncNotify { slave, position }.encode();
-                    self.send_on(ctx, mconn, tag::NODE, &relay);
+                    self.send_on(ctx, mconn, tag::NODE, relay);
                 }
                 self.notify_available(ctx);
             }
@@ -307,7 +308,7 @@ impl NicKv {
         if let Some(promoted) = self.promoted.take() {
             if let Some(conn) = self.entry_mut(promoted).and_then(|e| e.conn) {
                 let msg = NodeMsg::Demote.encode();
-                self.send_on(ctx, conn, tag::NODE, &msg);
+                self.send_on(ctx, conn, tag::NODE, msg);
             }
         }
     }
@@ -351,7 +352,7 @@ impl NicKv {
     /// Steady-state fan-out (Fig. 9 ②): write the command into each valid
     /// slave's send buffer and post one WRITE_WITH_IMM per slave, the work
     /// spread round-robin across `thread-num` ARM cores.
-    fn fan_out(&mut self, ctx: &mut Context<'_>, frame: Vec<u8>) {
+    fn fan_out(&mut self, ctx: &mut Context<'_>, frame: Frame) {
         self.stat_fanout_msgs += 1;
         // Track the master's offset from the frame header (first 8 bytes),
         // for the lag check of §III-C.
@@ -421,8 +422,9 @@ impl NicKv {
             self.failover(ctx);
         }
 
-        // Send this round's probes (cheap ARM work per probe).
-        let probe = NodeMsg::Probe { seq }.encode();
+        // Send this round's probes (cheap ARM work per probe). One encode,
+        // one buffer: each target's copy is a Frame refcount bump.
+        let probe: Frame = NodeMsg::Probe { seq }.encode().into();
         let targets: Vec<(usize, SocketAddr)> = self
             .nodes
             .iter()
@@ -438,7 +440,7 @@ impl NicKv {
                     e.pending_probe_since = Some(now);
                 }
             }
-            self.send_on(ctx, conn, tag::NODE, &probe);
+            self.send_on(ctx, conn, tag::NODE, probe.clone());
         }
         // Push availability/lag state to the master when it changed.
         let _ = any_detected;
@@ -460,7 +462,7 @@ impl NicKv {
         self.promoted = Some(addr);
         self.stat_failovers += 1;
         let msg = NodeMsg::Promote.encode();
-        self.send_on(ctx, conn, tag::NODE, &msg);
+        self.send_on(ctx, conn, tag::NODE, msg);
     }
 }
 
@@ -517,7 +519,7 @@ impl Actor for NicKv {
                     NicMsg::ProbeTick => self.on_probe_tick(ctx),
                     NicMsg::FanoutSend { .. } if self.crashed => {}
                     NicMsg::FanoutSend { conn, frame } => {
-                        self.send_on(ctx, conn, tag::REPL_STREAM, &frame);
+                        self.send_on(ctx, conn, tag::REPL_STREAM, frame);
                     }
                 }
                 return;

@@ -19,7 +19,7 @@
 //! steady-state fan-out) and detect gaps (a crashed-and-recovered slave
 //! re-requests synchronization from its last applied offset).
 
-use skv_netsim::{CqId, DetMap, Net, NetEvent, NodeId, QpId, SocketAddr, TcpConnId};
+use skv_netsim::{CqId, DetMap, Frame, Net, NetEvent, NodeId, QpId, SocketAddr, TcpConnId};
 use skv_simcore::{Actor, ActorId, Context, CorePool, DetRng, Payload, SimDuration, SimTime};
 use skv_store::backlog::Backlog;
 use skv_store::engine::Engine;
@@ -82,7 +82,7 @@ enum ServerMsg {
 struct OutFrame {
     conn: usize,
     tag: u32,
-    payload: Vec<u8>,
+    payload: Frame,
 }
 
 /// What a connection is for (learned from traffic or connect intent).
@@ -112,11 +112,11 @@ struct ConnState {
 /// Why we are dialling out, keyed by remote address.
 enum ConnectIntent {
     /// Master → slave, to run the initial sync; frames to send when ready.
-    SyncSlave { frames: Vec<(u32, Vec<u8>)> },
+    SyncSlave { frames: Vec<(u32, Frame)> },
     /// To the coordination upstream — the master dialling its Nic-KV, or a
     /// slave dialling Nic-KV (SKV) / the master (baselines); frames to send
     /// once the channel is ready.
-    SyncUpstream { frames: Vec<(u32, Vec<u8>)> },
+    SyncUpstream { frames: Vec<(u32, Frame)> },
 }
 
 /// Replication role.
@@ -130,8 +130,9 @@ enum Role {
         rdb_expect: u64,
         rdb_buf: Vec<u8>,
         rdb_start_offset: u64,
-        /// Stream frames that arrived while syncing or beyond a gap.
-        stash: Vec<(u64, Vec<u8>)>,
+        /// Stream frames that arrived while syncing or beyond a gap
+        /// (zero-copy views of the delivery frames).
+        stash: Vec<(u64, Frame)>,
         /// Guard so a detected gap triggers at most one resync at a time.
         resyncing: bool,
     },
@@ -330,7 +331,7 @@ impl KvServer {
         idx
     }
 
-    fn send_on(&mut self, ctx: &mut Context<'_>, conn: usize, tag: u32, payload: &[u8]) {
+    fn send_on(&mut self, ctx: &mut Context<'_>, conn: usize, tag: u32, payload: impl Into<Frame>) {
         if !self.conns[conn].open {
             return;
         }
@@ -443,7 +444,7 @@ impl KvServer {
             ctx,
             nic,
             ConnectIntent::SyncUpstream {
-                frames: vec![(tag::NODE, hello)],
+                frames: vec![(tag::NODE, hello.into())],
             },
         );
     }
@@ -527,7 +528,7 @@ impl KvServer {
     // -- command path --------------------------------------------------------
 
     /// Handle one client command frame (TAG_CMD).
-    fn on_client_command(&mut self, ctx: &mut Context<'_>, conn: usize, payload: Vec<u8>) {
+    fn on_client_command(&mut self, ctx: &mut Context<'_>, conn: usize, payload: Frame) {
         if matches!(self.conns[conn].kind, ConnKind::Unknown) {
             self.conns[conn].kind = ConnKind::Client;
         }
@@ -596,7 +597,7 @@ impl KvServer {
         conn: usize,
         req_bytes: usize,
         reply: Vec<u8>,
-        replicate: Option<Vec<u8>>,
+        replicate: Option<Frame>,
     ) {
         let costs = &self.cfg.costs;
         let net_p = &self.cfg.net;
@@ -621,14 +622,16 @@ impl KvServer {
         frames.push(OutFrame {
             conn,
             tag: tag::REPLY,
-            payload: reply,
+            payload: reply.into(),
         });
 
         // Replication propagation (the heart of the experiment).
         if let Some(cmd_bytes) = replicate {
             let from_offset = self.backlog.offset();
             self.backlog.feed(&cmd_bytes);
-            let frame = stream_frame(from_offset, &cmd_bytes);
+            // One allocation for the stream frame; every recipient below
+            // clones the Frame, so N-slave fan-out is N refcount bumps.
+            let frame: Frame = stream_frame(from_offset, &cmd_bytes).into();
             match self.cfg.mode {
                 Mode::Skv => {
                     // One request to Nic-KV, regardless of slave count
@@ -743,7 +746,7 @@ impl KvServer {
         snapshot: Option<(Vec<u8>, u64)>,
         resume_from: u64,
     ) {
-        let mut frames: Vec<(u32, Vec<u8>)> = Vec::new();
+        let mut frames: Vec<(u32, Frame)> = Vec::new();
         match snapshot {
             Some((rdb_bytes, start_offset)) => {
                 self.stat_full_syncs += 1;
@@ -754,13 +757,19 @@ impl KvServer {
                         start_offset,
                         total_bytes: rdb_bytes.len() as u64,
                     }
-                    .encode(),
+                    .encode()
+                    .into(),
                 ));
-                for chunk in rdb_bytes.chunks(RDB_CHUNK.max(1)) {
-                    frames.push((tag::RDB_CHUNK, chunk.to_vec()));
+                // Chunks are zero-copy views into the one snapshot buffer.
+                let rdb_frame = Frame::from(rdb_bytes);
+                let mut at = 0;
+                while at < rdb_frame.len() {
+                    let end = (at + RDB_CHUNK.max(1)).min(rdb_frame.len());
+                    frames.push((tag::RDB_CHUNK, rdb_frame.slice(at..end)));
+                    at = end;
                 }
-                if rdb_bytes.is_empty() {
-                    frames.push((tag::RDB_CHUNK, Vec::new()));
+                if rdb_frame.is_empty() {
+                    frames.push((tag::RDB_CHUNK, Frame::new()));
                 }
                 // Stream everything that happened since the snapshot.
                 self.push_backlog_range(start_offset, &mut frames);
@@ -774,7 +783,8 @@ impl KvServer {
                         from_offset: resume_from,
                         to_offset: self.backlog.offset(),
                     }
-                    .encode(),
+                    .encode()
+                    .into(),
                 ));
                 self.push_backlog_range(resume_from, &mut frames);
             }
@@ -785,18 +795,18 @@ impl KvServer {
             |k| matches!(k, ConnKind::Slave { addr, .. } if *addr == slave),
         ) {
             for (t, p) in frames {
-                self.send_on(ctx, conn, t, &p);
+                self.send_on(ctx, conn, t, p);
             }
         } else {
             self.dial(ctx, slave, ConnectIntent::SyncSlave { frames });
         }
     }
 
-    fn push_backlog_range(&self, from: u64, frames: &mut Vec<(u32, Vec<u8>)>) {
+    fn push_backlog_range(&self, from: u64, frames: &mut Vec<(u32, Frame)>) {
         if let Some(bytes) = self.backlog.range_from(from) {
             let mut offset = from;
             for chunk in bytes.chunks(STREAM_CHUNK) {
-                frames.push((tag::REPL_STREAM, stream_frame(offset, chunk)));
+                frames.push((tag::REPL_STREAM, stream_frame(offset, chunk).into()));
                 offset += chunk.len() as u64;
             }
         }
@@ -832,11 +842,11 @@ impl KvServer {
         }
         .encode();
         if let Some(conn) = self.conn_of_kind(|k| matches!(k, ConnKind::Nic)) {
-            self.send_on(ctx, conn, tag::NODE, &msg);
+            self.send_on(ctx, conn, tag::NODE, msg);
         } else if let Some(conn) = self.conn_of_kind(|k| matches!(k, ConnKind::Master)) {
             // Nic-KV is unreachable but the master link survives: ask the
             // master directly so a gap-resync doesn't dial a dead SoC.
-            self.send_on(ctx, conn, tag::NODE, &msg);
+            self.send_on(ctx, conn, tag::NODE, msg);
         } else {
             // The connection to the upstream (Nic-KV or master) is reused
             // for probes and progress, so label it Nic.
@@ -844,7 +854,7 @@ impl KvServer {
                 ctx,
                 upstream,
                 ConnectIntent::SyncUpstream {
-                    frames: vec![(tag::NODE, msg)],
+                    frames: vec![(tag::NODE, msg.into())],
                 },
             );
         }
@@ -965,10 +975,16 @@ impl KvServer {
     }
 
     /// Apply a replication stream frame (slave side).
-    fn on_repl_stream(&mut self, ctx: &mut Context<'_>, payload: Vec<u8>) {
-        let Some((from_offset, bytes)) = parse_stream_frame(&payload) else {
+    fn on_repl_stream(&mut self, ctx: &mut Context<'_>, payload: Frame) {
+        if parse_stream_frame(&payload).is_none() {
             return;
-        };
+        }
+        let from_offset = u64::from_le_bytes(
+            payload[..8].try_into().unwrap_or_default(),
+        );
+        // The body is a zero-copy view of the delivery frame; stashing it
+        // keeps the view rather than reallocating per stalled frame.
+        let body = payload.slice(8..);
         let Role::Slave {
             syncing, stash, ..
         } = &mut self.role
@@ -977,11 +993,11 @@ impl KvServer {
         };
         if *syncing {
             if stash.len() < STASH_CAP {
-                stash.push((from_offset, bytes.to_vec()));
+                stash.push((from_offset, body));
             }
             return;
         }
-        self.apply_stream(ctx, from_offset, bytes.to_vec());
+        self.apply_stream(ctx, from_offset, body);
         self.drain_stash(ctx);
     }
 
@@ -1003,7 +1019,7 @@ impl KvServer {
         }
     }
 
-    fn apply_stream(&mut self, ctx: &mut Context<'_>, from_offset: u64, bytes: Vec<u8>) {
+    fn apply_stream(&mut self, ctx: &mut Context<'_>, from_offset: u64, bytes: Frame) {
         let my_offset = self.slave_offset();
         if from_offset > my_offset {
             // Gap: we missed bytes (e.g. we were crashed). Stash the frame
@@ -1138,7 +1154,7 @@ impl KvServer {
                     from: self.addr,
                 }
                 .encode();
-                self.send_on(ctx, conn, tag::NODE, &reply);
+                self.send_on(ctx, conn, tag::NODE, reply);
             }
             NodeMsg::SlaveSetUpdate { available, lagging } => {
                 self.available_slaves = available as usize;
@@ -1193,7 +1209,7 @@ impl KvServer {
                     offset,
                 }
                 .encode();
-                self.send_on(ctx, conn, tag::NODE, &msg);
+                self.send_on(ctx, conn, tag::NODE, msg);
             }
         }
         // A sync can stall: the request lost in flight (e.g. relayed via a
@@ -1276,7 +1292,7 @@ impl KvServer {
                 ctx,
                 nic,
                 ConnectIntent::SyncUpstream {
-                    frames: vec![(tag::NODE, msg)],
+                    frames: vec![(tag::NODE, msg.into())],
                 },
             );
         }
@@ -1370,7 +1386,7 @@ impl Actor for KvServer {
                             ctx,
                             nic,
                             ConnectIntent::SyncUpstream {
-                                frames: vec![(tag::NODE, hello)],
+                                frames: vec![(tag::NODE, hello.into())],
                             },
                         );
                     }
@@ -1445,7 +1461,7 @@ impl Actor for KvServer {
                     ServerMsg::Cron => self.on_cron(ctx),
                     ServerMsg::SendFrames(frames) => {
                         for f in frames {
-                            self.send_on(ctx, f.conn, f.tag, &f.payload);
+                            self.send_on(ctx, f.conn, f.tag, f.payload);
                         }
                     }
                     ServerMsg::PersistDone {
@@ -1496,7 +1512,7 @@ impl Actor for KvServer {
                 self.reconnect_attempts.remove(&peer);
                 let conn = self.add_conn(ch, kind, Some(peer));
                 for (t, p) in frames {
-                    self.send_on(ctx, conn, t, &p);
+                    self.send_on(ctx, conn, t, p);
                 }
             }
             NetEvent::CqNotify { cq } => {
@@ -1527,14 +1543,14 @@ impl Actor for KvServer {
                 self.reconnect_attempts.remove(&peer);
                 let idx = self.add_conn(Channel::tcp(conn), kind, Some(peer));
                 for (t, p) in frames {
-                    self.send_on(ctx, idx, t, &p);
+                    self.send_on(ctx, idx, t, p);
                 }
             }
             NetEvent::TcpDelivered { conn, bytes } => {
                 let Some(&idx) = self.by_tcp.get(&conn) else {
                     return;
                 };
-                let msgs = self.conns[idx].channel.on_tcp_bytes(&bytes);
+                let msgs = self.conns[idx].channel.on_tcp_bytes(bytes);
                 for m in msgs {
                     self.on_channel_msg(ctx, idx, m);
                 }
@@ -1556,7 +1572,7 @@ impl Actor for KvServer {
 }
 
 impl KvServer {
-    fn intent_to_kind(&mut self, peer: SocketAddr) -> (ConnKind, Vec<(u32, Vec<u8>)>) {
+    fn intent_to_kind(&mut self, peer: SocketAddr) -> (ConnKind, Vec<(u32, Frame)>) {
         match self.intents.remove(&peer) {
             Some(ConnectIntent::SyncSlave { frames }) => (
                 ConnKind::Slave {

@@ -15,7 +15,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use skv_simcore::stats::Counters;
-use skv_simcore::{Actor, ActorId, Context, DetRng, Payload, SimDuration, SimTime, Simulation};
+use skv_simcore::{Actor, ActorId, Context, DetRng, Frame, Payload, SimDuration, SimTime, Simulation};
 
 use crate::det::DetMap;
 use crate::faults::{FaultPlan, Verdict};
@@ -85,7 +85,7 @@ pub(crate) enum FabricMsg {
         src_qp: QpId,
         dst_qp: QpId,
         op: SendOp,
-        data: Vec<u8>,
+        data: Frame,
         wr_id: u64,
         /// One-way path latency (for scheduling the sender's ack/completion).
         path_latency: SimDuration,

@@ -36,6 +36,7 @@ pub use faults::{FaultPlan, LinkFault, Partition, TimeWindow, Verdict};
 pub use params::{MachineParams, NetParams};
 pub use rdma::{CmError, PostError};
 pub use topology::{NodeKind, Topology};
+pub use skv_simcore::Frame;
 pub use types::{
     CmReqId, CqId, MrId, NetEvent, NodeId, QpId, SendOp, SendWr, SocketAddr, TcpConnId, Wc,
     WcOpcode, WcStatus,

@@ -24,7 +24,7 @@
 //! immediately when completions are already queued, removing the classic
 //! poll/arm race without requiring apps to re-poll.
 
-use skv_simcore::{ActorId, Context, SimDuration};
+use skv_simcore::{ActorId, Context, Frame, SimDuration};
 
 use crate::fabric::{CmRequest, CqState, FabricMsg, MrState, Net, NetInner, QpState, RNR_WR_ID};
 use crate::faults::Verdict;
@@ -314,7 +314,7 @@ impl Net {
                     byte_len: wr.data.len(),
                     imm: 0,
                     mr_offset: 0,
-                    data: Vec::new(),
+                    data: Frame::new(),
                 };
                 ctx.send_in(inner.params.rc_retry_latency, fabric, FabricMsg::PushWc { cq, wc });
                 return Ok(());
@@ -342,12 +342,17 @@ impl Net {
         Ok(())
     }
 
-    /// Drain up to `max` completions from `cq`.
+    /// Drain up to `max` completions from `cq` (pop from the front of the
+    /// queue; no element shifting regardless of queue depth).
     pub fn poll_cq(&self, cq: CqId, max: usize) -> Vec<Wc> {
         let mut inner = self.inner.borrow_mut();
         let q = &mut inner.cqs[cq.0 as usize].queue;
-        let n = q.len().min(max);
-        q.drain(..n).collect()
+        let mut out = Vec::with_capacity(q.len().min(max));
+        while out.len() < max {
+            let Some(wc) = q.pop_front() else { break };
+            out.push(wc);
+        }
+        out
     }
 
     /// Number of completions currently queued on `cq`.
@@ -410,7 +415,7 @@ pub(crate) fn handle_arrival(
     src_qp: QpId,
     dst_qp: QpId,
     op: SendOp,
-    data: Vec<u8>,
+    data: Frame,
     wr_id: u64,
     path_latency: SimDuration,
 ) {
@@ -441,7 +446,7 @@ pub(crate) fn handle_arrival(
             byte_len,
             imm: 0,
             mr_offset: 0,
-            data: Vec::new(),
+            data: Frame::new(),
         };
         ctx.send_in(path_latency, fabric, FabricMsg::PushWc { cq: sender_cq, wc });
         return;
@@ -483,6 +488,9 @@ pub(crate) fn handle_arrival(
             write_mr(net, dst_node, remote_mr, remote_offset, &data);
             let recv_wr = pop_recv(net, dst_qp);
             let dst_cq = net.qps[dst_qp.0 as usize].cq;
+            // The completion carries the sender's frame as well: the bytes
+            // are already in the MR (one-sided reads see them), but handing
+            // the view to the receiver spares it the mr_read copy-out.
             let wc = Wc {
                 wr_id: recv_wr.unwrap_or(RNR_WR_ID),
                 opcode: WcOpcode::RecvRdmaWithImm,
@@ -495,7 +503,7 @@ pub(crate) fn handle_arrival(
                 byte_len,
                 imm,
                 mr_offset: remote_offset,
-                data: Vec::new(),
+                data,
             };
             net.push_wc(ctx, dst_cq, wc);
             push_sender_success(net, ctx, sender_cq, src_qp, wr_id, opcode, byte_len, path_latency);
@@ -514,7 +522,7 @@ pub(crate) fn handle_arrival(
                 len,
                 mr.buf.len()
             );
-            let payload = mr.buf[remote_offset..remote_offset + len].to_vec();
+            let payload = Frame::copy_from_slice(&mr.buf[remote_offset..remote_offset + len]);
             // Response: serialization of the payload plus the return hop.
             let resp_delay =
                 net.params.serialize_time(len) + path_latency + net.params.dma_delay;
@@ -608,7 +616,7 @@ fn push_sender_success(
         byte_len,
         imm: 0,
         mr_offset: 0,
-        data: Vec::new(),
+        data: Frame::new(),
     };
     // The sender observes completion one ACK-hop later.
     ctx.send_in(path_latency, fabric, FabricMsg::PushWc { cq: sender_cq, wc });

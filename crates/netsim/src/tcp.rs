@@ -13,7 +13,7 @@
 //!
 //! [`tcp_recv_cost`]: crate::NetParams::tcp_recv_cost
 
-use skv_simcore::{ActorId, Context, SimDuration};
+use skv_simcore::{ActorId, Context, Frame, SimDuration};
 
 use crate::fabric::{Net, TcpConnState};
 use crate::faults::Verdict;
@@ -110,7 +110,8 @@ impl Net {
     /// The caller should separately charge [`crate::NetParams::tcp_send_cost`]
     /// to its own core, and the receiver [`crate::NetParams::tcp_recv_cost`]
     /// upon delivery.
-    pub fn tcp_send(&self, ctx: &mut Context<'_>, conn: TcpConnId, bytes: Vec<u8>) {
+    pub fn tcp_send(&self, ctx: &mut Context<'_>, conn: TcpConnId, bytes: impl Into<Frame>) {
+        let bytes: Frame = bytes.into();
         let mut inner = self.inner.borrow_mut();
         let state = &inner.tcp_conns[conn.0 as usize];
         if !state.open {

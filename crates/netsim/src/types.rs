@@ -1,5 +1,6 @@
 //! Identifiers, events, and work-completion types for the simulated fabric.
 
+use skv_simcore::Frame;
 use std::fmt;
 
 /// Identifies a node (a host, or a SmartNIC SoC) in the topology.
@@ -100,7 +101,9 @@ pub struct SendWr {
     /// The operation.
     pub op: SendOp,
     /// Payload carried by `Send`/`Write`/`WriteImm` (empty for `Read`).
-    pub data: Vec<u8>,
+    /// A [`Frame`], so posting a fan-out of the same payload to many QPs
+    /// is a refcount bump per WR, not a copy.
+    pub data: Frame,
 }
 
 /// Completion opcode, mirroring `ibv_wc_opcode`.
@@ -152,9 +155,13 @@ pub struct Wc {
     /// protocol; the simulator reports it for convenience and asserts in
     /// tests that protocols track it correctly.)
     pub mr_offset: usize,
-    /// For `Recv` completions of two-sided sends and for `RdmaRead`
-    /// completions: the payload itself.
-    pub data: Vec<u8>,
+    /// The payload, as a zero-copy view of the sender's frame: valid for
+    /// `Recv` completions of two-sided sends, `RdmaRead` completions, and
+    /// `RecvRdmaWithImm` — for the latter the same bytes have also been
+    /// written into the target MR at `mr_offset` (one-sided reads of the
+    /// region still see them), but consuming `data` directly skips the
+    /// `mr_read` copy-out.
+    pub data: Frame,
 }
 
 /// Events delivered by the fabric to endpoint actors.
@@ -186,8 +193,8 @@ pub enum NetEvent {
     TcpDelivered {
         /// The local connection handle.
         conn: TcpConnId,
-        /// The bytes.
-        bytes: Vec<u8>,
+        /// The bytes (a zero-copy view of the sender's frame).
+        bytes: Frame,
     },
     /// A TCP peer closed the connection.
     TcpClosed {

@@ -144,7 +144,7 @@ fn write_imm_moves_real_bytes_and_completes_both_sides() {
                 remote_offset: 128,
                 imm: 0xDEAD,
             },
-            data: b"replicate me".to_vec(),
+            data: b"replicate me".to_vec().into(),
         },
     );
 
@@ -183,7 +183,7 @@ fn plain_write_generates_no_receiver_completion() {
                 remote_mr: server_mr,
                 remote_offset: 0,
             },
-            data: vec![9, 9, 9],
+            data: vec![9, 9, 9].into(),
         },
     );
     assert_eq!(swcs.borrow().len(), 0, "one-sided write is silent at peer");
@@ -203,7 +203,7 @@ fn send_recv_carries_payload() {
         SendWr {
             wr_id: 2,
             op: SendOp::Send,
-            data: b"mr-info-exchange".to_vec(),
+            data: b"mr-info-exchange".to_vec().into(),
         },
     );
     let swcs = swcs.borrow();
@@ -229,7 +229,7 @@ fn read_fetches_remote_bytes() {
                 remote_offset: 64,
                 len: 14,
             },
-            data: Vec::new(),
+            data: skv_netsim::Frame::new(),
         },
     );
     let cwcs = cwcs.borrow();
@@ -254,7 +254,7 @@ fn missing_recv_reports_rnr() {
                 remote_offset: 0,
                 imm: 1,
             },
-            data: vec![1],
+            data: vec![1].into(),
         },
     );
     let swcs = swcs.borrow();
@@ -281,7 +281,7 @@ fn write_to_down_node_errors_at_sender() {
                 remote_offset: 0,
                 imm: 0,
             },
-            data: vec![42],
+            data: vec![42].into(),
         },
     );
     assert_eq!(swcs.borrow().len(), 0, "down node receives nothing");
@@ -385,7 +385,7 @@ fn destroyed_qp_rejects_posts() {
             SendWr {
                 wr_id: 0,
                 op: SendOp::Send,
-                data: vec![],
+                data: skv_netsim::Frame::new(),
             },
         ));
     })));
@@ -414,7 +414,7 @@ fn deterministic_event_counts() {
                         remote_offset: (i as usize) * 64,
                         imm: i as u32,
                     },
-                    data: vec![i as u8; 64],
+                    data: vec![i as u8; 64].into(),
                 },
             );
         }

@@ -42,7 +42,7 @@ fn connect_send_echo_roundtrip() {
     let mut w = world();
     spawn_echo_server(&mut w, 6379);
 
-    type EchoLog = Rc<RefCell<Vec<(SimTime, Vec<u8>)>>>;
+    type EchoLog = Rc<RefCell<Vec<(SimTime, skv_netsim::Frame)>>>;
     let log: EchoLog = Rc::default();
     let log2 = log.clone();
     let net = w.net.clone();

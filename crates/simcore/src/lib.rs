@@ -49,6 +49,7 @@ mod actor;
 mod cpu;
 mod event;
 mod engine;
+pub mod frame;
 mod rng;
 pub mod stats;
 mod time;
@@ -58,6 +59,7 @@ pub use actor::{Actor, ActorId, Context, FnActor};
 pub use cpu::{CorePool, WorkDone};
 pub use engine::{RunOutcome, Simulation};
 pub use event::{Event, EventQueue, Payload};
+pub use frame::Frame;
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceRecord};

@@ -83,12 +83,13 @@ impl Backlog {
         }
         let want = (self.offset - from_offset) as usize;
         let mut out = Vec::with_capacity(want);
-        // The newest `histlen` bytes end at `idx` (exclusive) in ring order.
-        let start_back = want; // bytes back from the write head
-        for i in 0..want {
-            let pos = (self.idx + self.capacity - start_back + i) % self.capacity;
-            out.push(self.buf[pos]);
-        }
+        // The newest `histlen` bytes end at `idx` (exclusive) in ring
+        // order, so the range starts `want` bytes back from the write
+        // head and spans at most one wrap: one or two slice copies.
+        let start = (self.idx + self.capacity - want) % self.capacity;
+        let first = want.min(self.capacity - start);
+        out.extend_from_slice(&self.buf[start..start + first]);
+        out.extend_from_slice(&self.buf[..want - first]);
         Some(out)
     }
 }

@@ -16,4 +16,11 @@ cargo test -q --workspace
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> bench smoke (non-gating)"
+# A seconds-scale pass over the wall-clock suite; regressions are judged
+# from BENCH_results.json trends, not pass/fail, so failure only warns.
+if ! SKV_BENCH_SMOKE=1 SKV_BENCH_OUT=target/BENCH_smoke.json scripts/bench.sh; then
+  echo "WARN: bench smoke failed (non-gating)"
+fi
+
 echo "OK"

@@ -198,6 +198,54 @@ fn run_bench<F: FnMut(&mut Bencher)>(
         None => String::new(),
     };
     println!("{name:<40} median {median:>12.1} ns/iter (best {best:>12.1}){rate}");
+    emit_json_line(name, throughput, median, best, &bencher);
+}
+
+/// If `CRITERION_JSON` names a file, append one JSON object per finished
+/// benchmark (JSON-lines). Machine-readable counterpart of the text report;
+/// `scripts/bench.sh` collects these into `BENCH_results.json`.
+fn emit_json_line(
+    name: &str,
+    throughput: Option<Throughput>,
+    median_ns: f64,
+    best_ns: f64,
+    bencher: &Bencher,
+) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let (kind, units) = match throughput {
+        Some(Throughput::Elements(n)) => ("\"elements\"", n),
+        Some(Throughput::Bytes(n)) => ("\"bytes\"", n),
+        None => ("null", 0),
+    };
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"name\":\"{escaped}\",\"median_ns\":{median_ns:.1},\"best_ns\":{best_ns:.1},\
+         \"samples\":{},\"iters_per_sample\":{},\"throughput_kind\":{kind},\
+         \"throughput_units\":{units}}}\n",
+        bencher.samples.len(),
+        bencher.iters_per_sample,
+    );
+    use std::io::Write;
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("criterion: cannot append to CRITERION_JSON={path}: {e}");
+    }
 }
 
 /// Define a benchmark group function, in either the simple or the
@@ -232,6 +280,27 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_lines_emitted_when_env_set() {
+        let path = std::env::temp_dir().join(format!("criterion-shim-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_JSON", &path);
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3);
+        let mut g = c.benchmark_group("json");
+        g.throughput(Throughput::Bytes(128));
+        g.bench_function("emit", |b| b.iter(|| 1u64 + 1));
+        g.finish();
+        std::env::remove_var("CRITERION_JSON");
+        let text = std::fs::read_to_string(&path).expect("json file written");
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("\"name\":\"json/emit\""), "got: {text}");
+        assert!(text.contains("\"throughput_kind\":\"bytes\""), "got: {text}");
+        assert!(text.contains("\"throughput_units\":128"), "got: {text}");
+    }
 
     #[test]
     fn bench_loop_produces_samples() {
