@@ -1,8 +1,12 @@
 //! Ablation (paper §V-C): SKV's gain comes from posting one Work Request
 //! per write instead of one per slave; the gain must scale with the per-WR
-//! host CPU cost.
+//! host CPU cost. The second table sweeps the doorbell-batched post-list
+//! path against serial posting: doorbells per replicated write collapse
+//! from N to 1 while the WRs per write stay at N.
 use skv_bench::ablations as abl;
 
 fn main() {
     abl::print_wr_cost(&abl::ablation_wr_cost());
+    println!();
+    abl::print_wr_batching(&abl::ablation_wr_batching());
 }

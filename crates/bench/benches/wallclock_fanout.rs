@@ -1,23 +1,52 @@
 //! Wall-clock: N-slave replication fan-out. Pure SET with 4 KiB values so
 //! per-replica payload handling dominates host CPU; the sweep shows how
 //! the cost of one simulated run scales with the replica count. This is
-//! the headline number for the zero-copy frame pipeline: refcount bumps
-//! per slave instead of full payload clones.
+//! the headline number for the zero-copy frame pipeline (refcount bumps
+//! per slave instead of payload clones) and for the doorbell-batched
+//! post-list path: the `skv-batched-slaves-*` arms run the same workload
+//! with `batch_wr_posts` on, so one fabric call carries the whole fan-out.
+//! The `skv-value-*` arms sweep the payload from 64 B to 64 KiB at a
+//! fixed fan-out, exercising the pooled send rings across frame sizes.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use skv_bench::wallclock::{fanout_spec, smoke};
+use skv_bench::wallclock::{fanout_spec, fanout_spec_sized, smoke};
 use skv_core::cluster::run_spec;
 use skv_core::config::Mode;
 use std::time::Duration;
 
 fn fanout(c: &mut Criterion) {
     let sweep: &[usize] = if smoke() { &[1, 5] } else { &[1, 5, 10] };
+    let values: &[usize] = if smoke() {
+        &[64, 4096]
+    } else {
+        &[64, 1024, 4096, 16384, 65536]
+    };
     let mut g = c.benchmark_group("fanout");
     g.sample_size(5);
     for &slaves in sweep {
         g.bench_function(&format!("skv-slaves-{slaves}"), |b| {
             b.iter(|| {
                 let report = run_spec(fanout_spec(Mode::Skv, slaves, 0xFA0));
+                assert!(report.ops > 0, "fan-out run produced no operations");
+                black_box(report.ops)
+            })
+        });
+    }
+    for &slaves in sweep {
+        g.bench_function(&format!("skv-batched-slaves-{slaves}"), |b| {
+            b.iter(|| {
+                let report =
+                    run_spec(fanout_spec_sized(Mode::Skv, slaves, true, 4096, 0xFA0));
+                assert!(report.ops > 0, "fan-out run produced no operations");
+                black_box(report.ops)
+            })
+        });
+    }
+    for &value_size in values {
+        g.bench_function(&format!("skv-value-{value_size}"), |b| {
+            b.iter(|| {
+                let report =
+                    run_spec(fanout_spec_sized(Mode::Skv, 5, false, value_size, 0xFA0));
                 assert!(report.ops > 0, "fan-out run produced no operations");
                 black_box(report.ops)
             })

@@ -3,6 +3,7 @@
 //! Usage:
 //!   bench_report assemble <raw.jsonl> <out.json>   # build the report
 //!   bench_report check <out.json> [min_benches]    # validate (default 4)
+//!   bench_report diff <old.json> <new.json>        # per-bench deltas
 //!
 //! The raw input is the JSON-lines stream the vendored criterion shim
 //! appends when `CRITERION_JSON` is set (one object per benchmark). The
@@ -134,6 +135,48 @@ fn check(path: &str, min: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Per-benchmark median deltas between two result files, matched by name.
+/// Benchmarks present in only one file are listed rather than failing the
+/// diff: sweeps legitimately gain and lose arms between commits.
+fn diff(old_path: &str, new_path: &str) -> Result<(), String> {
+    let old = load_records(old_path, false)?;
+    let new = load_records(new_path, false)?;
+    let old_by_name: std::collections::BTreeMap<&str, f64> =
+        old.iter().map(|r| (r.name.as_str(), r.median_ns)).collect();
+    let new_by_name: std::collections::BTreeMap<&str, f64> =
+        new.iter().map(|r| (r.name.as_str(), r.median_ns)).collect();
+
+    println!("bench_report: {old_path} -> {new_path}");
+    println!(
+        "  {:<40} {:>14} {:>14} {:>8}",
+        "benchmark", "old (ns)", "new (ns)", "delta"
+    );
+    for r in &new {
+        match old_by_name.get(r.name.as_str()) {
+            Some(&old_median) => {
+                let pct = (r.median_ns / old_median - 1.0) * 100.0;
+                println!(
+                    "  {:<40} {:>14.1} {:>14.1} {:>+7.1}%",
+                    r.name, old_median, r.median_ns, pct
+                );
+            }
+            None => println!(
+                "  {:<40} {:>14} {:>14.1}     new",
+                r.name, "-", r.median_ns
+            ),
+        }
+    }
+    for r in &old {
+        if !new_by_name.contains_key(r.name.as_str()) {
+            println!(
+                "  {:<40} {:>14.1} {:>14} removed",
+                r.name, r.median_ns, "-"
+            );
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
@@ -143,8 +186,12 @@ fn main() -> ExitCode {
             Ok(min) => check(path, min),
             Err(e) => Err(format!("bad min_benches {min:?}: {e}")),
         },
-        _ => Err("usage: bench_report assemble <raw.jsonl> <out.json> | check <out.json> [min]"
-            .into()),
+        ["diff", old, new] => diff(old, new),
+        _ => Err(
+            "usage: bench_report assemble <raw.jsonl> <out.json> | check <out.json> [min] \
+             | diff <old.json> <new.json>"
+                .into(),
+        ),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

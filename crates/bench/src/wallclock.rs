@@ -20,14 +20,28 @@ pub fn smoke() -> bool {
 /// Replication fan-out workload: pure SET with a fat value so per-replica
 /// payload handling dominates, swept over the slave count.
 pub fn fanout_spec(mode: Mode, slaves: usize, seed: u64) -> RunSpec {
+    fanout_spec_sized(mode, slaves, false, 4096, seed)
+}
+
+/// [`fanout_spec`] with the doorbell-batching knob and value size exposed:
+/// the batched-arm and value-size sweeps of `wallclock_fanout` must differ
+/// from the baseline arms in *only* these two parameters.
+pub fn fanout_spec_sized(
+    mode: Mode,
+    slaves: usize,
+    batched: bool,
+    value_size: usize,
+    seed: u64,
+) -> RunSpec {
     let mut cfg = ClusterConfig::for_mode(mode);
     cfg.num_slaves = slaves;
+    cfg.batch_wr_posts = batched;
     RunSpec {
         cfg,
         num_clients: 4,
         pipeline: 4,
         set_ratio: 1.0,
-        value_size: 4096,
+        value_size,
         key_space: 1_000,
         warmup: SimDuration::from_millis(20),
         measure: if smoke() {

@@ -16,7 +16,7 @@
 //! what the paper's evaluation is about.
 
 use skv_netsim::{Frame, MrId, Net, NodeId, QpId, SendOp, SendWr, TcpConnId, Wc, WcOpcode, WcStatus, RNR_WR_ID};
-use skv_simcore::Context;
+use skv_simcore::{Context, FramePool};
 
 /// Receive WRs kept posted on an RDMA channel.
 const RECV_DEPTH: usize = 128;
@@ -67,6 +67,9 @@ pub struct Channel {
     /// failure, or closed TCP stream). The owner must tear the connection
     /// down and re-establish it.
     broken: bool,
+    /// Send-ring pool for TCP wire frames; without one, `send` falls back
+    /// to allocating the wire frame per message.
+    pool: Option<FramePool>,
 }
 
 impl Channel {
@@ -103,6 +106,7 @@ impl Channel {
             sent: 0,
             received: 0,
             broken: recv_failed,
+            pool: None,
         };
         if !ch.broken {
             ch.send_handshake(net, ctx);
@@ -121,7 +125,14 @@ impl Channel {
             sent: 0,
             received: 0,
             broken: false,
+            pool: None,
         }
+    }
+
+    /// Use `pool` for send-side wire frames (TCP framing): the steady-state
+    /// send path then borrows recycled ring buffers instead of allocating.
+    pub fn use_pool(&mut self, pool: FramePool) {
+        self.pool = Some(pool);
     }
 
     /// Whether the transport has failed and the connection must be
@@ -191,65 +202,99 @@ impl Channel {
     /// on completion.
     pub fn send(&mut self, net: &Net, ctx: &mut Context<'_>, tag: u32, payload: impl Into<Frame>) {
         let payload: Frame = payload.into();
-        match &mut self.state {
-            TransportState::Rdma {
-                qp,
-                peer_ring,
-                send_pos,
-                ring_size,
-                pending,
-                ..
-            } => {
-                let Some(ring) = *peer_ring else {
-                    pending.push((tag, payload));
-                    return;
-                };
-                assert!(
-                    payload.len() <= *ring_size,
-                    "message of {} bytes exceeds ring of {}",
-                    payload.len(),
-                    ring_size
-                );
-                if *send_pos + payload.len() > *ring_size {
-                    *send_pos = 0;
-                }
-                let offset = *send_pos;
-                *send_pos += payload.len();
-                self.sent += 1;
-                if net
-                    .post_send(
-                        ctx,
-                        *qp,
-                        SendWr {
-                            wr_id: self.sent,
-                            op: SendOp::WriteImm {
-                                remote_mr: ring,
-                                remote_offset: offset,
-                                imm: tag,
-                            },
-                            data: payload,
-                        },
-                    )
-                    .is_err()
-                {
-                    self.broken = true;
-                }
+        if let TransportState::Tcp { conn, .. } = &self.state {
+            let conn = *conn;
+            if !net.tcp_is_open(conn) {
+                self.broken = true;
+                return;
             }
-            TransportState::Tcp { conn, .. } => {
-                if !net.tcp_is_open(*conn) {
-                    self.broken = true;
-                    return;
-                }
-                // One header+payload copy into the wire frame — the model's
-                // stand-in for the kernel socket copy the TCP baseline pays.
-                let mut frame = Vec::with_capacity(payload.len() + 8);
+            // One header+payload copy into the wire frame — the model's
+            // stand-in for the kernel socket copy the TCP baseline pays.
+            // With a pool attached the destination buffer is a recycled
+            // send ring instead of a fresh allocation.
+            let build = |frame: &mut Vec<u8>| {
                 frame.extend_from_slice(&tag.to_le_bytes());
                 frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
                 frame.extend_from_slice(&payload);
-                self.sent += 1;
-                net.tcp_send(ctx, *conn, frame);
+            };
+            let frame = match &self.pool {
+                Some(pool) => pool.build(build),
+                None => {
+                    let mut vec = Vec::with_capacity(payload.len() + 8);
+                    build(&mut vec);
+                    Frame::from_vec(vec)
+                }
+            };
+            self.sent += 1;
+            net.tcp_send(ctx, conn, frame);
+            return;
+        }
+        if let Some((qp, wr)) = self.build_wr(tag, payload) {
+            if net.post_send(ctx, qp, wr).is_err() {
+                self.broken = true;
             }
         }
+    }
+
+    /// Stage — without ringing a doorbell — the `WRITE_WITH_IMM` work
+    /// request that [`Channel::send`] would post for `(tag, payload)`,
+    /// advancing the ring cursor and `sent` bookkeeping identically.
+    /// Callers collect staged WRs from several channels into one
+    /// [`Net::post_send_batch`] call: the doorbell-batched fan-out. A
+    /// failed batch entry must be reported back via
+    /// [`Channel::mark_broken`].
+    ///
+    /// Returns `None` (queueing the message, exactly as `send` does) while
+    /// the MR handshake is outstanding — and `None` for TCP channels,
+    /// which have no work requests; callers check [`Channel::qp`] and use
+    /// `send` there instead.
+    pub fn build_wr(&mut self, tag: u32, payload: impl Into<Frame>) -> Option<(QpId, SendWr)> {
+        let payload: Frame = payload.into();
+        let TransportState::Rdma {
+            qp,
+            peer_ring,
+            send_pos,
+            ring_size,
+            pending,
+            ..
+        } = &mut self.state
+        else {
+            return None;
+        };
+        let Some(ring) = *peer_ring else {
+            pending.push((tag, payload));
+            return None;
+        };
+        assert!(
+            payload.len() <= *ring_size,
+            "message of {} bytes exceeds ring of {}",
+            payload.len(),
+            ring_size
+        );
+        if *send_pos + payload.len() > *ring_size {
+            *send_pos = 0;
+        }
+        let offset = *send_pos;
+        *send_pos += payload.len();
+        self.sent += 1;
+        Some((
+            *qp,
+            SendWr {
+                wr_id: self.sent,
+                op: SendOp::WriteImm {
+                    remote_mr: ring,
+                    remote_offset: offset,
+                    imm: tag,
+                },
+                data: payload,
+            },
+        ))
+    }
+
+    /// Record a send-side transport failure observed outside the channel —
+    /// a batched post returning an error for this channel's staged WR.
+    pub fn mark_broken(&mut self) {
+        self.broken = true;
     }
 
     /// Process a work completion belonging to this channel's QP.

@@ -56,9 +56,13 @@ pub struct CostParams {
     pub nic_per_slave: SimDuration,
     /// Relative jitter applied to service times (gives realistic p99s).
     pub jitter: f64,
-    /// Probability that any single WR post stalls (doorbell/CQ contention).
-    /// More posts per operation ⇒ more frequent stalls ⇒ heavier tails —
-    /// the mechanism behind Figure 7's ">25%" tail-latency growth.
+    /// Probability that any single *doorbell* stalls (doorbell/CQ
+    /// contention). The stall is a property of the MMIO doorbell write,
+    /// so it is drawn once per `post_send` call — a linked-WR post list
+    /// rings one doorbell and risks one stall no matter how many WRs it
+    /// chains. More doorbells per operation ⇒ more frequent stalls ⇒
+    /// heavier tails — the mechanism behind Figure 7's ">25%"
+    /// tail-latency growth.
     pub post_spike_prob: f64,
     /// Duration of one such stall.
     pub post_spike_cost: SimDuration,
@@ -123,6 +127,13 @@ pub struct ClusterConfig {
     /// A client abandons a connection when no reply arrives for this long,
     /// tears it down, reconnects, and refills its pipeline.
     pub client_retry_timeout: SimDuration,
+    /// Batch the replication fan-out into linked-WR post lists: one
+    /// doorbell carrying N frame-refcount-bump WRs per replicated write
+    /// instead of N separate `post_send` calls. Applies to both fan-out
+    /// sites (Nic-KV offload and the master's host fallback / RDMA-Redis
+    /// baseline). Off by default so existing figures and digests replay
+    /// the serial-post schedule bit-for-bit.
+    pub batch_wr_posts: bool,
     /// CPU cost model.
     pub costs: CostParams,
     /// Fabric calibration.
@@ -148,6 +159,7 @@ impl Default for ClusterConfig {
             reconnect_max_attempts: 8,
             upstream_silence: SimDuration::from_millis(2_500),
             client_retry_timeout: SimDuration::from_millis(250),
+            batch_wr_posts: false,
             costs: CostParams::default(),
             net: NetParams::default(),
             machines: MachineParams::default(),

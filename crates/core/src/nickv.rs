@@ -50,6 +50,10 @@ enum NicMsg {
     /// Fan-out work for one slave finished; send the frame now (a
     /// [`Frame`] clone — each slave's copy is a refcount bump).
     FanoutSend { conn: usize, frame: Frame },
+    /// All per-slave fan-out work for one replicated write finished; post
+    /// every staged WR under a single doorbell (`batch_wr_posts` mode).
+    /// Each slave's WR still carries the same frame by refcount bump.
+    FanoutSendBatch { conns: Vec<usize>, frame: Frame },
 }
 
 /// External control events injected by the harness. The SmartNIC SoC can
@@ -96,6 +100,12 @@ pub struct NicKv {
     pub stat_fanout_msgs: u64,
     /// Total per-slave sends performed.
     pub stat_fanout_sends: u64,
+    /// Doorbells rung by the replication fan-out (one per `post_send` in
+    /// serial mode, one per batch in `batch_wr_posts` mode).
+    pub stat_doorbells: u64,
+    /// WRs posted by the replication fan-out (identical in both modes —
+    /// batching amortizes doorbells, not work requests).
+    pub stat_wrs_posted: u64,
     /// Probes sent.
     pub stat_probes: u64,
     /// Failovers performed.
@@ -130,6 +140,8 @@ impl NicKv {
             cfg,
             stat_fanout_msgs: 0,
             stat_fanout_sends: 0,
+            stat_doorbells: 0,
+            stat_wrs_posted: 0,
             stat_probes: 0,
             stat_failovers: 0,
             detections: Vec::new(),
@@ -376,6 +388,27 @@ impl NicKv {
         // Parsing the request happens once, on the thread that owns the
         // master connection (thread 0 by convention).
         self.cpu.run_on(0, ctx.now(), base);
+        if self.cfg.batch_wr_posts {
+            // Doorbell-batched mode: each thread still pays its per-slave
+            // ring-write cost, but the WQEs are only staged; one doorbell
+            // flushes them all once the last thread finishes.
+            let mut batch_done = ctx.now();
+            let mut conns = Vec::with_capacity(targets.len());
+            for conn in targets {
+                let thread = self.fanout_cursor % threads;
+                self.fanout_cursor += 1;
+                let done = self.cpu.run_on(thread, ctx.now(), per_slave).finished;
+                self.stat_fanout_sends += 1;
+                if done > batch_done {
+                    batch_done = done;
+                }
+                conns.push(conn);
+            }
+            if !conns.is_empty() {
+                ctx.timer_at(batch_done, NicMsg::FanoutSendBatch { conns, frame });
+            }
+            return;
+        }
         for conn in targets {
             let thread = self.fanout_cursor % threads;
             self.fanout_cursor += 1;
@@ -388,6 +421,40 @@ impl NicKv {
                     frame: frame.clone(),
                 },
             );
+        }
+    }
+
+    /// Post the staged fan-out WRs for one replicated write under a single
+    /// doorbell. Channels whose handshake is still outstanding queue the
+    /// message internally (as `send` would); a failed batch entry breaks
+    /// only its own channel.
+    fn fan_out_batch(&mut self, ctx: &mut Context<'_>, conns: Vec<usize>, frame: Frame) {
+        let net = self.net.clone();
+        let mut staged = Vec::with_capacity(conns.len());
+        let mut wrs = Vec::with_capacity(conns.len());
+        for conn in conns {
+            if !self.conns[conn].open {
+                continue;
+            }
+            if let Some((qp, wr)) = self.conns[conn]
+                .channel
+                .build_wr(tag::REPL_STREAM, frame.clone())
+            {
+                staged.push(conn);
+                wrs.push((qp, wr));
+            }
+        }
+        if wrs.is_empty() {
+            return;
+        }
+        self.stat_doorbells += 1;
+        self.stat_wrs_posted += wrs.len() as u64;
+        let outcomes = net.post_send_batch(ctx, wrs);
+        for (conn, outcome) in staged.into_iter().zip(outcomes) {
+            if outcome.is_err() {
+                self.conns[conn].channel.mark_broken();
+                self.close_conn(conn);
+            }
         }
     }
 
@@ -519,7 +586,15 @@ impl Actor for NicKv {
                     NicMsg::ProbeTick => self.on_probe_tick(ctx),
                     NicMsg::FanoutSend { .. } if self.crashed => {}
                     NicMsg::FanoutSend { conn, frame } => {
+                        if self.conns[conn].open && self.conns[conn].channel.ready() {
+                            self.stat_doorbells += 1;
+                            self.stat_wrs_posted += 1;
+                        }
                         self.send_on(ctx, conn, tag::REPL_STREAM, frame);
+                    }
+                    NicMsg::FanoutSendBatch { .. } if self.crashed => {}
+                    NicMsg::FanoutSendBatch { conns, frame } => {
+                        self.fan_out_batch(ctx, conns, frame);
                     }
                 }
                 return;

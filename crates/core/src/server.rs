@@ -20,7 +20,9 @@
 //! re-requests synchronization from its last applied offset).
 
 use skv_netsim::{CqId, DetMap, Frame, Net, NetEvent, NodeId, QpId, SocketAddr, TcpConnId};
-use skv_simcore::{Actor, ActorId, Context, CorePool, DetRng, Payload, SimDuration, SimTime};
+use skv_simcore::{
+    Actor, ActorId, Context, CorePool, DetRng, FramePool, Payload, SimDuration, SimTime,
+};
 use skv_store::backlog::Backlog;
 use skv_store::engine::Engine;
 use skv_store::rdb;
@@ -201,6 +203,15 @@ pub struct KvServer {
     pub stat_conn_errors: u64,
     /// Times the master fell back to host-driven fan-out (SKV mode).
     pub stat_degradations: u64,
+    /// Doorbells rung by the command path (reply + replication posts; one
+    /// per `post_send` call, one per batch in `batch_wr_posts` mode).
+    pub stat_doorbells: u64,
+    /// WRs posted by the command path — identical whether batched or not;
+    /// batching amortizes doorbells, never work requests.
+    pub stat_wrs_posted: u64,
+    /// Send-ring pool for wire frames (TCP framing) and replication
+    /// stream frames; shared by every channel this server owns.
+    pool: FramePool,
 }
 
 impl KvServer {
@@ -244,7 +255,18 @@ impl KvServer {
             stat_reconnects: 0,
             stat_conn_errors: 0,
             stat_degradations: 0,
+            stat_doorbells: 0,
+            stat_wrs_posted: 0,
+            // Sized for a typical wire frame (4 KiB value + headers); the
+            // slab keeps enough buffers for a deep pipeline of in-flight
+            // sends and grown buffers keep their capacity when recycled.
+            pool: FramePool::new(4096 + 64, 256),
         }
+    }
+
+    /// The send-ring pool (tests assert the steady-state hit rate here).
+    pub fn send_pool(&self) -> &FramePool {
+        &self.pool
     }
 
     /// Is the master currently running host-driven fallback fan-out
@@ -314,7 +336,8 @@ impl KvServer {
 
     // -- connection plumbing -------------------------------------------------
 
-    fn add_conn(&mut self, channel: Channel, kind: ConnKind, peer: Option<SocketAddr>) -> usize {
+    fn add_conn(&mut self, mut channel: Channel, kind: ConnKind, peer: Option<SocketAddr>) -> usize {
+        channel.use_pool(self.pool.clone());
         let idx = self.conns.len();
         if let Some(qp) = channel.qp() {
             self.by_qp.insert(qp, idx);
@@ -604,7 +627,8 @@ impl KvServer {
         let payload_kib = req_bytes as f64 / 1024.0;
 
         let mut cost = costs.cmd_base + costs.cmd_per_kib.mul_f64(payload_kib);
-        let mut wr_posts = 0u32; // each post may stall (tail-latency model)
+        let mut wr_posts = 0u32; // WQEs built (the unit of replication work)
+        let mut doorbells = 0u32; // post calls; each may stall (tail model)
         let mut frames: Vec<OutFrame> = Vec::with_capacity(2);
 
         // Transport costs for receiving the request and posting the reply.
@@ -617,6 +641,7 @@ impl KvServer {
                 cost += net_p.cq_poll_cpu;
                 cost += net_p.wr_post_cpu;
                 wr_posts += 1;
+                doorbells += 1;
             }
         }
         frames.push(OutFrame {
@@ -629,16 +654,21 @@ impl KvServer {
         if let Some(cmd_bytes) = replicate {
             let from_offset = self.backlog.offset();
             self.backlog.feed(&cmd_bytes);
-            // One allocation for the stream frame; every recipient below
-            // clones the Frame, so N-slave fan-out is N refcount bumps.
-            let frame: Frame = stream_frame(from_offset, &cmd_bytes).into();
+            // The stream frame is built in a recycled send-ring buffer —
+            // no allocation on the steady-state path — and every recipient
+            // below clones the Frame, so N-slave fan-out is N refcount
+            // bumps of this one buffer.
+            let frame: Frame = self.pool.build(|out| {
+                out.extend_from_slice(&from_offset.to_le_bytes());
+                out.extend_from_slice(&cmd_bytes);
+            });
             match self.cfg.mode {
                 Mode::Skv => {
                     // One request to Nic-KV, regardless of slave count
                     // (Figure 9 ①): a single WR post on the host. When the
                     // SoC is dead (degraded mode, or the channel simply
                     // isn't up) the master falls back to RDMA-Redis-style
-                    // serial fan-out so writes keep replicating.
+                    // fan-out so writes keep replicating.
                     let nic_conn = if self.degraded {
                         None
                     } else {
@@ -647,15 +677,18 @@ impl KvServer {
                     if let Some(nic) = nic_conn {
                         cost += net_p.wr_post_cpu;
                         wr_posts += 1;
+                        doorbells += 1;
                         frames.push(OutFrame {
                             conn: nic,
                             tag: tag::REPL_STREAM,
                             payload: frame,
                         });
                     } else {
-                        for slave in self.synced_slave_conns() {
-                            cost += net_p.wr_post_cpu;
-                            wr_posts += 1;
+                        let slaves = self.synced_slave_conns();
+                        cost += self.host_fanout_cost(slaves.len());
+                        wr_posts += slaves.len() as u32;
+                        doorbells += self.fanout_doorbells(slaves.len());
+                        for slave in slaves {
                             frames.push(OutFrame {
                                 conn: slave,
                                 tag: tag::REPL_STREAM,
@@ -665,11 +698,14 @@ impl KvServer {
                     }
                 }
                 Mode::RdmaRedis => {
-                    // One WR post per slave, serially on the event loop —
-                    // the CPU the paper measures RDMA-Redis burning.
-                    for slave in self.synced_slave_conns() {
-                        cost += net_p.wr_post_cpu;
-                        wr_posts += 1;
+                    // One WR post per slave on the event loop — the CPU the
+                    // paper measures RDMA-Redis burning. Serial doorbells
+                    // by default; one linked post list when batching is on.
+                    let slaves = self.synced_slave_conns();
+                    cost += self.host_fanout_cost(slaves.len());
+                    wr_posts += slaves.len() as u32;
+                    doorbells += self.fanout_doorbells(slaves.len());
+                    for slave in slaves {
                         frames.push(OutFrame {
                             conn: slave,
                             tag: tag::REPL_STREAM,
@@ -694,13 +730,84 @@ impl KvServer {
         let spike_prob = self.cfg.costs.post_spike_prob;
         let spike_cost = self.cfg.costs.post_spike_cost;
         let mut cost = cost.mul_f64(self.rng().service_jitter(jitter));
-        for _ in 0..wr_posts {
+        // The stall is doorbell/CQ contention on the MMIO write, so the
+        // draw happens once per *doorbell*, not per linked WR: a batched
+        // fan-out risks one stall where serial posting risks N. (With
+        // batching off, doorbells == wr_posts and the draw sequence is
+        // unchanged from the serial model.)
+        for _ in 0..doorbells {
             if self.rng().chance(spike_prob) {
                 cost += spike_cost;
             }
         }
+        self.stat_wrs_posted += u64::from(wr_posts);
+        self.stat_doorbells += u64::from(doorbells);
         let done = self.cpu.run_on(0, ctx.now(), cost).finished;
         ctx.timer_at(done, ServerMsg::SendFrames(frames));
+    }
+
+    /// Host CPU to post a replication fan-out of `n` WRs: `n` serial
+    /// doorbells, or one linked post list when `batch_wr_posts` is on.
+    fn host_fanout_cost(&self, n: usize) -> SimDuration {
+        if self.cfg.batch_wr_posts {
+            self.cfg.net.post_list_cpu(n)
+        } else {
+            self.cfg.net.wr_post_cpu.mul_f64(n as f64)
+        }
+    }
+
+    /// Doorbells a fan-out of `n` WRs rings under the current config.
+    fn fanout_doorbells(&self, n: usize) -> u32 {
+        if self.cfg.batch_wr_posts {
+            u32::from(n > 0)
+        } else {
+            n as u32
+        }
+    }
+
+    /// Deliver the frames a command handler staged. With batching off
+    /// this is the historical per-frame `send_on` loop, schedule-identical
+    /// to the seed. With `batch_wr_posts` on, replication-stream frames
+    /// bound for ready RDMA connections are staged via
+    /// [`Channel::build_wr`] and posted as one linked list — a single
+    /// doorbell for the whole fan-out — while replies, TCP sends, and
+    /// handshake-queued messages still go through `send_on`.
+    fn emit_frames(&mut self, ctx: &mut Context<'_>, frames: Vec<OutFrame>) {
+        if !self.cfg.batch_wr_posts {
+            for f in frames {
+                self.send_on(ctx, f.conn, f.tag, f.payload);
+            }
+            return;
+        }
+        let mut staged_conns = Vec::new();
+        let mut wrs = Vec::new();
+        for f in frames {
+            let batchable = f.tag == tag::REPL_STREAM
+                && self.conns[f.conn].open
+                && self.conns[f.conn].channel.qp().is_some();
+            if batchable {
+                // `None` means the frame was queued behind the MR
+                // handshake and will flush when it completes — exactly
+                // what `send` would have done.
+                if let Some(wr) = self.conns[f.conn].channel.build_wr(f.tag, f.payload) {
+                    staged_conns.push(f.conn);
+                    wrs.push(wr);
+                }
+            } else {
+                self.send_on(ctx, f.conn, f.tag, f.payload);
+            }
+        }
+        if wrs.is_empty() {
+            return;
+        }
+        let net = self.net.clone();
+        let results = net.post_send_batch(ctx, wrs);
+        for (conn, result) in staged_conns.into_iter().zip(results) {
+            if result.is_err() {
+                self.conns[conn].channel.mark_broken();
+                self.on_conn_broken(ctx, conn);
+            }
+        }
     }
 
     // -- master-side synchronization ------------------------------------------
@@ -1459,11 +1566,7 @@ impl Actor for KvServer {
             Ok(m) => {
                 match *m {
                     ServerMsg::Cron => self.on_cron(ctx),
-                    ServerMsg::SendFrames(frames) => {
-                        for f in frames {
-                            self.send_on(ctx, f.conn, f.tag, f.payload);
-                        }
-                    }
+                    ServerMsg::SendFrames(frames) => self.emit_frames(ctx, frames),
                     ServerMsg::PersistDone {
                         slave,
                         position,

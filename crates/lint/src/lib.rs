@@ -16,9 +16,9 @@
 //!   (`Context::now`) and randomness from `DetRng` splits.
 //! * **`unwrap`** — no `.unwrap()` / `.expect(...)` on the protocol hot
 //!   paths (`core::server`, `core::client`, `core::channel`,
-//!   `netsim::rdma`, `netsim::tcp`). A malformed frame or stale
-//!   completion must become a typed error, not a panic that takes down
-//!   the whole simulated cluster.
+//!   `netsim::rdma`, `netsim::tcp`, `simcore::pool`). A malformed frame
+//!   or stale completion must become a typed error, not a panic that
+//!   takes down the whole simulated cluster.
 //!
 //! Escape hatch: a justified exception is written as
 //!
@@ -61,12 +61,13 @@ const SIM_CRATE_PREFIXES: [&str; 3] = [
 ];
 
 /// Protocol hot-path files (rule `unwrap` applies).
-const HOT_PATH_FILES: [&str; 5] = [
+const HOT_PATH_FILES: [&str; 6] = [
     "crates/core/src/server.rs",
     "crates/core/src/client.rs",
     "crates/core/src/channel.rs",
     "crates/netsim/src/rdma.rs",
     "crates/netsim/src/tcp.rs",
+    "crates/simcore/src/pool.rs",
 ];
 
 /// Directory names never descended into.

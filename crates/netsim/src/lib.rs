@@ -34,7 +34,7 @@ pub use det::{DetMap, DetSet};
 pub use fabric::{Net, RNR_WR_ID};
 pub use faults::{FaultPlan, LinkFault, Partition, TimeWindow, Verdict};
 pub use params::{MachineParams, NetParams};
-pub use rdma::{CmError, PostError};
+pub use rdma::{CmError, PostError, PostListError};
 pub use topology::{NodeKind, Topology};
 pub use skv_simcore::Frame;
 pub use types::{

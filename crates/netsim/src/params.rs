@@ -38,6 +38,15 @@ pub struct NetParams {
     /// Host CPU time consumed by one `ibv_post_send` (WQE build + doorbell).
     /// This is the cost SKV's offload saves (N-1) copies of per write.
     pub wr_post_cpu: SimDuration,
+    /// CPU time for the *first* WR of a linked post list: WQE build plus
+    /// the MMIO doorbell write that kicks the NIC. Equal to `wr_post_cpu`
+    /// by default so an unbatched post costs the same either way.
+    pub wr_post_first: SimDuration,
+    /// CPU time for each *linked* WR after the first in a post list: just
+    /// the WQE build — the doorbell is shared by the whole chain. This gap
+    /// (`wr_post_first - wr_post_linked`) is what doorbell batching saves
+    /// per extra replica.
+    pub wr_post_linked: SimDuration,
     /// Host CPU time to poll/handle one completion.
     pub cq_poll_cpu: SimDuration,
 
@@ -78,6 +87,8 @@ impl Default for NetParams {
             nic_tx_delay: SimDuration::from_nanos(250),
             dma_delay: SimDuration::from_nanos(350),
             wr_post_cpu: SimDuration::from_nanos(200),
+            wr_post_first: SimDuration::from_nanos(200),
+            wr_post_linked: SimDuration::from_nanos(80),
             cq_poll_cpu: SimDuration::from_nanos(200),
             tcp_stack_latency: SimDuration::from_nanos(2_000),
             tcp_send_cpu: SimDuration::from_nanos(2_600),
@@ -96,6 +107,16 @@ impl NetParams {
     pub fn serialize_time(&self, bytes: usize) -> SimDuration {
         let secs = (bytes as f64 * 8.0) / self.bandwidth_bps;
         SimDuration::from_secs_f64(secs)
+    }
+
+    /// CPU cost of posting `n` WRs through one `ibv_post_send` call (one
+    /// doorbell): the first WR pays [`NetParams::wr_post_first`], each
+    /// linked WR pays [`NetParams::wr_post_linked`].
+    pub fn post_list_cpu(&self, n: usize) -> SimDuration {
+        if n == 0 {
+            return SimDuration::ZERO;
+        }
+        self.wr_post_first + self.wr_post_linked.mul_f64((n - 1) as f64)
     }
 
     /// Kernel-stack CPU cost for a TCP message of `bytes` on the send side.
@@ -156,6 +177,19 @@ mod tests {
         assert!(local < p.host_host_latency);
         // "only a little lower": within 30%.
         assert!(local.as_nanos() as f64 > 0.7 * p.host_host_latency.as_nanos() as f64);
+    }
+
+    #[test]
+    fn post_list_amortizes_the_doorbell() {
+        let p = NetParams::default();
+        assert_eq!(p.post_list_cpu(0), SimDuration::ZERO);
+        // A single-WR list costs exactly one unbatched post.
+        assert_eq!(p.post_list_cpu(1), p.wr_post_cpu);
+        // N linked WRs are strictly cheaper than N doorbells.
+        for n in [2usize, 5, 10] {
+            assert!(p.post_list_cpu(n) < p.wr_post_cpu.mul_f64(n as f64));
+            assert!(p.post_list_cpu(n) > p.post_list_cpu(n - 1));
+        }
     }
 
     #[test]

@@ -42,6 +42,19 @@ pub enum PostError {
     QpError,
 }
 
+/// Why a linked-WR post list failed partway: verbs `bad_wr` semantics.
+///
+/// Mirrors `ibv_post_send`'s out-parameter: every WR *before* `index` was
+/// posted (and will complete, possibly with an error status); the WR at
+/// `index` and everything after it were **not** posted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostListError {
+    /// Index of the first WR that could not be posted (the `bad_wr`).
+    pub index: usize,
+    /// Why that WR was rejected.
+    pub error: PostError,
+}
+
 /// Why answering an RDMA_CM connection request failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CmError {
@@ -268,78 +281,78 @@ impl Net {
     /// cost is precisely what SKV's replication offload saves the master.
     pub fn post_send(&self, ctx: &mut Context<'_>, qp: QpId, wr: SendWr) -> Result<(), PostError> {
         let mut inner = self.inner.borrow_mut();
-        let state = &inner.qps[qp.0 as usize];
-        if !state.open {
-            return Err(PostError::QpClosed);
-        }
-        if state.error {
-            return Err(PostError::QpError);
-        }
-        let Some(peer_qp) = state.peer else {
-            return Err(PostError::NotConnected);
-        };
-        let src_node = state.node;
-        let dst_node = inner.qps[peer_qp.0 as usize].node;
-
-        let wire_bytes = match &wr.op {
-            SendOp::Read { .. } => 32, // a read request is a small packet
-            _ => wr.data.len().max(32),
-        };
-        let counter = match &wr.op {
-            SendOp::Send => "rdma.sends",
-            SendOp::Write { .. } => "rdma.writes",
-            SendOp::WriteImm { .. } => "rdma.write_imm",
-            SendOp::Read { .. } => "rdma.reads",
-        };
-        inner.counters.inc(counter);
-        inner.counters.add("rdma.bytes", wr.data.len() as u64);
-
-        let dma = inner.params.dma_delay;
-        let mut extra = SimDuration::ZERO;
-        match inner.judge(ctx.now(), src_node, dst_node) {
-            Verdict::Deliver => {}
-            Verdict::Drop => {
-                // RC retransmits exhaust: the WR completes with an error
-                // after the retry budget and the QP enters the error state.
-                inner.counters.inc("faults.rdma_dropped");
-                inner.counters.inc("rdma.qp_errors");
-                inner.qps[qp.0 as usize].error = true;
-                let cq = inner.qps[qp.0 as usize].cq;
-                let fabric = inner.fabric_actor;
-                let wc = Wc {
-                    wr_id: wr.wr_id,
-                    opcode: sender_opcode(&wr.op),
-                    status: WcStatus::RetryExceeded,
-                    qp,
-                    byte_len: wr.data.len(),
-                    imm: 0,
-                    mr_offset: 0,
-                    data: Frame::new(),
-                };
-                ctx.send_in(inner.params.rc_retry_latency, fabric, FabricMsg::PushWc { cq, wc });
-                return Ok(());
-            }
-            Verdict::Delay(d) => {
-                inner.counters.inc("faults.rdma_delayed");
-                extra = d;
-            }
-        }
-        let (arrival, lat) = inner.wire(ctx.now(), src_node, dst_node, wire_bytes);
-        let arrival = arrival + extra;
-        let fabric = inner.fabric_actor;
-        ctx.send_at(
-            arrival + dma,
-            fabric,
-            FabricMsg::RdmaArrive {
-                src_qp: qp,
-                dst_qp: peer_qp,
-                op: wr.op,
-                data: wr.data,
-                wr_id: wr.wr_id,
-                path_latency: lat,
-            },
-        );
+        post_one(&mut inner, ctx, qp, wr)?;
+        inner.counters.inc("rdma.doorbells");
         Ok(())
+    }
+
+    /// Post a chain of linked work requests on one QP with a single
+    /// doorbell — the verbs `ibv_post_send` linked-WR form.
+    ///
+    /// Semantics are verbs-faithful: WRs are posted **in order** until one
+    /// is rejected; on failure the returned [`PostListError`] names the
+    /// index of the first bad WR (`bad_wr`) and every WR before that index
+    /// has been posted and will complete. Fault injection applies a
+    /// verdict *per WR*: a dropped WR is still posted (it completes with
+    /// [`WcStatus::RetryExceeded`] after the retry budget) and moves the
+    /// QP to the error state, so it is the *next* linked WR that fails —
+    /// with [`PostError::QpError`] at its own index.
+    ///
+    /// The caller charges [`crate::NetParams::post_list_cpu`] to its own
+    /// core — one `wr_post_first` plus `wr_post_linked` per linked WR —
+    /// instead of `n × wr_post_cpu`.
+    pub fn post_send_list(
+        &self,
+        ctx: &mut Context<'_>,
+        qp: QpId,
+        wrs: Vec<SendWr>,
+    ) -> Result<(), PostListError> {
+        let mut inner = self.inner.borrow_mut();
+        let mut posted = 0usize;
+        for (index, wr) in wrs.into_iter().enumerate() {
+            if let Err(error) = post_one(&mut inner, ctx, qp, wr) {
+                if posted > 0 {
+                    inner.counters.inc("rdma.doorbells");
+                }
+                return Err(PostListError { index, error });
+            }
+            posted += 1;
+        }
+        if posted > 0 {
+            inner.counters.inc("rdma.doorbells");
+        }
+        Ok(())
+    }
+
+    /// Post one WR on each of several QPs under a single doorbell batch —
+    /// the cross-QP analogue of [`Net::post_send_list`], modelling
+    /// DPA-style doorbell batching where one kick flushes WQEs staged on
+    /// many send queues (the shape of SKV's replication fan-out: the same
+    /// frame to N slave QPs).
+    ///
+    /// Unlike the linked-list form, a bad WR on one QP must not block WRs
+    /// bound for *other* QPs, so each entry gets an independent outcome in
+    /// the returned vector (same order as the input). Exactly one doorbell
+    /// is counted when at least one WR posts.
+    pub fn post_send_batch(
+        &self,
+        ctx: &mut Context<'_>,
+        wrs: Vec<(QpId, SendWr)>,
+    ) -> Vec<Result<(), PostError>> {
+        let mut inner = self.inner.borrow_mut();
+        let mut outcomes = Vec::with_capacity(wrs.len());
+        let mut posted = 0usize;
+        for (qp, wr) in wrs {
+            let out = post_one(&mut inner, ctx, qp, wr);
+            if out.is_ok() {
+                posted += 1;
+            }
+            outcomes.push(out);
+        }
+        if posted > 0 {
+            inner.counters.inc("rdma.doorbells");
+        }
+        outcomes
     }
 
     /// Drain up to `max` completions from `cq` (pop from the front of the
@@ -405,6 +418,91 @@ impl Net {
     pub fn qp_recv_depth(&self, qp: QpId) -> usize {
         self.inner.borrow().qps[qp.0 as usize].recv_queue.len()
     }
+}
+
+/// Validate, judge and launch one send-side WR: the shared engine behind
+/// [`Net::post_send`], [`Net::post_send_list`] and [`Net::post_send_batch`].
+/// Counts the WR (`rdma.wrs_posted` + per-op counters) but **not** the
+/// doorbell — the calling post entry point owns doorbell accounting.
+fn post_one(
+    inner: &mut NetInner,
+    ctx: &mut Context<'_>,
+    qp: QpId,
+    wr: SendWr,
+) -> Result<(), PostError> {
+    let state = &inner.qps[qp.0 as usize];
+    if !state.open {
+        return Err(PostError::QpClosed);
+    }
+    if state.error {
+        return Err(PostError::QpError);
+    }
+    let Some(peer_qp) = state.peer else {
+        return Err(PostError::NotConnected);
+    };
+    let src_node = state.node;
+    let dst_node = inner.qps[peer_qp.0 as usize].node;
+
+    let wire_bytes = match &wr.op {
+        SendOp::Read { .. } => 32, // a read request is a small packet
+        _ => wr.data.len().max(32),
+    };
+    let counter = match &wr.op {
+        SendOp::Send => "rdma.sends",
+        SendOp::Write { .. } => "rdma.writes",
+        SendOp::WriteImm { .. } => "rdma.write_imm",
+        SendOp::Read { .. } => "rdma.reads",
+    };
+    inner.counters.inc(counter);
+    inner.counters.inc("rdma.wrs_posted");
+    inner.counters.add("rdma.bytes", wr.data.len() as u64);
+
+    let dma = inner.params.dma_delay;
+    let mut extra = SimDuration::ZERO;
+    match inner.judge(ctx.now(), src_node, dst_node) {
+        Verdict::Deliver => {}
+        Verdict::Drop => {
+            // RC retransmits exhaust: the WR completes with an error
+            // after the retry budget and the QP enters the error state.
+            inner.counters.inc("faults.rdma_dropped");
+            inner.counters.inc("rdma.qp_errors");
+            inner.qps[qp.0 as usize].error = true;
+            let cq = inner.qps[qp.0 as usize].cq;
+            let fabric = inner.fabric_actor;
+            let wc = Wc {
+                wr_id: wr.wr_id,
+                opcode: sender_opcode(&wr.op),
+                status: WcStatus::RetryExceeded,
+                qp,
+                byte_len: wr.data.len(),
+                imm: 0,
+                mr_offset: 0,
+                data: Frame::new(),
+            };
+            ctx.send_in(inner.params.rc_retry_latency, fabric, FabricMsg::PushWc { cq, wc });
+            return Ok(());
+        }
+        Verdict::Delay(d) => {
+            inner.counters.inc("faults.rdma_delayed");
+            extra = d;
+        }
+    }
+    let (arrival, lat) = inner.wire(ctx.now(), src_node, dst_node, wire_bytes);
+    let arrival = arrival + extra;
+    let fabric = inner.fabric_actor;
+    ctx.send_at(
+        arrival + dma,
+        fabric,
+        FabricMsg::RdmaArrive {
+            src_qp: qp,
+            dst_qp: peer_qp,
+            op: wr.op,
+            data: wr.data,
+            wr_id: wr.wr_id,
+            path_latency: lat,
+        },
+    );
+    Ok(())
 }
 
 /// Apply an RDMA arrival at the destination NIC (fabric-actor context).

@@ -16,12 +16,45 @@
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+
+use crate::pool::PoolShared;
+
+/// The refcounted backing allocation of a [`Frame`]: the bytes plus an
+/// optional link back to the [`crate::FramePool`] the buffer was borrowed
+/// from. When the last view over a pooled buffer drops, the allocation is
+/// recycled into its pool instead of freed — that is the whole "send ring
+/// returned on completion" lifecycle, and it needs no cooperation from any
+/// of the hops a frame passes through.
+pub(crate) struct Storage {
+    pub(crate) bytes: Vec<u8>,
+    home: Option<Weak<PoolShared>>,
+}
+
+impl Storage {
+    fn owned(bytes: Vec<u8>) -> Storage {
+        Storage { bytes, home: None }
+    }
+}
+
+impl Default for Storage {
+    fn default() -> Storage {
+        Storage::owned(Vec::new())
+    }
+}
+
+impl Drop for Storage {
+    fn drop(&mut self) {
+        if let Some(pool) = self.home.take().and_then(|weak| weak.upgrade()) {
+            pool.give_back(std::mem::take(&mut self.bytes));
+        }
+    }
+}
 
 /// A shared byte buffer with an `(offset, len)` view. See the module docs.
 #[derive(Clone, Default)]
 pub struct Frame {
-    buf: Arc<Vec<u8>>,
+    buf: Arc<Storage>,
     off: usize,
     len: usize,
 }
@@ -36,7 +69,21 @@ impl Frame {
     pub fn from_vec(vec: Vec<u8>) -> Frame {
         let len = vec.len();
         Frame {
-            buf: Arc::new(vec),
+            buf: Arc::new(Storage::owned(vec)),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Wrap a buffer borrowed from a [`crate::FramePool`]; the allocation
+    /// flows back into the pool when the last view over it drops.
+    pub(crate) fn from_pooled(bytes: Vec<u8>, home: Weak<PoolShared>) -> Frame {
+        let len = bytes.len();
+        Frame {
+            buf: Arc::new(Storage {
+                bytes,
+                home: Some(home),
+            }),
             off: 0,
             len,
         }
@@ -60,7 +107,7 @@ impl Frame {
 
     /// The viewed bytes.
     pub fn as_slice(&self) -> &[u8] {
-        &self.buf[self.off..self.off + self.len]
+        &self.buf.bytes[self.off..self.off + self.len]
     }
 
     /// A sub-view of this frame; refcount bump, no copy.
@@ -125,19 +172,19 @@ impl Frame {
             return;
         }
         let end = self.off + self.len;
-        if end == self.buf.len() {
-            if let Some(vec) = Arc::get_mut(&mut self.buf) {
-                vec.extend_from_slice(bytes);
+        if end == self.buf.bytes.len() {
+            if let Some(storage) = Arc::get_mut(&mut self.buf) {
+                storage.bytes.extend_from_slice(bytes);
                 self.len += bytes.len();
                 return;
             }
         }
         let mut vec = Vec::with_capacity(self.len + bytes.len());
-        vec.extend_from_slice(&self.buf[self.off..end]);
+        vec.extend_from_slice(&self.buf.bytes[self.off..end]);
         vec.extend_from_slice(bytes);
         self.len = vec.len();
         self.off = 0;
-        self.buf = Arc::new(vec);
+        self.buf = Arc::new(Storage::owned(vec));
     }
 
     /// Copy the viewed bytes out into an owned `Vec`.
@@ -179,12 +226,13 @@ impl<const N: usize> From<&[u8; N]> for Frame {
 
 impl From<Frame> for Vec<u8> {
     /// Recover an owned `Vec`; free only when the frame is the sole owner
-    /// of the whole buffer, otherwise one copy.
+    /// of the whole buffer, otherwise one copy. A pooled buffer recovered
+    /// this way leaves its pool for good (its `Storage` drops empty).
     fn from(frame: Frame) -> Vec<u8> {
-        if frame.off == 0 && frame.len == frame.buf.len() {
+        if frame.off == 0 && frame.len == frame.buf.bytes.len() {
             match Arc::try_unwrap(frame.buf) {
-                Ok(vec) => return vec,
-                Err(buf) => return buf[..frame.len].to_vec(),
+                Ok(mut storage) => return std::mem::take(&mut storage.bytes),
+                Err(buf) => return buf.bytes[..frame.len].to_vec(),
             }
         }
         frame.to_vec()

@@ -50,6 +50,7 @@ mod cpu;
 mod event;
 mod engine;
 pub mod frame;
+pub mod pool;
 mod rng;
 pub mod stats;
 mod time;
@@ -60,6 +61,7 @@ pub use cpu::{CorePool, WorkDone};
 pub use engine::{RunOutcome, Simulation};
 pub use event::{Event, EventQueue, Payload};
 pub use frame::Frame;
+pub use pool::FramePool;
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceRecord};

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Per-benchmark wall-clock deltas between two BENCH_results.json files.
+#
+#   scripts/bench_diff.sh <old.json> <new.json>
+#
+# Typical flow when landing a perf PR:
+#
+#   git show origin/main:BENCH_results.json > /tmp/bench-old.json
+#   scripts/bench.sh                                # regenerates BENCH_results.json
+#   scripts/bench_diff.sh /tmp/bench-old.json BENCH_results.json
+#
+# Output is one line per benchmark: old median, new median, signed delta
+# percent (negative = faster). Benchmarks present in only one file are
+# marked `new` / `removed` instead of failing — sweeps gain and lose arms
+# between commits. Remember these are host wall-clock numbers: compare
+# only runs from the same machine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ $# -ne 2 ]; then
+  echo "usage: scripts/bench_diff.sh <old.json> <new.json>" >&2
+  exit 2
+fi
+
+cargo run -q --release -p skv-bench --bin bench_report -- diff "$1" "$2"

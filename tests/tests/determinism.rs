@@ -119,6 +119,21 @@ fn same_seed_same_bits_under_chaos() {
 }
 
 #[test]
+fn same_seed_same_bits_with_batched_posts() {
+    // The doorbell-batched fan-out reorders *how* WRs reach the fabric
+    // (one linked list instead of N serial posts) but must itself be a
+    // deterministic schedule: two batched runs, same seed, same bits.
+    let mut spec = arm(Mode::Skv, 0xD00D);
+    spec.cfg.batch_wr_posts = true;
+    let a = execute(spec.clone(), None);
+    let b = execute(spec, None);
+    assert_eq!(
+        a, b,
+        "identical batched runs diverged: {a:#018x} vs {b:#018x}"
+    );
+}
+
+#[test]
 fn different_seeds_actually_differ() {
     // Guards against the digest degenerating into a constant.
     let a = execute(arm(Mode::Skv, 1), None);
