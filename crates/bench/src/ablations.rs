@@ -293,6 +293,81 @@ pub fn print_wr_batching(rows: &[WrBatchRow]) {
 }
 
 // ===========================================================================
+// CQ interrupt moderation
+// ===========================================================================
+
+/// One CQ-moderation threshold setting.
+#[derive(Debug, Clone)]
+pub struct CqModRow {
+    /// `cq_notify_threshold` (1 = moderation off).
+    pub threshold: usize,
+    /// Coalescing deadline, µs.
+    pub timer_us: u64,
+    /// Client throughput (kops/s).
+    pub kops: f64,
+    /// p99 latency (µs).
+    pub p99_us: f64,
+    /// Completion notifies the whole testbed saw.
+    pub cq_notifies: u64,
+    /// Work completions polled.
+    pub wcs_polled: u64,
+    /// Notifies per polled WC — collapses toward 1/threshold under load.
+    pub notify_ratio: f64,
+}
+
+/// Sweep the notify threshold at a fixed 10 µs coalescing deadline,
+/// mirroring ConnectX interrupt-moderation profiles. The event count
+/// (the simulator's stand-in for interrupt rate) must fall as the
+/// threshold grows while the served workload stays intact; past the point
+/// where bursts rarely reach the threshold the coalescing timer flushes
+/// sub-threshold batches and the ratio flattens out.
+pub fn ablation_cq_moderation() -> Vec<CqModRow> {
+    const TIMER_US: u64 = 10;
+    [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&threshold| {
+            let mut s = spec(Mode::Skv, 3, 8, 30_000 + threshold as u64);
+            s.pipeline = 4; // keep completions bursty enough to coalesce
+            s.cfg.net.cq_notify_threshold = threshold;
+            s.cfg.net.cq_notify_timer = SimDuration::from_micros(TIMER_US);
+            let mut cluster = Cluster::build(s);
+            let report = cluster.run();
+            let c = cluster.net.counters();
+            let cq_notifies = c.get("rdma.cq_notifies");
+            let wcs_polled = c.get("rdma.wcs_polled");
+            CqModRow {
+                threshold,
+                timer_us: TIMER_US,
+                kops: report.throughput_kops,
+                p99_us: report.p99_latency_us,
+                cq_notifies,
+                wcs_polled,
+                notify_ratio: if wcs_polled == 0 {
+                    0.0
+                } else {
+                    cq_notifies as f64 / wcs_polled as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// Print the CQ-moderation ablation.
+pub fn print_cq_moderation(rows: &[CqModRow]) {
+    println!("Ablation — CQ interrupt moderation (SKV, 3 slaves, 8 clients, P=4)");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "threshold", "timer(us)", "kops/s", "p99(us)", "notifies", "wcs polled", "notify/wc"
+    );
+    for r in rows {
+        println!(
+            "{:>10} {:>10} {:>10.1} {:>10.1} {:>12} {:>12} {:>12.3}",
+            r.threshold, r.timer_us, r.kops, r.p99_us, r.cq_notifies, r.wcs_polled, r.notify_ratio
+        );
+    }
+}
+
+// ===========================================================================
 // slave count
 // ===========================================================================
 

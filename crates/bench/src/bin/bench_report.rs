@@ -4,6 +4,16 @@
 //!   bench_report assemble <raw.jsonl> <out.json>   # build the report
 //!   bench_report check <out.json> [min_benches]    # validate (default 4)
 //!   bench_report diff <old.json> <new.json>        # per-bench deltas
+//!   bench_report ratios <results.json> <out.json>  # store reference ratios
+//!   bench_report gate <ratios.json> <new.json> [max_pct]  # fail on regression
+//!
+//! `ratios` normalizes each benchmark's median by the file's geometric
+//! mean, producing a machine-portable shape of the benchmark suite: a
+//! faster host scales every median down together, leaving the ratios
+//! intact. `gate` recomputes the ratios for fresh results and exits
+//! non-zero when any common benchmark's ratio regressed by more than
+//! `max_pct` percent (default 25) — the CI guard against one benchmark
+//! quietly ballooning relative to the rest.
 //!
 //! The raw input is the JSON-lines stream the vendored criterion shim
 //! appends when `CRITERION_JSON` is set (one object per benchmark). The
@@ -177,6 +187,131 @@ fn diff(old_path: &str, new_path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Each benchmark's median divided by the file-wide geometric mean of
+/// medians, sorted by name. The geomean (rather than a fixed pivot
+/// benchmark) keeps the normalization stable when individual benchmarks
+/// come and go between commits.
+fn compute_ratios(records: &[Record]) -> Vec<(String, f64)> {
+    let log_sum: f64 = records.iter().map(|r| r.median_ns.ln()).sum();
+    let geomean = (log_sum / records.len() as f64).exp();
+    let mut out: Vec<(String, f64)> = records
+        .iter()
+        .map(|r| (r.name.clone(), r.median_ns / geomean))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn write_ratios(results_path: &str, out_path: &str) -> Result<(), String> {
+    let records = load_records(results_path, false)?;
+    if records.is_empty() {
+        return Err(format!("{results_path}: no benchmark records"));
+    }
+    let ratios = compute_ratios(&records);
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"skv-bench-ratios/v1\",\n  \"ratios\": [\n");
+    for (i, (name, ratio)) in ratios.iter().enumerate() {
+        out.push_str(&format!("    {{\"name\":\"{name}\",\"ratio\":{ratio:.6}}}"));
+        if i + 1 < ratios.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(out_path, out).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!(
+        "bench_report: wrote {out_path} ({} reference ratios)",
+        ratios.len()
+    );
+    Ok(())
+}
+
+fn load_ratios(path: &str) -> Result<std::collections::BTreeMap<String, f64>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if !text.contains("\"schema\": \"skv-bench-ratios/v1\"") {
+        return Err(format!("{path}: missing ratios schema marker"));
+    }
+    let mut out = std::collections::BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with("{\"name\":") {
+            continue;
+        }
+        let err = |e: &str| format!("{path}:{}: {e}", i + 1);
+        let name = field(line, "name").ok_or_else(|| err("missing \"name\""))?;
+        let ratio: f64 = field(line, "ratio")
+            .ok_or_else(|| err("missing \"ratio\""))?
+            .parse()
+            .map_err(|e| err(&format!("bad ratio: {e}")))?;
+        if !(ratio.is_finite() && ratio > 0.0) {
+            return Err(err(&format!("non-positive ratio {ratio}")));
+        }
+        if out.insert(name.clone(), ratio).is_some() {
+            return Err(err(&format!("duplicate benchmark {name:?}")));
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no ratio records"));
+    }
+    Ok(out)
+}
+
+/// Benchmarks whose normalized median regressed past `max_pct` percent
+/// relative to the reference ratios. Returns `(name, regression_pct)`
+/// rows, worst first; benchmarks present on only one side are skipped
+/// (sweeps gain and lose arms between commits).
+fn gate_failures(
+    reference: &std::collections::BTreeMap<String, f64>,
+    current: &[(String, f64)],
+    max_pct: f64,
+) -> Vec<(String, f64)> {
+    let mut failures: Vec<(String, f64)> = current
+        .iter()
+        .filter_map(|(name, ratio)| {
+            let reference = reference.get(name)?;
+            let pct = (ratio / reference - 1.0) * 100.0;
+            (pct > max_pct).then(|| (name.clone(), pct))
+        })
+        .collect();
+    failures.sort_by(|a, b| b.1.total_cmp(&a.1));
+    failures
+}
+
+fn gate(ratios_path: &str, new_path: &str, max_pct: f64) -> Result<(), String> {
+    let reference = load_ratios(ratios_path)?;
+    let records = load_records(new_path, false)?;
+    if records.is_empty() {
+        return Err(format!("{new_path}: no benchmark records"));
+    }
+    let current = compute_ratios(&records);
+    let common = current
+        .iter()
+        .filter(|(name, _)| reference.contains_key(name))
+        .count();
+    if common == 0 {
+        return Err(format!(
+            "{new_path}: no benchmarks in common with {ratios_path}"
+        ));
+    }
+    let failures = gate_failures(&reference, &current, max_pct);
+    println!(
+        "bench_report: gating {new_path} against {ratios_path} \
+         ({common} common benchmarks, max +{max_pct:.0}%)"
+    );
+    if failures.is_empty() {
+        println!("bench_report: gate OK — no benchmark regressed past +{max_pct:.0}%");
+        return Ok(());
+    }
+    for (name, pct) in &failures {
+        eprintln!("  {name:<40} {pct:>+7.1}% vs reference ratio");
+    }
+    Err(format!(
+        "{} benchmark(s) regressed more than {max_pct:.0}% relative to the suite",
+        failures.len()
+    ))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
@@ -187,9 +322,16 @@ fn main() -> ExitCode {
             Err(e) => Err(format!("bad min_benches {min:?}: {e}")),
         },
         ["diff", old, new] => diff(old, new),
+        ["ratios", results, out] => write_ratios(results, out),
+        ["gate", ratios, new] => gate(ratios, new, 25.0),
+        ["gate", ratios, new, max] => match max.parse() {
+            Ok(max) => gate(ratios, new, max),
+            Err(e) => Err(format!("bad max_pct {max:?}: {e}")),
+        },
         _ => Err(
             "usage: bench_report assemble <raw.jsonl> <out.json> | check <out.json> [min] \
-             | diff <old.json> <new.json>"
+             | diff <old.json> <new.json> | ratios <results.json> <out.json> \
+             | gate <ratios.json> <new.json> [max_pct]"
                 .into(),
         ),
     };
@@ -199,5 +341,92 @@ fn main() -> ExitCode {
             eprintln!("bench_report: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, median_ns: f64) -> Record {
+        Record {
+            name: name.into(),
+            median_ns,
+            line: String::new(),
+        }
+    }
+
+    #[test]
+    fn ratios_are_scale_invariant() {
+        // The whole point of normalizing by the geomean: a uniformly 3×
+        // slower machine produces identical ratios.
+        let a = compute_ratios(&[rec("x", 100.0), rec("y", 400.0), rec("z", 50.0)]);
+        let b = compute_ratios(&[rec("x", 300.0), rec("y", 1200.0), rec("z", 150.0)]);
+        for ((an, av), (bn, bv)) in a.iter().zip(&b) {
+            assert_eq!(an, bn);
+            assert!((av - bv).abs() < 1e-12, "{an}: {av} vs {bv}");
+        }
+    }
+
+    #[test]
+    fn gate_passes_identical_and_uniformly_scaled_runs() {
+        let reference: std::collections::BTreeMap<String, f64> =
+            compute_ratios(&[rec("x", 100.0), rec("y", 400.0)])
+                .into_iter()
+                .collect();
+        let same = compute_ratios(&[rec("x", 100.0), rec("y", 400.0)]);
+        assert!(gate_failures(&reference, &same, 25.0).is_empty());
+        let slower_host = compute_ratios(&[rec("x", 250.0), rec("y", 1000.0)]);
+        assert!(gate_failures(&reference, &slower_host, 25.0).is_empty());
+    }
+
+    #[test]
+    fn gate_flags_a_single_ballooning_benchmark() {
+        let reference: std::collections::BTreeMap<String, f64> =
+            compute_ratios(&[rec("x", 100.0), rec("y", 100.0), rec("z", 100.0)])
+                .into_iter()
+                .collect();
+        // `z` triples while the rest hold: its ratio roughly doubles
+        // (the geomean moved too), far past a 25% allowance.
+        let regressed =
+            compute_ratios(&[rec("x", 100.0), rec("y", 100.0), rec("z", 300.0)]);
+        let failures = gate_failures(&reference, &regressed, 25.0);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert_eq!(failures[0].0, "z");
+        assert!(failures[0].1 > 25.0);
+    }
+
+    #[test]
+    fn gate_ignores_benchmarks_on_one_side_only() {
+        let reference: std::collections::BTreeMap<String, f64> =
+            compute_ratios(&[rec("x", 100.0), rec("gone", 100.0)])
+                .into_iter()
+                .collect();
+        let current = compute_ratios(&[rec("x", 100.0), rec("fresh", 10_000.0)]);
+        assert!(gate_failures(&reference, &current, 25.0).is_empty());
+    }
+
+    #[test]
+    fn ratio_file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let results = dir.join("skv_bench_gate_test_results.json");
+        let ratios = dir.join("skv_bench_gate_test_ratios.json");
+        std::fs::write(
+            &results,
+            "{\n  \"schema\": \"skv-bench-results/v1\",\n  \"benchmarks\": [\n    \
+             {\"name\":\"a\",\"median_ns\":100.0},\n    \
+             {\"name\":\"b\",\"median_ns\":400.0}\n  ]\n}\n",
+        )
+        .unwrap();
+        write_ratios(results.to_str().unwrap(), ratios.to_str().unwrap()).unwrap();
+        let loaded = load_ratios(ratios.to_str().unwrap()).unwrap();
+        assert_eq!(loaded.len(), 2);
+        // 100 and 400 around a geomean of 200: ratios 0.5 and 2.0.
+        assert!((loaded["a"] - 0.5).abs() < 1e-6);
+        assert!((loaded["b"] - 2.0).abs() < 1e-6);
+        // And the unchanged results gate cleanly against themselves.
+        gate(ratios.to_str().unwrap(), results.to_str().unwrap(), 25.0).unwrap();
+        std::fs::remove_file(&results).ok();
+        std::fs::remove_file(&ratios).ok();
     }
 }

@@ -70,6 +70,13 @@ pub struct Channel {
     /// Send-ring pool for TCP wire frames; without one, `send` falls back
     /// to allocating the wire frame per message.
     pool: Option<FramePool>,
+    /// Work requests posted by the handshake-completion flush of queued
+    /// messages — posts that happen *inside* [`Channel::on_wc`], where the
+    /// caller can't observe `send`'s return value. Owners that keep
+    /// doorbell/WR statistics collect these via
+    /// [`Channel::take_flushed_wrs`] so stats count every WR at actual
+    /// post time.
+    flushed_wrs: u64,
 }
 
 impl Channel {
@@ -107,6 +114,7 @@ impl Channel {
             received: 0,
             broken: recv_failed,
             pool: None,
+            flushed_wrs: 0,
         };
         if !ch.broken {
             ch.send_handshake(net, ctx);
@@ -126,6 +134,7 @@ impl Channel {
             received: 0,
             broken: false,
             pool: None,
+            flushed_wrs: 0,
         }
     }
 
@@ -200,13 +209,25 @@ impl Channel {
     ///
     /// Messages sent before the handshake completes are queued and flushed
     /// on completion.
-    pub fn send(&mut self, net: &Net, ctx: &mut Context<'_>, tag: u32, payload: impl Into<Frame>) {
+    ///
+    /// Returns the number of RDMA work requests rung *right now* — 1 when
+    /// the WRITE_WITH_IMM was posted, 0 when the message was queued behind
+    /// the handshake, failed to post, or went over TCP (no WRs). Owners
+    /// keeping WR statistics count this at the call site and pick up the
+    /// deferred posts later via [`Channel::take_flushed_wrs`].
+    pub fn send(
+        &mut self,
+        net: &Net,
+        ctx: &mut Context<'_>,
+        tag: u32,
+        payload: impl Into<Frame>,
+    ) -> usize {
         let payload: Frame = payload.into();
         if let TransportState::Tcp { conn, .. } = &self.state {
             let conn = *conn;
             if !net.tcp_is_open(conn) {
                 self.broken = true;
-                return;
+                return 0;
             }
             // One header+payload copy into the wire frame — the model's
             // stand-in for the kernel socket copy the TCP baseline pays.
@@ -227,13 +248,23 @@ impl Channel {
             };
             self.sent += 1;
             net.tcp_send(ctx, conn, frame);
-            return;
+            return 0;
         }
         if let Some((qp, wr)) = self.build_wr(tag, payload) {
             if net.post_send(ctx, qp, wr).is_err() {
                 self.broken = true;
+            } else {
+                return 1;
             }
         }
+        0
+    }
+
+    /// Take (and reset) the count of work requests posted by handshake
+    /// flushes inside [`Channel::on_wc`]. Each flushed message was its own
+    /// `post_send` — one doorbell, one WR — so the count feeds both stats.
+    pub fn take_flushed_wrs(&mut self) -> u64 {
+        std::mem::take(&mut self.flushed_wrs)
     }
 
     /// Stage — without ringing a doorbell — the `WRITE_WITH_IMM` work
@@ -325,7 +356,8 @@ impl Channel {
                     let queued = std::mem::take(pending);
                     net.post_recv(*qp, wc.wr_id).ok();
                     for (tag, payload) in queued {
-                        self.send(net, ctx, tag, payload);
+                        let posted = self.send(net, ctx, tag, payload);
+                        self.flushed_wrs += posted as u64;
                     }
                 } else {
                     net.post_recv(*qp, wc.wr_id).ok();

@@ -12,6 +12,7 @@ use skv_store::resp::Resp;
 
 use crate::channel::{Channel, ChannelMsg};
 use crate::config::{ClusterConfig, Mode};
+use crate::cqdrain;
 use crate::metrics::SharedMetrics;
 use crate::protocol::tag;
 
@@ -239,29 +240,32 @@ impl Actor for BenchClient {
                 self.fill_pipeline(ctx);
             }
             NetEvent::CqNotify { cq } => {
+                // Budgeted drain like the servers', except the client
+                // models no CPU pool: the drain cost is discarded and an
+                // over-budget burst continues in a fresh event at the
+                // same instant — other messages still interleave, which
+                // is all the budget is for here.
+                let net = self.net.clone();
+                let budget = self.cfg.cq_poll_budget;
                 let mut broken = false;
-                'drain: loop {
-                    let wcs = self.net.poll_cq(cq, 16);
-                    if wcs.is_empty() {
-                        break;
+                let out = cqdrain::drain_budgeted(&net, ctx, cq, budget, |ctx, wc| {
+                    if broken {
+                        return;
                     }
-                    for wc in wcs {
-                        let net = self.net.clone();
-                        let Some(ch) = self.channel.as_mut() else {
-                            continue;
-                        };
-                        if let Some(ChannelMsg { tag: t, payload }) = ch.on_wc(&net, ctx, &wc)
-                        {
-                            if t == tag::REPLY {
-                                self.on_reply(ctx, &payload);
-                            }
-                        } else if self.channel.as_ref().is_some_and(|c| c.broken()) {
-                            broken = true;
-                            break 'drain;
+                    let Some(ch) = self.channel.as_mut() else {
+                        return;
+                    };
+                    if let Some(ChannelMsg { tag: t, payload }) = ch.on_wc(&net, ctx, &wc) {
+                        if t == tag::REPLY {
+                            self.on_reply(ctx, &payload);
                         }
+                    } else if self.channel.as_ref().is_some_and(|c| c.broken()) {
+                        broken = true;
                     }
+                });
+                if out.more {
+                    ctx.timer_at(ctx.now(), NetEvent::CqNotify { cq });
                 }
-                self.net.req_notify_cq(ctx, cq);
                 if broken {
                     self.reconnect(ctx);
                 }

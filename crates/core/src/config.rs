@@ -131,9 +131,18 @@ pub struct ClusterConfig {
     /// doorbell carrying N frame-refcount-bump WRs per replicated write
     /// instead of N separate `post_send` calls. Applies to both fan-out
     /// sites (Nic-KV offload and the master's host fallback / RDMA-Redis
-    /// baseline). Off by default so existing figures and digests replay
-    /// the serial-post schedule bit-for-bit.
+    /// baseline). On by default — the batched arm has soaked, its digests
+    /// are deterministic, and it is how real verbs deployments post
+    /// fan-out. Set to `false` to reproduce the historical serial-post
+    /// schedule.
     pub batch_wr_posts: bool,
+    /// Maximum work completions drained per `CqNotify` event. A burst
+    /// larger than the budget is rescheduled as a continuation after the
+    /// drain's CPU cost, so one giant burst cannot monopolize an
+    /// event-loop turn — timers and other messages interleave. This is
+    /// what lets the slow Nic-KV ARM cores back-pressure realistically
+    /// under fan-in; see [`crate::cqdrain`].
+    pub cq_poll_budget: usize,
     /// CPU cost model.
     pub costs: CostParams,
     /// Fabric calibration.
@@ -159,7 +168,8 @@ impl Default for ClusterConfig {
             reconnect_max_attempts: 8,
             upstream_silence: SimDuration::from_millis(2_500),
             client_retry_timeout: SimDuration::from_millis(250),
-            batch_wr_posts: false,
+            batch_wr_posts: true,
+            cq_poll_budget: 64,
             costs: CostParams::default(),
             net: NetParams::default(),
             machines: MachineParams::default(),

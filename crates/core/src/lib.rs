@@ -43,6 +43,7 @@ pub mod channel;
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod cqdrain;
 pub mod metrics;
 pub mod nickv;
 pub mod protocol;

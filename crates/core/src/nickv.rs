@@ -20,6 +20,7 @@ use skv_store::repl::ReplicationPosition;
 
 use crate::channel::{Channel, ChannelMsg};
 use crate::config::ClusterConfig;
+use crate::cqdrain;
 use crate::protocol::{tag, NodeMsg};
 
 /// An entry in the node list (paper §III-C: "a node list storing the
@@ -71,6 +72,12 @@ pub enum NicControl {
 struct ConnState {
     channel: Channel,
     open: bool,
+    /// Fan-out frames queued behind this channel's outstanding MR
+    /// handshake. They post later, inside `Channel::on_wc`'s flush; the
+    /// drain path reconciles them against `take_flushed_wrs` so the
+    /// doorbell/WR statistics count every fan-out WR at actual post time
+    /// (and only fan-out WRs — flushed control messages don't count).
+    deferred_wrs: u64,
 }
 
 /// The Nic-KV actor.
@@ -179,15 +186,26 @@ impl NicKv {
             .filter(|&c| self.conns[c].open)
     }
 
-    fn send_on(&mut self, ctx: &mut Context<'_>, conn: usize, tag: u32, payload: impl Into<Frame>) {
+    /// Send on an open connection; returns the number of RDMA WRs posted
+    /// right now (0 when the message was queued behind the handshake or
+    /// the channel is closed/broken — see [`Channel::send`]).
+    fn send_on(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: usize,
+        tag: u32,
+        payload: impl Into<Frame>,
+    ) -> usize {
         if !self.conns[conn].open {
-            return;
+            return 0;
         }
         let net = self.net.clone();
-        self.conns[conn].channel.send(&net, ctx, tag, payload);
+        let posted = self.conns[conn].channel.send(&net, ctx, tag, payload);
         if self.conns[conn].channel.broken() {
             self.close_conn(conn);
+            return 0;
         }
+        posted
     }
 
     /// Tear down a failed connection; the node it belonged to stays in the
@@ -198,6 +216,10 @@ impl NicKv {
             return;
         }
         self.conns[conn].open = false;
+        // Whatever was queued behind the handshake dies with the channel;
+        // forget its statistics bookkeeping too.
+        self.conns[conn].deferred_wrs = 0;
+        let _ = self.conns[conn].channel.take_flushed_wrs();
         if let Some(qp) = self.conns[conn].channel.qp() {
             self.net.destroy_qp(qp);
         }
@@ -442,6 +464,10 @@ impl NicKv {
             {
                 staged.push(conn);
                 wrs.push((qp, wr));
+            } else if !self.conns[conn].channel.ready() {
+                // Queued behind the handshake; it posts (and is counted)
+                // from the completion drain's flush accounting.
+                self.conns[conn].deferred_wrs += 1;
             }
         }
         if wrs.is_empty() {
@@ -565,9 +591,18 @@ impl Actor for NicKv {
                         self.promoted = None;
                         self.master_offset = 0;
                         self.last_update_sent = None;
+                        // Route stale completions through the channels so
+                        // surviving receive slots are replenished (the
+                        // messages themselves are dropped — the process
+                        // "restarted"), then re-arm. Same helper as
+                        // KvServer::Recover.
                         if let Some(cq) = self.cq {
-                            while !self.net.poll_cq(cq, 64).is_empty() {}
-                            self.net.req_notify_cq(ctx, cq);
+                            let net = self.net.clone();
+                            cqdrain::recover_drain(&net, ctx, cq, |ctx, wc| {
+                                if let Some(&conn) = self.by_qp.get(&wc.qp) {
+                                    let _ = self.conns[conn].channel.on_wc(&net, ctx, &wc);
+                                }
+                            });
                         }
                     }
                 }
@@ -586,11 +621,22 @@ impl Actor for NicKv {
                     NicMsg::ProbeTick => self.on_probe_tick(ctx),
                     NicMsg::FanoutSend { .. } if self.crashed => {}
                     NicMsg::FanoutSend { conn, frame } => {
-                        if self.conns[conn].open && self.conns[conn].channel.ready() {
-                            self.stat_doorbells += 1;
-                            self.stat_wrs_posted += 1;
+                        // Count at actual post time: `send_on` reports how
+                        // many WRs really rang a doorbell. A frame queued
+                        // behind the MR handshake posts later, inside the
+                        // completion drain's flush — `deferred_wrs` carries
+                        // it to that accounting point.
+                        let was_open = self.conns[conn].open;
+                        let posted = self.send_on(ctx, conn, tag::REPL_STREAM, frame) as u64;
+                        self.stat_doorbells += posted;
+                        self.stat_wrs_posted += posted;
+                        if posted == 0
+                            && was_open
+                            && self.conns[conn].open
+                            && !self.conns[conn].channel.ready()
+                        {
+                            self.conns[conn].deferred_wrs += 1;
                         }
-                        self.send_on(ctx, conn, tag::REPL_STREAM, frame);
                     }
                     NicMsg::FanoutSendBatch { .. } if self.crashed => {}
                     NicMsg::FanoutSendBatch { conns, frame } => {
@@ -624,30 +670,44 @@ impl Actor for NicKv {
                 self.conns.push(ConnState {
                     channel: ch,
                     open: true,
+                    deferred_wrs: 0,
                 });
             }
             NetEvent::CqNotify { cq } => {
-                loop {
-                    let wcs = self.net.poll_cq(cq, 64);
-                    if wcs.is_empty() {
-                        break;
+                // Budgeted drain on the slow ARM cores: at most
+                // `cq_poll_budget` completions per event, CPU charged to
+                // thread 0, over-budget bursts continued after that work —
+                // the realistic back-pressure under fan-in.
+                let net = self.net.clone();
+                let budget = self.cfg.cq_poll_budget;
+                let out = cqdrain::drain_budgeted(&net, ctx, cq, budget, |ctx, wc| {
+                    let Some(&conn) = self.by_qp.get(&wc.qp) else {
+                        return;
+                    };
+                    if !self.conns[conn].open {
+                        return;
                     }
-                    for wc in wcs {
-                        let Some(&conn) = self.by_qp.get(&wc.qp) else {
-                            continue;
-                        };
-                        if !self.conns[conn].open {
-                            continue;
-                        }
-                        let net = self.net.clone();
-                        if let Some(m) = self.conns[conn].channel.on_wc(&net, ctx, &wc) {
-                            self.on_channel_msg(ctx, conn, m);
-                        } else if self.conns[conn].channel.broken() {
-                            self.close_conn(conn);
-                        }
+                    let msg = self.conns[conn].channel.on_wc(&net, ctx, &wc);
+                    // A handshake completion flushes queued messages; the
+                    // fan-out frames among them post right here, so this
+                    // is their actual post time for the statistics.
+                    let flushed = self.conns[conn].channel.take_flushed_wrs();
+                    if flushed > 0 {
+                        let fanout = flushed.min(self.conns[conn].deferred_wrs);
+                        self.conns[conn].deferred_wrs -= fanout;
+                        self.stat_doorbells += fanout;
+                        self.stat_wrs_posted += fanout;
                     }
+                    if let Some(m) = msg {
+                        self.on_channel_msg(ctx, conn, m);
+                    } else if self.conns[conn].channel.broken() {
+                        self.close_conn(conn);
+                    }
+                });
+                let done = self.cpu.run_on(0, ctx.now(), out.cpu_cost).finished;
+                if out.more {
+                    ctx.timer_at(done, NetEvent::CqNotify { cq });
                 }
-                self.net.req_notify_cq(ctx, cq);
             }
             _ => {}
         }
@@ -655,5 +715,209 @@ impl Actor for NicKv {
 
     fn name(&self) -> &str {
         "nic-kv"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    use skv_netsim::{SendOp, SendWr, Topology};
+    use skv_simcore::{FnActor, SimTime, Simulation};
+
+    use crate::config::{ClusterConfig, Mode};
+
+    /// Kick the scripted peer into dialing Nic-KV.
+    struct Connect;
+
+    /// Poke the scripted peer into finally sending its MR handshake.
+    struct ReleaseHandshake;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    /// `(rdma.wrs_posted, rdma.doorbells)` fabric snapshot.
+    fn fabric_posts(net: &Net) -> (u64, u64) {
+        let c = net.counters();
+        (c.get("rdma.wrs_posted"), c.get("rdma.doorbells"))
+    }
+
+    /// Drive a Nic-KV against a scripted peer that establishes its QP but
+    /// *withholds* its half of the MR handshake until poked, so the
+    /// Nic-KV-side channel sits open-but-not-ready while fan-out work
+    /// arrives. The WR statistics must track the fabric's `rdma.wrs_posted`
+    /// and `rdma.doorbells` exactly through all three phases: nothing while
+    /// frames queue, the deferred frames once the handshake flushes them,
+    /// and immediate posts afterwards.
+    fn deferred_fanout_stats_agree(batched: bool) {
+        let mut sim = Simulation::new(17);
+        let mut topo = Topology::new();
+        let nic_host = topo.add_host();
+        let nic_node = topo.add_smartnic(nic_host);
+        let peer_node = topo.add_host();
+        let mut cfg = ClusterConfig::for_mode(Mode::Skv);
+        cfg.batch_wr_posts = batched;
+        let net = skv_netsim::Net::install(&mut sim, topo, cfg.net.clone());
+        let nic_addr = SocketAddr::new(nic_node, 7000);
+        let ring = cfg.ring_size;
+
+        let nic_id = sim.add_actor(Box::new(NicKv::new(
+            net.clone(),
+            cfg,
+            nic_node,
+            nic_addr,
+        )));
+
+        let peer_qp: Rc<RefCell<Option<QpId>>> = Rc::default();
+        let pq = peer_qp.clone();
+        let n = net.clone();
+        let peer = sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+            let msg = match msg.downcast::<Connect>() {
+                Ok(_) => {
+                    let cq = n.create_cq(ctx.id());
+                    n.req_notify_cq(ctx, cq);
+                    n.rdma_connect(ctx, peer_node, ctx.id(), cq, nic_addr);
+                    return;
+                }
+                Err(msg) => msg,
+            };
+            let msg = match msg.downcast::<ReleaseHandshake>() {
+                Ok(_) => {
+                    // The withheld half of the channel handshake: register
+                    // a receive ring and send its handle, exactly as
+                    // `Channel::rdma` would have at establishment.
+                    let qp = pq.borrow().expect("established before release");
+                    let mr = n.register_mr(peer_node, ring);
+                    n.post_send(
+                        ctx,
+                        qp,
+                        SendWr {
+                            wr_id: u64::MAX - 1,
+                            op: SendOp::Send,
+                            data: mr.0.to_le_bytes().to_vec().into(),
+                        },
+                    )
+                    .expect("handshake post");
+                    return;
+                }
+                Err(msg) => msg,
+            };
+            let Ok(ev) = msg.downcast::<NetEvent>() else {
+                return;
+            };
+            match *ev {
+                NetEvent::CmEstablished { qp, .. } => {
+                    *pq.borrow_mut() = Some(qp);
+                    // Plenty of receive slots for Nic-KV's handshake SEND
+                    // and the fan-out writes; the peer never replenishes.
+                    for i in 0..64u64 {
+                        n.post_recv(qp, i).expect("post recv");
+                    }
+                }
+                NetEvent::CqNotify { cq } => {
+                    n.poll_cq(cq, usize::MAX);
+                    n.req_notify_cq(ctx, cq);
+                }
+                _ => {}
+            }
+        })));
+        sim.schedule(SimTime::ZERO, peer, Connect);
+
+        // Phase 0: connection up, Nic-KV's handshake sent, peer silent —
+        // the channel is open but not ready, and nothing fan-out-related
+        // has been posted.
+        sim.run_until(t(5));
+        {
+            let nic = sim.actor_ref::<NicKv>(nic_id).expect("nic actor");
+            assert_eq!(nic.conns.len(), 1, "peer connected");
+            assert!(nic.conns[0].open && !nic.conns[0].channel.ready());
+            assert_eq!(nic.stat_wrs_posted, 0);
+        }
+        let (wrs0, dbs0) = fabric_posts(&net);
+
+        // Phase 1: three fan-out frames while the handshake is
+        // outstanding. They must queue — zero WRs on the fabric, zero in
+        // the statistics (the historical bug counted them here).
+        let frame = || Frame::copy_from_slice(b"repl-stream-frame");
+        if batched {
+            sim.schedule(
+                t(6),
+                nic_id,
+                NicMsg::FanoutSendBatch {
+                    conns: vec![0, 0, 0],
+                    frame: frame(),
+                },
+            );
+        } else {
+            for i in 0..3 {
+                sim.schedule(t(6 + i), nic_id, NicMsg::FanoutSend { conn: 0, frame: frame() });
+            }
+        }
+        sim.run_until(t(10));
+        {
+            let nic = sim.actor_ref::<NicKv>(nic_id).expect("nic actor");
+            assert_eq!(nic.stat_wrs_posted, 0, "queued frames are not posts");
+            assert_eq!(nic.stat_doorbells, 0);
+            assert_eq!(nic.conns[0].deferred_wrs, 3);
+        }
+        assert_eq!(fabric_posts(&net), (wrs0, dbs0), "nothing reached the fabric");
+
+        // Phase 2: the peer completes the handshake; the queued frames
+        // flush (as individual posts — deferral forfeits batching) and the
+        // statistics pick them up at actual post time. The fabric saw one
+        // extra WR: the peer's own handshake SEND.
+        sim.schedule(t(11), peer, ReleaseHandshake);
+        sim.run_until(t(20));
+        {
+            let nic = sim.actor_ref::<NicKv>(nic_id).expect("nic actor");
+            assert!(nic.conns[0].channel.ready());
+            assert_eq!(nic.stat_wrs_posted, 3);
+            assert_eq!(nic.stat_doorbells, 3);
+            assert_eq!(nic.conns[0].deferred_wrs, 0);
+        }
+        let (wrs1, dbs1) = fabric_posts(&net);
+        assert_eq!(wrs1 - wrs0, 3 + 1, "3 flushed fan-out WRs + peer handshake");
+        assert_eq!(dbs1 - dbs0, 3 + 1);
+
+        // Phase 3: the channel is ready, so fan-out posts immediately —
+        // statistics and fabric deltas now agree WR for WR (and in batched
+        // mode, one doorbell for the pair).
+        if batched {
+            sim.schedule(
+                t(21),
+                nic_id,
+                NicMsg::FanoutSendBatch {
+                    conns: vec![0, 0],
+                    frame: frame(),
+                },
+            );
+        } else {
+            for i in 0..2 {
+                sim.schedule(t(21 + i), nic_id, NicMsg::FanoutSend { conn: 0, frame: frame() });
+            }
+        }
+        sim.run_until(t(30));
+        let expected_dbs = if batched { 1 } else { 2 };
+        {
+            let nic = sim.actor_ref::<NicKv>(nic_id).expect("nic actor");
+            assert_eq!(nic.stat_wrs_posted, 3 + 2);
+            assert_eq!(nic.stat_doorbells, 3 + expected_dbs);
+        }
+        let (wrs2, dbs2) = fabric_posts(&net);
+        assert_eq!(wrs2 - wrs1, 2);
+        assert_eq!(dbs2 - dbs1, expected_dbs);
+    }
+
+    #[test]
+    fn deferred_fanout_stats_agree_with_fabric_serial() {
+        deferred_fanout_stats_agree(false);
+    }
+
+    #[test]
+    fn deferred_fanout_stats_agree_with_fabric_batched() {
+        deferred_fanout_stats_agree(true);
     }
 }

@@ -31,6 +31,7 @@ use skv_store::resp::{Decoded, Resp};
 
 use crate::channel::{Channel, ChannelMsg};
 use crate::config::{ClusterConfig, Mode};
+use crate::cqdrain;
 use crate::protocol::{tag, NodeMsg};
 
 /// Maximum bytes per RDB transfer chunk.
@@ -638,7 +639,9 @@ impl KvServer {
                 cost += net_p.tcp_send_cost(reply.len());
             }
             Mode::RdmaRedis | Mode::Skv => {
-                cost += net_p.cq_poll_cpu;
+                // Completion-side CPU (cq_poll_cpu + wc_handle_cpu) is
+                // charged where polling happens — the CqNotify drain —
+                // not per command; here only the reply's WR post.
                 cost += net_p.wr_post_cpu;
                 wr_posts += 1;
                 doorbells += 1;
@@ -1509,22 +1512,14 @@ impl Actor for KvServer {
                         // drain stale completions (replenishing receive
                         // slots) and re-arm the completion channel.
                         if let Some(cq) = self.cq {
-                            loop {
-                                let wcs = self.net.poll_cq(cq, 64);
-                                if wcs.is_empty() {
-                                    break;
+                            let net = self.net.clone();
+                            cqdrain::recover_drain(&net, ctx, cq, |ctx, wc| {
+                                if let Some(&conn) = self.by_qp.get(&wc.qp) {
+                                    // Drop whatever the message was: the
+                                    // process "restarted".
+                                    let _ = self.conns[conn].channel.on_wc(&net, ctx, &wc);
                                 }
-                                for wc in wcs {
-                                    if let Some(&conn) = self.by_qp.get(&wc.qp) {
-                                        let net = self.net.clone();
-                                        // Drop whatever the message was: the
-                                        // process "restarted".
-                                        let _ =
-                                            self.conns[conn].channel.on_wc(&net, ctx, &wc);
-                                    }
-                                }
-                            }
-                            self.net.req_notify_cq(ctx, cq);
+                            });
                         }
                         // A synced slave re-requests sync from its current
                         // offset; the backlog usually serves it partially.
@@ -1619,24 +1614,26 @@ impl Actor for KvServer {
                 }
             }
             NetEvent::CqNotify { cq } => {
-                loop {
-                    let wcs = self.net.poll_cq(cq, 64);
-                    if wcs.is_empty() {
-                        break;
+                // Budgeted drain: at most `cq_poll_budget` completions per
+                // event, with the poll + per-WC handling CPU charged to
+                // the event-loop core; an over-budget burst continues in
+                // a self-scheduled follow-up once that work is done.
+                let net = self.net.clone();
+                let budget = self.cfg.cq_poll_budget;
+                let out = cqdrain::drain_budgeted(&net, ctx, cq, budget, |ctx, wc| {
+                    let Some(&conn) = self.by_qp.get(&wc.qp) else {
+                        return;
+                    };
+                    if let Some(msg) = self.conns[conn].channel.on_wc(&net, ctx, &wc) {
+                        self.on_channel_msg(ctx, conn, msg);
+                    } else if self.conns[conn].open && self.conns[conn].channel.broken() {
+                        self.on_conn_broken(ctx, conn);
                     }
-                    for wc in wcs {
-                        let Some(&conn) = self.by_qp.get(&wc.qp) else {
-                            continue;
-                        };
-                        let net = self.net.clone();
-                        if let Some(msg) = self.conns[conn].channel.on_wc(&net, ctx, &wc) {
-                            self.on_channel_msg(ctx, conn, msg);
-                        } else if self.conns[conn].open && self.conns[conn].channel.broken() {
-                            self.on_conn_broken(ctx, conn);
-                        }
-                    }
+                });
+                let done = self.cpu.run_on(0, ctx.now(), out.cpu_cost).finished;
+                if out.more {
+                    ctx.timer_at(done, NetEvent::CqNotify { cq });
                 }
-                self.net.req_notify_cq(ctx, cq);
             }
             NetEvent::TcpAccepted { conn, .. } => {
                 self.add_conn(Channel::tcp(conn), ConnKind::Unknown, None);

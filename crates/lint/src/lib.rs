@@ -61,10 +61,11 @@ const SIM_CRATE_PREFIXES: [&str; 3] = [
 ];
 
 /// Protocol hot-path files (rule `unwrap` applies).
-const HOT_PATH_FILES: [&str; 6] = [
+const HOT_PATH_FILES: [&str; 7] = [
     "crates/core/src/server.rs",
     "crates/core/src/client.rs",
     "crates/core/src/channel.rs",
+    "crates/core/src/cqdrain.rs",
     "crates/netsim/src/rdma.rs",
     "crates/netsim/src/tcp.rs",
     "crates/simcore/src/pool.rs",

@@ -61,6 +61,10 @@ pub(crate) struct CqState {
     pub(crate) owner: ActorId,
     pub(crate) queue: VecDeque<Wc>,
     pub(crate) armed: bool,
+    /// A moderation coalescing-deadline event is in flight for this CQ.
+    /// An already-scheduled deadline is never extended — it can only fire
+    /// *earlier* than a fresh one would, so the no-stranding bound holds.
+    pub(crate) timer_pending: bool,
 }
 
 #[derive(Debug)]
@@ -100,6 +104,9 @@ pub(crate) enum FabricMsg {
         qp: QpId,
         peer: SocketAddr,
     },
+    /// A CQ moderation coalescing deadline expires (see
+    /// [`crate::NetParams::cq_notify_timer`]).
+    CqModerationTimer { cq: CqId },
 }
 
 // ---------------------------------------------------------------------------
@@ -187,14 +194,59 @@ impl NetInner {
         self.faults.judge(now, src, dst, &mut self.fault_rng)
     }
 
-    /// Append a WC to a CQ and fire its completion channel if armed.
+    /// Append a WC to a CQ and, if the CQ is armed, either fire its
+    /// completion channel or — under interrupt moderation — hold the
+    /// notify until the threshold is met or the coalescing deadline runs.
     pub(crate) fn push_wc(&mut self, ctx: &mut Context<'_>, cq: CqId, wc: Wc) {
         let state = &mut self.cqs[cq.0 as usize];
         state.queue.push_back(wc);
-        if state.armed {
-            state.armed = false;
-            let owner = state.owner;
-            ctx.send(owner, NetEvent::CqNotify { cq });
+        if !state.armed {
+            return;
+        }
+        if !self.params.cq_moderation_active()
+            || self.cqs[cq.0 as usize].queue.len() >= self.params.cq_notify_threshold
+        {
+            self.fire_cq_notify(ctx, cq);
+        } else {
+            self.ensure_cq_timer(ctx, cq);
+        }
+    }
+
+    /// Fire `CqNotify` at a CQ's owner, disarming the completion channel.
+    /// Every notify the fabric ever emits goes through here, so
+    /// `rdma.cq_notifies` counts them all (the doorbell-style observable
+    /// for the N-to-1 moderation collapse).
+    pub(crate) fn fire_cq_notify(&mut self, ctx: &mut Context<'_>, cq: CqId) {
+        let state = &mut self.cqs[cq.0 as usize];
+        state.armed = false;
+        let owner = state.owner;
+        self.counters.inc("rdma.cq_notifies");
+        ctx.send(owner, NetEvent::CqNotify { cq });
+    }
+
+    /// Schedule the moderation coalescing deadline for `cq` unless one is
+    /// already in flight.
+    pub(crate) fn ensure_cq_timer(&mut self, ctx: &mut Context<'_>, cq: CqId) {
+        let state = &mut self.cqs[cq.0 as usize];
+        if state.timer_pending {
+            return;
+        }
+        state.timer_pending = true;
+        let fabric = self.fabric_actor;
+        let deadline = self.params.cq_notify_timer;
+        ctx.send_in(deadline, fabric, FabricMsg::CqModerationTimer { cq });
+    }
+
+    /// The coalescing deadline expired: flush a sub-threshold notify if the
+    /// CQ is still armed with completions waiting. A deadline that raced a
+    /// threshold-fire (or a drain) finds nothing to do and is dropped —
+    /// firing early is impossible, firing late never happens because the
+    /// deadline was scheduled at the *first* sub-threshold completion.
+    pub(crate) fn cq_timer_fire(&mut self, ctx: &mut Context<'_>, cq: CqId) {
+        let state = &mut self.cqs[cq.0 as usize];
+        state.timer_pending = false;
+        if state.armed && !state.queue.is_empty() {
+            self.fire_cq_notify(ctx, cq);
         }
     }
 }
@@ -312,6 +364,9 @@ impl Actor for FabricActor {
             }
             FabricMsg::CmEstablishedArrive { actor, qp, peer } => {
                 ctx.send(actor, NetEvent::CmEstablished { qp, peer });
+            }
+            FabricMsg::CqModerationTimer { cq } => {
+                net.cq_timer_fire(ctx, cq);
             }
         }
     }

@@ -37,18 +37,36 @@ pub struct NetParams {
     pub dma_delay: SimDuration,
     /// Host CPU time consumed by one `ibv_post_send` (WQE build + doorbell).
     /// This is the cost SKV's offload saves (N-1) copies of per write.
+    /// Also the single source of truth for the *first* WR of a linked post
+    /// list: a one-WR list costs exactly one unbatched post by
+    /// construction, so sweeping this knob moves both post paths together.
     pub wr_post_cpu: SimDuration,
-    /// CPU time for the *first* WR of a linked post list: WQE build plus
-    /// the MMIO doorbell write that kicks the NIC. Equal to `wr_post_cpu`
-    /// by default so an unbatched post costs the same either way.
-    pub wr_post_first: SimDuration,
     /// CPU time for each *linked* WR after the first in a post list: just
     /// the WQE build — the doorbell is shared by the whole chain. This gap
-    /// (`wr_post_first - wr_post_linked`) is what doorbell batching saves
+    /// (`wr_post_cpu - wr_post_linked`) is what doorbell batching saves
     /// per extra replica.
     pub wr_post_linked: SimDuration,
-    /// Host CPU time to poll/handle one completion.
+    /// Host CPU time for one `poll_cq` *call* (CQ ring scan + bookkeeping),
+    /// charged by the draining actor per poll regardless of how many WCs
+    /// the call returns. See `wc_handle_cpu` for the per-WC part.
     pub cq_poll_cpu: SimDuration,
+    /// Host CPU time to handle one *returned* completion (parse the WC,
+    /// dispatch to the owning connection). A drain of n WCs costs
+    /// `cq_poll_cpu + n × wc_handle_cpu` on the polling core.
+    pub wc_handle_cpu: SimDuration,
+    /// Interrupt moderation (ConnectX-style event coalescing): an armed CQ
+    /// fires `CqNotify` only once this many completions are queued.
+    /// `0` or `1` disables moderation — every completion on an armed CQ
+    /// notifies immediately, the historical behaviour.
+    pub cq_notify_threshold: usize,
+    /// Coalescing deadline for moderation: an armed CQ holding fewer than
+    /// `cq_notify_threshold` completions fires no later than this after the
+    /// first sub-threshold completion arrives, so a lone completion is
+    /// never stranded waiting for peers. Moderation is only *active* when
+    /// the threshold is above one **and** this timer is non-zero
+    /// ([`NetParams::cq_moderation_active`]) — a threshold without a
+    /// deadline could park completions forever, so it is rejected.
+    pub cq_notify_timer: SimDuration,
 
     // ---- TCP-like kernel stack ----
     /// One-way latency added by each kernel network stack traversal
@@ -87,9 +105,11 @@ impl Default for NetParams {
             nic_tx_delay: SimDuration::from_nanos(250),
             dma_delay: SimDuration::from_nanos(350),
             wr_post_cpu: SimDuration::from_nanos(200),
-            wr_post_first: SimDuration::from_nanos(200),
             wr_post_linked: SimDuration::from_nanos(80),
             cq_poll_cpu: SimDuration::from_nanos(200),
+            wc_handle_cpu: SimDuration::from_nanos(60),
+            cq_notify_threshold: 1,
+            cq_notify_timer: SimDuration::from_micros(16),
             tcp_stack_latency: SimDuration::from_nanos(2_000),
             tcp_send_cpu: SimDuration::from_nanos(2_600),
             tcp_recv_cpu: SimDuration::from_nanos(2_800),
@@ -110,13 +130,26 @@ impl NetParams {
     }
 
     /// CPU cost of posting `n` WRs through one `ibv_post_send` call (one
-    /// doorbell): the first WR pays [`NetParams::wr_post_first`], each
-    /// linked WR pays [`NetParams::wr_post_linked`].
+    /// doorbell): the first WR pays the full [`NetParams::wr_post_cpu`]
+    /// (WQE build + doorbell), each linked WR pays
+    /// [`NetParams::wr_post_linked`]. Deriving the first-WR cost from
+    /// `wr_post_cpu` keeps `post_list_cpu(1) == wr_post_cpu` true for
+    /// *every* configuration, not just the defaults — sweeping the post
+    /// cost (the `wrcost` ablation) moves both paths together.
     pub fn post_list_cpu(&self, n: usize) -> SimDuration {
         if n == 0 {
             return SimDuration::ZERO;
         }
-        self.wr_post_first + self.wr_post_linked.mul_f64((n - 1) as f64)
+        self.wr_post_cpu + self.wr_post_linked.mul_f64((n - 1) as f64)
+    }
+
+    /// Whether CQ interrupt moderation is active: a notify threshold above
+    /// one **and** a non-zero coalescing deadline. The deadline is what
+    /// makes a threshold safe — without it, sub-threshold completions on an
+    /// armed CQ would wait indefinitely for company — so a zero timer
+    /// falls back to unmoderated (immediate) notification.
+    pub fn cq_moderation_active(&self) -> bool {
+        self.cq_notify_threshold > 1 && self.cq_notify_timer > SimDuration::ZERO
     }
 
     /// Kernel-stack CPU cost for a TCP message of `bytes` on the send side.
@@ -190,6 +223,42 @@ mod tests {
             assert!(p.post_list_cpu(n) < p.wr_post_cpu.mul_f64(n as f64));
             assert!(p.post_list_cpu(n) > p.post_list_cpu(n - 1));
         }
+    }
+
+    #[test]
+    fn single_wr_cost_has_one_source_of_truth() {
+        // Regression for the batched/unbatched cost split: the invariant
+        // `post_list_cpu(1) == wr_post_cpu` must hold for *non-default*
+        // configs too, not coincide only because two defaults agree. A
+        // swept post cost (the `wrcost` ablation) must move both paths.
+        for ns in [55u64, 200, 777, 5_000] {
+            let p = NetParams {
+                wr_post_cpu: SimDuration::from_nanos(ns),
+                ..NetParams::default()
+            };
+            assert_eq!(
+                p.post_list_cpu(1),
+                p.wr_post_cpu,
+                "one-WR list must cost exactly one unbatched post at {ns}ns"
+            );
+            assert_eq!(
+                p.post_list_cpu(3),
+                p.wr_post_cpu + p.wr_post_linked.mul_f64(2.0)
+            );
+        }
+    }
+
+    #[test]
+    fn moderation_requires_threshold_and_deadline() {
+        let mut p = NetParams::default();
+        assert!(!p.cq_moderation_active(), "default config is unmoderated");
+        p.cq_notify_threshold = 8;
+        assert!(p.cq_moderation_active());
+        p.cq_notify_timer = SimDuration::ZERO;
+        assert!(
+            !p.cq_moderation_active(),
+            "a threshold with no coalescing deadline could strand completions"
+        );
     }
 
     #[test]

@@ -23,6 +23,21 @@
 //! One divergence from hardware, chosen deliberately: `req_notify_cq` fires
 //! immediately when completions are already queued, removing the classic
 //! poll/arm race without requiring apps to re-poll.
+//!
+//! Completion-event **interrupt moderation** (ConnectX-style coalescing) is
+//! modelled by two [`crate::NetParams`] knobs: `cq_notify_threshold` holds
+//! an armed CQ's notify until N completions queue, and `cq_notify_timer` is
+//! the coalescing deadline that flushes a sub-threshold batch so a lone
+//! completion is never stranded. With the default threshold of 1 the
+//! machinery is inert and every completion notifies immediately — the
+//! historical schedule, bit for bit. The collapse is observable through the
+//! `rdma.cq_notifies` / `rdma.wcs_polled` counters, the completion-side
+//! analogue of `rdma.doorbells` / `rdma.wrs_posted`.
+//!
+//! Completion costs follow the same convention as posting costs: the fabric
+//! charges nothing, the *polling actor* charges `cq_poll_cpu` per
+//! `poll_cq` call plus `wc_handle_cpu` per returned WC to its own core
+//! (see `skv-core`'s `cqdrain`).
 
 use skv_simcore::{ActorId, Context, Frame, SimDuration};
 
@@ -71,6 +86,7 @@ impl Net {
             owner,
             queue: Default::default(),
             armed: false,
+            timer_pending: false,
         });
         id
     }
@@ -299,8 +315,8 @@ impl Net {
     /// with [`PostError::QpError`] at its own index.
     ///
     /// The caller charges [`crate::NetParams::post_list_cpu`] to its own
-    /// core — one `wr_post_first` plus `wr_post_linked` per linked WR —
-    /// instead of `n × wr_post_cpu`.
+    /// core — one `wr_post_cpu` for the first WR plus `wr_post_linked`
+    /// per linked WR — instead of `n × wr_post_cpu`.
     pub fn post_send_list(
         &self,
         ctx: &mut Context<'_>,
@@ -357,6 +373,12 @@ impl Net {
 
     /// Drain up to `max` completions from `cq` (pop from the front of the
     /// queue; no element shifting regardless of queue depth).
+    ///
+    /// The fabric charges no CPU here; the polling actor owns the cost —
+    /// [`crate::NetParams::cq_poll_cpu`] per call plus
+    /// [`crate::NetParams::wc_handle_cpu`] per returned WC. Each returned
+    /// WC bumps the `rdma.wcs_polled` counter, the denominator of the
+    /// moderation collapse ratio (`rdma.cq_notifies / rdma.wcs_polled`).
     pub fn poll_cq(&self, cq: CqId, max: usize) -> Vec<Wc> {
         let mut inner = self.inner.borrow_mut();
         let q = &mut inner.cqs[cq.0 as usize].queue;
@@ -365,6 +387,7 @@ impl Net {
             let Some(wc) = q.pop_front() else { break };
             out.push(wc);
         }
+        inner.counters.add("rdma.wcs_polled", out.len() as u64);
         out
     }
 
@@ -376,15 +399,25 @@ impl Net {
     /// Arm the completion event channel: the owner receives
     /// [`NetEvent::CqNotify`] when the next completion arrives (immediately
     /// if completions are already pending).
+    ///
+    /// With interrupt moderation active
+    /// ([`crate::NetParams::cq_moderation_active`]), an already-pending
+    /// backlog below `cq_notify_threshold` does not fire immediately;
+    /// instead the CQ arms and the `cq_notify_timer` coalescing deadline
+    /// guarantees the backlog is flushed, so no completion is ever
+    /// stranded longer than the timer.
     pub fn req_notify_cq(&self, ctx: &mut Context<'_>, cq: CqId) {
         let mut inner = self.inner.borrow_mut();
-        let state = &mut inner.cqs[cq.0 as usize];
-        if !state.queue.is_empty() {
-            state.armed = false;
-            let owner = state.owner;
-            ctx.send(owner, NetEvent::CqNotify { cq });
+        let moderated = inner.params.cq_moderation_active();
+        let threshold = inner.params.cq_notify_threshold.max(1);
+        let depth = inner.cqs[cq.0 as usize].queue.len();
+        if depth > 0 && (!moderated || depth >= threshold) {
+            inner.fire_cq_notify(ctx, cq);
         } else {
-            state.armed = true;
+            inner.cqs[cq.0 as usize].armed = true;
+            if moderated && depth > 0 {
+                inner.ensure_cq_timer(ctx, cq);
+            }
         }
     }
 

@@ -14,6 +14,15 @@
 # marked `new` / `removed` instead of failing — sweeps gain and lose arms
 # between commits. Remember these are host wall-clock numbers: compare
 # only runs from the same machine.
+#
+# When BENCH_reference_ratios.json exists at the repo root (regenerate it
+# with `bench_report ratios BENCH_results.json BENCH_reference_ratios.json`
+# after an intentional perf change), the new results are also gated
+# against it: any benchmark whose geomean-normalized median regressed by
+# more than SKV_BENCH_GATE_PCT percent (default 25) fails the script.
+# Normalized ratios survive machine changes — a uniformly faster host
+# shifts every median together — so the stored reference is portable in a
+# way raw nanoseconds are not.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,3 +32,11 @@ if [ $# -ne 2 ]; then
 fi
 
 cargo run -q --release -p skv-bench --bin bench_report -- diff "$1" "$2"
+
+REF=BENCH_reference_ratios.json
+if [ -f "$REF" ]; then
+  cargo run -q --release -p skv-bench --bin bench_report -- \
+    gate "$REF" "$2" "${SKV_BENCH_GATE_PCT:-25}"
+else
+  echo "bench_diff: no $REF — skipping the regression gate" >&2
+fi

@@ -119,17 +119,35 @@ fn same_seed_same_bits_under_chaos() {
 }
 
 #[test]
-fn same_seed_same_bits_with_batched_posts() {
-    // The doorbell-batched fan-out reorders *how* WRs reach the fabric
-    // (one linked list instead of N serial posts) but must itself be a
-    // deterministic schedule: two batched runs, same seed, same bits.
+fn same_seed_same_bits_with_serial_posts() {
+    // Batched posting is the default now; the historical serial-doorbell
+    // arm must stay deterministic too (it is still an ablation arm and
+    // the fallback for TCP-framed channels).
     let mut spec = arm(Mode::Skv, 0xD00D);
-    spec.cfg.batch_wr_posts = true;
+    spec.cfg.batch_wr_posts = false;
     let a = execute(spec.clone(), None);
     let b = execute(spec, None);
     assert_eq!(
         a, b,
-        "identical batched runs diverged: {a:#018x} vs {b:#018x}"
+        "identical serial-post runs diverged: {a:#018x} vs {b:#018x}"
+    );
+}
+
+#[test]
+fn same_seed_same_bits_with_cq_moderation() {
+    // Interrupt moderation batches completion *notifies*: the event
+    // schedule changes shape (fewer, deeper CqNotify drains plus
+    // coalescing-timer events) but must remain a pure function of the
+    // seed — timers, thresholds and budgets all run on simulated time.
+    let mut spec = arm(Mode::Skv, 0xCAFE);
+    spec.cfg.net.cq_notify_threshold = 4;
+    spec.cfg.net.cq_notify_timer = SimDuration::from_micros(16);
+    spec.cfg.cq_poll_budget = 8;
+    let a = execute(spec.clone(), None);
+    let b = execute(spec, None);
+    assert_eq!(
+        a, b,
+        "identical moderated runs diverged: {a:#018x} vs {b:#018x}"
     );
 }
 

@@ -95,6 +95,36 @@ fn nic_fanout_is_one_doorbell_per_replicated_write() {
 }
 
 #[test]
+fn nic_wr_stats_agree_with_fabric_accounting() {
+    // In SKV mode the NIC's batched fan-out is the only place that links
+    // multiple WRs under one doorbell: the master posts a single WR to the
+    // NIC per write, and replies, syncs, probes and client commands are
+    // all single posts. The fabric-wide WR/doorbell gap is therefore
+    // exactly the NIC's — if the fan-out stats counted a queued frame at
+    // enqueue time instead of post time (the bug this PR fixes), or missed
+    // a deferred frame flushed by the MR handshake, this equality breaks.
+    let slaves = 3;
+    for batched in [false, true] {
+        let (cluster, report) = run(spec(Mode::Skv, slaves, batched, 0xFAB));
+        assert!(report.ops > 0);
+        let nic = cluster.nic_kv().expect("SKV mode has a Nic-KV");
+        let c = cluster.net.counters();
+        let (wrs, dbs) = (c.get("rdma.wrs_posted"), c.get("rdma.doorbells"));
+        assert!(nic.stat_wrs_posted > 0, "fan-out ran (batched={batched})");
+        assert_eq!(
+            wrs - dbs,
+            nic.stat_wrs_posted - nic.stat_doorbells,
+            "fabric WR/doorbell gap must equal the NIC's (batched={batched})"
+        );
+        if !batched {
+            // Serially everything in the system is one doorbell per WR.
+            assert_eq!(nic.stat_doorbells, nic.stat_wrs_posted);
+            assert_eq!(wrs, dbs);
+        }
+    }
+}
+
+#[test]
 fn post_stall_is_charged_per_doorbell_not_per_linked_wr() {
     // Force a stall on *every* doorbell and make it enormous relative to
     // everything else. Serial posting pays N+1 stalls per replicated
