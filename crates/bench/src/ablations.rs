@@ -11,6 +11,7 @@
 use skv_core::cluster::{Cluster, RunSpec};
 use skv_core::config::{ClusterConfig, Mode};
 use skv_core::metrics::RunReport;
+use skv_core::replmode::ReplModeKind;
 use skv_netsim::{FaultPlan, LinkFault, TimeWindow};
 use skv_simcore::{SimDuration, SimTime};
 
@@ -363,6 +364,81 @@ pub fn print_cq_moderation(rows: &[CqModRow]) {
         println!(
             "{:>10} {:>10} {:>10.1} {:>10.1} {:>12} {:>12} {:>12.3}",
             r.threshold, r.timer_us, r.kops, r.p99_us, r.cq_notifies, r.wcs_polled, r.notify_ratio
+        );
+    }
+}
+
+// ===========================================================================
+// replication mode (async stream vs quorum vs chain)
+// ===========================================================================
+
+/// One replication-mode setting.
+#[derive(Debug, Clone)]
+pub struct ReplModeRow {
+    /// The protocol behind the `ReplicationMode` trait.
+    pub mode: ReplModeKind,
+    /// Client-visible summary.
+    pub report: RunReport,
+    /// Writes the NIC committed through ack tracking (0 for async — the
+    /// stream mode has no commit point).
+    pub commits: u64,
+    /// Quorum retransmits to re-registered slaves.
+    pub retransmits: u64,
+    /// Chain-repair events (hops spliced out of in-flight writes).
+    pub chain_repairs: u64,
+    /// Replies the master deferred until the NIC's commit frontier (and
+    /// the slave census) caught up.
+    pub deferred_replies: u64,
+}
+
+/// Sweep the replication protocol at a fixed fan-out: the async stream is
+/// the latency/throughput ceiling (replies return as soon as the host
+/// write lands), quorum pays one NIC→slave RTT before release, and chain
+/// pays the full hop-by-hop pipeline — the paper's offload numbers are
+/// the async arm, the other two price its durability upgrade.
+pub fn ablation_replmode() -> Vec<ReplModeRow> {
+    ReplModeKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &mode)| {
+            let mut s = spec(Mode::Skv, 3, 8, 31_000 + i as u64);
+            s.cfg.repl_mode = mode;
+            let mut cluster = Cluster::build(s);
+            let report = cluster.run();
+            let (commits, retransmits, chain_repairs) = cluster
+                .nic_kv()
+                .map(|n| (n.stat_commits, n.stat_retransmits, n.stat_chain_repairs))
+                .unwrap_or((0, 0, 0));
+            let deferred_replies = cluster.master_server().stat_deferred_replies;
+            ReplModeRow {
+                mode,
+                report,
+                commits,
+                retransmits,
+                chain_repairs,
+                deferred_replies,
+            }
+        })
+        .collect()
+}
+
+/// Print the replication-mode ablation.
+pub fn print_replmode(rows: &[ReplModeRow]) {
+    println!("Ablation — replication protocol (SKV, 3 slaves, 8 clients, SET)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>10}",
+        "mode", "kops/s", "p99(us)", "commits", "deferred", "rexmit", "repairs"
+    );
+    for r in rows {
+        println!(
+            "{:>8} {:>10.1} {:>10.1} {:>10} {:>10} {:>8} {:>10}",
+            r.mode.label(),
+            r.report.throughput_kops,
+            r.report.p99_latency_us,
+            r.commits,
+            r.deferred_replies,
+            r.retransmits,
+            r.chain_repairs
         );
     }
 }

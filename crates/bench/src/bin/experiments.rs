@@ -26,6 +26,7 @@ fn run(which: &str) {
         "wrcost" => abl::print_wr_cost(&abl::ablation_wr_cost()),
         "wrbatch" => abl::print_wr_batching(&abl::ablation_wr_batching()),
         "cqmod" => abl::print_cq_moderation(&abl::ablation_cq_moderation()),
+        "replmode" => abl::print_replmode(&abl::ablation_replmode()),
         "slavecount" => abl::print_slave_count(&abl::ablation_slave_count()),
         "failparams" => abl::print_failure_params(&abl::ablation_failure_params()),
         "probeloss" => abl::print_probe_loss(&abl::ablation_probe_loss()),
@@ -40,8 +41,8 @@ fn main() {
     let list: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig3", "fig7", "fig10", "fig11", "fig12", "fig13", "fig14", "niccrash",
-            "threadnum", "nicstore", "wrcost", "wrbatch", "cqmod", "slavecount",
-            "failparams", "probeloss", "pipeline",
+            "threadnum", "nicstore", "wrcost", "wrbatch", "cqmod", "replmode",
+            "slavecount", "failparams", "probeloss", "pipeline",
         ]
     } else {
         args.iter().map(String::as_str).collect()

@@ -53,6 +53,16 @@ pub fn fanout_spec_sized(
     }
 }
 
+/// Replication-mode workload: pure SET at a 3-slave fan-out with the
+/// protocol knob exposed. The tracked modes (quorum, chain) run the ack
+/// bookkeeping — WR-ack maps, commit windows, deferred-reply queues — that
+/// the async stream skips, so the sweep prices that machinery in host CPU.
+pub fn replmode_spec(mode: skv_core::replmode::ReplModeKind, seed: u64) -> RunSpec {
+    let mut spec = fanout_spec_sized(Mode::Skv, 3, false, 1024, seed);
+    spec.cfg.repl_mode = mode;
+    spec
+}
+
 /// A Figure-10-style point: mixed GET/SET, small values, closed loop,
 /// 8 clients against 1 master + 3 slaves.
 pub fn fig10_style_spec(mode: Mode, seed: u64) -> RunSpec {

@@ -59,12 +59,20 @@ pub struct BenchClient {
     rng: DetRng,
     /// FIFO of (send instant, is_write) for commands awaiting replies.
     in_flight: std::collections::VecDeque<(SimTime, bool)>,
+    /// Consecutive failed dials since the last established connection;
+    /// drives the capped exponential redial backoff
+    /// (`ClusterConfig::client_dial_delay`).
+    dial_attempts: u32,
     /// Operations issued.
     pub stat_issued: u64,
     /// Replies received.
     pub stat_replies: u64,
     /// Connections abandoned and re-established after reply timeouts.
     pub stat_reconnects: u64,
+    /// Total failed dial attempts (each one schedules a backed-off
+    /// redial); the backoff regression test bounds this under a long
+    /// partition.
+    pub stat_dial_failures: u64,
 }
 
 impl BenchClient {
@@ -88,9 +96,11 @@ impl BenchClient {
             channel: None,
             rng: DetRng::new(0),
             in_flight: Default::default(),
+            dial_attempts: 0,
             stat_issued: 0,
             stat_replies: 0,
             stat_reconnects: 0,
+            stat_dial_failures: 0,
         }
     }
 
@@ -228,6 +238,7 @@ impl Actor for BenchClient {
                 if self.channel.is_some() {
                     return;
                 }
+                self.dial_attempts = 0;
                 let net = self.net.clone();
                 let ch = Channel::rdma(&net, ctx, self.node, qp, self.cfg.ring_size);
                 self.channel = Some(ch);
@@ -236,6 +247,7 @@ impl Actor for BenchClient {
                 self.fill_pipeline(ctx);
             }
             NetEvent::TcpConnected { conn, .. } => {
+                self.dial_attempts = 0;
                 self.channel = Some(Channel::tcp(conn));
                 self.fill_pipeline(ctx);
             }
@@ -286,8 +298,15 @@ impl Actor for BenchClient {
                 self.reconnect(ctx);
             }
             NetEvent::CmConnectFailed { .. } | NetEvent::TcpConnectFailed { .. } => {
-                // Retry once the servers are up (startup race).
-                ctx.timer(SimDuration::from_millis(5), ClientMsg::Start);
+                // Redial with capped exponential backoff: base delay for
+                // the startup race, doubling toward the configured cap
+                // under a long partition — but never beyond
+                // `client_retry_timeout`, so a recovered server is found
+                // within one watchdog period.
+                self.dial_attempts = self.dial_attempts.saturating_add(1);
+                self.stat_dial_failures += 1;
+                let delay = self.cfg.client_dial_delay(self.dial_attempts);
+                ctx.timer(delay, ClientMsg::Start);
             }
             _ => {}
         }

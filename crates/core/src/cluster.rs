@@ -10,8 +10,10 @@ use skv_simcore::{ActorId, SimDuration, SimTime, Simulation};
 
 use crate::client::{BenchClient, Workload};
 use crate::config::{ClusterConfig, Mode};
+use crate::histcheck::{self, HistReader, HistSpec, HistWriter, ReadAnchor, SharedHistory};
 use crate::metrics::{MetricsHub, RunReport, SharedMetrics};
 use crate::nickv::{NicControl, NicKv};
+use crate::replmode::{quorum_slave_acks, ReplModeKind};
 use crate::server::{Control, KvServer};
 
 /// Well-known ports.
@@ -296,6 +298,63 @@ impl Cluster {
         }
     }
 
+    /// Deploy history probe actors (see [`crate::histcheck`]) on the
+    /// client machine: `spec.writers` single-writer actors against the
+    /// master and `spec.readers` readers against the anchor. Call after
+    /// [`Cluster::build`], before running. The returned handle holds the
+    /// recorded history for [`histcheck::check_single_writer`].
+    pub fn add_history(&mut self, spec: &HistSpec) -> SharedHistory {
+        let history = histcheck::new_history();
+        let cfg = self.spec.cfg.clone();
+        let master_addr = SocketAddr::new(self.master_node, KV_PORT);
+        let slave_addrs: Vec<SocketAddr> = self
+            .slave_nodes
+            .iter()
+            .map(|&n| SocketAddr::new(n, KV_PORT))
+            .collect();
+        let (targets, read_quorum) = match spec.anchor {
+            ReadAnchor::Master => (vec![master_addr], 1),
+            ReadAnchor::Slave(i) => (vec![slave_addrs[i]], 1),
+            ReadAnchor::MasterQuorum => {
+                let mut t = vec![master_addr];
+                t.extend(slave_addrs.iter().copied());
+                (t, quorum_slave_acks(cfg.num_slaves) + 1)
+            }
+        };
+        let start = self.clients_start;
+        let stop = self.measure_until;
+        for w in 0..spec.writers {
+            self.sim.add_actor(Box::new(HistWriter::new(
+                self.net.clone(),
+                cfg.clone(),
+                self.client_node,
+                master_addr,
+                history.clone(),
+                w,
+                spec.keys_per_writer,
+                spec.op_gap,
+                start,
+                stop,
+            )));
+        }
+        for _ in 0..spec.readers {
+            self.sim.add_actor(Box::new(HistReader::new(
+                self.net.clone(),
+                cfg.clone(),
+                self.client_node,
+                targets.clone(),
+                read_quorum,
+                history.clone(),
+                spec.writers,
+                spec.keys_per_writer,
+                spec.op_gap,
+                start,
+                stop,
+            )));
+        }
+        history
+    }
+
     /// Schedule a SmartNIC SoC crash at `at` (SKV mode; no-op otherwise).
     pub fn schedule_nic_crash(&mut self, at: SimTime) {
         if let Some(nic) = self.nic {
@@ -364,6 +423,19 @@ impl Cluster {
             report.chaos.add("server.conn_errors", s.stat_conn_errors);
             report.chaos.add("server.degradations", s.stat_degradations);
             report.chaos.add("server.partial_syncs", s.stat_partial_syncs);
+        }
+        // Tracked-mode counters are gated on the mode so the async arm's
+        // report — and therefore its determinism digest — stays
+        // bit-identical to the pre-trait code path.
+        if self.spec.cfg.repl_mode != ReplModeKind::Async {
+            if let Some(nic) = self.nic_kv() {
+                report.chaos.add("nic.commits", nic.stat_commits);
+                report.chaos.add("nic.retransmits", nic.stat_retransmits);
+                report.chaos.add("nic.chain_repairs", nic.stat_chain_repairs);
+            }
+            let m = self.master_server();
+            report.chaos.add("server.deferred_replies", m.stat_deferred_replies);
+            report.chaos.add("server.released_replies", m.stat_released_replies);
         }
         report
     }

@@ -1,5 +1,6 @@
 //! Cluster and server configuration.
 
+use crate::replmode::ReplModeKind;
 use skv_netsim::{MachineParams, NetParams};
 use skv_simcore::SimDuration;
 
@@ -115,8 +116,13 @@ pub struct ClusterConfig {
     /// (paper §III-C: "if the progress is too slow … return an error").
     pub max_slave_lag: u64,
     /// Base delay for reconnect backoff after a failed dial; doubles per
-    /// attempt up to a cap.
+    /// attempt up to [`ClusterConfig::reconnect_max_delay`].
     pub reconnect_base: SimDuration,
+    /// Cap on the doubled reconnect delay. Under a long partition the
+    /// schedule is `base, 2·base, 4·base, …` clamped here, so redial
+    /// pressure stays bounded without the doubling running away. See
+    /// [`ClusterConfig::reconnect_delay`].
+    pub reconnect_max_delay: SimDuration,
     /// Attempts before a single connect intent is abandoned (periodic
     /// re-seeding from the cron loop takes over from there).
     pub reconnect_max_attempts: u32,
@@ -143,6 +149,19 @@ pub struct ClusterConfig {
     /// what lets the slow Nic-KV ARM cores back-pressure realistically
     /// under fan-in; see [`crate::cqdrain`].
     pub cq_poll_budget: usize,
+    /// Which replication protocol the cluster runs (see
+    /// [`crate::replmode`]). `Async` reproduces the paper's stream
+    /// bit-for-bit; `Quorum` and `Chain` defer client replies until the
+    /// NIC commits the covering offset.
+    pub repl_mode: ReplModeKind,
+    /// Bounded in-flight window for the deferred modes: how many
+    /// replicated segments the NIC tracks concurrently before queueing
+    /// further launches behind commits. Ignored by `Async`.
+    pub repl_window: usize,
+    /// Record per-commit ack sets on the NIC (`NicKv::committed_acks`).
+    /// Test-only instrumentation for the quorum-intersection proptest;
+    /// off by default to keep long runs lean.
+    pub record_commits: bool,
     /// CPU cost model.
     pub costs: CostParams,
     /// Fabric calibration.
@@ -165,11 +184,15 @@ impl Default for ClusterConfig {
             ring_size: 1 << 20,
             max_slave_lag: 256 << 20,
             reconnect_base: SimDuration::from_millis(10),
+            reconnect_max_delay: SimDuration::from_millis(640),
             reconnect_max_attempts: 8,
             upstream_silence: SimDuration::from_millis(2_500),
             client_retry_timeout: SimDuration::from_millis(250),
             batch_wr_posts: true,
             cq_poll_budget: 64,
+            repl_mode: ReplModeKind::Async,
+            repl_window: 256,
+            record_commits: false,
             costs: CostParams::default(),
             net: NetParams::default(),
             machines: MachineParams::default(),
@@ -196,6 +219,29 @@ impl ClusterConfig {
             .min(self.machines.nic_cores)
             .min(self.num_slaves.max(1))
     }
+
+    /// Server-side reconnect backoff for the `attempts`-th consecutive
+    /// failure (1-based): `reconnect_base · 2^(attempts−1)` clamped to
+    /// [`ClusterConfig::reconnect_max_delay`]. The cap never drops below
+    /// the base, so a misconfigured `reconnect_max_delay <
+    /// reconnect_base` degrades to constant-`base` retries instead of a
+    /// zero-delay dial storm.
+    pub fn reconnect_delay(&self, attempts: u32) -> SimDuration {
+        let shift = attempts.saturating_sub(1).min(20);
+        let delay = self.reconnect_base.mul_f64((1u64 << shift) as f64);
+        let cap = self.reconnect_max_delay.max(self.reconnect_base);
+        delay.min(cap)
+    }
+
+    /// Client-side dial backoff: the same capped doubling, additionally
+    /// clamped to `client_retry_timeout`. The client's watchdog abandons
+    /// a silent connection after `client_retry_timeout`, so letting the
+    /// dial backoff exceed it would leave the client idle longer than it
+    /// is ever willing to wait on a live connection — this makes the
+    /// interaction between the two knobs explicit.
+    pub fn client_dial_delay(&self, attempts: u32) -> SimDuration {
+        self.reconnect_delay(attempts).min(self.client_retry_timeout)
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +255,58 @@ mod tests {
         assert_eq!(Mode::Skv.label(), "SKV");
         assert!(!Mode::TcpRedis.uses_rdma());
         assert!(Mode::Skv.uses_rdma());
+    }
+
+    #[test]
+    fn reconnect_backoff_doubles_then_caps() {
+        let cfg = ClusterConfig::default();
+        // 10, 20, 40, 80, 160, 320, 640, then pinned at the 640ms cap.
+        let expect = [10u64, 20, 40, 80, 160, 320, 640, 640, 640, 640];
+        for (i, &ms) in expect.iter().enumerate() {
+            assert_eq!(
+                cfg.reconnect_delay(i as u32 + 1),
+                SimDuration::from_millis(ms),
+                "attempt {}",
+                i + 1
+            );
+        }
+        // Huge attempt counts must not overflow the shift.
+        assert_eq!(cfg.reconnect_delay(1_000), cfg.reconnect_max_delay);
+        // attempts = 0 is treated like the first attempt.
+        assert_eq!(cfg.reconnect_delay(0), cfg.reconnect_base);
+    }
+
+    #[test]
+    fn reconnect_cap_never_below_base() {
+        let cfg = ClusterConfig {
+            reconnect_base: SimDuration::from_millis(50),
+            reconnect_max_delay: SimDuration::from_millis(10),
+            ..Default::default()
+        };
+        for attempts in 1..10 {
+            assert_eq!(cfg.reconnect_delay(attempts), cfg.reconnect_base);
+        }
+    }
+
+    #[test]
+    fn client_dial_delay_clamped_to_retry_timeout() {
+        let cfg = ClusterConfig {
+            reconnect_base: SimDuration::from_millis(10),
+            reconnect_max_delay: SimDuration::from_millis(640),
+            client_retry_timeout: SimDuration::from_millis(100),
+            ..Default::default()
+        };
+        assert_eq!(cfg.client_dial_delay(1), SimDuration::from_millis(10));
+        assert_eq!(cfg.client_dial_delay(4), SimDuration::from_millis(80));
+        // From the 5th failure on, the dial backoff is pinned to the
+        // client's own abandon timeout, not the server cap.
+        for attempts in 5..12 {
+            assert_eq!(
+                cfg.client_dial_delay(attempts),
+                cfg.client_retry_timeout,
+                "attempt {attempts}"
+            );
+        }
     }
 
     #[test]

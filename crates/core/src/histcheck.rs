@@ -1,0 +1,944 @@
+//! # histcheck — client-visible operation histories + consistency checking
+//!
+//! The replication-mode work (see [`crate::replmode`]) promises different
+//! guarantees per mode: linearizable writes for quorum and chain,
+//! eventual convergence only for the async stream. Promises about
+//! *client-visible* behaviour need client-visible evidence, so this
+//! module records operation histories from dedicated probe actors during
+//! chaos runs and checks them deterministically afterwards:
+//!
+//! * [`HistWriter`] — owns a namespaced key set (`h:{writer}:{key}`) and
+//!   issues `SET key <seq>` to the master, one in flight, with strictly
+//!   increasing `seq` per writer. Single-writer-per-key by construction.
+//! * [`HistReader`] — issues `GET` for a random probe key to a set of
+//!   target servers (the *anchor* plus optional quorum peers) and
+//!   completes a read once the anchor and `read_quorum` targets
+//!   responded, taking the **maximum** observed sequence number.
+//! * [`check_single_writer`] — verifies the recorded history against the
+//!   single-writer atomic-register conditions. An empty violation list
+//!   is a linearizability witness for the probe keys; for the async
+//!   arm the *expected* stale-read violations are the evidence that it
+//!   only converges eventually.
+//!
+//! Everything is deterministic: actors draw from split [`DetRng`]s, the
+//! history lives in a [`SharedHistory`] the test inspects after the run.
+//!
+//! The checker is deliberately conservative about incomplete operations:
+//! a write whose reply never arrived may or may not have taken effect,
+//! so its value is *allowed* but never *required* to be observed.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use skv_netsim::{CqId, DetMap, Net, NetEvent, NodeId, QpId, SocketAddr};
+use skv_simcore::{Actor, ActorId, Context, DetRng, Payload, SimDuration, SimTime};
+use skv_store::resp::{Decoded, Resp};
+
+use crate::channel::{Channel, ChannelMsg};
+use crate::config::ClusterConfig;
+use crate::cqdrain;
+use crate::protocol::tag;
+
+/// What kind of operation a history record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A `SET key <seq>` by the key's single writer.
+    Write,
+    /// A quorum/anchor `GET` returning the maximum observed seq.
+    Read,
+}
+
+/// One client-visible operation. Reads and writes share the record shape;
+/// `seq` is the value written or observed (`0` = key absent).
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// The probe key (`h:{writer:02}:{key:04}`).
+    pub key: String,
+    /// Read or write.
+    pub kind: OpKind,
+    /// Value written, or maximum value observed (0 = no value).
+    pub seq: u64,
+    /// Invocation instant (request sent).
+    pub invoked: SimTime,
+    /// Completion instant; `None` when the operation was abandoned (its
+    /// effect is unknown — it may still land).
+    pub completed: Option<SimTime>,
+    /// Whether the completion was a success reply.
+    pub ok: bool,
+    /// For reads: the servers whose responses formed the read quorum.
+    pub read_set: Vec<SocketAddr>,
+}
+
+/// A recorded history — all operations from all probe actors, in record
+/// order (which is deterministic under the simulation).
+#[derive(Debug, Default)]
+pub struct History {
+    /// The operations.
+    pub ops: Vec<OpRecord>,
+}
+
+/// Shared handle to a [`History`]; the probe actors append, the test
+/// reads after the run.
+pub type SharedHistory = Rc<RefCell<History>>;
+
+/// Fresh shared history.
+pub fn new_history() -> SharedHistory {
+    Rc::new(RefCell::new(History::default()))
+}
+
+/// One consistency violation found by [`check_single_writer`].
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The key the violation occurred on.
+    pub key: String,
+    /// Human-readable description (times and sequence numbers).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.key, self.detail)
+    }
+}
+
+/// Check a single-writer-per-key history against the atomic-register
+/// linearizability conditions. Returns every violation found (empty =
+/// the history is linearizable on the probe keys):
+///
+/// 1. **Value provenance** — a read's observed value was actually
+///    written, and the write was invoked before the read completed.
+/// 2. **Read freshness** — a read invoked after a write *completed
+///    successfully* observes that write or a newer one. (This is the
+///    condition async replication breaks under faults: the master acked
+///    a write that a lagging anchor has not applied.)
+/// 3. **Read monotonicity** — of two non-overlapping reads on a key, the
+///    later never observes an older value than the earlier (no "time
+///    travel" between quorums).
+///
+/// Incomplete or failed operations are treated conservatively: their
+/// effects are allowed but never required.
+pub fn check_single_writer(history: &History) -> Vec<Violation> {
+    let mut by_key: BTreeMap<&str, (Vec<&OpRecord>, Vec<&OpRecord>)> = BTreeMap::new();
+    for op in &history.ops {
+        let entry = by_key.entry(op.key.as_str()).or_default();
+        match op.kind {
+            OpKind::Write => entry.0.push(op),
+            OpKind::Read => entry.1.push(op),
+        }
+    }
+    let mut violations = Vec::new();
+    for (key, (writes, reads)) in by_key {
+        let done_reads: Vec<&OpRecord> = reads
+            .iter()
+            .copied()
+            .filter(|r| r.ok && r.completed.is_some())
+            .collect();
+        for r in &done_reads {
+            let Some(r_done) = r.completed else { continue };
+            // 1. Provenance: the value must come from a write invoked
+            // before the read completed.
+            if r.seq != 0
+                && !writes
+                    .iter()
+                    .any(|w| w.seq == r.seq && w.invoked < r_done)
+            {
+                violations.push(Violation {
+                    key: key.to_string(),
+                    detail: format!(
+                        "read at {:?} observed {} which was never written before it",
+                        r_done, r.seq
+                    ),
+                });
+            }
+            // 2. Freshness: at least the newest write that completed
+            // successfully before the read was invoked.
+            let floor = writes
+                .iter()
+                .filter(|w| w.ok && w.completed.is_some_and(|t| t < r.invoked))
+                .map(|w| w.seq)
+                .max()
+                .unwrap_or(0);
+            if r.seq < floor {
+                violations.push(Violation {
+                    key: key.to_string(),
+                    detail: format!(
+                        "stale read: observed {} at {:?} but write {} completed before {:?}",
+                        r.seq, r_done, floor, r.invoked
+                    ),
+                });
+            }
+        }
+        // 3. Monotonicity across non-overlapping reads.
+        for (i, r1) in done_reads.iter().enumerate() {
+            let Some(r1_done) = r1.completed else { continue };
+            for r2 in &done_reads[i + 1..] {
+                let (first, second) = if r1_done <= r2.invoked {
+                    (*r1, *r2)
+                } else if r2.completed.is_some_and(|t| t <= r1.invoked) {
+                    (*r2, *r1)
+                } else {
+                    continue; // overlapping — either order is legal
+                };
+                if second.seq < first.seq {
+                    violations.push(Violation {
+                        key: key.to_string(),
+                        detail: format!(
+                            "non-monotone reads: {} then {}",
+                            first.seq, second.seq
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Count of stale-read violations only (condition 2) — the signal the
+/// async-mode chaos arm asserts on.
+pub fn stale_reads(violations: &[Violation]) -> usize {
+    violations
+        .iter()
+        .filter(|v| v.detail.starts_with("stale read"))
+        .count()
+}
+
+/// The probe key for `(writer, key_idx)`; namespaced away from the
+/// benchmark keyspace.
+pub fn probe_key(writer: usize, key_idx: usize) -> String {
+    format!("h:{writer:02}:{key_idx:04}")
+}
+
+/// Where a [`HistReader`] anchors its reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadAnchor {
+    /// Read from the master only (quorum-mode arm: the master holds
+    /// every committed write).
+    Master,
+    /// Read from one slave only (async arm: exposes staleness; chain
+    /// arm with the tail index: the commit point).
+    Slave(usize),
+    /// Read from the master plus enough slaves for a majority of the
+    /// replica set (ABD-style read quorum).
+    MasterQuorum,
+}
+
+/// Shape of a history probe deployment (see `Cluster::add_history`).
+#[derive(Debug, Clone)]
+pub struct HistSpec {
+    /// Number of single-writer actors (each owns its key namespace).
+    pub writers: usize,
+    /// Keys per writer.
+    pub keys_per_writer: usize,
+    /// Number of reader actors.
+    pub readers: usize,
+    /// Read anchoring.
+    pub anchor: ReadAnchor,
+    /// Think time between a completion and the next operation.
+    pub op_gap: SimDuration,
+}
+
+impl Default for HistSpec {
+    fn default() -> Self {
+        HistSpec {
+            writers: 2,
+            keys_per_writer: 4,
+            readers: 2,
+            anchor: ReadAnchor::Master,
+            op_gap: SimDuration::from_micros(30),
+        }
+    }
+}
+
+enum ProbeMsg {
+    Start,
+    IssueNext,
+    Watchdog,
+}
+
+/// Single-writer probe actor: `SET probe_key <seq>` to the master, one
+/// operation in flight, strictly increasing `seq`.
+pub struct HistWriter {
+    net: Net,
+    cfg: ClusterConfig,
+    node: NodeId,
+    server: SocketAddr,
+    history: SharedHistory,
+    writer_id: usize,
+    keys: usize,
+    op_gap: SimDuration,
+    start_at: SimTime,
+    stop_at: SimTime,
+    seq: u64,
+    cq: Option<CqId>,
+    channel: Option<Channel>,
+    /// Index into the shared history of the op awaiting its reply.
+    in_flight: Option<usize>,
+    dial_attempts: u32,
+}
+
+impl HistWriter {
+    /// Create a writer probe targeting `server` (the master).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        net: Net,
+        cfg: ClusterConfig,
+        node: NodeId,
+        server: SocketAddr,
+        history: SharedHistory,
+        writer_id: usize,
+        keys: usize,
+        op_gap: SimDuration,
+        start_at: SimTime,
+        stop_at: SimTime,
+    ) -> Self {
+        HistWriter {
+            net,
+            cfg,
+            node,
+            server,
+            history,
+            writer_id,
+            keys: keys.max(1),
+            op_gap,
+            start_at,
+            stop_at,
+            seq: 0,
+            cq: None,
+            channel: None,
+            in_flight: None,
+            dial_attempts: 0,
+        }
+    }
+
+    fn dial(&mut self, ctx: &mut Context<'_>) {
+        if self.channel.is_some() {
+            return;
+        }
+        let me = ctx.id();
+        if self.cfg.mode.uses_rdma() {
+            let cq = match self.cq {
+                Some(cq) => cq,
+                None => {
+                    let cq = self.net.create_cq(me);
+                    self.cq = Some(cq);
+                    self.net.req_notify_cq(ctx, cq);
+                    cq
+                }
+            };
+            self.net.rdma_connect(ctx, self.node, me, cq, self.server);
+        } else {
+            self.net.tcp_connect(ctx, self.node, me, self.server);
+        }
+    }
+
+    fn abandon(&mut self, ctx: &mut Context<'_>) {
+        // The in-flight op stays incomplete in the history: its effect is
+        // unknown (the checker treats it as maybe-applied).
+        self.in_flight = None;
+        if let Some(ch) = self.channel.take() {
+            if let Some(qp) = ch.qp() {
+                self.net.destroy_qp(qp);
+            }
+            if let Some(conn) = ch.tcp_conn() {
+                self.net.tcp_close(ctx, conn);
+            }
+        }
+        ctx.timer(SimDuration::from_millis(1), ProbeMsg::Start);
+    }
+
+    fn issue(&mut self, ctx: &mut Context<'_>) {
+        if ctx.now() >= self.stop_at || self.in_flight.is_some() {
+            return;
+        }
+        let Some(channel) = self.channel.as_mut() else {
+            return;
+        };
+        self.seq += 1;
+        let key = probe_key(self.writer_id, (self.seq as usize) % self.keys);
+        let value = self.seq.to_string();
+        let cmd = Resp::command([b"SET".as_slice(), key.as_bytes(), value.as_bytes()]);
+        let idx = {
+            let mut h = self.history.borrow_mut();
+            h.ops.push(OpRecord {
+                key,
+                kind: OpKind::Write,
+                seq: self.seq,
+                invoked: ctx.now(),
+                completed: None,
+                ok: false,
+                read_set: Vec::new(),
+            });
+            h.ops.len() - 1
+        };
+        self.in_flight = Some(idx);
+        let net = self.net.clone();
+        channel.send(&net, ctx, tag::CMD, cmd.encode());
+    }
+
+    fn on_reply(&mut self, ctx: &mut Context<'_>, payload: &[u8]) {
+        let Some(idx) = self.in_flight.take() else {
+            return;
+        };
+        let is_error = payload.first() == Some(&b'-');
+        let mut h = self.history.borrow_mut();
+        if let Some(op) = h.ops.get_mut(idx) {
+            op.completed = Some(ctx.now());
+            op.ok = !is_error;
+        }
+        drop(h);
+        ctx.timer(self.op_gap, ProbeMsg::IssueNext);
+    }
+}
+
+impl Actor for HistWriter {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.timer_at(self.start_at, ProbeMsg::Start);
+        ctx.timer_at(
+            self.start_at + self.cfg.client_retry_timeout,
+            ProbeMsg::Watchdog,
+        );
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: ActorId, msg: Payload) {
+        let msg = match msg.downcast::<ProbeMsg>() {
+            Ok(m) => {
+                match *m {
+                    ProbeMsg::Start => self.dial(ctx),
+                    ProbeMsg::IssueNext => self.issue(ctx),
+                    ProbeMsg::Watchdog => {
+                        let now = ctx.now();
+                        if now >= self.stop_at && self.in_flight.is_none() {
+                            return;
+                        }
+                        let timeout = self.cfg.client_retry_timeout;
+                        let stuck = self.in_flight.is_some_and(|idx| {
+                            self.history
+                                .borrow()
+                                .ops
+                                .get(idx)
+                                .is_some_and(|op| now.saturating_since(op.invoked) > timeout)
+                        });
+                        let broken = self.channel.as_ref().is_some_and(|c| c.broken());
+                        if stuck || broken {
+                            self.abandon(ctx);
+                        }
+                        ctx.timer(timeout, ProbeMsg::Watchdog);
+                    }
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let Ok(ev) = msg.downcast::<NetEvent>() else {
+            return;
+        };
+        match *ev {
+            NetEvent::CmEstablished { qp, .. } => {
+                if self.channel.is_some() {
+                    return;
+                }
+                self.dial_attempts = 0;
+                let net = self.net.clone();
+                self.channel = Some(Channel::rdma(&net, ctx, self.node, qp, self.cfg.ring_size));
+                self.issue(ctx);
+            }
+            NetEvent::TcpConnected { conn, .. } => {
+                self.dial_attempts = 0;
+                self.channel = Some(Channel::tcp(conn));
+                self.issue(ctx);
+            }
+            NetEvent::CqNotify { cq } => {
+                let net = self.net.clone();
+                let budget = self.cfg.cq_poll_budget;
+                let mut broken = false;
+                let out = cqdrain::drain_budgeted(&net, ctx, cq, budget, |ctx, wc| {
+                    if broken {
+                        return;
+                    }
+                    let Some(ch) = self.channel.as_mut() else {
+                        return;
+                    };
+                    if let Some(ChannelMsg { tag: t, payload }) = ch.on_wc(&net, ctx, &wc) {
+                        if t == tag::REPLY {
+                            self.on_reply(ctx, &payload);
+                        }
+                    } else if self.channel.as_ref().is_some_and(|c| c.broken()) {
+                        broken = true;
+                    }
+                });
+                if out.more {
+                    ctx.timer_at(ctx.now(), NetEvent::CqNotify { cq });
+                }
+                if broken {
+                    self.abandon(ctx);
+                }
+            }
+            NetEvent::TcpDelivered { bytes, .. } => {
+                let msgs = self
+                    .channel
+                    .as_mut()
+                    .map(|ch| ch.on_tcp_bytes(bytes))
+                    .unwrap_or_default();
+                for m in msgs {
+                    if m.tag == tag::REPLY {
+                        self.on_reply(ctx, &m.payload);
+                    }
+                }
+            }
+            NetEvent::TcpClosed { .. } if ctx.now() < self.stop_at => self.abandon(ctx),
+            NetEvent::CmConnectFailed { .. } | NetEvent::TcpConnectFailed { .. } => {
+                self.dial_attempts = self.dial_attempts.saturating_add(1);
+                let delay = self.cfg.client_dial_delay(self.dial_attempts);
+                ctx.timer(delay, ProbeMsg::Start);
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "hist-writer"
+    }
+}
+
+/// Parse a GET reply into the observed sequence number. `NullBulk` (key
+/// absent) observes 0; errors and malformed values observe nothing.
+fn parse_observed(payload: &[u8]) -> Option<u64> {
+    match Resp::decode(payload) {
+        Decoded::Frame(Resp::NullBulk, _) => Some(0),
+        Decoded::Frame(Resp::Bulk(b), _) => {
+            std::str::from_utf8(&b).ok().and_then(|s| s.parse().ok())
+        }
+        _ => None,
+    }
+}
+
+struct TargetConn {
+    addr: SocketAddr,
+    channel: Option<Channel>,
+    /// Read generations with a GET outstanding on this channel, oldest
+    /// first (replies arrive in FIFO order per channel).
+    outstanding: VecDeque<u64>,
+}
+
+/// Multi-target read probe: GETs a random probe key from every connected
+/// target and completes once the anchor (`targets[0]`) plus
+/// `read_quorum` total targets responded, observing the maximum value.
+/// RDMA modes only (one CQ multiplexes all target QPs).
+pub struct HistReader {
+    net: Net,
+    cfg: ClusterConfig,
+    node: NodeId,
+    targets: Vec<TargetConn>,
+    read_quorum: usize,
+    history: SharedHistory,
+    writers: usize,
+    keys_per_writer: usize,
+    op_gap: SimDuration,
+    start_at: SimTime,
+    stop_at: SimTime,
+    rng: DetRng,
+    cq: Option<CqId>,
+    by_qp: DetMap<QpId, usize>,
+    cur_gen: u64,
+    /// Index into the shared history of the read in progress.
+    cur_op: Option<usize>,
+    /// Per-target observation for the current generation.
+    got: Vec<Option<u64>>,
+}
+
+impl HistReader {
+    /// Create a reader probe. `targets[0]` is the anchor; a read needs
+    /// the anchor plus `read_quorum` total responders.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        net: Net,
+        cfg: ClusterConfig,
+        node: NodeId,
+        targets: Vec<SocketAddr>,
+        read_quorum: usize,
+        history: SharedHistory,
+        writers: usize,
+        keys_per_writer: usize,
+        op_gap: SimDuration,
+        start_at: SimTime,
+        stop_at: SimTime,
+    ) -> Self {
+        let got = vec![None; targets.len()];
+        HistReader {
+            net,
+            cfg,
+            node,
+            targets: targets
+                .into_iter()
+                .map(|addr| TargetConn {
+                    addr,
+                    channel: None,
+                    outstanding: VecDeque::new(),
+                })
+                .collect(),
+            read_quorum: read_quorum.max(1),
+            history,
+            writers: writers.max(1),
+            keys_per_writer: keys_per_writer.max(1),
+            op_gap,
+            start_at,
+            stop_at,
+            rng: DetRng::new(0),
+            cq: None,
+            by_qp: DetMap::new(),
+            cur_gen: 0,
+            cur_op: None,
+            got,
+        }
+    }
+
+    fn dial_missing(&mut self, ctx: &mut Context<'_>) {
+        let me = ctx.id();
+        let cq = match self.cq {
+            Some(cq) => cq,
+            None => {
+                let cq = self.net.create_cq(me);
+                self.cq = Some(cq);
+                self.net.req_notify_cq(ctx, cq);
+                cq
+            }
+        };
+        for t in &mut self.targets {
+            if let Some(ch) = t.channel.as_ref() {
+                if !ch.broken() {
+                    continue;
+                }
+            }
+            if let Some(ch) = t.channel.take() {
+                if let Some(qp) = ch.qp() {
+                    self.net.destroy_qp(qp);
+                }
+                t.outstanding.clear();
+            }
+            self.net.rdma_connect(ctx, self.node, me, cq, t.addr);
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut Context<'_>) {
+        if ctx.now() >= self.stop_at || self.cur_op.is_some() {
+            return;
+        }
+        // No anchor connection → nothing can complete; back off and retry.
+        if self.targets.first().is_some_and(|t| t.channel.is_none()) {
+            ctx.timer(self.cfg.client_retry_timeout, ProbeMsg::IssueNext);
+            return;
+        }
+        let writer = self.rng.below(self.writers as u64) as usize;
+        let key_idx = self.rng.below(self.keys_per_writer as u64) as usize;
+        let key = probe_key(writer, key_idx);
+        let cmd = Resp::command([b"GET".as_slice(), key.as_bytes()]).encode();
+        self.cur_gen += 1;
+        for g in &mut self.got {
+            *g = None;
+        }
+        let idx = {
+            let mut h = self.history.borrow_mut();
+            h.ops.push(OpRecord {
+                key,
+                kind: OpKind::Read,
+                seq: 0,
+                invoked: ctx.now(),
+                completed: None,
+                ok: false,
+                read_set: Vec::new(),
+            });
+            h.ops.len() - 1
+        };
+        self.cur_op = Some(idx);
+        let net = self.net.clone();
+        let gen = self.cur_gen;
+        for t in &mut self.targets {
+            let Some(ch) = t.channel.as_mut() else {
+                continue;
+            };
+            ch.send(&net, ctx, tag::CMD, cmd.clone());
+            t.outstanding.push_back(gen);
+        }
+        self.maybe_complete(ctx);
+    }
+
+    /// Record target `ti`'s reply for the generation it answers; complete
+    /// the current read when anchor + quorum responded.
+    fn on_get_reply(&mut self, ctx: &mut Context<'_>, ti: usize, payload: &[u8]) {
+        let Some(gen) = self.targets[ti].outstanding.pop_front() else {
+            return;
+        };
+        if gen != self.cur_gen || self.cur_op.is_none() {
+            return; // reply for an abandoned generation
+        }
+        if let Some(v) = parse_observed(payload) {
+            self.got[ti] = Some(v);
+        }
+        self.maybe_complete(ctx);
+    }
+
+    fn maybe_complete(&mut self, ctx: &mut Context<'_>) {
+        let Some(idx) = self.cur_op else { return };
+        if self.got.first().copied().flatten().is_none() {
+            return; // anchor has not answered
+        }
+        let responders = self.got.iter().filter(|g| g.is_some()).count();
+        if responders < self.read_quorum {
+            return;
+        }
+        let observed = self.got.iter().flatten().copied().max().unwrap_or(0);
+        let read_set: Vec<SocketAddr> = self
+            .targets
+            .iter()
+            .zip(&self.got)
+            .filter(|(_, g)| g.is_some())
+            .map(|(t, _)| t.addr)
+            .collect();
+        {
+            let mut h = self.history.borrow_mut();
+            if let Some(op) = h.ops.get_mut(idx) {
+                op.completed = Some(ctx.now());
+                op.ok = true;
+                op.seq = observed;
+                op.read_set = read_set;
+            }
+        }
+        self.cur_op = None;
+        ctx.timer(self.op_gap, ProbeMsg::IssueNext);
+    }
+}
+
+impl Actor for HistReader {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.rng = ctx.rng().split();
+        ctx.timer_at(self.start_at, ProbeMsg::Start);
+        ctx.timer_at(
+            self.start_at + self.cfg.client_retry_timeout,
+            ProbeMsg::Watchdog,
+        );
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: ActorId, msg: Payload) {
+        let msg = match msg.downcast::<ProbeMsg>() {
+            Ok(m) => {
+                match *m {
+                    ProbeMsg::Start => {
+                        self.dial_missing(ctx);
+                        ctx.timer(self.op_gap, ProbeMsg::IssueNext);
+                    }
+                    ProbeMsg::IssueNext => self.issue(ctx),
+                    ProbeMsg::Watchdog => {
+                        let now = ctx.now();
+                        if now >= self.stop_at && self.cur_op.is_none() {
+                            return;
+                        }
+                        let timeout = self.cfg.client_retry_timeout;
+                        let stuck = self.cur_op.is_some_and(|idx| {
+                            self.history
+                                .borrow()
+                                .ops
+                                .get(idx)
+                                .is_some_and(|op| now.saturating_since(op.invoked) > timeout)
+                        });
+                        if stuck {
+                            // Abandon the read (left incomplete) and move
+                            // on; redial anything broken.
+                            self.cur_op = None;
+                            self.dial_missing(ctx);
+                            ctx.timer(self.op_gap, ProbeMsg::IssueNext);
+                        }
+                        ctx.timer(timeout, ProbeMsg::Watchdog);
+                    }
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let Ok(ev) = msg.downcast::<NetEvent>() else {
+            return;
+        };
+        match *ev {
+            NetEvent::CmEstablished { qp, peer } => {
+                let Some(ti) = self.targets.iter().position(|t| t.addr == peer) else {
+                    return;
+                };
+                if self.targets[ti].channel.is_some() {
+                    return;
+                }
+                let net = self.net.clone();
+                let ch = Channel::rdma(&net, ctx, self.node, qp, self.cfg.ring_size);
+                self.by_qp.insert(qp, ti);
+                self.targets[ti].channel = Some(ch);
+            }
+            NetEvent::CmConnectFailed { .. } => {
+                // The watchdog retries; losing one target only costs
+                // quorum membership until then.
+            }
+            NetEvent::CqNotify { cq } => {
+                let net = self.net.clone();
+                let budget = self.cfg.cq_poll_budget;
+                let out = cqdrain::drain_budgeted(&net, ctx, cq, budget, |ctx, wc| {
+                    let Some(&ti) = self.by_qp.get(&wc.qp) else {
+                        return;
+                    };
+                    let Some(ch) = self.targets[ti].channel.as_mut() else {
+                        return;
+                    };
+                    if let Some(ChannelMsg { tag: t, payload }) = ch.on_wc(&net, ctx, &wc) {
+                        if t == tag::REPLY {
+                            self.on_get_reply(ctx, ti, &payload);
+                        }
+                    }
+                    // Broken channels stay in place until the watchdog
+                    // redials: `outstanding` bookkeeping dies with them.
+                });
+                if out.more {
+                    ctx.timer_at(ctx.now(), NetEvent::CqNotify { cq });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "hist-reader"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    fn write(key: &str, seq: u64, inv: u64, done: u64) -> OpRecord {
+        OpRecord {
+            key: key.into(),
+            kind: OpKind::Write,
+            seq,
+            invoked: t(inv),
+            completed: Some(t(done)),
+            ok: true,
+            read_set: Vec::new(),
+        }
+    }
+
+    fn read(key: &str, seq: u64, inv: u64, done: u64) -> OpRecord {
+        OpRecord {
+            key: key.into(),
+            kind: OpKind::Read,
+            seq,
+            invoked: t(inv),
+            completed: Some(t(done)),
+            ok: true,
+            read_set: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let h = History {
+            ops: vec![
+                write("k", 1, 0, 10),
+                read("k", 1, 20, 30),
+                write("k", 2, 40, 50),
+                read("k", 2, 60, 70),
+            ],
+        };
+        assert!(check_single_writer(&h).is_empty());
+    }
+
+    #[test]
+    fn stale_read_is_flagged() {
+        let h = History {
+            ops: vec![
+                write("k", 1, 0, 10),
+                write("k", 2, 20, 30),
+                read("k", 1, 40, 50), // write 2 completed before — stale
+            ],
+        };
+        let v = check_single_writer(&h);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(stale_reads(&v), 1);
+    }
+
+    #[test]
+    fn phantom_value_is_flagged() {
+        let h = History {
+            ops: vec![write("k", 1, 0, 10), read("k", 7, 20, 30)],
+        };
+        let v = check_single_writer(&h);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(stale_reads(&v), 0);
+    }
+
+    #[test]
+    fn non_monotone_reads_are_flagged() {
+        let h = History {
+            ops: vec![
+                write("k", 1, 0, 10),
+                // Write 2 never completed (abandoned) — observing it is
+                // legal, but un-observing it afterwards is not.
+                OpRecord {
+                    completed: None,
+                    ok: false,
+                    ..write("k", 2, 15, 0)
+                },
+                read("k", 2, 20, 30),
+                read("k", 1, 40, 50),
+            ],
+        };
+        let v = check_single_writer(&h);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].detail.contains("non-monotone"), "{v:?}");
+    }
+
+    #[test]
+    fn incomplete_and_overlapping_ops_are_tolerated() {
+        let h = History {
+            ops: vec![
+                write("k", 1, 0, 10),
+                // In-flight write: reads may see 1 or 2.
+                OpRecord {
+                    completed: None,
+                    ok: false,
+                    ..write("k", 2, 15, 0)
+                },
+                // Overlapping reads: one sees the new value, one does not.
+                read("k", 2, 20, 30),
+                read("k", 2, 25, 40),
+                read("k", 2, 50, 60),
+            ],
+        };
+        assert!(check_single_writer(&h).is_empty());
+    }
+
+    #[test]
+    fn null_reads_before_any_write_pass() {
+        let h = History {
+            ops: vec![read("k", 0, 0, 5), write("k", 1, 10, 20), read("k", 1, 30, 40)],
+        };
+        assert!(check_single_writer(&h).is_empty());
+    }
+
+    #[test]
+    fn observed_parse_handles_replies() {
+        assert_eq!(parse_observed(&Resp::NullBulk.encode()), Some(0));
+        assert_eq!(
+            parse_observed(&Resp::Bulk(b"42".to_vec()).encode()),
+            Some(42)
+        );
+        assert_eq!(parse_observed(&Resp::Bulk(b"x".to_vec()).encode()), None);
+        assert_eq!(parse_observed(b"-ERR nope\r\n"), None);
+    }
+
+    #[test]
+    fn probe_keys_are_namespaced_and_stable() {
+        assert_eq!(probe_key(1, 2), "h:01:0002");
+        assert_ne!(probe_key(1, 2), probe_key(2, 1));
+    }
+}

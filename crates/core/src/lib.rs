@@ -44,7 +44,9 @@ pub mod client;
 pub mod cluster;
 pub mod config;
 pub mod cqdrain;
+pub mod histcheck;
 pub mod metrics;
 pub mod nickv;
 pub mod protocol;
+pub mod replmode;
 pub mod server;

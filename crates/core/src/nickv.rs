@@ -14,7 +14,11 @@
 //!   invalid flags, `min-slaves` notifications to the master, and master
 //!   failover with downgrade-on-return.
 
-use skv_netsim::{CqId, DetMap, Frame, Net, NetEvent, NodeId, QpId, SocketAddr};
+use std::collections::VecDeque;
+
+use skv_netsim::{
+    CqId, DetMap, Frame, Net, NetEvent, NodeId, QpId, SocketAddr, WcOpcode, WcStatus,
+};
 use skv_simcore::{Actor, ActorId, Context, CorePool, Payload, SimDuration, SimTime};
 use skv_store::repl::ReplicationPosition;
 
@@ -22,6 +26,7 @@ use crate::channel::{Channel, ChannelMsg};
 use crate::config::ClusterConfig;
 use crate::cqdrain;
 use crate::protocol::{tag, NodeMsg};
+use crate::replmode::{quorum_slave_acks, ReplModeKind};
 
 /// An entry in the node list (paper §III-C: "a node list storing the
 /// corresponding relationship between the master node and the slave node
@@ -55,6 +60,35 @@ enum NicMsg {
     /// every staged WR under a single doorbell (`batch_wr_posts` mode).
     /// Each slave's WR still carries the same frame by refcount bump.
     FanoutSendBatch { conns: Vec<usize>, frame: Frame },
+    /// Tracked-mode (quorum) fan-out work finished; post the write's WRs
+    /// under one doorbell and arm ack tracking on their completions.
+    TrackedSend { seq: u64, conns: Vec<usize> },
+    /// Chain-mode per-hop work finished; post the write to its current
+    /// head hop.
+    ChainHop { seq: u64 },
+}
+
+/// One in-flight tracked write (quorum or chain mode). The frame is kept
+/// for retransmission until the write commits.
+struct PendingWrite {
+    /// Launch sequence number — the `wr_acks` / timer correlation key.
+    seq: u64,
+    /// Master backlog offset right *after* this write's bytes: a slave
+    /// whose cumulative applied offset reaches this value holds the write.
+    end_offset: u64,
+    /// The replication stream frame (`[from_offset][RESP]`).
+    frame: Frame,
+    /// Slaves that acked this write (WR completion, `WriteAck`, or
+    /// cumulative `ProgressReport` coverage). Deduplicated.
+    acked: Vec<SocketAddr>,
+    /// Slave acks required to commit (quorum mode; 0 in chain mode where
+    /// the emptied hop list is the commit condition).
+    needed: usize,
+    /// Remaining chain hops, head first (chain mode; empty in quorum).
+    hops: VecDeque<SocketAddr>,
+    /// Whether a post to the current head hop is scheduled or awaiting
+    /// its applied ack.
+    hop_inflight: bool,
 }
 
 /// External control events injected by the harness. The SmartNIC SoC can
@@ -122,6 +156,31 @@ pub struct NicKv {
     pub detections: Vec<(SimTime, SocketAddr)>,
     /// Instants at which a previously failed node was seen alive again.
     pub recoveries: Vec<(SimTime, SocketAddr)>,
+    // -- tracked replication (quorum / chain modes) ------------------------
+    /// Launch sequence counter for tracked writes.
+    write_seq: u64,
+    /// In-flight tracked writes, oldest first (offsets ascend with launch
+    /// order, so commit release pops from the front).
+    pending: VecDeque<PendingWrite>,
+    /// Outstanding tracked WR → `(seq, slave)`; resolved by the send-side
+    /// completion in the CQ drain.
+    wr_acks: DetMap<(QpId, u64), (u64, SocketAddr)>,
+    /// Writes waiting for a window slot (`repl_window` bounds `pending`).
+    window_queue: VecDeque<Frame>,
+    /// Highest backlog offset committed under the active mode.
+    committed_upto: u64,
+    /// Highest commit offset pushed to the master via `WriteCommitted`.
+    notified_upto: u64,
+    /// Tracked writes committed.
+    pub stat_commits: u64,
+    /// Quorum-mode retransmissions to re-registering slaves.
+    pub stat_retransmits: u64,
+    /// Chain-repair actions: dead hops spliced out of in-flight chains.
+    pub stat_chain_repairs: u64,
+    /// Per-commit ack sets `(end_offset, acked slaves)`, recorded only
+    /// when `ClusterConfig::record_commits` is set (the quorum
+    /// intersection proptest reads these).
+    pub committed_acks: Vec<(u64, Vec<SocketAddr>)>,
 }
 
 impl NicKv {
@@ -153,7 +212,41 @@ impl NicKv {
             stat_failovers: 0,
             detections: Vec::new(),
             recoveries: Vec::new(),
+            write_seq: 0,
+            pending: VecDeque::new(),
+            wr_acks: DetMap::new(),
+            window_queue: VecDeque::new(),
+            committed_upto: 0,
+            notified_upto: 0,
+            stat_commits: 0,
+            stat_retransmits: 0,
+            stat_chain_repairs: 0,
+            committed_acks: Vec::new(),
         }
+    }
+
+    /// Whether the configured mode tracks per-write acks and defers the
+    /// master's client replies (quorum and chain; not the async stream).
+    fn deferred(&self) -> bool {
+        self.cfg.repl_mode != ReplModeKind::Async
+    }
+
+    /// Highest backlog offset committed under the active replication mode
+    /// (async never tracks commits and reports 0).
+    pub fn committed_upto(&self) -> u64 {
+        self.committed_upto
+    }
+
+    /// Tracked writes still awaiting their commit condition.
+    pub fn pending_writes(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn addr_of_conn(&self, conn: usize) -> Option<SocketAddr> {
+        self.nodes
+            .iter()
+            .find(|n| n.conn == Some(conn))
+            .map(|n| n.addr)
     }
 
     /// The node list (for tests and reports).
@@ -279,6 +372,12 @@ impl NicKv {
                     self.demote_promoted(ctx);
                     // Tell the master how many slaves are already valid.
                     self.notify_available(ctx);
+                    if self.deferred() {
+                        // A reconnecting master lost any earlier commit
+                        // notification state; resend the frontier.
+                        self.notified_upto = 0;
+                        self.notify_committed(ctx);
+                    }
                 }
             }
             NodeMsg::SyncRequest { slave, position } => {
@@ -296,11 +395,32 @@ impl NicKv {
                     self.send_on(ctx, mconn, tag::NODE, relay);
                 }
                 self.notify_available(ctx);
+                if self.deferred() {
+                    self.apply_ack(ctx, slave, position.offset);
+                    if self.cfg.repl_mode == ReplModeKind::Quorum {
+                        self.retransmit_pending(ctx, slave);
+                    }
+                }
             }
             NodeMsg::ProgressReport { slave, offset } => {
                 if let Some(e) = self.entry_mut(slave) {
                     e.position.offset = e.position.offset.max(offset);
                     e.last_reply = ctx.now();
+                }
+                if self.deferred() {
+                    self.apply_ack(ctx, slave, offset);
+                }
+            }
+            NodeMsg::WriteAck { slave, offset } => {
+                // Chain hop acknowledgement: the slave *applied* the
+                // stream up to `offset` (cumulative, so one ack can cover
+                // several pending writes).
+                if let Some(e) = self.entry_mut(slave) {
+                    e.position.offset = e.position.offset.max(offset);
+                    e.last_reply = ctx.now();
+                }
+                if self.deferred() {
+                    self.apply_ack(ctx, slave, offset);
                 }
             }
             NodeMsg::ProbeReply { seq: _, from } => {
@@ -387,6 +507,12 @@ impl NicKv {
     /// slave's send buffer and post one WRITE_WITH_IMM per slave, the work
     /// spread round-robin across `thread-num` ARM cores.
     fn fan_out(&mut self, ctx: &mut Context<'_>, frame: Frame) {
+        if self.deferred() {
+            // Quorum/chain modes track per-write acks; the async fast path
+            // below stays bit-identical when `repl_mode` is `Async`.
+            self.fan_out_tracked(ctx, frame);
+            return;
+        }
         self.stat_fanout_msgs += 1;
         // Track the master's offset from the frame header (first 8 bytes),
         // for the lag check of §III-C.
@@ -484,6 +610,426 @@ impl NicKv {
         }
     }
 
+    // -- tracked replication (quorum / chain modes) -----------------------------
+
+    /// Tracked-mode entry point for one replicated write. Shares the async
+    /// path's parse cost and offset bookkeeping, then launches the write
+    /// under the mode's WR pattern — or parks it in `window_queue` when the
+    /// in-flight window is full.
+    fn fan_out_tracked(&mut self, ctx: &mut Context<'_>, frame: Frame) {
+        self.stat_fanout_msgs += 1;
+        let Some((from_offset, body)) = crate::server::parse_stream_frame(&frame) else {
+            return;
+        };
+        let end_offset = from_offset + body.len() as u64;
+        self.master_offset = self.master_offset.max(end_offset);
+        if self.pending.len() >= self.cfg.repl_window.max(1) {
+            self.window_queue.push_back(frame);
+            return;
+        }
+        self.launch_write(ctx, frame, end_offset);
+    }
+
+    fn launch_write(&mut self, ctx: &mut Context<'_>, frame: Frame, end_offset: u64) {
+        // Parse cost on the master-connection thread, as in the async path.
+        self.cpu.run_on(0, ctx.now(), self.cfg.costs.nic_fanout_base);
+        self.write_seq += 1;
+        let seq = self.write_seq;
+        let targets: Vec<(usize, SocketAddr)> = self
+            .nodes
+            .iter()
+            .filter(|n| !n.is_master && n.valid)
+            .filter_map(|n| n.conn.map(|c| (c, n.addr)))
+            .filter(|&(c, _)| self.conns[c].open)
+            .collect();
+        match self.cfg.repl_mode {
+            ReplModeKind::Quorum => {
+                let needed = quorum_slave_acks(self.cfg.num_slaves);
+                self.pending.push_back(PendingWrite {
+                    seq,
+                    end_offset,
+                    frame,
+                    acked: Vec::new(),
+                    needed,
+                    hops: VecDeque::new(),
+                    hop_inflight: false,
+                });
+                let threads = self.cfg.effective_nic_threads();
+                let per_slave = self.cfg.costs.nic_per_slave;
+                let mut batch_done = ctx.now();
+                let mut conns = Vec::with_capacity(targets.len());
+                for (conn, _) in targets {
+                    let thread = self.fanout_cursor % threads;
+                    self.fanout_cursor += 1;
+                    let done = self.cpu.run_on(thread, ctx.now(), per_slave).finished;
+                    self.stat_fanout_sends += 1;
+                    if done > batch_done {
+                        batch_done = done;
+                    }
+                    conns.push(conn);
+                }
+                if !conns.is_empty() {
+                    ctx.timer_at(batch_done, NicMsg::TrackedSend { seq, conns });
+                }
+                // N = 0 commits immediately (master is the whole quorum).
+                self.check_commits(ctx);
+            }
+            ReplModeKind::Chain => {
+                let hops: VecDeque<SocketAddr> =
+                    targets.into_iter().map(|(_, addr)| addr).collect();
+                self.pending.push_back(PendingWrite {
+                    seq,
+                    end_offset,
+                    frame,
+                    acked: Vec::new(),
+                    needed: 0,
+                    hops,
+                    hop_inflight: false,
+                });
+                self.advance_chain(ctx, seq);
+            }
+            ReplModeKind::Async => unreachable!("async writes use fan_out"),
+        }
+    }
+
+    /// Post one tracked write's WRs to `conns` under a single doorbell,
+    /// arming `wr_acks` so the send-side completions land back on the
+    /// write. Also the quorum retransmit path (single-conn `conns`).
+    fn tracked_send(&mut self, ctx: &mut Context<'_>, seq: u64, conns: Vec<usize>) {
+        let Some(frame) = self
+            .pending
+            .iter()
+            .find(|p| p.seq == seq)
+            .map(|p| p.frame.clone())
+        else {
+            return; // committed before the fan-out work finished
+        };
+        let net = self.net.clone();
+        let mut staged: Vec<(usize, QpId, u64)> = Vec::with_capacity(conns.len());
+        let mut wrs = Vec::with_capacity(conns.len());
+        for conn in conns {
+            if !self.conns[conn].open {
+                continue;
+            }
+            let Some(addr) = self.addr_of_conn(conn) else {
+                continue;
+            };
+            if let Some((qp, wr)) = self.conns[conn]
+                .channel
+                .build_wr(tag::REPL_STREAM, frame.clone())
+            {
+                self.wr_acks.insert((qp, wr.wr_id), (seq, addr));
+                staged.push((conn, qp, wr.wr_id));
+                wrs.push((qp, wr));
+            } else if !self.conns[conn].channel.ready() {
+                // Queued behind the handshake. No completion will carry
+                // this WR back to `wr_acks`; the slave's cumulative
+                // progress (`ProgressReport`/resync) acks it instead.
+                self.conns[conn].deferred_wrs += 1;
+            }
+        }
+        if wrs.is_empty() {
+            return;
+        }
+        self.stat_doorbells += 1;
+        self.stat_wrs_posted += wrs.len() as u64;
+        let outcomes = net.post_send_batch(ctx, wrs);
+        for ((conn, qp, wr_id), outcome) in staged.into_iter().zip(outcomes) {
+            if outcome.is_err() {
+                self.wr_acks.remove(&(qp, wr_id));
+                self.conns[conn].channel.mark_broken();
+                self.close_conn(conn);
+            }
+        }
+    }
+
+    /// Chain mode: prune dead head hops, then schedule a post to the
+    /// current head if none is in flight.
+    fn advance_chain(&mut self, ctx: &mut Context<'_>, seq: u64) {
+        let Some(idx) = self.pending.iter().position(|p| p.seq == seq) else {
+            return;
+        };
+        while let Some(next) = self.pending[idx].hops.front().copied() {
+            let alive = self.nodes.iter().any(|n| {
+                n.addr == next && n.valid && n.conn.is_some_and(|c| self.conns[c].open)
+            });
+            if alive {
+                break;
+            }
+            self.pending[idx].hops.pop_front();
+            self.pending[idx].hop_inflight = false;
+            self.stat_chain_repairs += 1;
+        }
+        if self.pending[idx].hops.is_empty() {
+            self.check_commits(ctx);
+            return;
+        }
+        if self.pending[idx].hop_inflight {
+            return;
+        }
+        self.pending[idx].hop_inflight = true;
+        let threads = self.cfg.effective_nic_threads();
+        let thread = self.fanout_cursor % threads;
+        self.fanout_cursor += 1;
+        let done = self
+            .cpu
+            .run_on(thread, ctx.now(), self.cfg.costs.nic_per_slave)
+            .finished;
+        self.stat_fanout_sends += 1;
+        ctx.timer_at(done, NicMsg::ChainHop { seq });
+    }
+
+    /// Post one chain write to its head hop (the `ChainHop` timer body).
+    fn chain_hop_post(&mut self, ctx: &mut Context<'_>, seq: u64) {
+        let Some(idx) = self.pending.iter().position(|p| p.seq == seq) else {
+            return;
+        };
+        let Some(target) = self.pending[idx].hops.front().copied() else {
+            self.pending[idx].hop_inflight = false;
+            self.check_commits(ctx);
+            return;
+        };
+        let conn = self
+            .nodes
+            .iter()
+            .find(|n| n.addr == target)
+            .and_then(|n| n.conn)
+            .filter(|&c| self.conns[c].open);
+        let Some(conn) = conn else {
+            // The hop died between scheduling and posting.
+            self.pending[idx].hop_inflight = false;
+            self.chain_repair(ctx);
+            return;
+        };
+        let frame = self.pending[idx].frame.clone();
+        let net = self.net.clone();
+        if let Some((qp, wr)) = self.conns[conn].channel.build_wr(tag::REPL_STREAM, frame) {
+            let wr_id = wr.wr_id;
+            self.wr_acks.insert((qp, wr_id), (seq, target));
+            self.stat_doorbells += 1;
+            self.stat_wrs_posted += 1;
+            if net.post_send(ctx, qp, wr).is_err() {
+                self.wr_acks.remove(&(qp, wr_id));
+                self.conns[conn].channel.mark_broken();
+                self.close_conn(conn);
+                self.pending[idx].hop_inflight = false;
+                self.chain_repair(ctx);
+            }
+        } else if !self.conns[conn].channel.ready() {
+            // Queued behind the handshake; it posts from the drain's flush
+            // and the hop still completes via the slave's applied ack.
+            self.conns[conn].deferred_wrs += 1;
+        }
+    }
+
+    /// A tracked WR completed successfully: `slave` holds the write's
+    /// bytes (RC semantics — a send-side success means remote placement).
+    fn on_wr_ack(&mut self, ctx: &mut Context<'_>, seq: u64, slave: SocketAddr) {
+        match self.cfg.repl_mode {
+            ReplModeKind::Quorum => {
+                if let Some(p) = self.pending.iter_mut().find(|p| p.seq == seq) {
+                    if !p.acked.contains(&slave) {
+                        p.acked.push(slave);
+                    }
+                }
+                self.check_commits(ctx);
+            }
+            // Chain hops advance on the slave's *applied* ack (`WriteAck`),
+            // not on delivery; nothing to do for the completion itself.
+            ReplModeKind::Chain | ReplModeKind::Async => {}
+        }
+    }
+
+    /// A tracked WR failed. Quorum just loses this ack (the slave's resync
+    /// progress is the backstop); chain must splice the dead hop out and
+    /// move the write along.
+    fn on_wr_error(&mut self, ctx: &mut Context<'_>, seq: u64, slave: SocketAddr) {
+        if self.cfg.repl_mode != ReplModeKind::Chain {
+            return;
+        }
+        let mut advance = false;
+        if let Some(p) = self.pending.iter_mut().find(|p| p.seq == seq) {
+            if p.hops.front() == Some(&slave) {
+                p.hops.pop_front();
+                p.hop_inflight = false;
+            } else {
+                p.hops.retain(|h| *h != slave);
+            }
+            self.stat_chain_repairs += 1;
+            advance = !p.hops.is_empty();
+        }
+        if advance {
+            self.advance_chain(ctx, seq);
+        }
+        self.check_commits(ctx);
+    }
+
+    /// Fold a slave's cumulative applied offset (`WriteAck`, NIC-side
+    /// `ProgressReport`, or re-registration position) into every pending
+    /// write it covers. The cumulative form makes lost per-WR acks and
+    /// resync-delivered bytes converge on the same commit bookkeeping.
+    fn apply_ack(&mut self, ctx: &mut Context<'_>, slave: SocketAddr, upto: u64) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let chain = self.cfg.repl_mode == ReplModeKind::Chain;
+        let mut advance: Vec<u64> = Vec::new();
+        for p in self.pending.iter_mut() {
+            if p.end_offset > upto {
+                break;
+            }
+            if !p.acked.contains(&slave) {
+                p.acked.push(slave);
+            }
+            if chain {
+                if p.hops.front() == Some(&slave) {
+                    p.hops.pop_front();
+                    p.hop_inflight = false;
+                    if !p.hops.is_empty() {
+                        advance.push(p.seq);
+                    }
+                } else if p.hops.contains(&slave) {
+                    // Covered out of order (a resync ran ahead of the
+                    // chain): drop the hop wherever it sits.
+                    p.hops.retain(|h| *h != slave);
+                }
+            }
+        }
+        for seq in advance {
+            self.advance_chain(ctx, seq);
+        }
+        self.check_commits(ctx);
+    }
+
+    /// Pop every front write whose commit condition holds, bump
+    /// `committed_upto`, notify the master, and refill the window.
+    fn check_commits(&mut self, ctx: &mut Context<'_>) {
+        if !self.deferred() {
+            return;
+        }
+        let chain = self.cfg.repl_mode == ReplModeKind::Chain;
+        let mut committed = false;
+        loop {
+            let done = match self.pending.front() {
+                Some(p) if chain => p.hops.is_empty(),
+                Some(p) => p.acked.len() >= p.needed,
+                None => false,
+            };
+            if !done {
+                break;
+            }
+            let Some(p) = self.pending.pop_front() else {
+                break;
+            };
+            self.committed_upto = self.committed_upto.max(p.end_offset);
+            self.stat_commits += 1;
+            if self.cfg.record_commits {
+                self.committed_acks.push((p.end_offset, p.acked));
+            }
+            committed = true;
+        }
+        if committed {
+            self.notify_committed(ctx);
+            self.refill_window(ctx);
+        }
+    }
+
+    /// Push the commit frontier to the master so it can release deferred
+    /// client replies.
+    fn notify_committed(&mut self, ctx: &mut Context<'_>) {
+        if self.committed_upto <= self.notified_upto {
+            return;
+        }
+        if let Some(conn) = self.master_conn() {
+            self.notified_upto = self.committed_upto;
+            let msg = NodeMsg::WriteCommitted {
+                upto: self.committed_upto,
+            }
+            .encode();
+            self.send_on(ctx, conn, tag::NODE, msg);
+        }
+    }
+
+    /// Launch queued writes into freed window slots.
+    fn refill_window(&mut self, ctx: &mut Context<'_>) {
+        while self.pending.len() < self.cfg.repl_window.max(1) {
+            let Some(frame) = self.window_queue.pop_front() else {
+                return;
+            };
+            let Some((from_offset, body)) = crate::server::parse_stream_frame(&frame) else {
+                continue;
+            };
+            let end_offset = from_offset + body.len() as u64;
+            self.launch_write(ctx, frame, end_offset);
+        }
+    }
+
+    /// Quorum mode: re-post every pending write a re-registering slave has
+    /// not acked. Duplicate delivery is harmless (slave-side offset
+    /// dedupe); the completions repair acks lost to a broken QP.
+    fn retransmit_pending(&mut self, ctx: &mut Context<'_>, slave: SocketAddr) {
+        let Some(conn) = self
+            .nodes
+            .iter()
+            .find(|n| n.addr == slave)
+            .and_then(|n| n.conn)
+            .filter(|&c| self.conns[c].open)
+        else {
+            return;
+        };
+        let seqs: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|p| !p.acked.contains(&slave))
+            .map(|p| p.seq)
+            .collect();
+        for seq in seqs {
+            self.stat_retransmits += 1;
+            self.cpu.run_any(ctx.now(), self.cfg.costs.nic_per_slave);
+            self.tracked_send(ctx, seq, vec![conn]);
+        }
+    }
+
+    /// Chain mode: splice every dead hop out of every in-flight chain and
+    /// re-drive stalled writes. Run after completion drains and failure
+    /// detections — any path that can tear a conn down.
+    fn chain_repair(&mut self, ctx: &mut Context<'_>) {
+        if self.cfg.repl_mode != ReplModeKind::Chain {
+            return;
+        }
+        let alive: Vec<SocketAddr> = self
+            .nodes
+            .iter()
+            .filter(|n| {
+                !n.is_master && n.valid && n.conn.is_some_and(|c| self.conns[c].open)
+            })
+            .map(|n| n.addr)
+            .collect();
+        let mut advance: Vec<u64> = Vec::new();
+        let mut repaired = false;
+        for p in self.pending.iter_mut() {
+            let before = p.hops.len();
+            let front = p.hops.front().copied();
+            p.hops.retain(|h| alive.contains(h));
+            if p.hops.len() != before {
+                repaired = true;
+                if p.hops.front().copied() != front {
+                    p.hop_inflight = false;
+                }
+            }
+            if !p.hop_inflight && !p.hops.is_empty() {
+                advance.push(p.seq);
+            }
+        }
+        if repaired {
+            self.stat_chain_repairs += 1;
+        }
+        for seq in advance {
+            self.advance_chain(ctx, seq);
+        }
+        self.check_commits(ctx);
+    }
+
     // -- failure detection (§III-D) ---------------------------------------------
 
     fn on_probe_tick(&mut self, ctx: &mut Context<'_>) {
@@ -536,7 +1082,10 @@ impl NicKv {
             self.send_on(ctx, conn, tag::NODE, probe.clone());
         }
         // Push availability/lag state to the master when it changed.
-        let _ = any_detected;
+        if any_detected {
+            // Newly invalid nodes break in-flight chains: splice them out.
+            self.chain_repair(ctx);
+        }
         self.notify_available(ctx);
     }
 
@@ -591,6 +1140,14 @@ impl Actor for NicKv {
                         self.promoted = None;
                         self.master_offset = 0;
                         self.last_update_sent = None;
+                        // Tracked-mode state is process state: gone too.
+                        // The master re-replicates unacked bytes through
+                        // resync; uncommitted writes surface as timeouts.
+                        self.pending.clear();
+                        self.wr_acks = DetMap::new();
+                        self.window_queue.clear();
+                        self.committed_upto = 0;
+                        self.notified_upto = 0;
                         // Route stale completions through the channels so
                         // surviving receive slots are replenished (the
                         // messages themselves are dropped — the process
@@ -642,6 +1199,14 @@ impl Actor for NicKv {
                     NicMsg::FanoutSendBatch { conns, frame } => {
                         self.fan_out_batch(ctx, conns, frame);
                     }
+                    NicMsg::TrackedSend { .. } if self.crashed => {}
+                    NicMsg::TrackedSend { seq, conns } => {
+                        self.tracked_send(ctx, seq, conns);
+                    }
+                    NicMsg::ChainHop { .. } if self.crashed => {}
+                    NicMsg::ChainHop { seq } => {
+                        self.chain_hop_post(ctx, seq);
+                    }
                 }
                 return;
             }
@@ -687,6 +1252,19 @@ impl Actor for NicKv {
                     if !self.conns[conn].open {
                         return;
                     }
+                    // Tracked-mode ack hook: a send-side completion for a
+                    // replication WR resolves its `(seq, slave)` entry —
+                    // success means the slave holds the bytes (RC), error
+                    // feeds chain repair. Empty map (async mode) is free.
+                    if matches!(wc.opcode, WcOpcode::RdmaWrite) {
+                        if let Some((seq, slave)) = self.wr_acks.remove(&(wc.qp, wc.wr_id)) {
+                            if wc.status == WcStatus::Success {
+                                self.on_wr_ack(ctx, seq, slave);
+                            } else {
+                                self.on_wr_error(ctx, seq, slave);
+                            }
+                        }
+                    }
                     let msg = self.conns[conn].channel.on_wc(&net, ctx, &wc);
                     // A handshake completion flushes queued messages; the
                     // fan-out frames among them post right here, so this
@@ -704,6 +1282,9 @@ impl Actor for NicKv {
                         self.close_conn(conn);
                     }
                 });
+                // Completion errors may have torn connections down; give
+                // in-flight chains a chance to splice dead hops out.
+                self.chain_repair(ctx);
                 let done = self.cpu.run_on(0, ctx.now(), out.cpu_cost).finished;
                 if out.more {
                     ctx.timer_at(done, NetEvent::CqNotify { cq });

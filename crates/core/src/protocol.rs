@@ -113,6 +113,24 @@ pub enum NodeMsg {
         /// True when the sender is the master Host-KV.
         is_master: bool,
     },
+    /// Slave → Nic-KV (chain mode): cumulative *applied* offset. Unlike
+    /// the periodic `ProgressReport`, this is sent eagerly after every
+    /// apply batch, because a chain hop only advances once the previous
+    /// hop has durably applied — not merely received — the segment.
+    WriteAck {
+        /// The acking slave.
+        slave: SocketAddr,
+        /// Bytes of the master history applied so far.
+        offset: u64,
+    },
+    /// Nic-KV → master Host-KV (quorum/chain modes): every write whose
+    /// end offset is ≤ `upto` has committed under the active replication
+    /// mode; the master may release the deferred client replies it
+    /// covers.
+    WriteCommitted {
+        /// Cumulative committed replication offset.
+        upto: u64,
+    },
 }
 
 impl NodeMsg {
@@ -180,6 +198,15 @@ impl NodeMsg {
                 put_addr(&mut out, *from);
                 out.push(*is_master as u8);
             }
+            NodeMsg::WriteAck { slave, offset } => {
+                out.push(12);
+                put_addr(&mut out, *slave);
+                out.extend_from_slice(&offset.to_le_bytes());
+            }
+            NodeMsg::WriteCommitted { upto } => {
+                out.push(13);
+                out.extend_from_slice(&upto.to_le_bytes());
+            }
         }
         out
     }
@@ -232,6 +259,13 @@ impl NodeMsg {
                 let is_master = *buf.get(pos)? != 0;
                 Some(NodeMsg::Hello { from, is_master })
             }
+            12 => Some(NodeMsg::WriteAck {
+                slave: get_addr(buf, &mut pos)?,
+                offset: get_u64(buf, &mut pos)?,
+            }),
+            13 => Some(NodeMsg::WriteCommitted {
+                upto: get_u64(buf, &mut pos)?,
+            }),
             _ => None,
         }
     }
@@ -343,6 +377,11 @@ mod tests {
                 from: addr(5, 6379),
                 is_master: false,
             },
+            NodeMsg::WriteAck {
+                slave: addr(6, 6379),
+                offset: 987_654,
+            },
+            NodeMsg::WriteCommitted { upto: u64::MAX - 1 },
         ];
         for msg in msgs {
             let bytes = msg.encode();

@@ -1,0 +1,260 @@
+//! # Replication modes — async stream, majority quorum, chain (§III-C +)
+//!
+//! SKV's paper protocol is Redis-style *asynchronous* primary-backup: the
+//! master acks the client as soon as the command applies locally and the
+//! NIC fans the stream out to slaves on its own time. That is the fastest
+//! arm but offers no guarantee while faults are in flight — a crashed
+//! slave silently lags until resync. "Reliable Replication Protocols on
+//! SmartNICs" shows that stronger protocols fit on the same NIC-core +
+//! one-sided-WR substrate, so this module abstracts the choice behind a
+//! [`ReplicationMode`] trait with three implementations:
+//!
+//! * [`AsyncStream`] — the existing offloaded stream, bit-identical to the
+//!   pre-trait code path. Replies release immediately; slaves converge
+//!   eventually.
+//! * [`QuorumWrites`] — ABD-style majority writes. The NIC fans each
+//!   stream segment to every slave, tracks acks keyed on WR completions
+//!   (and cumulative `ProgressReport`/`WriteAck` offsets as the resync
+//!   backstop), and the master releases the client reply only once
+//!   master + ⌈(N+1)/2⌉−1 slave copies exist. Any majority of the N+1
+//!   replicas then intersects every write quorum.
+//! * [`ChainReplication`] — head→mid→tail forwarding on the NIC cores.
+//!   A segment is posted to hop 0 only; each hop's *applied* ack (a
+//!   `WriteAck` node message, not just the WR completion) advances the
+//!   chain, and the tail ack commits the write. Node failure triggers
+//!   chain repair: the dead hop is spliced out of every in-flight chain.
+//!
+//! The mode is selected by `ClusterConfig::repl_mode`. Quorum sizes are
+//! computed against the *configured* slave count, not the currently-live
+//! set: shrinking the ack universe to the live nodes would silently break
+//! the quorum-intersection invariant that the proptest in
+//! `tests/tests/replmode.rs` pins down.
+
+use std::fmt;
+
+/// Which replication protocol the cluster runs. Carried by
+/// `ClusterConfig` and consulted by the master (`server.rs` reply
+/// deferral) and the Nic-KV actor (`nickv.rs` WR patterns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum ReplModeKind {
+    /// Asynchronous stream fan-out (the paper's protocol; default).
+    #[default]
+    Async,
+    /// ABD-style majority-quorum writes.
+    Quorum,
+    /// Chain replication: head→mid→tail with tail-ack commit.
+    Chain,
+}
+
+impl ReplModeKind {
+    /// Stable label used in reports, bench rows and CLI arms.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplModeKind::Async => "async",
+            ReplModeKind::Quorum => "quorum",
+            ReplModeKind::Chain => "chain",
+        }
+    }
+
+    /// All modes, in ablation-sweep order.
+    pub const ALL: [ReplModeKind; 3] =
+        [ReplModeKind::Async, ReplModeKind::Quorum, ReplModeKind::Chain];
+
+    /// Parse a CLI label; `None` for unknown strings.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "async" => Some(ReplModeKind::Async),
+            "quorum" => Some(ReplModeKind::Quorum),
+            "chain" => Some(ReplModeKind::Chain),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ReplModeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The WR pattern a mode builds per replicated segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WrPattern {
+    /// One WR per live slave, posted under a single doorbell
+    /// (`post_send_batch`), exactly like the async fast path.
+    FanoutAll,
+    /// One WR to the current head; subsequent hops are posted as the
+    /// previous hop acks application.
+    ChainHops,
+}
+
+/// Slave acks needed so that master + acks form a majority of the
+/// `configured_slaves + 1` replicas: ⌈(N+1)/2⌉ total copies, minus the
+/// master's implicit one.
+///
+/// `N = 1 → 1`, `N = 2 → 1`, `N = 3 → 2`, `N = 4 → 2`, `N = 5 → 3`.
+pub fn quorum_slave_acks(configured_slaves: usize) -> usize {
+    configured_slaves.div_ceil(2)
+}
+
+/// The contract each replication protocol implements. Deliberately
+/// small: the protocols differ in *when a write becomes client-visible*
+/// and *what WR pattern carries it*, not in framing or transport — the
+/// stream format, backlog, resync and dedupe machinery are shared.
+pub trait ReplicationMode {
+    /// Which variant this is.
+    fn kind(&self) -> ReplModeKind;
+
+    /// Label for reports and bench rows.
+    fn label(&self) -> &'static str {
+        self.kind().label()
+    }
+
+    /// True when the master must hold client replies until the NIC
+    /// reports the covering offset committed (quorum and chain); false
+    /// for the async stream, which acks as soon as the master applies.
+    fn defers_replies(&self) -> bool;
+
+    /// How many *slave* acks commit a write, given the configured slave
+    /// count. `0` means "ack count is not the commit condition" (async
+    /// commits immediately; chain commits when the hop list empties).
+    fn slave_acks_required(&self, configured_slaves: usize) -> usize;
+
+    /// The WR pattern the NIC builds per replicated segment.
+    fn wr_pattern(&self) -> WrPattern;
+}
+
+/// The paper's asynchronous stream (default arm).
+pub struct AsyncStream;
+
+impl ReplicationMode for AsyncStream {
+    fn kind(&self) -> ReplModeKind {
+        ReplModeKind::Async
+    }
+    fn defers_replies(&self) -> bool {
+        false
+    }
+    fn slave_acks_required(&self, _configured_slaves: usize) -> usize {
+        0
+    }
+    fn wr_pattern(&self) -> WrPattern {
+        WrPattern::FanoutAll
+    }
+}
+
+/// ABD-style majority-quorum writes.
+pub struct QuorumWrites;
+
+impl ReplicationMode for QuorumWrites {
+    fn kind(&self) -> ReplModeKind {
+        ReplModeKind::Quorum
+    }
+    fn defers_replies(&self) -> bool {
+        true
+    }
+    fn slave_acks_required(&self, configured_slaves: usize) -> usize {
+        quorum_slave_acks(configured_slaves)
+    }
+    fn wr_pattern(&self) -> WrPattern {
+        WrPattern::FanoutAll
+    }
+}
+
+/// Chain replication with tail-ack commit.
+pub struct ChainReplication;
+
+impl ReplicationMode for ChainReplication {
+    fn kind(&self) -> ReplModeKind {
+        ReplModeKind::Chain
+    }
+    fn defers_replies(&self) -> bool {
+        true
+    }
+    fn slave_acks_required(&self, _configured_slaves: usize) -> usize {
+        0
+    }
+    fn wr_pattern(&self) -> WrPattern {
+        WrPattern::ChainHops
+    }
+}
+
+static ASYNC_STREAM: AsyncStream = AsyncStream;
+static QUORUM_WRITES: QuorumWrites = QuorumWrites;
+static CHAIN_REPLICATION: ChainReplication = ChainReplication;
+
+/// Look up the (stateless) mode implementation for a config value.
+pub fn replication_mode(kind: ReplModeKind) -> &'static dyn ReplicationMode {
+    match kind {
+        ReplModeKind::Async => &ASYNC_STREAM,
+        ReplModeKind::Quorum => &QUORUM_WRITES,
+        ReplModeKind::Chain => &CHAIN_REPLICATION,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_math_is_majority_of_replica_set() {
+        // master + acks must exceed half of (slaves + 1) replicas
+        for n in 0..=16usize {
+            let acks = quorum_slave_acks(n);
+            assert!(acks <= n.max(1), "cannot need more acks than slaves");
+            let copies = 1 + acks; // master + acked slaves
+            assert!(
+                2 * copies > n + 1,
+                "{copies} copies is not a majority of {} replicas",
+                n + 1
+            );
+            // ...and it is the *minimum* such count.
+            if acks > 0 {
+                assert!(2 * acks <= n + 1, "quorum over-sized for N={n}");
+            }
+        }
+        assert_eq!(quorum_slave_acks(1), 1);
+        assert_eq!(quorum_slave_acks(2), 1);
+        assert_eq!(quorum_slave_acks(3), 2);
+        assert_eq!(quorum_slave_acks(4), 2);
+        assert_eq!(quorum_slave_acks(5), 3);
+    }
+
+    #[test]
+    fn two_quorums_always_intersect() {
+        // Any two (master + quorum_slave_acks) subsets of {master} ∪ slaves
+        // overlap: both contain > half of the replica set.
+        for n in 1..=9usize {
+            let q = 1 + quorum_slave_acks(n);
+            assert!(2 * q > n + 1, "quorums of size {q} may miss each other at N={n}");
+        }
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        for kind in ReplModeKind::ALL {
+            assert_eq!(ReplModeKind::parse(kind.label()), Some(kind));
+            assert_eq!(replication_mode(kind).kind(), kind);
+            assert_eq!(format!("{kind}"), kind.label());
+        }
+        assert_eq!(ReplModeKind::parse("paxos"), None);
+    }
+
+    #[test]
+    fn mode_contracts() {
+        assert!(!replication_mode(ReplModeKind::Async).defers_replies());
+        assert!(replication_mode(ReplModeKind::Quorum).defers_replies());
+        assert!(replication_mode(ReplModeKind::Chain).defers_replies());
+        assert_eq!(
+            replication_mode(ReplModeKind::Quorum).slave_acks_required(3),
+            2
+        );
+        assert_eq!(
+            replication_mode(ReplModeKind::Chain).wr_pattern(),
+            WrPattern::ChainHops
+        );
+        assert_eq!(
+            replication_mode(ReplModeKind::Async).wr_pattern(),
+            WrPattern::FanoutAll
+        );
+    }
+}

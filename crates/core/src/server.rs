@@ -29,10 +29,13 @@ use skv_store::rdb;
 use skv_store::repl::{ReplicationId, ReplicationPosition};
 use skv_store::resp::{Decoded, Resp};
 
+use std::collections::VecDeque;
+
 use crate::channel::{Channel, ChannelMsg};
 use crate::config::{ClusterConfig, Mode};
 use crate::cqdrain;
 use crate::protocol::{tag, NodeMsg};
+use crate::replmode::{self, ReplModeKind};
 
 /// Maximum bytes per RDB transfer chunk.
 const RDB_CHUNK: usize = 64 * 1024;
@@ -85,6 +88,15 @@ enum ServerMsg {
 struct OutFrame {
     conn: usize,
     tag: u32,
+    payload: Frame,
+}
+
+/// A client reply the master is holding until the replication mode
+/// commits the covering offset (quorum/chain modes only).
+struct PendingReply {
+    /// Backlog offset one past the write this reply acknowledges.
+    end_offset: u64,
+    conn: usize,
     payload: Frame,
 }
 
@@ -210,6 +222,17 @@ pub struct KvServer {
     /// WRs posted by the command path — identical whether batched or not;
     /// batching amortizes doorbells, never work requests.
     pub stat_wrs_posted: u64,
+    /// Master, deferred modes: replies held back for commit, FIFO by
+    /// `end_offset` (the backlog only grows, so pushes are ordered).
+    pending_replies: VecDeque<PendingReply>,
+    /// Master, deferred modes: highest offset Nic-KV reported committed.
+    commit_upto: u64,
+    /// Slave, chain mode: highest applied offset already WriteAck'd.
+    last_write_ack: u64,
+    /// Client replies deferred behind replication commit (quorum/chain).
+    pub stat_deferred_replies: u64,
+    /// Deferred replies released after a commit or census advance.
+    pub stat_released_replies: u64,
     /// Send-ring pool for wire frames (TCP framing) and replication
     /// stream frames; shared by every channel this server owns.
     pool: FramePool,
@@ -258,6 +281,11 @@ impl KvServer {
             stat_degradations: 0,
             stat_doorbells: 0,
             stat_wrs_posted: 0,
+            pending_replies: VecDeque::new(),
+            commit_upto: 0,
+            last_write_ack: 0,
+            stat_deferred_replies: 0,
+            stat_released_replies: 0,
             // Sized for a typical wire frame (4 KiB value + headers); the
             // slab keeps enough buffers for a deep pipeline of in-flight
             // sends and grown buffers keep their capacity when recycled.
@@ -528,8 +556,7 @@ impl KvServer {
             self.reconnect_attempts.remove(&to);
             return;
         }
-        let shift = (attempts - 1).min(6);
-        let delay = self.cfg.reconnect_base.mul_f64((1u64 << shift) as f64);
+        let delay = self.cfg.reconnect_delay(attempts);
         ctx.timer(delay, ServerMsg::Redial { to });
     }
 
@@ -632,31 +659,55 @@ impl KvServer {
         let mut doorbells = 0u32; // post calls; each may stall (tail model)
         let mut frames: Vec<OutFrame> = Vec::with_capacity(2);
 
+        // Quorum/chain modes hold a replicated write's reply until the NIC
+        // commits the covering offset; its post cost is charged on release
+        // (`release_ready_replies`), not here. Async keeps the original
+        // immediate-reply schedule bit for bit.
+        let defer = replicate.is_some()
+            && self.is_master()
+            && replmode::replication_mode(self.cfg.repl_mode).defers_replies();
+        let reply_len = reply.len();
+        let reply_frame: Frame = reply.into();
+
         // Transport costs for receiving the request and posting the reply.
         match self.cfg.mode {
             Mode::TcpRedis => {
                 cost += net_p.tcp_recv_cost(req_bytes);
-                cost += net_p.tcp_send_cost(reply.len());
+                if !defer {
+                    cost += net_p.tcp_send_cost(reply_len);
+                }
             }
             Mode::RdmaRedis | Mode::Skv => {
                 // Completion-side CPU (cq_poll_cpu + wc_handle_cpu) is
                 // charged where polling happens — the CqNotify drain —
                 // not per command; here only the reply's WR post.
-                cost += net_p.wr_post_cpu;
-                wr_posts += 1;
-                doorbells += 1;
+                if !defer {
+                    cost += net_p.wr_post_cpu;
+                    wr_posts += 1;
+                    doorbells += 1;
+                }
             }
         }
-        frames.push(OutFrame {
-            conn,
-            tag: tag::REPLY,
-            payload: reply.into(),
-        });
+        if !defer {
+            frames.push(OutFrame {
+                conn,
+                tag: tag::REPLY,
+                payload: reply_frame.clone(),
+            });
+        }
 
         // Replication propagation (the heart of the experiment).
         if let Some(cmd_bytes) = replicate {
             let from_offset = self.backlog.offset();
             self.backlog.feed(&cmd_bytes);
+            if defer {
+                self.stat_deferred_replies += 1;
+                self.pending_replies.push_back(PendingReply {
+                    end_offset: self.backlog.offset(),
+                    conn,
+                    payload: reply_frame,
+                });
+            }
             // The stream frame is built in a recycled send-ring buffer —
             // no allocation on the steady-state path — and every recipient
             // below clones the Frame, so N-slave fan-out is N refcount
@@ -766,6 +817,96 @@ impl KvServer {
         } else {
             n as u32
         }
+    }
+
+    /// Deferred modes, master side: the commit offset derivable from the
+    /// master's own view of slave progress, independent of the NIC's
+    /// `WriteCommitted` notifications. This is what keeps quorum/chain
+    /// semantics working through degraded (host fan-out) periods and
+    /// covers the window where a commit notification is lost with the
+    /// NIC channel: under quorum, the k-th largest reported offset among
+    /// slave conns (k = required slave acks) is replicated on a majority;
+    /// under chain, the minimum over all open slave conns (every hop).
+    fn census_commit_upto(&self) -> u64 {
+        let mode = self.cfg.repl_mode;
+        let mut offs: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|c| c.open)
+            .filter_map(|c| match c.kind {
+                ConnKind::Slave {
+                    reported_offset, ..
+                } => Some(reported_offset),
+                _ => None,
+            })
+            .collect();
+        match mode {
+            ReplModeKind::Async => u64::MAX,
+            ReplModeKind::Quorum => {
+                let k = replmode::quorum_slave_acks(self.cfg.num_slaves);
+                if k == 0 {
+                    return u64::MAX;
+                }
+                if offs.len() < k {
+                    return 0;
+                }
+                offs.sort_unstable_by(|a, b| b.cmp(a));
+                offs[k - 1]
+            }
+            ReplModeKind::Chain => offs.iter().copied().min().unwrap_or(0),
+        }
+    }
+
+    /// Release every deferred reply covered by the known commit point,
+    /// charging the reply-post CPU that `finish_command` skipped.
+    fn release_ready_replies(&mut self, ctx: &mut Context<'_>) {
+        if self.pending_replies.is_empty() {
+            return;
+        }
+        let upto = self.commit_upto.max(self.census_commit_upto());
+        let mut frames: Vec<OutFrame> = Vec::new();
+        let mut cost = SimDuration::ZERO;
+        let mut doorbells = 0u32;
+        while let Some(front) = self.pending_replies.front() {
+            if front.end_offset > upto {
+                break;
+            }
+            let Some(p) = self.pending_replies.pop_front() else {
+                break;
+            };
+            if !self.conns[p.conn].open {
+                continue; // client gave up waiting; nothing to deliver
+            }
+            self.stat_released_replies += 1;
+            match self.cfg.mode {
+                Mode::TcpRedis => cost += self.cfg.net.tcp_send_cost(p.payload.len()),
+                Mode::RdmaRedis | Mode::Skv => {
+                    cost += self.cfg.net.wr_post_cpu;
+                    self.stat_wrs_posted += 1;
+                    doorbells += 1;
+                }
+            }
+            frames.push(OutFrame {
+                conn: p.conn,
+                tag: tag::REPLY,
+                payload: p.payload,
+            });
+        }
+        if frames.is_empty() {
+            return;
+        }
+        let jitter = self.cfg.costs.jitter;
+        let spike_prob = self.cfg.costs.post_spike_prob;
+        let spike_cost = self.cfg.costs.post_spike_cost;
+        let mut cost = cost.mul_f64(self.rng().service_jitter(jitter));
+        for _ in 0..doorbells {
+            if self.rng().chance(spike_prob) {
+                cost += spike_cost;
+            }
+        }
+        self.stat_doorbells += u64::from(doorbells);
+        let done = self.cpu.run_on(0, ctx.now(), cost).finished;
+        ctx.timer_at(done, ServerMsg::SendFrames(frames));
     }
 
     /// Deliver the frames a command handler staged. With batching off
@@ -926,6 +1067,7 @@ impl KvServer {
 
     fn begin_slaveof(&mut self, ctx: &mut Context<'_>, master: SocketAddr, nic: Option<SocketAddr>) {
         self.prior_slave_of = Some((master, nic));
+        self.last_write_ack = 0;
         let position = ReplicationPosition::unsynced();
         self.role = Role::Slave {
             master,
@@ -1045,6 +1187,7 @@ impl KvServer {
         // we track the slave offset via a dedicated counter instead.
         self.slave_set_offset(start_offset);
         self.drain_stash(ctx);
+        self.maybe_send_write_ack(ctx);
     }
 
     fn on_partial_sync_begin(&mut self, conn: usize, repl_id: ReplicationId) {
@@ -1109,6 +1252,34 @@ impl KvServer {
         }
         self.apply_stream(ctx, from_offset, body);
         self.drain_stash(ctx);
+        self.maybe_send_write_ack(ctx);
+    }
+
+    /// Chain mode (SKV): eagerly ack the cumulative *applied* offset to
+    /// Nic-KV after an apply batch. The NIC advances a chain hop only on
+    /// this ack — a WR completion proves delivery to the ring, not
+    /// application — so the tail ack certifies the whole chain has the
+    /// write applied when the client reply releases.
+    fn maybe_send_write_ack(&mut self, ctx: &mut Context<'_>) {
+        if self.cfg.mode != Mode::Skv || self.cfg.repl_mode != ReplModeKind::Chain {
+            return;
+        }
+        if !self.is_synced_slave() {
+            return;
+        }
+        let offset = self.slave_offset();
+        if offset <= self.last_write_ack {
+            return;
+        }
+        if let Some(conn) = self.conn_of_kind(|k| matches!(k, ConnKind::Nic)) {
+            self.last_write_ack = offset;
+            let msg = NodeMsg::WriteAck {
+                slave: self.addr,
+                offset,
+            }
+            .encode();
+            self.send_on(ctx, conn, tag::NODE, msg);
+        }
     }
 
     fn drain_stash(&mut self, ctx: &mut Context<'_>) {
@@ -1253,6 +1424,12 @@ impl KvServer {
                     };
                     self.on_sync_request(ctx, slave, position);
                 }
+                // Progress may have advanced the census commit point.
+                if self.is_master()
+                    && replmode::replication_mode(self.cfg.repl_mode).defers_replies()
+                {
+                    self.release_ready_replies(ctx);
+                }
             }
             NodeMsg::Probe { seq } => {
                 // Reply immediately (paper: "they reply to Nic-KV
@@ -1281,6 +1458,7 @@ impl KvServer {
                 // any writes accepted while promoted; the paper's scenario
                 // has the original master simply resume.)
                 if let Some((master, nic)) = self.prior_slave_of {
+                    self.last_write_ack = 0;
                     self.role = Role::Slave {
                         master,
                         nic,
@@ -1298,7 +1476,18 @@ impl KvServer {
                     self.send_sync_request(ctx, pos);
                 }
             }
-            NodeMsg::ProbeReply { .. } | NodeMsg::Replicate { .. } | NodeMsg::Hello { .. } => {}
+            NodeMsg::WriteCommitted { upto } => {
+                // Nic-KV reports the replication mode's commit point; the
+                // master releases every deferred reply it covers.
+                if self.is_master() {
+                    self.commit_upto = self.commit_upto.max(upto);
+                    self.release_ready_replies(ctx);
+                }
+            }
+            NodeMsg::ProbeReply { .. }
+            | NodeMsg::Replicate { .. }
+            | NodeMsg::Hello { .. }
+            | NodeMsg::WriteAck { .. } => {}
         }
     }
 
@@ -1321,6 +1510,30 @@ impl KvServer {
                 .encode();
                 self.send_on(ctx, conn, tag::NODE, msg);
             }
+            // Deferred modes: Nic-KV also consumes progress as cumulative
+            // acks (covers acks lost to QP errors between retransmits).
+            if self.cfg.mode == Mode::Skv
+                && replmode::replication_mode(self.cfg.repl_mode).defers_replies()
+            {
+                if let Some(conn) = self.conn_of_kind(|k| matches!(k, ConnKind::Nic)) {
+                    let msg = NodeMsg::ProgressReport {
+                        slave: self.addr,
+                        offset,
+                    }
+                    .encode();
+                    self.send_on(ctx, conn, tag::NODE, msg);
+                }
+            }
+        }
+        // Deferred modes, master side: drop replies whose client conn died
+        // (undeliverable) and re-check the census commit point so a
+        // lost `WriteCommitted` cannot wedge the reply queue.
+        if self.is_master()
+            && replmode::replication_mode(self.cfg.repl_mode).defers_replies()
+        {
+            let conns = &self.conns;
+            self.pending_replies.retain(|p| conns[p.conn].open);
+            self.release_ready_replies(ctx);
         }
         // A sync can stall: the request lost in flight (e.g. relayed via a
         // Nic-KV that had no master link at that instant), or the RDB/stream

@@ -61,11 +61,14 @@ const SIM_CRATE_PREFIXES: [&str; 3] = [
 ];
 
 /// Protocol hot-path files (rule `unwrap` applies).
-const HOT_PATH_FILES: [&str; 7] = [
+const HOT_PATH_FILES: [&str; 10] = [
     "crates/core/src/server.rs",
     "crates/core/src/client.rs",
     "crates/core/src/channel.rs",
     "crates/core/src/cqdrain.rs",
+    "crates/core/src/nickv.rs",
+    "crates/core/src/replmode.rs",
+    "crates/core/src/histcheck.rs",
     "crates/netsim/src/rdma.rs",
     "crates/netsim/src/tcp.rs",
     "crates/simcore/src/pool.rs",

@@ -24,6 +24,7 @@ BENCHES=(
   wallclock_channel
   wallclock_fanout
   wallclock_fig10
+  wallclock_replmode
 )
 
 for b in "${BENCHES[@]}"; do

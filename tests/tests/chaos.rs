@@ -213,3 +213,131 @@ proptest! {
         prop_assert_eq!(qp_err_a, qp_err_b);
     }
 }
+
+// -- per-protocol fault arms (replication modes) ------------------------------
+
+use skv_core::histcheck::{check_single_writer, stale_reads, HistSpec, ReadAnchor};
+use skv_core::replmode::ReplModeKind;
+use skv_netsim::{FaultPlan, Partition, TimeWindow};
+
+/// A slave crashes mid-fan-out under a tracked mode: the protocol must
+/// keep committing through the survivors and the client-visible history
+/// must stay linearizable at its anchor.
+fn slave_crash_stays_linearizable(mode: ReplModeKind, anchor: ReadAnchor) {
+    let mut s = spec(3, 2, 2_000, 41);
+    s.cfg.repl_mode = mode;
+    let mut cluster = Cluster::build(s);
+    let history = cluster.add_history(&HistSpec {
+        anchor,
+        ..HistSpec::default()
+    });
+    // Crash slave 0 (the chain head / a quorum member) mid-run, recover
+    // it before the end so convergence is checkable.
+    cluster.schedule_slave_crash(0, SimTime::from_millis(700));
+    cluster.schedule_slave_recover(0, SimTime::from_millis(1_400));
+    run_and_quiesce(&mut cluster, SimDuration::from_secs(2));
+
+    let nic = cluster.nic_kv().expect("nic");
+    assert!(nic.stat_commits > 0, "{mode}: nothing committed");
+    assert_eq!(nic.pending_writes(), 0, "{mode}: stuck in-flight writes");
+    let h = history.borrow();
+    let done = h.ops.iter().filter(|o| o.completed.is_some()).count();
+    assert!(done > 100, "{mode}: only {done} probe ops completed");
+    let violations = check_single_writer(&h);
+    assert!(
+        violations.is_empty(),
+        "{mode}: consistency violations under slave crash: {violations:?}"
+    );
+    drop(h);
+    assert_converged(&cluster);
+}
+
+#[test]
+fn slave_crash_quorum_history_linearizable() {
+    slave_crash_stays_linearizable(ReplModeKind::Quorum, ReadAnchor::MasterQuorum);
+}
+
+#[test]
+fn slave_crash_chain_history_linearizable() {
+    // Tail-anchored reads (slave 2); the crashed node is the chain head.
+    slave_crash_stays_linearizable(ReplModeKind::Chain, ReadAnchor::Slave(2));
+}
+
+#[test]
+fn slave_crash_async_serves_stale_reads_then_converges() {
+    // The async contrast arm: cut a slave off from the servers (but not
+    // from the probe clients) and the master keeps acking writes the
+    // anchor never saw — the checker must catch the stale reads. After
+    // the heal the replicas still converge: eventual consistency, and
+    // nothing stronger.
+    let mut cluster = Cluster::build(spec(2, 2, 2_000, 42));
+    let history = cluster.add_history(&HistSpec {
+        anchor: ReadAnchor::Slave(0),
+        ..HistSpec::default()
+    });
+    let lagging = cluster.slave_nodes[0];
+    let servers: Vec<_> = std::iter::once(cluster.master_node)
+        .chain(cluster.nic_node)
+        .chain(std::iter::once(cluster.slave_nodes[1]))
+        .collect();
+    let mut plan = FaultPlan::new(3);
+    plan.partitions.push(Partition {
+        a: vec![lagging],
+        b: servers,
+        window: TimeWindow::new(SimTime::from_millis(600), SimTime::from_millis(1_500)),
+    });
+    cluster.net.set_fault_plan(plan);
+    run_and_quiesce(&mut cluster, SimDuration::from_secs(3));
+
+    let h = history.borrow();
+    let violations = check_single_writer(&h);
+    assert!(
+        stale_reads(&violations) > 0,
+        "async must expose stale reads at the cut-off anchor, found none \
+         ({} ops recorded)",
+        h.ops.len()
+    );
+    drop(h);
+    // ...but once the partition heals, every replica converges.
+    assert_converged(&cluster);
+}
+
+#[test]
+fn chain_mid_node_partition_triggers_repair() {
+    // Partition the middle hop of a 3-slave chain: WRs to it die with
+    // retry-exhaustion errors, the NIC must splice it out of in-flight
+    // chains (repair), keep committing through head + tail, and the
+    // tail-anchored history stays linearizable throughout.
+    let mut s = spec(3, 2, 2_000, 43);
+    s.cfg.repl_mode = ReplModeKind::Chain;
+    let mut cluster = Cluster::build(s);
+    let history = cluster.add_history(&HistSpec {
+        anchor: ReadAnchor::Slave(2),
+        ..HistSpec::default()
+    });
+    cluster.apply_chaos(&ChaosSpec {
+        partition: Some((
+            vec![1],
+            SimTime::from_millis(700),
+            SimTime::from_millis(1_400),
+        )),
+        ..ChaosSpec::default()
+    });
+    run_and_quiesce(&mut cluster, SimDuration::from_secs(2));
+
+    let nic = cluster.nic_kv().expect("nic");
+    assert!(
+        nic.stat_chain_repairs > 0,
+        "mid-node partition never triggered a chain repair"
+    );
+    assert!(nic.stat_commits > 0, "chain stopped committing");
+    assert_eq!(nic.pending_writes(), 0, "writes stuck behind the dead hop");
+    let h = history.borrow();
+    let violations = check_single_writer(&h);
+    assert!(
+        violations.is_empty(),
+        "chain violations under mid-node partition: {violations:?}"
+    );
+    drop(h);
+    assert_converged(&cluster);
+}

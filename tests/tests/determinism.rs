@@ -158,3 +158,35 @@ fn different_seeds_actually_differ() {
     let b = execute(arm(Mode::Skv, 2), None);
     assert_ne!(a, b, "digest ignores the seed (constant hash?)");
 }
+
+#[test]
+fn same_seed_same_bits_quorum_mode() {
+    // The tracked quorum path adds WR-ack maps, commit windows and
+    // deferred-reply queues — all of which must stay pure functions of
+    // the seed (their counters are folded into the report's chaos set).
+    let mut spec = arm(Mode::Skv, 0xAB0D);
+    spec.cfg.repl_mode = skv_core::replmode::ReplModeKind::Quorum;
+    let a = execute(spec.clone(), None);
+    let b = execute(spec, None);
+    assert_eq!(a, b, "identical quorum runs diverged: {a:#018x} vs {b:#018x}");
+}
+
+#[test]
+fn same_seed_same_bits_chain_mode() {
+    // Chain hops serialize per-write sends through timers and applied
+    // acks; under a flap the repair path runs too. Still bit-for-bit.
+    let mut spec = arm(Mode::Skv, 0xC4A1);
+    spec.cfg.repl_mode = skv_core::replmode::ReplModeKind::Chain;
+    let chaos = ChaosSpec {
+        flaps: vec![(
+            0,
+            skv_simcore::SimTime::from_millis(80),
+            skv_simcore::SimTime::from_millis(160),
+        )],
+        seed: 11,
+        ..Default::default()
+    };
+    let a = execute(spec.clone(), Some(&chaos));
+    let b = execute(spec, Some(&chaos));
+    assert_eq!(a, b, "identical chain runs diverged: {a:#018x} vs {b:#018x}");
+}
