@@ -37,7 +37,7 @@ fn bench_event_loop(c: &mut Criterion) {
             sim.add_actor(Box::new(Ticker { remaining: n }));
             sim.run_to_completion();
             black_box(sim.events_processed())
-        })
+        });
     });
     g.bench_function("corepool_run_on", |b| {
         let mut pool = CorePool::new(8, 1.0);
@@ -45,7 +45,7 @@ fn bench_event_loop(c: &mut Criterion) {
         b.iter(|| {
             t += SimDuration::from_nanos(100);
             black_box(pool.run_any(t, SimDuration::from_nanos(250)))
-        })
+        });
     });
     g.finish();
 }
@@ -65,7 +65,7 @@ fn bench_cluster_second(c: &mut Criterion) {
                 ..Default::default()
             });
             black_box(cluster.run().ops)
-        })
+        });
     });
     g.finish();
 }

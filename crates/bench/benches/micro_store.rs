@@ -73,7 +73,7 @@ fn bench_resp(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(wire.len() as u64));
     g.bench_function("encode_set", |b| b.iter(|| black_box(cmd.encode())));
     g.bench_function("decode_set", |b| {
-        b.iter(|| black_box(Resp::decode(&wire)))
+        b.iter(|| black_box(Resp::decode(&wire)));
     });
     g.finish();
 }
@@ -119,7 +119,7 @@ fn bench_rdb(c: &mut Criterion) {
         let mut target = Engine::new(5);
         b.iter(|| {
             rdb::load(target.db_mut(), &snapshot, 5).expect("valid snapshot");
-        })
+        });
     });
     g.finish();
 }
@@ -129,7 +129,7 @@ fn bench_hash_and_backlog(c: &mut Criterion) {
     let data = vec![0xABu8; 64];
     g.throughput(Throughput::Bytes(64));
     g.bench_function("siphash13_64b", |b| {
-        b.iter(|| black_box(siphash13(&data)))
+        b.iter(|| black_box(siphash13(&data)));
     });
     g.bench_function("backlog_feed_64b", |b| {
         let mut log = Backlog::new(1 << 20);

@@ -14,10 +14,11 @@ const MSS: usize = 1460;
 
 fn wire(frames: usize) -> Vec<u8> {
     let payload = vec![0xA5u8; PAYLOAD];
+    let payload_len = u32::try_from(PAYLOAD).expect("payload fits u32");
     let mut wire = Vec::with_capacity(frames * (PAYLOAD + 8));
-    for tag in 0..frames as u32 {
+    for tag in 0..u32::try_from(frames).expect("frame count fits u32") {
         wire.extend_from_slice(&tag.to_le_bytes());
-        wire.extend_from_slice(&(PAYLOAD as u32).to_le_bytes());
+        wire.extend_from_slice(&payload_len.to_le_bytes());
         wire.extend_from_slice(&payload);
     }
     wire
@@ -35,7 +36,7 @@ fn channel(c: &mut Criterion) {
             let got = rx.on_tcp_bytes(wire.clone());
             assert_eq!(got.len(), frames);
             black_box(got.len())
-        })
+        });
     });
     g.bench_function("tcp-reassembly-mss", |b| {
         b.iter(|| {
@@ -49,7 +50,7 @@ fn channel(c: &mut Criterion) {
             }
             assert_eq!(got, frames);
             black_box(got)
-        })
+        });
     });
     g.finish();
 }

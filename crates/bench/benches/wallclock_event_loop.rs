@@ -24,7 +24,7 @@ fn event_loop(c: &mut Criterion) {
             sim.schedule(SimTime::ZERO, actor, events);
             sim.run_to_completion();
             sim.now()
-        })
+        });
     });
     g.finish();
 }

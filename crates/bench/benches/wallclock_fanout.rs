@@ -29,27 +29,25 @@ fn fanout(c: &mut Criterion) {
                 let report = run_spec(fanout_spec(Mode::Skv, slaves, 0xFA0));
                 assert!(report.ops > 0, "fan-out run produced no operations");
                 black_box(report.ops)
-            })
+            });
         });
     }
     for &slaves in sweep {
         g.bench_function(&format!("skv-batched-slaves-{slaves}"), |b| {
             b.iter(|| {
-                let report =
-                    run_spec(fanout_spec_sized(Mode::Skv, slaves, true, 4096, 0xFA0));
+                let report = run_spec(fanout_spec_sized(Mode::Skv, slaves, true, 4096, 0xFA0));
                 assert!(report.ops > 0, "fan-out run produced no operations");
                 black_box(report.ops)
-            })
+            });
         });
     }
     for &value_size in values {
         g.bench_function(&format!("skv-value-{value_size}"), |b| {
             b.iter(|| {
-                let report =
-                    run_spec(fanout_spec_sized(Mode::Skv, 5, false, value_size, 0xFA0));
+                let report = run_spec(fanout_spec_sized(Mode::Skv, 5, false, value_size, 0xFA0));
                 assert!(report.ops > 0, "fan-out run produced no operations");
                 black_box(report.ops)
-            })
+            });
         });
     }
     g.finish();

@@ -18,7 +18,7 @@ fn fig10_style(c: &mut Criterion) {
                 let report = run_spec(fig10_style_spec(mode, 0x10F1));
                 assert!(report.ops > 0, "figure-10-style run produced no operations");
                 black_box(report.ops)
-            })
+            });
         });
     }
     g.finish();

@@ -22,7 +22,7 @@ fn replmode(c: &mut Criterion) {
                 assert!(report.ops > 0, "replmode run produced no operations");
                 assert_eq!(report.errors, 0, "replmode run saw error replies");
                 black_box(report.ops)
-            })
+            });
         });
     }
     g.finish();

@@ -13,8 +13,7 @@ fn batch(n: usize) -> Vec<u8> {
     let mut wire = Vec::new();
     for i in 0..n {
         let key = format!("key:{i:012}");
-        Resp::command([b"SET".as_slice(), key.as_bytes(), &[b'x'; VALUE]])
-            .encode_into(&mut wire);
+        Resp::command([b"SET".as_slice(), key.as_bytes(), &[b'x'; VALUE]]).encode_into(&mut wire);
     }
     wire
 }
@@ -36,14 +35,14 @@ fn resp(c: &mut Criterion) {
             }
             assert_eq!(frames, cmds as u64);
             frames
-        })
+        });
     });
     g.finish();
 
     let mut g = c.benchmark_group("resp");
     g.throughput(Throughput::Elements(cmds as u64));
     g.bench_function("encode-set-64", |b| {
-        b.iter(|| black_box(batch(cmds)).len())
+        b.iter(|| black_box(batch(cmds)).len());
     });
     g.finish();
 }

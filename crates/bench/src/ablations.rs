@@ -70,9 +70,7 @@ pub fn ablation_threadnum() -> Vec<ThreadNumRow> {
             let now = cluster.sim.now();
             let master_offset = cluster.master_server().repl_offset();
             let max_lag_bytes = (0..cluster.slaves.len())
-                .map(|i| {
-                    master_offset.saturating_sub(cluster.slave_server(i).repl_offset())
-                })
+                .map(|i| master_offset.saturating_sub(cluster.slave_server(i).repl_offset()))
                 .max()
                 .unwrap_or(0);
             let nic_utilization = cluster
@@ -250,11 +248,20 @@ pub fn ablation_wr_batching() -> Vec<WrBatchRow> {
                 let (writes, doorbells, wrs) = cluster
                     .nic_kv()
                     .map(|nic| {
-                        (nic.stat_fanout_msgs, nic.stat_doorbells, nic.stat_wrs_posted)
+                        (
+                            nic.stat_fanout_msgs,
+                            nic.stat_doorbells,
+                            nic.stat_wrs_posted,
+                        )
                     })
                     .unwrap_or((0, 0, 0));
-                let per_write =
-                    |v: u64| if writes == 0 { 0.0 } else { v as f64 / writes as f64 };
+                let per_write = |v: u64| {
+                    if writes == 0 {
+                        0.0
+                    } else {
+                        v as f64 / writes as f64
+                    }
+                };
                 (report, per_write(doorbells), per_write(wrs))
             };
             let (serial, serial_db, serial_wrs) = run_arm(false);
@@ -466,12 +473,8 @@ pub fn ablation_slave_count() -> Vec<SlaveCountRow> {
     [0usize, 1, 2, 3, 5, 8]
         .iter()
         .map(|&n| {
-            let baseline = skv_core::cluster::run_spec(spec(
-                Mode::RdmaRedis,
-                n,
-                8,
-                24_000 + n as u64,
-            ));
+            let baseline =
+                skv_core::cluster::run_spec(spec(Mode::RdmaRedis, n, 8, 24_000 + n as u64));
             let skv = skv_core::cluster::run_spec(spec(Mode::Skv, n, 8, 24_500 + n as u64));
             SlaveCountRow {
                 slaves: n,
@@ -531,12 +534,7 @@ pub fn ablation_failure_params() -> Vec<FailureParamRow> {
             let report = cluster.run();
             let detection = cluster
                 .nic_kv()
-                .and_then(|n| {
-                    n.detections
-                        .iter()
-                        .find(|(t, _)| *t >= crash_at)
-                        .copied()
-                })
+                .and_then(|n| n.detections.iter().find(|(t, _)| *t >= crash_at).copied())
                 .map(|(t, _)| t.saturating_since(crash_at).as_secs_f64() * 1000.0)
                 .unwrap_or(f64::NAN);
             FailureParamRow {
@@ -633,11 +631,9 @@ pub fn ablation_probe_loss() -> Vec<ProbeLossRow> {
             cluster.net.set_fault_plan(plan);
 
             let report = cluster.run();
-            let (false_positives, recoveries) = cluster
-                .nic_kv()
-                .map_or((0, 0), |n| {
-                    (n.detections.len() as u64, n.recoveries.len() as u64)
-                });
+            let (false_positives, recoveries) = cluster.nic_kv().map_or((0, 0), |n| {
+                (n.detections.len() as u64, n.recoveries.len() as u64)
+            });
             rows.push(ProbeLossRow {
                 blip_ms,
                 waiting_ms: wt,
@@ -705,6 +701,336 @@ pub fn print_pipeline(rows: &[PipelineRow]) {
     println!("Ablation — client pipelining (RDMA-Redis, 1 client, no slaves)");
     println!("{:>8} {:>12} {:>10}", "depth", "kops/s", "p99(us)");
     for r in rows {
-        println!("{:>8} {:>12.1} {:>10.1}", r.depth, r.kops_1_client, r.p99_us);
+        println!(
+            "{:>8} {:>12.1} {:>10.1}",
+            r.depth, r.kops_1_client, r.p99_us
+        );
+    }
+}
+
+// ===========================================================================
+// fabric-calibration sensitivity
+// ===========================================================================
+
+/// One calibration-sensitivity arm: a single fabric/CPU knob perturbed.
+#[derive(Debug, Clone)]
+pub struct NetCalRow {
+    /// The knob and how it was moved.
+    pub knob: &'static str,
+    /// Which system variant the knob matters for.
+    pub mode: Mode,
+    /// Throughput at the default calibration (kops/s).
+    pub base_kops: f64,
+    /// Throughput with the knob perturbed (kops/s).
+    pub kops: f64,
+    /// Throughput delta, percent.
+    pub delta_pct: f64,
+    /// p99 latency delta, percent.
+    pub p99_delta_pct: f64,
+}
+
+/// Perturb each [`skv_netsim::NetParams`] calibration knob (and the host
+/// command-CPU cost) in isolation — latencies and CPU costs doubled,
+/// bandwidth halved — and measure how the client-visible numbers move
+/// against the default calibration. This is the robustness check behind
+/// quoting absolute numbers from a calibrated simulator: the knobs the
+/// paper's claims lean on (WR post cost, SoC path factors) must matter,
+/// and the ones it abstracts away (connect latency) must not.
+pub fn ablation_netcal() -> Vec<NetCalRow> {
+    fn x2(d: SimDuration) -> SimDuration {
+        d.mul_f64(2.0)
+    }
+    type Apply = fn(&mut ClusterConfig);
+    let arms: &[(&'static str, Mode, Apply)] = &[
+        ("bandwidth_bps /2", Mode::Skv, |c: &mut ClusterConfig| {
+            c.net.bandwidth_bps /= 2.0;
+        }),
+        (
+            "host_host_latency x2",
+            Mode::Skv,
+            |c: &mut ClusterConfig| {
+                c.net.host_host_latency = x2(c.net.host_host_latency);
+            },
+        ),
+        ("local_soc_factor x2", Mode::Skv, |c: &mut ClusterConfig| {
+            c.net.local_soc_factor *= 2.0;
+        }),
+        (
+            "remote_soc_factor x2",
+            Mode::Skv,
+            |c: &mut ClusterConfig| {
+                c.net.remote_soc_factor *= 2.0;
+            },
+        ),
+        ("nic_tx_delay x2", Mode::Skv, |c: &mut ClusterConfig| {
+            c.net.nic_tx_delay = x2(c.net.nic_tx_delay);
+        }),
+        ("dma_delay x2", Mode::Skv, |c: &mut ClusterConfig| {
+            c.net.dma_delay = x2(c.net.dma_delay);
+        }),
+        ("wr_post_linked x2", Mode::Skv, |c: &mut ClusterConfig| {
+            c.net.wr_post_linked = x2(c.net.wr_post_linked);
+        }),
+        ("cq_poll_cpu x2", Mode::Skv, |c: &mut ClusterConfig| {
+            c.net.cq_poll_cpu = x2(c.net.cq_poll_cpu);
+        }),
+        ("wc_handle_cpu x2", Mode::Skv, |c: &mut ClusterConfig| {
+            c.net.wc_handle_cpu = x2(c.net.wc_handle_cpu);
+        }),
+        ("connect_latency x2", Mode::Skv, |c: &mut ClusterConfig| {
+            c.net.connect_latency = x2(c.net.connect_latency);
+        }),
+        ("costs.cmd cpu x2", Mode::Skv, |c: &mut ClusterConfig| {
+            c.costs.cmd_base = x2(c.costs.cmd_base);
+            c.costs.cmd_per_kib = x2(c.costs.cmd_per_kib);
+        }),
+        (
+            "tcp_stack_latency x2",
+            Mode::TcpRedis,
+            |c: &mut ClusterConfig| {
+                c.net.tcp_stack_latency = x2(c.net.tcp_stack_latency);
+            },
+        ),
+        (
+            "tcp_send_cpu x2",
+            Mode::TcpRedis,
+            |c: &mut ClusterConfig| {
+                c.net.tcp_send_cpu = x2(c.net.tcp_send_cpu);
+            },
+        ),
+        (
+            "tcp_recv_cpu x2",
+            Mode::TcpRedis,
+            |c: &mut ClusterConfig| {
+                c.net.tcp_recv_cpu = x2(c.net.tcp_recv_cpu);
+            },
+        ),
+        (
+            "tcp_copy_cpu_per_kib x2",
+            Mode::TcpRedis,
+            |c: &mut ClusterConfig| {
+                c.net.tcp_copy_cpu_per_kib = x2(c.net.tcp_copy_cpu_per_kib);
+            },
+        ),
+        (
+            "tcp_base_latency x2",
+            Mode::TcpRedis,
+            |c: &mut ClusterConfig| {
+                c.net.tcp_base_latency = x2(c.net.tcp_base_latency);
+            },
+        ),
+    ];
+    let run = |mode: Mode, apply: Option<Apply>| {
+        // Same seed per mode in every arm: each knob faces the identical
+        // workload, so rows differ only by the perturbation.
+        let (slaves, seed) = match mode {
+            Mode::TcpRedis => (0, 31_500),
+            _ => (2, 31_000),
+        };
+        let mut s = spec(mode, slaves, 4, seed);
+        if let Some(f) = apply {
+            f(&mut s.cfg);
+        }
+        skv_core::cluster::run_spec(s)
+    };
+    let base_skv = run(Mode::Skv, None);
+    let base_tcp = run(Mode::TcpRedis, None);
+    arms.iter()
+        .map(|&(knob, mode, apply)| {
+            let base = if mode == Mode::TcpRedis {
+                &base_tcp
+            } else {
+                &base_skv
+            };
+            let r = run(mode, Some(apply));
+            NetCalRow {
+                knob,
+                mode,
+                base_kops: base.throughput_kops,
+                kops: r.throughput_kops,
+                delta_pct: (r.throughput_kops / base.throughput_kops - 1.0) * 100.0,
+                p99_delta_pct: (r.p99_latency_us / base.p99_latency_us - 1.0) * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// Print the calibration-sensitivity ablation.
+pub fn print_netcal(rows: &[NetCalRow]) {
+    println!("Ablation — fabric-calibration sensitivity (one knob per row, 4 clients)");
+    println!(
+        "{:<24} {:<10} {:>10} {:>10} {:>8} {:>9}",
+        "knob", "mode", "base kops", "kops", "d kops%", "d p99%"
+    );
+    for r in rows {
+        println!(
+            "{:<24} {:<10} {:>10.1} {:>10.1} {:>+8.1} {:>+9.1}",
+            r.knob,
+            r.mode.label(),
+            r.base_kops,
+            r.kops,
+            r.delta_pct,
+            r.p99_delta_pct
+        );
+    }
+}
+
+// ===========================================================================
+// reconnect backoff / client retry
+// ===========================================================================
+
+/// One reconnect-backoff profile under a master outage.
+#[derive(Debug, Clone)]
+pub struct BackoffRow {
+    /// Profile name.
+    pub label: &'static str,
+    /// `reconnect_base`, milliseconds.
+    pub base_ms: u64,
+    /// `reconnect_max_delay`, milliseconds.
+    pub max_delay_ms: u64,
+    /// `reconnect_max_attempts`.
+    pub max_attempts: u32,
+    /// `client_retry_timeout`, milliseconds.
+    pub client_retry_ms: u64,
+    /// Throughput over the window containing the outage (kops/s).
+    pub kops: f64,
+    /// Error replies observed by clients.
+    pub errors: u64,
+    /// Server-side reconnect attempts (master + slaves).
+    pub server_reconnects: u64,
+    /// Client connection teardowns + redials.
+    pub client_reconnects: u64,
+    /// Client dials that failed outright (master still down).
+    pub client_dial_failures: u64,
+}
+
+/// Crash the master for 300 ms mid-measurement and compare reconnect
+/// profiles: an aggressive schedule redials often (dial-failure storm,
+/// fastest recovery), a lazy one stays quiet but gives up throughput.
+/// The numbers come from [`Cluster::counters_snapshot`] — the run report
+/// itself stays byte-identical to a chaos-free run's shape.
+pub fn ablation_backoff() -> Vec<BackoffRow> {
+    let profiles: &[(&'static str, u64, u64, u32, u64)] = &[
+        ("aggressive", 2, 40, 16, 50),
+        ("default", 10, 640, 8, 250),
+        ("lazy", 100, 2_000, 3, 800),
+    ];
+    profiles
+        .iter()
+        .enumerate()
+        .map(
+            |(i, &(label, base_ms, max_delay_ms, max_attempts, client_retry_ms))| {
+                let mut s = spec(Mode::Skv, 2, 4, 33_000 + i as u64);
+                s.cfg.reconnect_base = SimDuration::from_millis(base_ms);
+                s.cfg.reconnect_max_delay = SimDuration::from_millis(max_delay_ms);
+                s.cfg.reconnect_max_attempts = max_attempts;
+                s.cfg.client_retry_timeout = SimDuration::from_millis(client_retry_ms);
+                let mut cluster = Cluster::build(s);
+                cluster.schedule_master_crash(SimTime::from_millis(800));
+                cluster.schedule_master_recover(SimTime::from_millis(1_100));
+                let report = cluster.run();
+                let snap = cluster.counters_snapshot();
+                BackoffRow {
+                    label,
+                    base_ms,
+                    max_delay_ms,
+                    max_attempts,
+                    client_retry_ms,
+                    kops: report.throughput_kops,
+                    errors: report.errors,
+                    server_reconnects: snap.get("server.stat_reconnects"),
+                    client_reconnects: snap.get("client.stat_reconnects"),
+                    client_dial_failures: snap.get("client.stat_dial_failures"),
+                }
+            },
+        )
+        .collect()
+}
+
+/// Print the reconnect-backoff ablation.
+pub fn print_backoff(rows: &[BackoffRow]) {
+    println!("Ablation — reconnect backoff under a 300 ms master outage (SKV, 2 slaves)");
+    println!(
+        "{:<12} {:>8} {:>8} {:>9} {:>9} {:>8} {:>7} {:>8} {:>8} {:>8}",
+        "profile",
+        "base",
+        "cap",
+        "attempts",
+        "retry",
+        "kops/s",
+        "errors",
+        "srv rc",
+        "cli rc",
+        "dialfail"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>7}m {:>7}m {:>9} {:>8}m {:>8.1} {:>7} {:>8} {:>8} {:>8}",
+            r.label,
+            r.base_ms,
+            r.max_delay_ms,
+            r.max_attempts,
+            r.client_retry_ms,
+            r.kops,
+            r.errors,
+            r.server_reconnects,
+            r.client_reconnects,
+            r.client_dial_failures
+        );
+    }
+}
+
+// ===========================================================================
+// CQ poll budget
+// ===========================================================================
+
+/// One `cq_poll_budget` setting.
+#[derive(Debug, Clone)]
+pub struct CqBudgetRow {
+    /// Maximum WCs drained per `CqNotify` (see `skv_core::cqdrain`).
+    pub budget: usize,
+    /// Client throughput (kops/s).
+    pub kops: f64,
+    /// p99 latency (µs).
+    pub p99_us: f64,
+    /// Work completions polled across the testbed.
+    pub wcs_polled: u64,
+}
+
+/// Sweep the budgeted-drain size with pipelined clients: tiny budgets pay
+/// a `cq_poll_cpu` call per few completions (throughput sags), huge ones
+/// approach the old unbounded drain. The default (64) sits on the flat
+/// part of the curve.
+pub fn ablation_cq_budget() -> Vec<CqBudgetRow> {
+    [2usize, 8, 32, 64, 256]
+        .iter()
+        .map(|&budget| {
+            let mut s = spec(Mode::Skv, 3, 8, 32_000 + budget as u64);
+            s.pipeline = 4;
+            s.cfg.cq_poll_budget = budget;
+            let mut cluster = Cluster::build(s);
+            let report = cluster.run();
+            CqBudgetRow {
+                budget,
+                kops: report.throughput_kops,
+                p99_us: report.p99_latency_us,
+                wcs_polled: cluster.net.counters().get("rdma.wcs_polled"),
+            }
+        })
+        .collect()
+}
+
+/// Print the CQ-poll-budget ablation.
+pub fn print_cq_budget(rows: &[CqBudgetRow]) {
+    println!("Ablation — CQ drain budget (SKV, 3 slaves, 8 clients, P=4)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>12}",
+        "budget", "kops/s", "p99(us)", "wcs polled"
+    );
+    for r in rows {
+        println!(
+            "{:>8} {:>10.1} {:>10.1} {:>12}",
+            r.budget, r.kops, r.p99_us, r.wcs_polled
+        );
     }
 }

@@ -35,7 +35,7 @@ struct Record {
 fn field(line: &str, key: &str) -> Option<String> {
     let needle = format!("\"{key}\":");
     let start = line.find(&needle)? + needle.len();
-    let rest = &line[start..];
+    let rest = line.get(start..)?;
     if let Some(inner) = rest.strip_prefix('"') {
         let mut out = String::new();
         let mut chars = inner.chars();
@@ -48,10 +48,8 @@ fn field(line: &str, key: &str) -> Option<String> {
         }
         None
     } else {
-        let end = rest
-            .find([',', '}'])
-            .unwrap_or(rest.len());
-        Some(rest[..end].trim().to_string())
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest.get(..end)?.trim().to_string())
     }
 }
 
@@ -75,8 +73,7 @@ fn parse_line(line: &str) -> Result<Record, String> {
 }
 
 fn load_records(path: &str, raw: bool) -> Result<Vec<Record>, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut records = Vec::new();
     for (i, line) in text.lines().enumerate() {
         let line = line.trim().trim_end_matches(',');
@@ -126,8 +123,7 @@ fn assemble(raw_path: &str, out_path: &str) -> Result<(), String> {
 }
 
 fn check(path: &str, min: usize) -> Result<(), String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if !text.contains("\"schema\": \"skv-bench-results/v1\"") {
         return Err(format!("{path}: missing schema marker"));
     }
@@ -170,18 +166,12 @@ fn diff(old_path: &str, new_path: &str) -> Result<(), String> {
                     r.name, old_median, r.median_ns, pct
                 );
             }
-            None => println!(
-                "  {:<40} {:>14} {:>14.1}     new",
-                r.name, "-", r.median_ns
-            ),
+            None => println!("  {:<40} {:>14} {:>14.1}     new", r.name, "-", r.median_ns),
         }
     }
     for r in &old {
         if !new_by_name.contains_key(r.name.as_str()) {
-            println!(
-                "  {:<40} {:>14.1} {:>14} removed",
-                r.name, r.median_ns, "-"
-            );
+            println!("  {:<40} {:>14.1} {:>14} removed", r.name, r.median_ns, "-");
         }
     }
     Ok(())
@@ -227,8 +217,7 @@ fn write_ratios(results_path: &str, out_path: &str) -> Result<(), String> {
 }
 
 fn load_ratios(path: &str) -> Result<std::collections::BTreeMap<String, f64>, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if !text.contains("\"schema\": \"skv-bench-ratios/v1\"") {
         return Err(format!("{path}: missing ratios schema marker"));
     }
@@ -388,8 +377,7 @@ mod tests {
                 .collect();
         // `z` triples while the rest hold: its ratio roughly doubles
         // (the geomean moved too), far past a 25% allowance.
-        let regressed =
-            compute_ratios(&[rec("x", 100.0), rec("y", 100.0), rec("z", 300.0)]);
+        let regressed = compute_ratios(&[rec("x", 100.0), rec("y", 100.0), rec("z", 300.0)]);
         let failures = gate_failures(&reference, &regressed, 25.0);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert_eq!(failures[0].0, "z");

@@ -26,6 +26,9 @@ fn run(which: &str) {
         "wrcost" => abl::print_wr_cost(&abl::ablation_wr_cost()),
         "wrbatch" => abl::print_wr_batching(&abl::ablation_wr_batching()),
         "cqmod" => abl::print_cq_moderation(&abl::ablation_cq_moderation()),
+        "cqbudget" => abl::print_cq_budget(&abl::ablation_cq_budget()),
+        "netcal" => abl::print_netcal(&abl::ablation_netcal()),
+        "backoff" => abl::print_backoff(&abl::ablation_backoff()),
         "replmode" => abl::print_replmode(&abl::ablation_replmode()),
         "slavecount" => abl::print_slave_count(&abl::ablation_slave_count()),
         "failparams" => abl::print_failure_params(&abl::ablation_failure_params()),
@@ -40,9 +43,27 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let list: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "fig3", "fig7", "fig10", "fig11", "fig12", "fig13", "fig14", "niccrash",
-            "threadnum", "nicstore", "wrcost", "wrbatch", "cqmod", "replmode",
-            "slavecount", "failparams", "probeloss", "pipeline",
+            "fig3",
+            "fig7",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "niccrash",
+            "threadnum",
+            "nicstore",
+            "wrcost",
+            "wrbatch",
+            "cqmod",
+            "cqbudget",
+            "netcal",
+            "backoff",
+            "replmode",
+            "slavecount",
+            "failparams",
+            "probeloss",
+            "pipeline",
         ]
     } else {
         args.iter().map(String::as_str).collect()

@@ -8,6 +8,7 @@
 
 use skv_core::cluster::{Cluster, RunSpec};
 use skv_core::config::{ClusterConfig, Mode};
+use skv_core::cqdrain;
 use skv_core::metrics::RunReport;
 use skv_netsim::{Net, NetEvent, NetParams, SendOp, SendWr, SocketAddr, Topology};
 use skv_simcore::{FnActor, SimDuration, SimTime, Simulation};
@@ -85,12 +86,17 @@ fn write_latency(size: usize, to_local_soc: bool, from_remote: bool) -> f64 {
                     net2.req_notify_cq(ctx, cq);
                 }
                 NetEvent::CqNotify { cq } => {
-                    for wc in net2.poll_cq(cq, 8) {
+                    let out = cqdrain::drain_budgeted(&net2, ctx, cq, 8, |ctx, wc| {
                         if wc.opcode == skv_netsim::WcOpcode::RecvRdmaWithImm {
                             *r2.borrow_mut() = Some(ctx.now());
                         }
+                    });
+                    if out.more {
+                        // This probe measures the fabric, not the host CPU,
+                        // so the continuation is scheduled after the drain
+                        // cost without charging a core pool.
+                        ctx.timer(out.cpu_cost, NetEvent::CqNotify { cq });
                     }
-                    net2.req_notify_cq(ctx, cq);
                 }
                 _ => {}
             }
@@ -314,8 +320,7 @@ pub fn print_vs(title: &str, rows: &[VsRow]) {
         "p99-%"
     );
     for r in rows {
-        let tput_gain =
-            (r.skv.throughput_kops / r.baseline.throughput_kops - 1.0) * 100.0;
+        let tput_gain = (r.skv.throughput_kops / r.baseline.throughput_kops - 1.0) * 100.0;
         let p99_cut = (1.0 - r.skv.p99_latency_us / r.baseline.p99_latency_us) * 100.0;
         println!(
             "{:>8} {:>12.1} {:>10.1} {:>10.1} {:>12.1} {:>10.1} {:>10.1} {:>+9.1} {:>+9.1}",
@@ -419,7 +424,9 @@ pub fn fig14_availability() -> Fig14Result {
     cluster.schedule_slave_recover(1, recover_at);
     let report = cluster.run();
     // Let the recovered slave finish resyncing, then compare keyspaces.
-    cluster.sim.run_until(cluster.measure_until + SimDuration::from_secs(2));
+    cluster
+        .sim
+        .run_until(cluster.measure_until + SimDuration::from_secs(2));
     let digests = cluster.keyspace_digests();
     let converged = digests.iter().all(|&d| d == digests[0]);
 
@@ -510,7 +517,9 @@ pub fn nic_crash_timeline() -> NicCrashResult {
     let fanout_at_recovery = cluster.nic_kv().map_or(0, |n| n.stat_fanout_msgs);
 
     let report = cluster.run();
-    cluster.sim.run_until(cluster.measure_until + SimDuration::from_secs(2));
+    cluster
+        .sim
+        .run_until(cluster.measure_until + SimDuration::from_secs(2));
     let fanout_at_end = cluster.nic_kv().map_or(0, |n| n.stat_fanout_msgs);
     let digests = cluster.keyspace_digests();
     let converged = digests.iter().all(|&d| d == digests[0]);
@@ -522,7 +531,7 @@ pub fn nic_crash_timeline() -> NicCrashResult {
         .copied()
         .expect("the SoC crash must degrade the master");
     let degraded_from_s = entered.as_secs_f64();
-    let degraded_until_s = exited.map_or(f64::NAN, |t| t.as_secs_f64());
+    let degraded_until_s = exited.map_or(f64::NAN, SimTime::as_secs_f64);
 
     let series: Vec<(f64, f64)> = report
         .series

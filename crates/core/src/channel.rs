@@ -15,7 +15,9 @@
 //! posting and kernel-stack costs itself, because those costs are exactly
 //! what the paper's evaluation is about.
 
-use skv_netsim::{Frame, MrId, Net, NodeId, QpId, SendOp, SendWr, TcpConnId, Wc, WcOpcode, WcStatus, RNR_WR_ID};
+use skv_netsim::{
+    Frame, MrId, Net, NodeId, QpId, SendOp, SendWr, TcpConnId, Wc, WcOpcode, WcStatus, RNR_WR_ID,
+};
 use skv_simcore::{Context, FramePool};
 
 /// Receive WRs kept posted on an RDMA channel.
@@ -229,13 +231,19 @@ impl Channel {
                 self.broken = true;
                 return 0;
             }
+            // The header's length field is u32; a payload that cannot be
+            // framed poisons the channel instead of truncating on the wire.
+            let Ok(len) = u32::try_from(payload.len()) else {
+                self.broken = true;
+                return 0;
+            };
             // One header+payload copy into the wire frame — the model's
             // stand-in for the kernel socket copy the TCP baseline pays.
             // With a pool attached the destination buffer is a recycled
             // send ring instead of a fresh allocation.
             let build = |frame: &mut Vec<u8>| {
                 frame.extend_from_slice(&tag.to_le_bytes());
-                frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                frame.extend_from_slice(&len.to_le_bytes());
                 frame.extend_from_slice(&payload);
             };
             let frame = match &self.pool {
@@ -411,37 +419,58 @@ impl Channel {
             return Vec::new();
         };
         let mut out = Vec::new();
+        let mut poisoned = false;
         if inbuf.len() == *consumed {
             inbuf.clear();
             *consumed = 0;
             let mut pos = 0;
-            while let Some((tag, len)) = parse_header(&bytes[pos..]) {
-                if bytes.len() - pos - 8 < len {
-                    break;
+            loop {
+                let rest = bytes.get(pos..).unwrap_or_default();
+                match parse_header(rest) {
+                    Header::Frame { tag, len } if rest.len() - 8 >= len => {
+                        out.push(ChannelMsg {
+                            tag,
+                            payload: bytes.slice(pos + 8..pos + 8 + len),
+                        });
+                        pos += 8 + len;
+                    }
+                    Header::Frame { .. } | Header::Incomplete => break,
+                    Header::Oversized => {
+                        poisoned = true;
+                        break;
+                    }
                 }
-                out.push(ChannelMsg {
-                    tag,
-                    payload: bytes.slice(pos + 8..pos + 8 + len),
-                });
-                pos += 8 + len;
             }
-            if pos < bytes.len() {
-                inbuf.extend_from_slice(&bytes[pos..]);
+            match bytes.get(pos..) {
+                Some(rest) if !rest.is_empty() && !poisoned => {
+                    inbuf.extend_from_slice(rest);
+                }
+                _ => {}
             }
         } else {
             inbuf.extend_from_slice(&bytes);
-            while let Some((tag, len)) = parse_header(&inbuf[*consumed..]) {
-                if inbuf.len() - *consumed - 8 < len {
-                    break;
+            loop {
+                let rest = inbuf.get(*consumed..).unwrap_or_default();
+                match parse_header(rest) {
+                    Header::Frame { tag, len } if rest.len() - 8 >= len => {
+                        let start = *consumed + 8;
+                        let Some(chunk) = inbuf.get(start..start + len) else {
+                            break;
+                        };
+                        out.push(ChannelMsg {
+                            tag,
+                            payload: Frame::copy_from_slice(chunk),
+                        });
+                        *consumed = start + len;
+                    }
+                    Header::Frame { .. } | Header::Incomplete => break,
+                    Header::Oversized => {
+                        poisoned = true;
+                        break;
+                    }
                 }
-                let start = *consumed + 8;
-                out.push(ChannelMsg {
-                    tag,
-                    payload: Frame::copy_from_slice(&inbuf[start..start + len]),
-                });
-                *consumed = start + len;
             }
-            if *consumed == inbuf.len() {
+            if poisoned || *consumed == inbuf.len() {
                 inbuf.clear();
                 *consumed = 0;
             } else if *consumed * 2 >= inbuf.len() {
@@ -453,19 +482,50 @@ impl Channel {
                 *consumed = 0;
             }
         }
+        if poisoned {
+            // A length the peer could never legitimately send: treat the
+            // stream as corrupt rather than buffering toward a claimed
+            // multi-gigabyte frame. The owner's watchdog reconnects.
+            self.broken = true;
+        }
         self.received += out.len() as u64;
         out
     }
 }
 
-/// Parse a `[u32 tag][u32 len]` frame header off the front of `bytes`.
-fn parse_header(bytes: &[u8]) -> Option<(u32, usize)> {
-    if bytes.len() < 8 {
-        return None;
+/// Largest payload a frame header may claim. Real messages top out at the
+/// replication ring size (kilobytes); anything near u32::MAX is stream
+/// corruption, and buffering toward it would be an allocation attack in a
+/// real deployment.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Outcome of parsing a `[u32 tag][u32 len]` frame header.
+enum Header {
+    /// Fewer than 8 bytes available.
+    Incomplete,
+    /// A complete header claiming `len` payload bytes (possibly not yet
+    /// all received).
+    Frame {
+        /// Message tag.
+        tag: u32,
+        /// Claimed payload length, already bounded by [`MAX_FRAME_LEN`].
+        len: usize,
+    },
+    /// A complete header whose claimed length exceeds [`MAX_FRAME_LEN`]:
+    /// the stream is corrupt.
+    Oversized,
+}
+
+/// Parse a frame header off the front of `bytes`.
+fn parse_header(bytes: &[u8]) -> Header {
+    let (Some(tag), Some(len)) = (read_u32_le(bytes), bytes.get(4..).and_then(read_u32_le)) else {
+        return Header::Incomplete;
+    };
+    let len = len as usize;
+    if len > MAX_FRAME_LEN {
+        return Header::Oversized;
     }
-    let tag = read_u32_le(bytes)?;
-    let len = read_u32_le(&bytes[4..])?;
-    Some((tag, len as usize))
+    Header::Frame { tag, len }
 }
 
 /// Read a little-endian `u32` from the front of `bytes`, if long enough.
@@ -475,6 +535,7 @@ fn read_u32_le(bytes: &[u8]) -> Option<u32> {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)] // test values are tiny literals
 mod tests {
     use super::*;
 
@@ -534,8 +595,7 @@ mod tests {
         let frames: Vec<(u32, Vec<u8>)> = (0..6u32)
             .map(|i| (i + 10, vec![i as u8; 5 + i as usize * 3]))
             .collect();
-        let borrowed: Vec<(u32, &[u8])> =
-            frames.iter().map(|(t, p)| (*t, p.as_slice())).collect();
+        let borrowed: Vec<(u32, &[u8])> = frames.iter().map(|(t, p)| (*t, p.as_slice())).collect();
         let wire = wire_of(&borrowed);
         // Split points chosen to land mid-header, mid-payload, and on a
         // frame boundary.
@@ -557,10 +617,8 @@ mod tests {
         // Stream many frames through a permanently misaligned buffer; the
         // consume-cursor path must keep the residual buffer bounded by a
         // couple of frames rather than the whole history.
-        let frames: Vec<(u32, Vec<u8>)> =
-            (0..200u32).map(|i| (i, vec![i as u8; 64])).collect();
-        let borrowed: Vec<(u32, &[u8])> =
-            frames.iter().map(|(t, p)| (*t, p.as_slice())).collect();
+        let frames: Vec<(u32, Vec<u8>)> = (0..200u32).map(|i| (i, vec![i as u8; 64])).collect();
+        let borrowed: Vec<(u32, &[u8])> = frames.iter().map(|(t, p)| (*t, p.as_slice())).collect();
         let wire = wire_of(&borrowed);
         let mut rx = Channel::tcp(TcpConnId(1));
         let mut got = Vec::new();
@@ -598,5 +656,55 @@ mod tests {
         assert!(ch.ready());
         assert_eq!(ch.tcp_conn(), Some(TcpConnId(7)));
         assert_eq!(ch.qp(), None);
+    }
+
+    /// A header claiming a payload longer than [`MAX_FRAME_LEN`] (e.g.
+    /// `u32::MAX`, the value a truncating length cast would have written
+    /// for a 4 GiB + 3 byte payload) must poison the channel — not panic,
+    /// and not buffer gigabytes waiting for a frame that never completes.
+    #[test]
+    fn oversized_frame_length_breaks_channel_fast_path() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&5u32.to_le_bytes());
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(b"tail bytes that must not be hoarded");
+        let mut rx = Channel::tcp(TcpConnId(1));
+        let got = rx.on_tcp_bytes(wire.into());
+        assert!(got.is_empty());
+        assert!(rx.broken());
+        let TransportState::Tcp { inbuf, .. } = &rx.state else {
+            unreachable!()
+        };
+        assert!(inbuf.is_empty(), "poisoned stream must not keep buffering");
+    }
+
+    /// Same corruption arriving after a valid frame, split so the bad
+    /// header takes the buffered path: the good frame is delivered, the
+    /// stream then breaks.
+    #[test]
+    fn oversized_frame_length_breaks_channel_buffered_path() {
+        let mut wire = wire_of(&[(3, b"ok")]);
+        wire.extend_from_slice(&9u32.to_le_bytes());
+        wire.extend_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_le_bytes());
+        let mut rx = Channel::tcp(TcpConnId(1));
+        let mut got = Vec::new();
+        for seg in wire.chunks(7) {
+            got.extend(rx.on_tcp_bytes(Frame::copy_from_slice(seg)));
+        }
+        assert_eq!(got, expect_msgs(&[(3, b"ok")]));
+        assert!(rx.broken());
+    }
+
+    /// The largest legal length is still parsed as a frame header (and
+    /// simply waits for its payload), so the bound does not reject real
+    /// traffic.
+    #[test]
+    fn max_frame_len_boundary_is_accepted() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&(MAX_FRAME_LEN as u32).to_le_bytes());
+        let mut rx = Channel::tcp(TcpConnId(1));
+        assert!(rx.on_tcp_bytes(wire.into()).is_empty());
+        assert!(!rx.broken());
     }
 }

@@ -177,10 +177,7 @@ impl Actor for BenchClient {
         self.rng = ctx.rng().split();
         let start = self.workload.start_at;
         ctx.timer_at(start, ClientMsg::Start);
-        ctx.timer_at(
-            start + self.cfg.client_retry_timeout,
-            ClientMsg::Watchdog,
-        );
+        ctx.timer_at(start + self.cfg.client_retry_timeout, ClientMsg::Watchdog);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_>, _from: ActorId, msg: Payload) {
@@ -219,7 +216,7 @@ impl Actor for BenchClient {
                             .in_flight
                             .front()
                             .is_some_and(|&(sent, _)| now.saturating_since(sent) > timeout);
-                        let broken = self.channel.as_ref().is_some_and(|c| c.broken());
+                        let broken = self.channel.as_ref().is_some_and(Channel::broken);
                         if stuck || broken {
                             self.reconnect(ctx);
                         }
@@ -271,7 +268,7 @@ impl Actor for BenchClient {
                         if t == tag::REPLY {
                             self.on_reply(ctx, &payload);
                         }
-                    } else if self.channel.as_ref().is_some_and(|c| c.broken()) {
+                    } else if self.channel.as_ref().is_some_and(Channel::broken) {
                         broken = true;
                     }
                 });
@@ -315,7 +312,6 @@ impl Actor for BenchClient {
     fn name(&self) -> &str {
         "bench-client"
     }
-
 }
 
 /// Check whether `mode` clients keep their transport invariant: clients in

@@ -6,6 +6,7 @@
 //! workload; and produces a [`RunReport`].
 
 use skv_netsim::{FaultPlan, Net, NodeId, Partition, SocketAddr, TimeWindow, Topology};
+use skv_simcore::stats::Counters;
 use skv_simcore::{ActorId, SimDuration, SimTime, Simulation};
 
 use crate::client::{BenchClient, Workload};
@@ -407,8 +408,7 @@ impl Cluster {
     /// Summarize the run so far, folding the fabric's fault counters and
     /// the servers' robustness stats into the report's `chaos` set.
     pub fn report(&self) -> RunReport {
-        let mut report =
-            RunReport::from_hub(self.spec.cfg.mode.label(), &self.metrics.borrow());
+        let mut report = RunReport::from_hub(self.spec.cfg.mode.label(), &self.metrics.borrow());
         for (k, v) in self.net.counters().iter() {
             if k.starts_with("faults.") || k == "rdma.qp_errors" {
                 report.chaos.add(k, v);
@@ -422,7 +422,9 @@ impl Cluster {
             report.chaos.add("server.reconnects", s.stat_reconnects);
             report.chaos.add("server.conn_errors", s.stat_conn_errors);
             report.chaos.add("server.degradations", s.stat_degradations);
-            report.chaos.add("server.partial_syncs", s.stat_partial_syncs);
+            report
+                .chaos
+                .add("server.partial_syncs", s.stat_partial_syncs);
         }
         // Tracked-mode counters are gated on the mode so the async arm's
         // report — and therefore its determinism digest — stays
@@ -431,13 +433,95 @@ impl Cluster {
             if let Some(nic) = self.nic_kv() {
                 report.chaos.add("nic.commits", nic.stat_commits);
                 report.chaos.add("nic.retransmits", nic.stat_retransmits);
-                report.chaos.add("nic.chain_repairs", nic.stat_chain_repairs);
+                report
+                    .chaos
+                    .add("nic.chain_repairs", nic.stat_chain_repairs);
             }
             let m = self.master_server();
-            report.chaos.add("server.deferred_replies", m.stat_deferred_replies);
-            report.chaos.add("server.released_replies", m.stat_released_replies);
+            report
+                .chaos
+                .add("server.deferred_replies", m.stat_deferred_replies);
+            report
+                .chaos
+                .add("server.released_replies", m.stat_released_replies);
         }
         report
+    }
+
+    /// Dump every counter in the testbed, keyed by subsystem: `server.*`
+    /// (master + slaves summed), `nic.*`, `client.*` (all clients summed),
+    /// `store.*` (all engines summed), plus the fabric's `rdma.*` and
+    /// `faults.*` counters verbatim. Every name in
+    /// [`crate::metrics::catalog`] is present (zero when never hit), so
+    /// ablation tables get a stable schema.
+    ///
+    /// This is deliberately separate from [`Cluster::report`]: the report's
+    /// chaos set is mode-gated so determinism digests stay bit-identical
+    /// across refactors, while this snapshot is the unconditional export.
+    pub fn counters_snapshot(&self) -> Counters {
+        let mut out = Counters::new();
+        let mut servers = vec![self.master_server()];
+        for i in 0..self.slaves.len() {
+            servers.push(self.slave_server(i));
+        }
+        for s in &servers {
+            out.add("server.stat_commands", s.stat_commands);
+            out.add("server.stat_rejected", s.stat_rejected);
+            out.add("server.stat_applied_bytes", s.stat_applied_bytes);
+            out.add("server.stat_full_syncs", s.stat_full_syncs);
+            out.add("server.stat_partial_syncs", s.stat_partial_syncs);
+            out.add("server.stat_reconnects", s.stat_reconnects);
+            out.add("server.stat_conn_errors", s.stat_conn_errors);
+            out.add("server.stat_degradations", s.stat_degradations);
+            out.add("server.stat_doorbells", s.stat_doorbells);
+            out.add("server.stat_wrs_posted", s.stat_wrs_posted);
+            out.add("server.stat_deferred_replies", s.stat_deferred_replies);
+            out.add("server.stat_released_replies", s.stat_released_replies);
+            let db = s.engine().db();
+            let (hits, misses) = db.stats_hit_miss();
+            out.add("store.stat_hits", hits);
+            out.add("store.stat_misses", misses);
+            out.add("store.stat_expired", db.stat_expired());
+        }
+        out.add("nic.stat_fanout_msgs", 0);
+        out.add("nic.stat_fanout_sends", 0);
+        out.add("nic.stat_doorbells", 0);
+        out.add("nic.stat_wrs_posted", 0);
+        out.add("nic.stat_probes", 0);
+        out.add("nic.stat_failovers", 0);
+        out.add("nic.stat_commits", 0);
+        out.add("nic.stat_retransmits", 0);
+        out.add("nic.stat_chain_repairs", 0);
+        if let Some(nic) = self.nic_kv() {
+            out.add("nic.stat_fanout_msgs", nic.stat_fanout_msgs);
+            out.add("nic.stat_fanout_sends", nic.stat_fanout_sends);
+            out.add("nic.stat_doorbells", nic.stat_doorbells);
+            out.add("nic.stat_wrs_posted", nic.stat_wrs_posted);
+            out.add("nic.stat_probes", nic.stat_probes);
+            out.add("nic.stat_failovers", nic.stat_failovers);
+            out.add("nic.stat_commits", nic.stat_commits);
+            out.add("nic.stat_retransmits", nic.stat_retransmits);
+            out.add("nic.stat_chain_repairs", nic.stat_chain_repairs);
+        }
+        out.add("client.stat_issued", 0);
+        out.add("client.stat_replies", 0);
+        out.add("client.stat_reconnects", 0);
+        out.add("client.stat_dial_failures", 0);
+        for &id in &self.clients {
+            if let Some(c) = self.sim.actor_ref::<BenchClient>(id) {
+                out.add("client.stat_issued", c.stat_issued);
+                out.add("client.stat_replies", c.stat_replies);
+                out.add("client.stat_reconnects", c.stat_reconnects);
+                out.add("client.stat_dial_failures", c.stat_dial_failures);
+            }
+        }
+        for &name in crate::metrics::catalog::RDMA_COUNTERS {
+            out.add(name, 0);
+        }
+        for (k, v) in self.net.counters().iter() {
+            out.add(k, v);
+        }
+        out
     }
 
     /// Execute commands directly on the master's engine — for preloading a
@@ -534,6 +618,35 @@ mod tests {
         let mut cluster = Cluster::build(small_spec(Mode::TcpRedis));
         let report = cluster.run();
         assert!(report.ops > 50, "ops {}", report.ops);
+    }
+
+    #[test]
+    fn counters_snapshot_covers_catalog() {
+        use crate::metrics::catalog;
+        let mut cluster = Cluster::build(small_spec(Mode::Skv));
+        cluster.run();
+        let snap = cluster.counters_snapshot();
+        let keys: Vec<&str> = snap.iter().map(|(k, _)| k).collect();
+        let expect_prefixed = [
+            ("server.", catalog::SERVER_STATS),
+            ("nic.", catalog::NIC_STATS),
+            ("client.", catalog::CLIENT_STATS),
+            ("store.", catalog::STORE_STATS),
+        ];
+        for (prefix, names) in expect_prefixed {
+            for &name in names {
+                let key = format!("{prefix}{name}");
+                assert!(keys.contains(&key.as_str()), "snapshot missing {key}");
+            }
+        }
+        for &name in catalog::RDMA_COUNTERS {
+            assert!(keys.contains(&name), "snapshot missing {name}");
+        }
+        // And the busy ones really counted.
+        assert!(snap.get("server.stat_commands") > 0);
+        assert!(snap.get("client.stat_replies") > 0);
+        assert!(snap.get("nic.stat_fanout_msgs") > 0);
+        assert!(snap.get("rdma.wrs_posted") > 0);
     }
 
     #[test]

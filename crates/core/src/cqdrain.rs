@@ -103,14 +103,13 @@ pub fn recover_drain(
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)] // test values are tiny literals
 mod tests {
     use super::*;
     use std::cell::RefCell;
     use std::rc::Rc;
 
-    use skv_netsim::{
-        Net, NetEvent, NetParams, QpId, SendOp, SendWr, SocketAddr, Topology,
-    };
+    use skv_netsim::{Net, NetEvent, NetParams, QpId, SendOp, SendWr, SocketAddr, Topology};
     use skv_simcore::{CorePool, FnActor, SimTime, Simulation};
 
     /// Periodic heartbeat message for the starvation test.
@@ -285,9 +284,7 @@ mod tests {
         assert!(
             interleaved >= 4,
             "tick timer starved: only {interleaved} ticks fired during the \
-             drain window {:?}..{:?}",
-            first,
-            last
+             drain window {first:?}..{last:?}"
         );
     }
 

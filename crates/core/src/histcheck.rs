@@ -138,11 +138,7 @@ pub fn check_single_writer(history: &History) -> Vec<Violation> {
             let Some(r_done) = r.completed else { continue };
             // 1. Provenance: the value must come from a write invoked
             // before the read completed.
-            if r.seq != 0
-                && !writes
-                    .iter()
-                    .any(|w| w.seq == r.seq && w.invoked < r_done)
-            {
+            if r.seq != 0 && !writes.iter().any(|w| w.seq == r.seq && w.invoked < r_done) {
                 violations.push(Violation {
                     key: key.to_string(),
                     detail: format!(
@@ -171,7 +167,9 @@ pub fn check_single_writer(history: &History) -> Vec<Violation> {
         }
         // 3. Monotonicity across non-overlapping reads.
         for (i, r1) in done_reads.iter().enumerate() {
-            let Some(r1_done) = r1.completed else { continue };
+            let Some(r1_done) = r1.completed else {
+                continue;
+            };
             for r2 in &done_reads[i + 1..] {
                 let (first, second) = if r1_done <= r2.invoked {
                     (*r1, *r2)
@@ -183,10 +181,7 @@ pub fn check_single_writer(history: &History) -> Vec<Violation> {
                 if second.seq < first.seq {
                     violations.push(Violation {
                         key: key.to_string(),
-                        detail: format!(
-                            "non-monotone reads: {} then {}",
-                            first.seq, second.seq
-                        ),
+                        detail: format!("non-monotone reads: {} then {}", first.seq, second.seq),
                     });
                 }
             }
@@ -356,7 +351,10 @@ impl HistWriter {
             return;
         };
         self.seq += 1;
-        let key = probe_key(self.writer_id, (self.seq as usize) % self.keys);
+        let key = probe_key(
+            self.writer_id,
+            usize::try_from(self.seq).unwrap_or(0) % self.keys,
+        );
         let value = self.seq.to_string();
         let cmd = Resp::command([b"SET".as_slice(), key.as_bytes(), value.as_bytes()]);
         let idx = {
@@ -420,7 +418,7 @@ impl Actor for HistWriter {
                                 .get(idx)
                                 .is_some_and(|op| now.saturating_since(op.invoked) > timeout)
                         });
-                        let broken = self.channel.as_ref().is_some_and(|c| c.broken());
+                        let broken = self.channel.as_ref().is_some_and(Channel::broken);
                         if stuck || broken {
                             self.abandon(ctx);
                         }
@@ -464,7 +462,7 @@ impl Actor for HistWriter {
                         if t == tag::REPLY {
                             self.on_reply(ctx, &payload);
                         }
-                    } else if self.channel.as_ref().is_some_and(|c| c.broken()) {
+                    } else if self.channel.as_ref().is_some_and(Channel::broken) {
                         broken = true;
                     }
                 });
@@ -630,8 +628,8 @@ impl HistReader {
             ctx.timer(self.cfg.client_retry_timeout, ProbeMsg::IssueNext);
             return;
         }
-        let writer = self.rng.below(self.writers as u64) as usize;
-        let key_idx = self.rng.below(self.keys_per_writer as u64) as usize;
+        let writer = usize::try_from(self.rng.below(self.writers as u64)).unwrap_or(0);
+        let key_idx = usize::try_from(self.rng.below(self.keys_per_writer as u64)).unwrap_or(0);
         let key = probe_key(writer, key_idx);
         let cmd = Resp::command([b"GET".as_slice(), key.as_bytes()]).encode();
         self.cur_gen += 1;
@@ -920,7 +918,11 @@ mod tests {
     #[test]
     fn null_reads_before_any_write_pass() {
         let h = History {
-            ops: vec![read("k", 0, 0, 5), write("k", 1, 10, 20), read("k", 1, 30, 40)],
+            ops: vec![
+                read("k", 0, 0, 5),
+                write("k", 1, 10, 20),
+                read("k", 1, 30, 40),
+            ],
         };
         assert!(check_single_writer(&h).is_empty());
     }

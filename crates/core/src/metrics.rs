@@ -7,6 +7,71 @@ use std::rc::Rc;
 use skv_simcore::stats::{Counters, Histogram, SeriesPoint, TimeSeries};
 use skv_simcore::{SimDuration, SimTime};
 
+/// Canonical counter catalog.
+///
+/// `skv-analyze`'s `counter-drift` rule cross-checks the workspace against
+/// these lists: every `stat_*` field and every `"rdma.*"` fabric counter
+/// must appear here, and every entry here must still exist in the code —
+/// adding a counter without exporting it, or deleting one and leaving a
+/// stale name behind, fails the build's analysis gate. The runtime export
+/// is [`Cluster::counters_snapshot`](crate::cluster::Cluster::counters_snapshot),
+/// which dumps all of them keyed by subsystem.
+pub mod catalog {
+    /// Host-KV server counters (`server.rs`), summed over master + slaves.
+    pub const SERVER_STATS: &[&str] = &[
+        "stat_commands",
+        "stat_rejected",
+        "stat_applied_bytes",
+        "stat_full_syncs",
+        "stat_partial_syncs",
+        "stat_reconnects",
+        "stat_conn_errors",
+        "stat_degradations",
+        "stat_doorbells",
+        "stat_wrs_posted",
+        "stat_deferred_replies",
+        "stat_released_replies",
+    ];
+    /// Nic-KV fan-out and replication-mode counters (`nickv.rs`).
+    pub const NIC_STATS: &[&str] = &[
+        "stat_fanout_msgs",
+        "stat_fanout_sends",
+        "stat_doorbells",
+        "stat_wrs_posted",
+        "stat_probes",
+        "stat_failovers",
+        "stat_commits",
+        "stat_retransmits",
+        "stat_chain_repairs",
+    ];
+    /// Bench-client counters (`client.rs`), summed over all clients.
+    pub const CLIENT_STATS: &[&str] = &[
+        "stat_issued",
+        "stat_replies",
+        "stat_reconnects",
+        "stat_dial_failures",
+    ];
+    /// Storage-engine counters (`skv-store`'s `Db`), summed over engines.
+    pub const STORE_STATS: &[&str] = &["stat_expired", "stat_hits", "stat_misses"];
+    /// Fabric counters kept by `skv-netsim` under these exact names.
+    pub const RDMA_COUNTERS: &[&str] = &[
+        "rdma.access_errors",
+        "rdma.bytes",
+        "rdma.connections",
+        "rdma.cq_notifies",
+        "rdma.doorbells",
+        "rdma.drops",
+        "rdma.qp_errors",
+        "rdma.reads",
+        "rdma.rnr",
+        "rdma.sends",
+        "rdma.wcs_polled",
+        "rdma.write_imm",
+        "rdma.writes",
+        "rdma.wrs_posted",
+    ];
+}
+
 /// Shared measurement sink written by client actors.
 pub struct MetricsHub {
     /// Latency of SET (and other write) operations.

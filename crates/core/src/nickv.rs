@@ -329,13 +329,12 @@ impl NicKv {
             !n.is_master
                 && n.valid
                 && n.position.offset > 0
-                && self.master_offset.saturating_sub(n.position.offset)
-                    > self.cfg.max_slave_lag
+                && self.master_offset.saturating_sub(n.position.offset) > self.cfg.max_slave_lag
         })
     }
 
     fn notify_available(&mut self, ctx: &mut Context<'_>) {
-        let available = self.available_slaves() as u32;
+        let available = u32::try_from(self.available_slaves()).unwrap_or(u32::MAX);
         let lagging = self.any_valid_slave_lagging();
         if self.last_update_sent == Some((available, lagging)) {
             return;
@@ -517,9 +516,7 @@ impl NicKv {
         // Track the master's offset from the frame header (first 8 bytes),
         // for the lag check of §III-C.
         if let Some((from_offset, body)) = crate::server::parse_stream_frame(&frame) {
-            self.master_offset = self
-                .master_offset
-                .max(from_offset + body.len() as u64);
+            self.master_offset = self.master_offset.max(from_offset + body.len() as u64);
         }
         let threads = self.cfg.effective_nic_threads();
         let base = self.cfg.costs.nic_fanout_base;
@@ -632,7 +629,8 @@ impl NicKv {
 
     fn launch_write(&mut self, ctx: &mut Context<'_>, frame: Frame, end_offset: u64) {
         // Parse cost on the master-connection thread, as in the async path.
-        self.cpu.run_on(0, ctx.now(), self.cfg.costs.nic_fanout_base);
+        self.cpu
+            .run_on(0, ctx.now(), self.cfg.costs.nic_fanout_base);
         self.write_seq += 1;
         let seq = self.write_seq;
         let targets: Vec<(usize, SocketAddr)> = self
@@ -750,9 +748,10 @@ impl NicKv {
             return;
         };
         while let Some(next) = self.pending[idx].hops.front().copied() {
-            let alive = self.nodes.iter().any(|n| {
-                n.addr == next && n.valid && n.conn.is_some_and(|c| self.conns[c].open)
-            });
+            let alive = self
+                .nodes
+                .iter()
+                .any(|n| n.addr == next && n.valid && n.conn.is_some_and(|c| self.conns[c].open));
             if alive {
                 break;
             }
@@ -874,7 +873,7 @@ impl NicKv {
         }
         let chain = self.cfg.repl_mode == ReplModeKind::Chain;
         let mut advance: Vec<u64> = Vec::new();
-        for p in self.pending.iter_mut() {
+        for p in &mut self.pending {
             if p.end_offset > upto {
                 break;
             }
@@ -1000,14 +999,12 @@ impl NicKv {
         let alive: Vec<SocketAddr> = self
             .nodes
             .iter()
-            .filter(|n| {
-                !n.is_master && n.valid && n.conn.is_some_and(|c| self.conns[c].open)
-            })
+            .filter(|n| !n.is_master && n.valid && n.conn.is_some_and(|c| self.conns[c].open))
             .map(|n| n.addr)
             .collect();
         let mut advance: Vec<u64> = Vec::new();
         let mut repaired = false;
-        for p in self.pending.iter_mut() {
+        for p in &mut self.pending {
             let before = p.hops.len();
             let front = p.hops.front().copied();
             p.hops.retain(|h| alive.contains(h));
@@ -1345,12 +1342,7 @@ mod tests {
         let nic_addr = SocketAddr::new(nic_node, 7000);
         let ring = cfg.ring_size;
 
-        let nic_id = sim.add_actor(Box::new(NicKv::new(
-            net.clone(),
-            cfg,
-            nic_node,
-            nic_addr,
-        )));
+        let nic_id = sim.add_actor(Box::new(NicKv::new(net.clone(), cfg, nic_node, nic_addr)));
 
         let peer_qp: Rc<RefCell<Option<QpId>>> = Rc::default();
         let pq = peer_qp.clone();
@@ -1434,7 +1426,14 @@ mod tests {
             );
         } else {
             for i in 0..3 {
-                sim.schedule(t(6 + i), nic_id, NicMsg::FanoutSend { conn: 0, frame: frame() });
+                sim.schedule(
+                    t(6 + i),
+                    nic_id,
+                    NicMsg::FanoutSend {
+                        conn: 0,
+                        frame: frame(),
+                    },
+                );
             }
         }
         sim.run_until(t(10));
@@ -1444,7 +1443,11 @@ mod tests {
             assert_eq!(nic.stat_doorbells, 0);
             assert_eq!(nic.conns[0].deferred_wrs, 3);
         }
-        assert_eq!(fabric_posts(&net), (wrs0, dbs0), "nothing reached the fabric");
+        assert_eq!(
+            fabric_posts(&net),
+            (wrs0, dbs0),
+            "nothing reached the fabric"
+        );
 
         // Phase 2: the peer completes the handshake; the queued frames
         // flush (as individual posts — deferral forfeits batching) and the
@@ -1477,7 +1480,14 @@ mod tests {
             );
         } else {
             for i in 0..2 {
-                sim.schedule(t(21 + i), nic_id, NicMsg::FanoutSend { conn: 0, frame: frame() });
+                sim.schedule(
+                    t(21 + i),
+                    nic_id,
+                    NicMsg::FanoutSend {
+                        conn: 0,
+                        frame: frame(),
+                    },
+                );
             }
         }
         sim.run_until(t(30));

@@ -189,14 +189,14 @@ impl NodeMsg {
             NodeMsg::SlaveSetUpdate { available, lagging } => {
                 out.push(8);
                 out.extend_from_slice(&available.to_le_bytes());
-                out.push(*lagging as u8);
+                out.push(u8::from(*lagging));
             }
             NodeMsg::Promote => out.push(9),
             NodeMsg::Demote => out.push(10),
             NodeMsg::Hello { from, is_master } => {
                 out.push(11);
                 put_addr(&mut out, *from);
-                out.push(*is_master as u8);
+                out.push(u8::from(*is_master));
             }
             NodeMsg::WriteAck { slave, offset } => {
                 out.push(12);
@@ -365,8 +365,14 @@ mod tests {
                 seq: 42,
                 from: addr(9, 9),
             },
-            NodeMsg::SlaveSetUpdate { available: 3, lagging: false },
-            NodeMsg::SlaveSetUpdate { available: 0, lagging: true },
+            NodeMsg::SlaveSetUpdate {
+                available: 3,
+                lagging: false,
+            },
+            NodeMsg::SlaveSetUpdate {
+                available: 0,
+                lagging: true,
+            },
             NodeMsg::Promote,
             NodeMsg::Demote,
             NodeMsg::Hello {

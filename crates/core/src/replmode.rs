@@ -57,8 +57,11 @@ impl ReplModeKind {
     }
 
     /// All modes, in ablation-sweep order.
-    pub const ALL: [ReplModeKind; 3] =
-        [ReplModeKind::Async, ReplModeKind::Quorum, ReplModeKind::Chain];
+    pub const ALL: [ReplModeKind; 3] = [
+        ReplModeKind::Async,
+        ReplModeKind::Quorum,
+        ReplModeKind::Chain,
+    ];
 
     /// Parse a CLI label; `None` for unknown strings.
     pub fn parse(s: &str) -> Option<Self> {
@@ -225,7 +228,10 @@ mod tests {
         // overlap: both contain > half of the replica set.
         for n in 1..=9usize {
             let q = 1 + quorum_slave_acks(n);
-            assert!(2 * q > n + 1, "quorums of size {q} may miss each other at N={n}");
+            assert!(
+                2 * q > n + 1,
+                "quorums of size {q} may miss each other at N={n}"
+            );
         }
     }
 

@@ -24,6 +24,7 @@ use skv_simcore::{
     Actor, ActorId, Context, CorePool, DetRng, FramePool, Payload, SimDuration, SimTime,
 };
 use skv_store::backlog::Backlog;
+use skv_store::cmd::CommandSpec;
 use skv_store::engine::Engine;
 use skv_store::rdb;
 use skv_store::repl::{ReplicationId, ReplicationPosition};
@@ -341,13 +342,7 @@ impl KvServer {
 
     /// Is a slave fully synchronized?
     pub fn is_synced_slave(&self) -> bool {
-        matches!(
-            self.role,
-            Role::Slave {
-                syncing: false,
-                ..
-            }
-        )
+        matches!(self.role, Role::Slave { syncing: false, .. })
     }
 
     /// Mean utilization of the event-loop core over the run so far.
@@ -365,7 +360,12 @@ impl KvServer {
 
     // -- connection plumbing -------------------------------------------------
 
-    fn add_conn(&mut self, mut channel: Channel, kind: ConnKind, peer: Option<SocketAddr>) -> usize {
+    fn add_conn(
+        &mut self,
+        mut channel: Channel,
+        kind: ConnKind,
+        peer: Option<SocketAddr>,
+    ) -> usize {
         channel.use_pool(self.pool.clone());
         let idx = self.conns.len();
         if let Some(qp) = channel.qp() {
@@ -400,9 +400,7 @@ impl KvServer {
     }
 
     fn conn_of_kind(&self, pred: impl Fn(&ConnKind) -> bool) -> Option<usize> {
-        self.conns
-            .iter()
-            .position(|c| c.open && pred(&c.kind))
+        self.conns.iter().position(|c| c.open && pred(&c.kind))
     }
 
     fn synced_slave_conns(&self) -> Vec<usize> {
@@ -541,7 +539,9 @@ impl KvServer {
                 && master != nic
                 && !self.intents.contains_key(&master)
                 && self.open_conn_to(master).is_none()
-                && self.conn_of_kind(|k| matches!(k, ConnKind::Master)).is_none()
+                && self
+                    .conn_of_kind(|k| matches!(k, ConnKind::Master))
+                    .is_none()
             {
                 if let Some(intent) = self.intents.remove(&to) {
                     self.reconnect_attempts.remove(&to);
@@ -601,13 +601,10 @@ impl KvServer {
 
         // min-slaves / lag write gating (paper §III-C, §III-D).
         let spec = skv_store::cmd::lookup(&args[0]);
-        let is_write_cmd = spec.is_some_and(|s| s.is_write());
+        let is_write_cmd = spec.is_some_and(CommandSpec::is_write);
         if is_write_cmd && self.write_gate_blocked() {
             self.stat_rejected += 1;
-            let reply = Resp::Error(
-                "NOREPLICAS Not enough good replicas to write".into(),
-            )
-            .encode();
+            let reply = Resp::Error("NOREPLICAS Not enough good replicas to write".into()).encode();
             self.finish_command(ctx, conn, payload.len(), reply, None);
             return;
         }
@@ -740,7 +737,7 @@ impl KvServer {
                     } else {
                         let slaves = self.synced_slave_conns();
                         cost += self.host_fanout_cost(slaves.len());
-                        wr_posts += slaves.len() as u32;
+                        wr_posts += u32::try_from(slaves.len()).unwrap_or(u32::MAX);
                         doorbells += self.fanout_doorbells(slaves.len());
                         for slave in slaves {
                             frames.push(OutFrame {
@@ -757,7 +754,7 @@ impl KvServer {
                     // by default; one linked post list when batching is on.
                     let slaves = self.synced_slave_conns();
                     cost += self.host_fanout_cost(slaves.len());
-                    wr_posts += slaves.len() as u32;
+                    wr_posts += u32::try_from(slaves.len()).unwrap_or(u32::MAX);
                     doorbells += self.fanout_doorbells(slaves.len());
                     for slave in slaves {
                         frames.push(OutFrame {
@@ -815,7 +812,7 @@ impl KvServer {
         if self.cfg.batch_wr_posts {
             u32::from(n > 0)
         } else {
-            n as u32
+            u32::try_from(n).unwrap_or(u32::MAX)
         }
     }
 
@@ -1042,9 +1039,9 @@ impl KvServer {
         }
         let _ = position;
         // Reuse an existing channel to this slave if one is open.
-        if let Some(conn) = self.conn_of_kind(
-            |k| matches!(k, ConnKind::Slave { addr, .. } if *addr == slave),
-        ) {
+        if let Some(conn) =
+            self.conn_of_kind(|k| matches!(k, ConnKind::Slave { addr, .. } if *addr == slave))
+        {
             for (t, p) in frames {
                 self.send_on(ctx, conn, t, p);
             }
@@ -1065,7 +1062,12 @@ impl KvServer {
 
     // -- slave-side synchronization -------------------------------------------
 
-    fn begin_slaveof(&mut self, ctx: &mut Context<'_>, master: SocketAddr, nic: Option<SocketAddr>) {
+    fn begin_slaveof(
+        &mut self,
+        ctx: &mut Context<'_>,
+        master: SocketAddr,
+        nic: Option<SocketAddr>,
+    ) {
         self.prior_slave_of = Some((master, nic));
         self.last_write_ack = 0;
         let position = ReplicationPosition::unsynced();
@@ -1138,7 +1140,7 @@ impl KvServer {
             *syncing = true;
             *resyncing = false;
             *rdb_expect = total_bytes;
-            *rdb_buf = Vec::with_capacity(total_bytes as usize);
+            *rdb_buf = Vec::with_capacity(usize::try_from(total_bytes).unwrap_or(0));
             *rdb_start_offset = start_offset;
             self.repl_id = repl_id;
         }
@@ -1215,7 +1217,7 @@ impl KvServer {
         // content of a slave is never served, only the offset matters.
         let cur = self.backlog.offset();
         if offset > cur {
-            let gap = (offset - cur) as usize;
+            let gap = usize::try_from(offset - cur).unwrap_or(usize::MAX);
             // Feed in bounded chunks to avoid one huge allocation.
             let mut left = gap;
             let chunk = vec![0u8; left.min(64 * 1024)];
@@ -1232,16 +1234,11 @@ impl KvServer {
         if parse_stream_frame(&payload).is_none() {
             return;
         }
-        let from_offset = u64::from_le_bytes(
-            payload[..8].try_into().unwrap_or_default(),
-        );
+        let from_offset = u64::from_le_bytes(payload[..8].try_into().unwrap_or_default());
         // The body is a zero-copy view of the delivery frame; stashing it
         // keeps the view rather than reallocating per stalled frame.
         let body = payload.slice(8..);
-        let Role::Slave {
-            syncing, stash, ..
-        } = &mut self.role
-        else {
+        let Role::Slave { syncing, stash, .. } = &mut self.role else {
             return;
         };
         if *syncing {
@@ -1327,7 +1324,7 @@ impl KvServer {
             }
             return;
         }
-        let skip = (my_offset - from_offset) as usize;
+        let skip = usize::try_from(my_offset - from_offset).unwrap_or(usize::MAX);
         if skip >= bytes.len() {
             return; // entirely duplicate
         }
@@ -1342,8 +1339,8 @@ impl KvServer {
                 Decoded::Frame(v, used) => {
                     if let Ok(args) = v.into_command_args() {
                         let kib = used as f64 / 1024.0;
-                        total_cost += self.cfg.costs.apply_base
-                            + self.cfg.costs.cmd_per_kib.mul_f64(kib);
+                        total_cost +=
+                            self.cfg.costs.apply_base + self.cfg.costs.cmd_per_kib.mul_f64(kib);
                         let _ = self.engine.execute(now_ms, &args);
                     }
                     pos += used;
@@ -1379,10 +1376,10 @@ impl KvServer {
                 total_bytes,
             } => {
                 self.sync_request_at = Some(ctx.now());
-                self.on_full_sync_begin(conn, repl_id, start_offset, total_bytes)
+                self.on_full_sync_begin(conn, repl_id, start_offset, total_bytes);
             }
             NodeMsg::PartialSyncBegin { repl_id, .. } => {
-                self.on_partial_sync_begin(conn, repl_id)
+                self.on_partial_sync_begin(conn, repl_id);
             }
             NodeMsg::ProgressReport { slave, offset } => {
                 let mut worst_lag = 0u64;
@@ -1400,14 +1397,13 @@ impl KvServer {
                             // later frame will surface the gap slave-side
                             // (gap detection needs a next frame). Re-serve
                             // from the stalled offset.
-                            stalled = c.open
-                                && offset < master_offset
-                                && offset == *reported_offset;
+                            stalled =
+                                c.open && offset < master_offset && offset == *reported_offset;
                             *reported_offset = (*reported_offset).max(offset);
                         }
                         if *reported_offset > 0 {
-                            worst_lag = worst_lag
-                                .max(master_offset.saturating_sub(*reported_offset));
+                            worst_lag =
+                                worst_lag.max(master_offset.saturating_sub(*reported_offset));
                         }
                     }
                 }
@@ -1434,8 +1430,7 @@ impl KvServer {
             NodeMsg::Probe { seq } => {
                 // Reply immediately (paper: "they reply to Nic-KV
                 // immediately"); tiny cost on the event loop.
-                self.cpu
-                    .run_on(0, ctx.now(), SimDuration::from_nanos(300));
+                self.cpu.run_on(0, ctx.now(), SimDuration::from_nanos(300));
                 let reply = NodeMsg::ProbeReply {
                     seq,
                     from: self.addr,
@@ -1528,9 +1523,7 @@ impl KvServer {
         // Deferred modes, master side: drop replies whose client conn died
         // (undeliverable) and re-check the census commit point so a
         // lost `WriteCommitted` cannot wedge the reply queue.
-        if self.is_master()
-            && replmode::replication_mode(self.cfg.repl_mode).defers_replies()
-        {
+        if self.is_master() && replmode::replication_mode(self.cfg.repl_mode).defers_replies() {
             let conns = &self.conns;
             self.pending_replies.retain(|p| conns[p.conn].open);
             self.release_ready_replies(ctx);

@@ -1,0 +1,6 @@
+//! Fixture: the reference corpus — identifiers here count as "exercised
+//! by an experiment or ablation arm" for rule `config-drift`.
+
+fn sweep(cfg: &mut ClusterConfig) {
+    cfg.used_knob = 7;
+}

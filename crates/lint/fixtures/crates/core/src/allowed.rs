@@ -4,7 +4,7 @@ use std::collections::HashMap; // skv-lint: allow(hashmap) -- fixture: never ite
 
 fn f(q: &mut Vec<u8>) -> u8 {
     let m: HashMap<u8, u8> = HashMap::new(); // skv-lint: allow(hashmap) -- fixture: local, drained sorted
-    // skv-lint: allow(unwrap) -- fixture: caller guarantees non-empty
-    let v = q.pop().unwrap();
-    v + m.len() as u8
+    // skv-lint: allow(wallclock) -- fixture: wall-time only decorates a log line
+    let _t = std::time::Instant::now();
+    q.pop().unwrap_or(0) + m.len() as u8
 }

@@ -1,0 +1,7 @@
+//! Fixture: rule `blocking` violations in a simulation crate.
+
+fn f() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let _l = std::net::TcpListener::bind("127.0.0.1:0");
+    let _d = std::fs::read("/tmp/x");
+}

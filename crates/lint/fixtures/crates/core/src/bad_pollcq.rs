@@ -1,0 +1,6 @@
+//! Fixture: rule `pollcq` — a raw CQ drain outside `cqdrain`.
+
+fn f(net: &Net, cq: CqId) {
+    let wcs = net.poll_cq(cq, 64);
+    let _ = wcs;
+}

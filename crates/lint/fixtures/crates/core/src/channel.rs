@@ -1,0 +1,10 @@
+//! Fixture: rule `index-unchecked` — range indexing in a frame codec.
+
+fn f(buf: &[u8], pos: usize, len: usize, qps: &[u8]) -> u8 {
+    let header = &buf[pos..pos + 8];
+    let body = buf[pos + 8..pos + 8 + len].to_vec();
+    let ok = buf.get(pos..pos + 8);
+    let single = qps[len];
+    let _ = (header, body, ok);
+    single
+}

@@ -1,0 +1,6 @@
+//! Fixture: the budgeted-drain helper is the one legitimate raw
+//! `poll_cq` call site — rule `pollcq` must exempt this file.
+
+fn drain(net: &Net, cq: CqId) {
+    let _wcs = net.poll_cq(cq, 8);
+}

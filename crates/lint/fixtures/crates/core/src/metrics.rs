@@ -1,0 +1,6 @@
+//! Fixture: the counter catalog of the miniature workspace.
+
+pub mod catalog {
+    pub const STATS: &[&str] = &["stat_listed"];
+    pub const STALE: &[&str] = &["stat_gone"];
+}

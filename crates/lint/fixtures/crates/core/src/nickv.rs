@@ -1,0 +1,6 @@
+//! Fixture: rule `counter-drift` — a counter the catalog does not list.
+
+pub struct NicStats {
+    pub stat_listed: u64,
+    pub stat_orphan: u64,
+}

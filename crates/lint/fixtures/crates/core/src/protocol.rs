@@ -1,0 +1,11 @@
+//! Fixture: rule `cast-truncate` — narrowing casts in a frame codec.
+
+fn f(len: usize, tag: u64) -> (u32, u16, u8) {
+    let a = len as u32;
+    let b = (tag >> 8) as u16;
+    let c = tag as u8;
+    let widened = 7u32 as u64;
+    let sized = b as usize;
+    let _ = (widened, sized);
+    (a, b, c)
+}

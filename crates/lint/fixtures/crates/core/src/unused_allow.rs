@@ -1,0 +1,6 @@
+//! Fixture: rule `allow-unused` — a directive whose violation is gone.
+
+fn f() -> u8 {
+    // skv-lint: allow(unwrap) -- fixture: the unwrap this excused was refactored away
+    7
+}

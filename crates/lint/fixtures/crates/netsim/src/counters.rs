@@ -1,0 +1,5 @@
+//! Fixture: an `"rdma.*"` fabric counter missing from the catalog.
+
+fn f(c: &mut Counters) {
+    c.inc("rdma.ghost");
+}

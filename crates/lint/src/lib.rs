@@ -1,59 +1,208 @@
-//! # skv-lint — workspace determinism & protocol-invariant checker
+//! # skv-analyze — token-level static analysis for the SKV reproduction
 //!
-//! The SKV reproduction's value rests on bit-for-bit determinism: every
-//! figure is regenerated from seeds, and a single `HashMap` iteration or
-//! wall-clock read can silently break that. This crate is a purpose-built
-//! static checker — zero dependencies, plain file-walking plus line/token
-//! scanning — that enforces the repo-specific rules `clippy` cannot express:
+//! The SKV reproduction's value rests on invariants no compiler checks:
+//! every figure is regenerated from seeds, so a single `HashMap`
+//! iteration, wall-clock read, unbudgeted CQ drain or panicking frame
+//! parse can silently break determinism or take down a simulated
+//! cluster. This crate is a purpose-built static analyzer — zero
+//! dependencies, a small real lexer (see [`lexer`]) instead of the old
+//! line-stripper — that enforces the repo-specific rules `clippy`
+//! cannot express.
 //!
-//! * **`hashmap`** — no `std::collections::HashMap`/`HashSet` in the
-//!   simulation crates (`netsim`, `simcore`, `core`). Their iteration
-//!   order is seeded from the OS (`RandomState`), so any iteration leaks
-//!   nondeterminism into event order. Use `BTreeMap`/`BTreeSet` or the
-//!   [`skv_netsim::DetMap`]/`DetSet` wrappers.
-//! * **`wallclock`** — no `Instant::now`, `SystemTime`, `thread::spawn`
-//!   or `thread_rng` in simulation code. Time comes from the event loop
-//!   (`Context::now`) and randomness from `DetRng` splits.
-//! * **`unwrap`** — no `.unwrap()` / `.expect(...)` on the protocol hot
-//!   paths (`core::server`, `core::client`, `core::channel`,
-//!   `netsim::rdma`, `netsim::tcp`, `simcore::pool`). A malformed frame
-//!   or stale completion must become a typed error, not a panic that
-//!   takes down the whole simulated cluster.
+//! ## Rule families
 //!
-//! Escape hatch: a justified exception is written as
+//! * **Determinism** — `hashmap` (no std `HashMap`/`HashSet` in sim
+//!   crates), `wallclock` (no `Instant::now`/`SystemTime`/
+//!   `thread::spawn`/`thread_rng` in sim code).
+//! * **Event-loop discipline** — `pollcq` (no raw `poll_cq` outside
+//!   `cqdrain::drain_budgeted`; DESIGN.md §12), `blocking` (no
+//!   `thread::sleep`, real sockets, or file IO in sim crates).
+//! * **Wire-format hygiene** — `cast-truncate` (no narrowing `as
+//!   u8/u16/u32` casts in the frame codecs; use `try_from`),
+//!   `index-unchecked` (no unchecked range indexing in the codecs; use
+//!   `get(..)`), `unwrap` (no `.unwrap()`/`.expect(` on hot paths).
+//! * **Drift detection** — `counter-drift` (every `stat_*` field and
+//!   `"rdma.*"` counter literal must be listed in `metrics::catalog`,
+//!   and no catalog entry may outlive its counter), `config-drift`
+//!   (every `ClusterConfig`/`NetParams` knob must be referenced by an
+//!   experiment or ablation arm, or carry a reasoned allow).
+//! * **Allow audit** — `allow-syntax` (malformed or unknown-rule
+//!   directives), `allow-unused` (a directive that no longer suppresses
+//!   anything — the code it excused is gone).
+//!
+//! ## Escape hatch
+//!
+//! A justified exception is written on the offending line or the line
+//! directly above it:
 //!
 //! ```text
 //! // skv-lint: allow(hashmap) -- iteration order irrelevant: drained into a sorted Vec
 //! ```
 //!
-//! on the offending line or the line directly above it. The reason after
-//! `--` is mandatory; an allow without one is itself a violation
-//! (`allow-syntax`), keeping every exception self-documenting.
+//! The reason after `--` is mandatory; an allow without one is itself a
+//! violation (`allow-syntax`), and an allow that suppresses nothing is
+//! flagged (`allow-unused`), keeping every exception self-documenting
+//! and alive. The `skv-lint:` marker is kept from the tool's previous
+//! name so existing directives and docs stay valid.
 //!
-//! Test code is exempt everywhere: `#[cfg(test)]` modules are skipped by
-//! brace tracking, and `tests/` / `benches/` directories are never
-//! scanned. Line comments, block comments and string literals are
-//! stripped before token matching, so prose about `HashMap` is fine.
+//! Test code is exempt everywhere: `#[cfg(test)]` items are skipped by
+//! token-level brace tracking and `tests/` / `benches/` directories are
+//! never scanned. Comments and string literal bodies are blanked by the
+//! lexer before token matching, so prose about `HashMap` is fine.
 //!
-//! The binary (`cargo run -p skv-lint`) walks `crates/` under the
-//! workspace root, prints `file:line: rule(<name>): <message>` for every
-//! violation, and exits non-zero when any are found. The mechanically
+//! The binary (`cargo run -p skv-analyze`) walks `crates/` and
+//! `examples/` under the workspace root, prints
+//! `file:line: rule(<name>): <message>` (or `--format json`), and exits
+//! non-zero when any error-severity violation is found. The mechanically
 //! expressible subset of these rules is mirrored into `clippy.toml`
-//! (`disallowed-types` / `disallowed-methods`) so plain `cargo clippy`
-//! catches the common cases workspace-wide; skv-lint adds the
-//! path-scoping, the unwrap rule and the reasoned escape hatch.
+//! (`disallowed-types` / `disallowed-methods`); skv-analyze adds the
+//! path scoping, the cross-file drift rules and the reasoned escape
+//! hatch.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
+// A lexer's whole job is slicing source text; every offset below comes
+// from the lexer's own char-boundary walk, so the slices cannot split a
+// UTF-8 character.
+#![allow(clippy::string_slice)]
 
+pub mod lexer;
+
+pub use lexer::{lex, LexedLine};
+
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Crates whose `src/` trees are simulation code (rules `hashmap` and
-/// `wallclock` apply).
+// ===========================================================================
+// Rule registry
+// ===========================================================================
+
+/// How severe a rule's findings are. Errors fail the run (exit 1);
+/// warnings are reported and only fail under `--deny-warnings`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Breaks an invariant the repo depends on.
+    Error,
+    /// Hygiene finding; fix soon but does not gate by default.
+    Warning,
+}
+
+impl Severity {
+    /// Lowercase name used in text and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One entry in the rule registry.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule name, as used in diagnostics and `allow(...)`.
+    pub name: &'static str,
+    /// Finding severity.
+    pub severity: Severity,
+    /// One-line description for `--help` and the JSON report.
+    pub summary: &'static str,
+    /// Human-readable scope description.
+    pub scope: &'static str,
+}
+
+/// The full rule registry.
+pub const RULES: [RuleInfo; 11] = [
+    RuleInfo {
+        name: "hashmap",
+        severity: Severity::Error,
+        summary: "std HashMap/HashSet iterate in nondeterministic order",
+        scope: "sim crates (netsim, simcore, core)",
+    },
+    RuleInfo {
+        name: "wallclock",
+        severity: Severity::Error,
+        summary: "wall-clock time, OS threads or OS-seeded randomness",
+        scope: "sim crates (netsim, simcore, core)",
+    },
+    RuleInfo {
+        name: "unwrap",
+        severity: Severity::Error,
+        summary: "unwrap()/expect() on a protocol hot path",
+        scope: "protocol hot-path files",
+    },
+    RuleInfo {
+        name: "blocking",
+        severity: Severity::Error,
+        summary: "blocking call (sleep, real sockets, file IO) in sim code",
+        scope: "sim crates (netsim, simcore, core)",
+    },
+    RuleInfo {
+        name: "pollcq",
+        severity: Severity::Error,
+        summary: "raw poll_cq outside cqdrain::drain_budgeted",
+        scope: "core and bench event loops (cqdrain.rs exempt)",
+    },
+    RuleInfo {
+        name: "cast-truncate",
+        severity: Severity::Error,
+        summary: "narrowing `as` cast in a frame codec; use try_from",
+        scope: "wire-format files (protocol.rs, channel.rs, netsim rdma.rs)",
+    },
+    RuleInfo {
+        name: "index-unchecked",
+        severity: Severity::Error,
+        summary: "unchecked range indexing in a frame codec; use get(..)",
+        scope: "wire-format files (protocol.rs, channel.rs, netsim rdma.rs)",
+    },
+    RuleInfo {
+        name: "counter-drift",
+        severity: Severity::Error,
+        summary: "counter not listed in metrics::catalog, or stale catalog entry",
+        scope: "workspace-wide (catalog in core metrics.rs)",
+    },
+    RuleInfo {
+        name: "config-drift",
+        severity: Severity::Error,
+        summary: "config knob not exercised by any experiment/ablation arm",
+        scope: "ClusterConfig and NetParams fields",
+    },
+    RuleInfo {
+        name: "allow-syntax",
+        severity: Severity::Error,
+        summary: "malformed allow directive (unknown rule or missing reason)",
+        scope: "everywhere",
+    },
+    RuleInfo {
+        name: "allow-unused",
+        severity: Severity::Warning,
+        summary: "allow directive that no longer suppresses anything",
+        scope: "everywhere",
+    },
+];
+
+/// Look up a rule's severity (`allow-syntax` for unknown names, which
+/// cannot happen for violations the analyzer itself emits).
+pub fn severity_of(rule: &str) -> Severity {
+    RULES
+        .iter()
+        .find(|r| r.name == rule)
+        .map_or(Severity::Error, |r| r.severity)
+}
+
+fn known_rule(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
+
+// ===========================================================================
+// Scopes
+// ===========================================================================
+
+/// Crates whose `src/` trees are simulation code (rules `hashmap`,
+/// `wallclock` and `blocking` apply).
 const SIM_CRATE_PREFIXES: [&str; 3] = [
     "crates/netsim/src/",
     "crates/simcore/src/",
@@ -74,11 +223,66 @@ const HOT_PATH_FILES: [&str; 10] = [
     "crates/simcore/src/pool.rs",
 ];
 
+/// Frame-codec files (rules `cast-truncate` and `index-unchecked`).
+const WIRE_FILES: [&str; 3] = [
+    "crates/core/src/protocol.rs",
+    "crates/core/src/channel.rs",
+    "crates/netsim/src/rdma.rs",
+];
+
+/// Trees whose event loops must drain completions through
+/// `cqdrain::drain_budgeted` (rule `pollcq`).
+const EVENT_LOOP_PREFIXES: [&str; 3] = ["crates/core/src/", "crates/bench/src/", "examples/"];
+
+/// The one file allowed to call `poll_cq` directly.
+const CQDRAIN_FILE: &str = "crates/core/src/cqdrain.rs";
+
+/// Where the counter catalog lives (rule `counter-drift`).
+const METRICS_FILE: &str = "crates/core/src/metrics.rs";
+
+/// Config structs whose public fields are drift-checked knobs.
+const CONFIG_STRUCTS: [(&str, &str); 2] = [
+    ("crates/core/src/config.rs", "ClusterConfig"),
+    ("crates/netsim/src/params.rs", "NetParams"),
+];
+
+/// Trees that count as "an experiment or ablation arm references it"
+/// for rule `config-drift`.
+const REF_CORPUS_PREFIXES: [&str; 2] = ["crates/bench/src/", "examples/"];
+
 /// Directory names never descended into.
 const SKIP_DIRS: [&str; 5] = ["target", "fixtures", "tests", "benches", ".git"];
 
-/// All rule names, for `allow(...)` validation and `--help`.
-pub const RULES: [&str; 3] = ["hashmap", "wallclock", "unwrap"];
+/// Which rule families apply to a workspace-relative path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scope {
+    sim: bool,
+    hot: bool,
+    wire: bool,
+    event_loop: bool,
+}
+
+fn scope_of(rel: &str) -> Scope {
+    Scope {
+        sim: SIM_CRATE_PREFIXES.iter().any(|p| rel.starts_with(p)),
+        hot: HOT_PATH_FILES.contains(&rel),
+        wire: WIRE_FILES.contains(&rel),
+        event_loop: rel != CQDRAIN_FILE && EVENT_LOOP_PREFIXES.iter().any(|p| rel.starts_with(p)),
+    }
+}
+
+fn rule_applies(rule: &str, scope: Scope) -> bool {
+    match rule {
+        "hashmap" | "wallclock" | "blocking" => scope.sim,
+        "unwrap" => scope.hot,
+        "pollcq" => scope.event_loop,
+        _ => false,
+    }
+}
+
+// ===========================================================================
+// Diagnostics
+// ===========================================================================
 
 /// One diagnostic: a rule violated at a specific file and line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,10 +291,17 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule name (`hashmap`, `wallclock`, `unwrap`, or `allow-syntax`).
+    /// Rule name (see [`RULES`]).
     pub rule: &'static str,
     /// Human-readable explanation with the offending token.
     pub message: String,
+}
+
+impl Violation {
+    /// The violated rule's severity.
+    pub fn severity(&self) -> Severity {
+        severity_of(self.rule)
+    }
 }
 
 impl fmt::Display for Violation {
@@ -103,6 +314,10 @@ impl fmt::Display for Violation {
     }
 }
 
+// ===========================================================================
+// Token patterns
+// ===========================================================================
+
 /// A token pattern belonging to a rule.
 struct Pattern {
     needle: &'static str,
@@ -113,7 +328,7 @@ struct Pattern {
     message: &'static str,
 }
 
-const PATTERNS: [Pattern; 8] = [
+const PATTERNS: [Pattern; 12] = [
     Pattern {
         needle: "HashMap",
         ident: true,
@@ -166,29 +381,33 @@ const PATTERNS: [Pattern; 8] = [
         message: "expect() on a protocol hot path; convert to a typed error \
                   or completion-with-error",
     },
+    Pattern {
+        needle: "thread::sleep",
+        ident: true,
+        rule: "blocking",
+        message: "blocking sleep in sim code; schedule a Context::timer instead",
+    },
+    Pattern {
+        needle: "std::net::",
+        ident: true,
+        rule: "blocking",
+        message: "real-socket IO in sim code; all transport goes through skv_netsim::Net",
+    },
+    Pattern {
+        needle: "std::fs::",
+        ident: true,
+        rule: "blocking",
+        message: "blocking file IO in sim code; simulation state must stay in memory",
+    },
+    Pattern {
+        needle: ".poll_cq(",
+        ident: false,
+        rule: "pollcq",
+        message: "raw CQ poll outside cqdrain::drain_budgeted; completion drains \
+                  must be budgeted so one burst cannot monopolise the event loop \
+                  (DESIGN.md §12)",
+    },
 ];
-
-/// Which rule families apply to a workspace-relative path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Scope {
-    sim: bool,
-    hot: bool,
-}
-
-fn scope_of(rel: &str) -> Scope {
-    Scope {
-        sim: SIM_CRATE_PREFIXES.iter().any(|p| rel.starts_with(p)),
-        hot: HOT_PATH_FILES.contains(&rel),
-    }
-}
-
-fn rule_applies(rule: &str, scope: Scope) -> bool {
-    match rule {
-        "hashmap" | "wallclock" => scope.sim,
-        "unwrap" => scope.hot,
-        _ => false,
-    }
-}
 
 fn is_ident_char(c: char) -> bool {
     c.is_ascii_alphanumeric() || c == '_'
@@ -197,20 +416,27 @@ fn is_ident_char(c: char) -> bool {
 /// Find `needle` in `haystack` respecting identifier boundaries when
 /// `ident` is set. Returns the byte offset of the first match.
 fn find_token(haystack: &str, needle: &str, ident: bool) -> Option<usize> {
+    // A boundary is only demanded on a side where the needle itself ends in
+    // an identifier char: `std::net::` must match `std::net::TcpStream`, but
+    // `thread_rng` must not match `thread_rng_like`.
+    let needs_before = ident && needle.chars().next().is_some_and(is_ident_char);
+    let needs_after = ident && needle.chars().next_back().is_some_and(is_ident_char);
     let mut from = 0;
     while let Some(pos) = haystack[from..].find(needle) {
         let pos = from + pos;
         if !ident {
             return Some(pos);
         }
-        let before_ok = haystack[..pos]
-            .chars()
-            .next_back()
-            .is_none_or(|c| !is_ident_char(c));
-        let after_ok = haystack[pos + needle.len()..]
-            .chars()
-            .next()
-            .is_none_or(|c| !is_ident_char(c));
+        let before_ok = !needs_before
+            || haystack[..pos]
+                .chars()
+                .next_back()
+                .is_none_or(|c| !is_ident_char(c));
+        let after_ok = !needs_after
+            || haystack[pos + needle.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !is_ident_char(c));
         if before_ok && after_ok {
             return Some(pos);
         }
@@ -219,222 +445,293 @@ fn find_token(haystack: &str, needle: &str, ident: bool) -> Option<usize> {
     None
 }
 
-/// An `// skv-lint: allow(rule, ...) -- reason` directive parsed from a
-/// raw source line.
-#[derive(Debug, Default, Clone)]
-struct AllowDirective {
+/// Iterate the identifiers of a blanked code line as `(offset, ident)`.
+/// Runs that start with a digit (numeric literals like `0u32`) are
+/// consumed without being reported.
+fn idents(code: &str) -> Vec<(usize, &str)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push((start, &code[start..i]));
+        } else if b.is_ascii_digit() {
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Byte offsets of narrowing `as u8`/`as u16`/`as u32` casts. Widening
+/// casts (`as u64`, `as usize`) are not flagged: the codecs' real risk
+/// is silent truncation of lengths and offsets.
+fn truncating_casts(code: &str) -> Vec<(usize, &'static str)> {
+    let ids = idents(code);
+    let mut out = Vec::new();
+    for pair in ids.windows(2) {
+        let (a_off, a) = pair[0];
+        let (b_off, b) = pair[1];
+        if a != "as" {
+            continue;
+        }
+        if !code[a_off + 2..b_off].trim().is_empty() {
+            continue;
+        }
+        let target = match b {
+            "u8" => "u8",
+            "u16" => "u16",
+            "u32" => "u32",
+            _ => continue,
+        };
+        out.push((b_off, target));
+    }
+    out
+}
+
+/// Byte offsets of range-indexing expressions (`buf[a..b]`, `&x[p..]`)
+/// applied to a value (identifier, call or index result). Per-line best
+/// effort: an index bracket that spans lines is not matched.
+fn unchecked_range_indexing(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let Some(prev) = code[..i].trim_end().chars().next_back() else {
+            continue;
+        };
+        if !(is_ident_char(prev) || prev == ')' || prev == ']') {
+            continue;
+        }
+        let mut depth = 1usize;
+        let mut j = i + 1;
+        while j < bytes.len() && depth > 0 {
+            match bytes[j] {
+                b'[' => depth += 1,
+                b']' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        if depth != 0 {
+            continue;
+        }
+        if code[i + 1..j - 1].contains("..") {
+            out.push(i);
+        }
+    }
+    out
+}
+
+// ===========================================================================
+// Allow directives
+// ===========================================================================
+
+/// A well-formed `// skv-lint: allow(rule, ...) -- reason` directive.
+#[derive(Debug, Clone)]
+struct Allow {
+    /// Line the directive is written on.
+    line: usize,
+    /// Line whose findings it suppresses (itself, or the next line for a
+    /// standalone directive).
+    covers: usize,
     rules: Vec<String>,
-    /// `Some(msg)` when the directive is malformed.
-    error: Option<&'static str>,
-    /// True when the directive is the only thing on its line, so it
-    /// applies to the *next* line instead of its own.
-    standalone: bool,
+    /// Findings suppressed so far; zero at the end means `allow-unused`.
+    hits: usize,
 }
 
 const ALLOW_MARKER: &str = "skv-lint: allow(";
 
 /// Parse a directive from a line comment (`comment` starts at `//`).
 /// Doc comments (`///`, `//!`) are prose and never carry directives, so
-/// the checker's own documentation can discuss the syntax freely.
-fn parse_allow(comment: &str, standalone: bool) -> Option<AllowDirective> {
+/// the analyzer's own documentation can discuss the syntax freely.
+/// Returns `None` when there is no directive, `Some(Err(_))` when it is
+/// malformed.
+fn parse_allow(comment: &str) -> Option<Result<Vec<String>, &'static str>> {
     if comment.starts_with("///") || comment.starts_with("//!") {
         return None;
     }
     let marker = comment.find(ALLOW_MARKER)?;
     let rest = &comment[marker + ALLOW_MARKER.len()..];
     let Some(close) = rest.find(')') else {
-        return Some(AllowDirective {
-            error: Some("unterminated allow(...) directive"),
-            standalone,
-            ..Default::default()
-        });
+        return Some(Err("unterminated allow(...) directive"));
     };
     let rules: Vec<String> = rest[..close]
         .split(',')
         .map(|r| r.trim().to_string())
         .filter(|r| !r.is_empty())
         .collect();
-    if rules.is_empty() || rules.iter().any(|r| !RULES.contains(&r.as_str())) {
-        return Some(AllowDirective {
-            error: Some("allow(...) must name known rules: hashmap, wallclock, unwrap"),
-            standalone,
-            ..Default::default()
-        });
+    if rules.is_empty() || rules.iter().any(|r| !known_rule(r)) {
+        return Some(Err(
+            "allow(...) must name known rules (run with --help for the list)",
+        ));
     }
     let after = rest[close + 1..].trim_start();
     let reason_ok = after
         .strip_prefix("--")
         .is_some_and(|r| !r.trim().is_empty());
     if !reason_ok {
-        return Some(AllowDirective {
-            error: Some("allow(...) requires a justification: `-- <reason>`"),
-            standalone,
-            ..Default::default()
-        });
+        return Some(Err("allow(...) requires a justification: `-- <reason>`"));
     }
-    Some(AllowDirective {
-        rules,
-        error: None,
-        standalone,
+    Some(Ok(rules))
+}
+
+/// Record a suppression: returns true (and counts the hit) when an
+/// allow directive covers `line` for `rule`.
+fn suppress(allows: &mut [Allow], line: usize, rule: &str) -> bool {
+    for a in allows.iter_mut() {
+        if a.covers == line && a.rules.iter().any(|r| r == rule) {
+            a.hits += 1;
+            return true;
+        }
+    }
+    false
+}
+
+// ===========================================================================
+// Per-file analysis (pass 1)
+// ===========================================================================
+
+/// Cross-file facts gathered while scanning one file.
+#[derive(Debug, Default)]
+struct Facts {
+    /// `stat_*` identifiers seen in code: (line, name, is-definition).
+    counter_mentions: Vec<(usize, String, bool)>,
+    /// `"rdma.*"` counter literals seen in strings: (line, name).
+    rdma_mentions: Vec<(usize, String)>,
+    /// Catalog entries (metrics.rs only): (line, name).
+    catalog: Vec<(usize, String)>,
+    /// Public config-struct fields (config.rs / params.rs): (line, name).
+    knob_defs: Vec<(usize, String)>,
+    /// All identifiers in the experiment/ablation reference corpus.
+    ref_idents: BTreeSet<String>,
+}
+
+/// Result of scanning one file.
+struct FileAnalysis {
+    violations: Vec<Violation>,
+    facts: Facts,
+    allows: Vec<Allow>,
+}
+
+/// Collect the public fields of `struct_name` from blanked code lines.
+fn collect_pub_fields(lines: &[LexedLine], struct_name: &str) -> Vec<(usize, String)> {
+    let needle = format!("pub struct {struct_name}");
+    let mut out = Vec::new();
+    let mut inside = false;
+    let mut depth = 0usize;
+    for (idx, l) in lines.iter().enumerate() {
+        let code = l.code.as_str();
+        if !inside {
+            let Some(p) = code.find(&needle) else {
+                continue;
+            };
+            let boundary_ok = code[p + needle.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !is_ident_char(c));
+            if !boundary_ok {
+                continue;
+            }
+            depth = code[p..].matches('{').count();
+            depth = depth.saturating_sub(code[p..].matches('}').count());
+            inside = depth > 0 || !code[p..].contains('{');
+            continue;
+        }
+        if depth == 1 {
+            let trimmed = code.trim_start();
+            if let Some(rest) = trimmed.strip_prefix("pub ") {
+                let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+                if !name.is_empty() && rest[name.len()..].trim_start().starts_with(':') {
+                    out.push((idx + 1, name));
+                }
+            }
+        }
+        depth += code.matches('{').count();
+        depth = depth.saturating_sub(code.matches('}').count());
+        if depth == 0 {
+            inside = false;
+        }
+    }
+    out
+}
+
+fn counter_literal_rdma(s: &str) -> bool {
+    s.strip_prefix("rdma.").is_some_and(|rest| {
+        !rest.is_empty() && rest.chars().all(|c| c.is_ascii_lowercase() || c == '_')
     })
 }
 
-/// Per-file scanner state that survives across lines.
-#[derive(Default)]
-struct ScanState {
-    /// Nesting depth of `/* ... */` block comments.
-    block_comment_depth: usize,
-    /// `Some(depth)` while inside a `#[cfg(test)]` item's braces.
-    test_skip_depth: Option<usize>,
-    /// A `#[cfg(test)]` attribute was seen; waiting for `{` or `;`.
-    awaiting_test_open: bool,
+fn counter_literal_stat(s: &str) -> bool {
+    s.strip_prefix("stat_").is_some_and(|rest| {
+        !rest.is_empty()
+            && rest
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    })
 }
 
-/// Strip comments and string/char-literal contents from one line,
-/// replacing them with spaces so byte offsets are preserved. Tracks
-/// block-comment state across lines and returns the byte offset of a
-/// genuine `//` line comment (outside strings and block comments), so
-/// directive parsing never fires on string literals. Raw strings are not
-/// handled (none in this workspace); the self-test fixtures pin current
-/// behaviour.
-fn sanitize(line: &str, state: &mut ScanState) -> (String, Option<usize>) {
-    // Char literals that would confuse the quote/brace tracking below.
-    let line = line
-        .replace("'\"'", "' '")
-        .replace("'{'", "' '")
-        .replace("'}'", "' '")
-        .replace("'\\''", "'  '");
-    let bytes = line.as_bytes();
-    let mut out = vec![b' '; bytes.len()];
-    let mut comment_at = None;
-    let mut i = 0;
-    let mut in_string = false;
-    while i < bytes.len() {
-        if state.block_comment_depth > 0 {
-            if bytes[i..].starts_with(b"*/") {
-                state.block_comment_depth -= 1;
-                i += 2;
-            } else if bytes[i..].starts_with(b"/*") {
-                state.block_comment_depth += 1;
-                i += 2;
-            } else {
-                i += 1;
-            }
+fn analyze_file(rel: &str, contents: &str) -> FileAnalysis {
+    let lines = lex(contents);
+    let scope = scope_of(rel);
+    let mut violations = Vec::new();
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut facts = Facts::default();
+
+    // --- allow directives (test lines exempt, like everything else) ---
+    for (idx, l) in lines.iter().enumerate() {
+        if l.in_test {
             continue;
         }
-        if in_string {
-            if bytes[i] == b'\\' {
-                i += 2; // skip the escaped char
-                continue;
-            }
-            if bytes[i] == b'"' {
-                in_string = false;
-            }
-            i += 1;
+        let Some((at, text)) = &l.comment else {
             continue;
-        }
-        match bytes[i] {
-            b'"' => {
-                in_string = true;
-                i += 1;
-            }
-            b'/' if bytes.get(i + 1) == Some(&b'/') => {
-                comment_at = Some(i);
-                break; // line comment: rest of the line is prose
-            }
-            b'/' if bytes.get(i + 1) == Some(&b'*') => {
-                state.block_comment_depth += 1;
-                i += 2;
-            }
-            b => {
-                out[i] = b;
-                i += 1;
+        };
+        match parse_allow(text) {
+            None => {}
+            Some(Err(err)) => violations.push(Violation {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "allow-syntax",
+                message: err.to_string(),
+            }),
+            Some(Ok(rules)) => {
+                let standalone = l.code[..*at].trim().is_empty();
+                allows.push(Allow {
+                    line: idx + 1,
+                    covers: if standalone { idx + 2 } else { idx + 1 },
+                    rules,
+                    hits: 0,
+                });
             }
         }
     }
-    (String::from_utf8_lossy(&out).into_owned(), comment_at)
-}
 
-/// Scan one file's contents; `rel` is the workspace-relative path used
-/// both for scoping and for diagnostics.
-pub fn check_source(rel: &str, contents: &str) -> Vec<Violation> {
-    let scope = scope_of(rel);
-    let mut out = Vec::new();
-    let mut state = ScanState::default();
-    // Rules allowed on the *next* line by a standalone directive.
-    let mut pending_allow: Vec<String> = Vec::new();
-
-    for (idx, raw) in contents.lines().enumerate() {
+    // --- token rules --------------------------------------------------
+    for (idx, l) in lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
         let lineno = idx + 1;
-        let (code, comment_at) = sanitize(raw, &mut state);
-        let allow = comment_at.and_then(|at| {
-            parse_allow(&raw[at..], raw[..at].trim().is_empty())
-        });
-        let trimmed = code.trim();
-
-        // --- #[cfg(test)] skipping -----------------------------------
-        if let Some(depth) = &mut state.test_skip_depth {
-            *depth += code.matches('{').count();
-            let closes = code.matches('}').count();
-            *depth = depth.saturating_sub(closes);
-            if *depth == 0 {
-                state.test_skip_depth = None;
-            }
-            pending_allow.clear();
-            continue;
-        }
-        if state.awaiting_test_open {
-            let opens = code.matches('{').count();
-            if opens > 0 {
-                let depth = opens.saturating_sub(code.matches('}').count());
-                state.awaiting_test_open = false;
-                if depth > 0 {
-                    state.test_skip_depth = Some(depth);
-                }
-            } else if code.contains(';') {
-                // Single-item attribute (`#[cfg(test)] use ...;`).
-                state.awaiting_test_open = false;
-            }
-            pending_allow.clear();
-            continue;
-        }
-        if trimmed.starts_with("#[cfg(test)]") {
-            state.awaiting_test_open = true;
-            pending_allow.clear();
-            continue;
-        }
-
-        // --- allow directives ----------------------------------------
-        let mut line_allows: Vec<String> = std::mem::take(&mut pending_allow);
-        if let Some(d) = allow {
-            if let Some(err) = d.error {
-                // Only meaningful where some rule could be suppressed.
-                if scope.sim || scope.hot {
-                    out.push(Violation {
-                        file: rel.to_string(),
-                        line: lineno,
-                        rule: "allow-syntax",
-                        message: err.to_string(),
-                    });
-                }
-            } else if d.standalone {
-                pending_allow = d.rules;
-                continue;
-            } else {
-                line_allows.extend(d.rules);
-            }
-        }
-
-        // --- token matching ------------------------------------------
+        let code = l.code.as_str();
         for p in &PATTERNS {
             if !rule_applies(p.rule, scope) {
                 continue;
             }
-            if line_allows.iter().any(|r| r == p.rule) {
+            if find_token(code, p.needle, p.ident).is_none() {
                 continue;
             }
-            if find_token(&code, p.needle, p.ident).is_some() {
-                out.push(Violation {
+            if !suppress(&mut allows, lineno, p.rule) {
+                violations.push(Violation {
                     file: rel.to_string(),
                     line: lineno,
                     rule: p.rule,
@@ -442,8 +739,123 @@ pub fn check_source(rel: &str, contents: &str) -> Vec<Violation> {
                 });
             }
         }
+        if scope.wire {
+            for (_, target) in truncating_casts(code) {
+                if !suppress(&mut allows, lineno, "cast-truncate") {
+                    violations.push(Violation {
+                        file: rel.to_string(),
+                        line: lineno,
+                        rule: "cast-truncate",
+                        message: format!(
+                            "narrowing `as {target}` cast in a frame codec silently \
+                             truncates lengths/offsets; use {target}::try_from with a \
+                             typed error"
+                        ),
+                    });
+                }
+            }
+            if !unchecked_range_indexing(code).is_empty()
+                && !suppress(&mut allows, lineno, "index-unchecked")
+            {
+                violations.push(Violation {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: "index-unchecked",
+                    message: "unchecked range indexing in a frame codec panics on a \
+                              malformed frame; use .get(range) and handle None"
+                        .to_string(),
+                });
+            }
+        }
     }
-    out
+
+    // --- cross-file facts ---------------------------------------------
+    // The analyzer's own sources talk *about* counters; exempt them so
+    // the drift rules reason only over the simulator and its harnesses.
+    let in_drift_corpus = !rel.starts_with("crates/lint/");
+    let is_metrics = rel == METRICS_FILE;
+    for (idx, l) in lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        if is_metrics {
+            for s in &l.strings {
+                if counter_literal_rdma(s) || counter_literal_stat(s) {
+                    facts.catalog.push((idx + 1, s.clone()));
+                }
+            }
+        } else if in_drift_corpus {
+            for (off, id) in idents(&l.code) {
+                if id.starts_with("stat_") && id.len() > 5 {
+                    let is_def = l.code[..off].trim_end().ends_with("pub");
+                    facts
+                        .counter_mentions
+                        .push((idx + 1, id.to_string(), is_def));
+                }
+            }
+            for s in &l.strings {
+                if counter_literal_rdma(s) {
+                    facts.rdma_mentions.push((idx + 1, s.clone()));
+                }
+            }
+        }
+    }
+    if REF_CORPUS_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+        // Include `#[cfg(test)]` lines here: a knob a bench test sweeps
+        // is still exercised.
+        for l in &lines {
+            for (_, id) in idents(&l.code) {
+                facts.ref_idents.insert(id.to_string());
+            }
+        }
+    }
+    for (file, struct_name) in CONFIG_STRUCTS {
+        if rel == file {
+            facts.knob_defs = collect_pub_fields(&lines, struct_name);
+        }
+    }
+
+    FileAnalysis {
+        violations,
+        facts,
+        allows,
+    }
+}
+
+/// Scan one file's contents with the file-scoped rules; `rel` is the
+/// workspace-relative path used for scoping and diagnostics. Cross-file
+/// rules (`counter-drift`, `config-drift`, `allow-unused`) need the
+/// whole workspace and only fire from [`analyze_workspace`].
+pub fn check_source(rel: &str, contents: &str) -> Vec<Violation> {
+    analyze_file(rel, contents).violations
+}
+
+// ===========================================================================
+// Workspace analysis (pass 2)
+// ===========================================================================
+
+/// Result of a whole-workspace run.
+#[derive(Debug)]
+pub struct Analysis {
+    /// All findings, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.violations.len() - self.errors()
+    }
 }
 
 fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -470,8 +882,10 @@ fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Check every non-test `.rs` file under `<root>/crates/`.
-pub fn check_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+/// Analyze every non-test `.rs` file under `<root>/crates/` and
+/// `<root>/examples/`, then run the cross-file drift and allow-audit
+/// rules.
+pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
     let crates = root.join("crates");
     if !crates.is_dir() {
         return Err(io::Error::new(
@@ -481,20 +895,237 @@ pub fn check_workspace(root: &Path) -> io::Result<Vec<Violation>> {
     }
     let mut files = Vec::new();
     walk(&crates, &mut files)?;
-    let mut out = Vec::new();
-    for path in files {
+    let examples = root.join("examples");
+    if examples.is_dir() {
+        walk(&examples, &mut files)?;
+    }
+
+    let mut per_file: Vec<(String, FileAnalysis)> = Vec::new();
+    for path in &files {
         let rel = path
             .strip_prefix(root)
-            .unwrap_or(&path)
+            .unwrap_or(path)
             .components()
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        let contents = fs::read_to_string(&path)?;
-        out.extend(check_source(&rel, &contents));
+        let contents = fs::read_to_string(path)?;
+        per_file.push((rel.clone(), analyze_file(&rel, &contents)));
     }
-    Ok(out)
+
+    let mut violations: Vec<Violation> = Vec::new();
+
+    // --- counter-drift -------------------------------------------------
+    let catalog: BTreeMap<String, (String, usize)> = per_file
+        .iter()
+        .flat_map(|(rel, fa)| {
+            fa.facts
+                .catalog
+                .iter()
+                .map(move |(line, name)| (name.clone(), (rel.clone(), *line)))
+        })
+        .collect();
+    // Definition (or first-mention) site per counter name.
+    let mut counter_sites: BTreeMap<String, (String, usize, bool)> = BTreeMap::new();
+    for (rel, fa) in &per_file {
+        for (line, name, is_def) in &fa.facts.counter_mentions {
+            let entry = counter_sites
+                .entry(name.clone())
+                .or_insert_with(|| (rel.clone(), *line, *is_def));
+            if *is_def && !entry.2 {
+                *entry = (rel.clone(), *line, true);
+            }
+        }
+        for (line, name) in &fa.facts.rdma_mentions {
+            let preferred = rel.starts_with("crates/netsim/");
+            let entry = counter_sites
+                .entry(name.clone())
+                .or_insert_with(|| (rel.clone(), *line, preferred));
+            if preferred && !entry.2 {
+                *entry = (rel.clone(), *line, true);
+            }
+        }
+    }
+    fn allows_of<'a>(
+        per_file: &'a mut [(String, FileAnalysis)],
+        file: &str,
+    ) -> Option<&'a mut Vec<Allow>> {
+        per_file
+            .iter_mut()
+            .find(|(rel, _)| rel == file)
+            .map(|(_, fa)| &mut fa.allows)
+    }
+    for (name, (file, line, _)) in &counter_sites {
+        if catalog.contains_key(name) {
+            continue;
+        }
+        let suppressed = allows_of(&mut per_file, file)
+            .is_some_and(|allows| suppress(allows, *line, "counter-drift"));
+        if !suppressed {
+            violations.push(Violation {
+                file: file.clone(),
+                line: *line,
+                rule: "counter-drift",
+                message: format!(
+                    "counter `{name}` is not listed in metrics::catalog; export it \
+                     (or the drift check cannot see regressions in it)"
+                ),
+            });
+        }
+    }
+    for (name, (file, line)) in &catalog {
+        if counter_sites.contains_key(name) {
+            continue;
+        }
+        let suppressed = allows_of(&mut per_file, file)
+            .is_some_and(|allows| suppress(allows, *line, "counter-drift"));
+        if !suppressed {
+            violations.push(Violation {
+                file: file.clone(),
+                line: *line,
+                rule: "counter-drift",
+                message: format!(
+                    "catalog entry `{name}` matches no counter in the workspace; \
+                     remove the stale entry"
+                ),
+            });
+        }
+    }
+
+    // --- config-drift --------------------------------------------------
+    let ref_idents: BTreeSet<String> = per_file
+        .iter()
+        .flat_map(|(_, fa)| fa.facts.ref_idents.iter().cloned())
+        .collect();
+    let knob_files: Vec<String> = per_file
+        .iter()
+        .filter(|(_, fa)| !fa.facts.knob_defs.is_empty())
+        .map(|(rel, _)| rel.clone())
+        .collect();
+    for file in knob_files {
+        let knobs = per_file
+            .iter()
+            .find(|(rel, _)| *rel == file)
+            .map(|(_, fa)| fa.facts.knob_defs.clone())
+            .unwrap_or_default();
+        for (line, knob) in knobs {
+            if ref_idents.contains(&knob) {
+                continue;
+            }
+            let suppressed = allows_of(&mut per_file, &file)
+                .is_some_and(|allows| suppress(allows, line, "config-drift"));
+            if !suppressed {
+                violations.push(Violation {
+                    file: file.clone(),
+                    line,
+                    rule: "config-drift",
+                    message: format!(
+                        "config knob `{knob}` is not referenced by any experiment or \
+                         ablation arm (crates/bench, examples); wire it into an arm \
+                         or add `// skv-lint: allow(config-drift) -- <reason>`"
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- file-scoped findings and allow audit -------------------------
+    for (_, fa) in &per_file {
+        violations.extend(fa.violations.iter().cloned());
+    }
+    for (rel, fa) in &per_file {
+        for a in &fa.allows {
+            if a.hits == 0 {
+                violations.push(Violation {
+                    file: rel.clone(),
+                    line: a.line,
+                    rule: "allow-unused",
+                    message: format!(
+                        "allow({}) suppresses nothing; the code it excused is gone \
+                         — remove the stale directive",
+                        a.rules.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+
+    violations
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(Analysis {
+        violations,
+        files_scanned: files.len(),
+    })
 }
+
+/// Back-compatible entry point: analyze the workspace and return the
+/// findings only.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    analyze_workspace(root).map(|a| a.violations)
+}
+
+// ===========================================================================
+// JSON output
+// ===========================================================================
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an [`Analysis`] as the machine-readable report consumed by CI
+/// (`--format json`). Hand-rolled: the analyzer is zero-dependency by
+/// design. Schema documented in DESIGN.md §14.
+pub fn to_json(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"tool\": \"skv-analyze\",\n  \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"severity\": \"{}\", \"summary\": \"{}\", \"scope\": \"{}\"}}{}\n",
+            r.name,
+            r.severity.as_str(),
+            json_escape(r.summary),
+            json_escape(r.scope),
+            if i + 1 < RULES.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"errors\": {},\n  \"warnings\": {},\n",
+        analysis.files_scanned,
+        analysis.errors(),
+        analysis.warnings()
+    ));
+    out.push_str("  \"violations\": [\n");
+    for (i, v) in analysis.violations.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\"}}{}\n",
+            json_escape(&v.file),
+            v.line,
+            v.rule,
+            v.severity().as_str(),
+            json_escape(&v.message),
+            if i + 1 < analysis.violations.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ===========================================================================
+// Tests
+// ===========================================================================
 
 #[cfg(test)]
 mod tests {
@@ -514,6 +1145,15 @@ mod tests {
         let v = check_source(
             "crates/core/src/server.rs",
             "fn f() { let s = \"call .unwrap() here\"; } // .unwrap()\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn raw_strings_are_ignored() {
+        let v = check_source(
+            "crates/core/src/server.rs",
+            "fn f() { let s = r#\"x.unwrap() and HashMap\"#; }\n",
         );
         assert!(v.is_empty(), "{v:?}");
     }
@@ -543,8 +1183,7 @@ mod tests {
         let next = "// skv-lint: allow(unwrap) -- invariant: queue non-empty\nq.pop().unwrap();\n";
         assert!(check_source("crates/core/src/server.rs", next).is_empty());
         // ...but only the next line, not the one after.
-        let stale =
-            "// skv-lint: allow(unwrap) -- reason\nlet x = 1;\nq.pop().unwrap();\n";
+        let stale = "// skv-lint: allow(unwrap) -- reason\nlet x = 1;\nq.pop().unwrap();\n";
         assert_eq!(check_source("crates/core/src/server.rs", stale).len(), 1);
     }
 
@@ -563,21 +1202,54 @@ mod tests {
     }
 
     #[test]
-    fn code_after_cfg_test_block_is_scanned() {
-        let src = "\
-#[cfg(test)]
-mod tests { fn t() {} }
-use std::collections::HashMap;
-";
-        let v = check_source("crates/netsim/src/fabric.rs", src);
+    fn pollcq_scope() {
+        let src = "fn f(net: &Net, cq: CqId) { let wcs = net.poll_cq(cq, 8); }\n";
+        let v = check_source("crates/core/src/nickv.rs", src);
         assert_eq!(v.len(), 1, "{v:?}");
-        assert_eq!(v[0].line, 3);
+        assert_eq!(v[0].rule, "pollcq");
+        // cqdrain.rs is the sanctioned home of the raw poll.
+        assert!(check_source("crates/core/src/cqdrain.rs", src).is_empty());
+        // Out-of-scope crates are not event loops.
+        assert!(check_source("crates/store/src/db.rs", src).is_empty());
     }
 
     #[test]
-    fn block_comments_span_lines() {
-        let src = "/*\n .unwrap() HashMap\n*/\nfn f() {}\n";
-        assert!(check_source("crates/core/src/server.rs", src).is_empty());
+    fn blocking_scope() {
+        let src = "fn f() { std::thread::sleep(d); }\n";
+        let v = check_source("crates/simcore/src/engine.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "blocking");
+        assert!(check_source("crates/bench/src/experiments.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cast_truncate_flags_narrowing_only() {
+        let narrowing = "fn f(len: usize) -> u32 { len as u32 }\n";
+        let v = check_source("crates/core/src/channel.rs", narrowing);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "cast-truncate");
+        let widening = "fn f(len: u32) -> usize { len as usize }\n";
+        assert!(check_source("crates/core/src/channel.rs", widening).is_empty());
+        // Out of the wire scope the cast is fine.
+        assert!(check_source("crates/core/src/cluster.rs", narrowing).is_empty());
+    }
+
+    #[test]
+    fn index_unchecked_flags_ranges_not_lookups() {
+        let range = "let h = &bytes[pos..pos + 4];\n";
+        let v = check_source("crates/core/src/channel.rs", range);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "index-unchecked");
+        // Plain single-element table lookups are not frame parsing.
+        let lookup = "let qp = &qps[id.0 as usize];\n";
+        let v = check_source("crates/netsim/src/rdma.rs", lookup);
+        assert!(v.iter().all(|x| x.rule != "index-unchecked"), "{v:?}");
+        // Checked access is the fix.
+        let checked = "let h = bytes.get(pos..pos + 4)?;\n";
+        assert!(check_source("crates/core/src/channel.rs", checked).is_empty());
+        // Array type syntax is not indexing.
+        let ty = "fn f(x: [u8; 4]) {}\n";
+        assert!(check_source("crates/core/src/channel.rs", ty).is_empty());
     }
 
     #[test]
@@ -588,5 +1260,46 @@ use std::collections::HashMap;
         );
         assert_eq!(v.len(), 2, "{v:?}");
         assert!(v.iter().all(|x| x.rule == "wallclock"));
+    }
+
+    #[test]
+    fn pub_field_collection() {
+        let lines = lex("pub struct NetParams {\n    /// doc\n    pub bandwidth_bps: u64,\n    pub nested: Inner,\n}\npub struct Other { pub x: u8 }\n");
+        let fields = collect_pub_fields(&lines, "NetParams");
+        let names: Vec<_> = fields.iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(names, vec!["bandwidth_bps", "nested"]);
+    }
+
+    #[test]
+    fn counter_literals() {
+        assert!(counter_literal_rdma("rdma.doorbells"));
+        assert!(!counter_literal_rdma("rdma."));
+        assert!(!counter_literal_rdma("rdma.Doorbells"));
+        assert!(!counter_literal_rdma("faults.tcp_retrans"));
+        assert!(counter_literal_stat("stat_commands"));
+        assert!(!counter_literal_stat("stat_"));
+    }
+
+    #[test]
+    fn severity_lookup() {
+        assert_eq!(severity_of("hashmap"), Severity::Error);
+        assert_eq!(severity_of("allow-unused"), Severity::Warning);
+    }
+
+    #[test]
+    fn json_output_escapes() {
+        let a = Analysis {
+            violations: vec![Violation {
+                file: "crates/x.rs".into(),
+                line: 3,
+                rule: "hashmap",
+                message: "say \"hi\"".into(),
+            }],
+            files_scanned: 1,
+        };
+        let j = to_json(&a);
+        assert!(j.contains("\"say \\\"hi\\\"\""), "{j}");
+        assert!(j.contains("\"errors\": 1"), "{j}");
+        assert!(j.contains("\"files_scanned\": 1"), "{j}");
     }
 }

@@ -1,6 +1,8 @@
-//! Command-line entry point for `skv-lint`.
+//! Command-line entry point for `skv-analyze`.
 //!
-//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+//! Exit codes: `0` clean (or warnings only), `1` error-severity
+//! violations found (or any violation under `--deny-warnings`),
+//! `2` usage or I/O error.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -8,23 +10,41 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const HELP: &str = "\
-skv-lint: workspace determinism & protocol-invariant checker
+use skv_analyze::{analyze_workspace, to_json, RULES};
+
+const HELP_HEADER: &str = "\
+skv-analyze: token-level static analysis for the SKV reproduction
 
 USAGE:
-    cargo run -p skv-lint [-- --root <dir>]
+    cargo run -p skv-analyze [-- --root <dir>] [--format text|json] [--deny-warnings]
 
-Checks every non-test .rs file under <root>/crates/ for:
-    hashmap    std HashMap/HashSet in simulation crates (netsim, simcore, core)
-    wallclock  Instant::now / SystemTime / thread::spawn / thread_rng in sim code
-    unwrap     .unwrap() / .expect( on protocol hot paths
+Walks every non-test .rs file under <root>/crates/ and <root>/examples/
+with a small Rust lexer (comments, strings, raw strings, nested block
+comments, cfg(test) brace tracking) and enforces:
+";
 
+const HELP_FOOTER: &str = "
 Suppress a finding with a justified directive on (or directly above) the line:
     // skv-lint: allow(<rule>) -- <reason>
 
 Without --root, the workspace root is located by walking up from the
 current directory to the first Cargo.toml containing [workspace].
+--format json prints the machine-readable report (schema: DESIGN.md §14).
 ";
+
+fn print_help() {
+    print!("{HELP_HEADER}");
+    for r in RULES {
+        println!(
+            "    {:<16} [{}] {} — {}",
+            r.name,
+            r.severity.as_str(),
+            r.summary,
+            r.scope
+        );
+    }
+    print!("{HELP_FOOTER}");
+}
 
 fn find_workspace_root() -> Option<PathBuf> {
     let mut dir = std::env::current_dir().ok()?;
@@ -43,50 +63,75 @@ fn find_workspace_root() -> Option<PathBuf> {
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut format_json = false;
+    let mut deny_warnings = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
-                    eprintln!("skv-lint: --root requires a directory argument");
+                    eprintln!("skv-analyze: --root requires a directory argument");
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some("json") => format_json = true,
+                Some("text") => format_json = false,
+                _ => {
+                    eprintln!("skv-analyze: --format requires `text` or `json`");
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny-warnings" => deny_warnings = true,
             "-h" | "--help" => {
-                print!("{HELP}");
+                print_help();
                 return ExitCode::SUCCESS;
             }
             other => {
-                eprintln!("skv-lint: unknown argument `{other}` (try --help)");
+                eprintln!("skv-analyze: unknown argument `{other}` (try --help)");
                 return ExitCode::from(2);
             }
         }
     }
     let Some(root) = root.or_else(find_workspace_root) else {
-        eprintln!("skv-lint: could not locate a workspace root (pass --root <dir>)");
+        eprintln!("skv-analyze: could not locate a workspace root (pass --root <dir>)");
         return ExitCode::from(2);
     };
 
-    match skv_lint::check_workspace(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!("skv-lint: clean ({} rules enforced)", skv_lint::RULES.len());
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            for v in &violations {
-                println!("{v}");
-            }
-            println!(
-                "skv-lint: {} violation{} found",
-                violations.len(),
-                if violations.len() == 1 { "" } else { "s" },
-            );
-            ExitCode::FAILURE
-        }
+    let analysis = match analyze_workspace(&root) {
+        Ok(a) => a,
         Err(e) => {
-            eprintln!("skv-lint: {e}");
-            ExitCode::from(2)
+            eprintln!("skv-analyze: {e}");
+            return ExitCode::from(2);
         }
+    };
+
+    if format_json {
+        print!("{}", to_json(&analysis));
+    } else if analysis.violations.is_empty() {
+        println!(
+            "skv-analyze: clean ({} files, {} rules enforced)",
+            analysis.files_scanned,
+            RULES.len()
+        );
+    } else {
+        for v in &analysis.violations {
+            println!("{} [{}]", v, v.severity().as_str());
+        }
+        println!(
+            "skv-analyze: {} error{}, {} warning{}",
+            analysis.errors(),
+            if analysis.errors() == 1 { "" } else { "s" },
+            analysis.warnings(),
+            if analysis.warnings() == 1 { "" } else { "s" },
+        );
+    }
+
+    let fail = analysis.errors() > 0 || (deny_warnings && !analysis.violations.is_empty());
+    if fail {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -1,10 +1,11 @@
-//! Fixture-driven self-tests: run the checker over a miniature workspace
-//! containing deliberate violations and assert the exact diagnostics, then
-//! assert the real workspace scans clean (the acceptance gate itself).
+//! Fixture-driven self-tests: run the analyzer over a miniature workspace
+//! containing one deliberate violation (and one near-miss) per rule and
+//! assert the exact diagnostics, then assert the real workspace scans
+//! clean (the acceptance gate itself).
 
 use std::path::Path;
 
-use skv_lint::{check_workspace, Violation};
+use skv_analyze::{analyze_workspace, check_workspace, to_json, Severity, Violation};
 
 fn fixture_root() -> &'static Path {
     Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures"))
@@ -14,10 +15,19 @@ fn by_file<'a>(violations: &'a [Violation], file: &str) -> Vec<&'a Violation> {
     violations.iter().filter(|v| v.file == file).collect()
 }
 
+fn lines_of(violations: &[Violation], file: &str, rule: &str) -> Vec<usize> {
+    violations
+        .iter()
+        .filter(|v| v.file == file && v.rule == rule)
+        .map(|v| v.line)
+        .collect()
+}
+
 #[test]
 fn fixtures_produce_expected_diagnostics() {
     let violations = check_workspace(fixture_root()).expect("fixture walk");
 
+    // --- per-line pattern rules ---------------------------------------
     let hashmap = by_file(&violations, "crates/netsim/src/bad_hashmap.rs");
     assert_eq!(
         hashmap.iter().map(|v| v.line).collect::<Vec<_>>(),
@@ -42,6 +52,62 @@ fn fixtures_produce_expected_diagnostics() {
     );
     assert!(unwrap.iter().all(|v| v.rule == "unwrap"));
 
+    // Blocking calls fire in sim crates only; the `thread::sleep` and
+    // `std::fs::` twins in crates/store stay clean (checked below).
+    assert_eq!(
+        lines_of(&violations, "crates/core/src/bad_blocking.rs", "blocking"),
+        vec![4, 5, 6]
+    );
+
+    // Raw CQ polls are flagged everywhere on the event loop except the
+    // budgeted-drain helper itself.
+    assert_eq!(
+        lines_of(&violations, "crates/core/src/bad_pollcq.rs", "pollcq"),
+        vec![4]
+    );
+
+    // --- wire-format hygiene ------------------------------------------
+    // Narrowing casts only; the `as u64` / `as usize` widenings are clean.
+    assert_eq!(
+        lines_of(&violations, "crates/core/src/protocol.rs", "cast-truncate"),
+        vec![4, 5, 6]
+    );
+    // Range indexing only; `.get(range)` and single-element lookups are
+    // clean.
+    assert_eq!(
+        lines_of(&violations, "crates/core/src/channel.rs", "index-unchecked"),
+        vec![4, 5]
+    );
+
+    // --- drift rules ---------------------------------------------------
+    // `stat_orphan` is incremented but not exported, `rdma.ghost` is a
+    // fabric counter the catalog never heard of, and `stat_gone` is a
+    // stale catalog entry nothing increments any more.
+    assert_eq!(
+        lines_of(&violations, "crates/core/src/nickv.rs", "counter-drift"),
+        vec![5]
+    );
+    assert_eq!(
+        lines_of(
+            &violations,
+            "crates/netsim/src/counters.rs",
+            "counter-drift"
+        ),
+        vec![4]
+    );
+    assert_eq!(
+        lines_of(&violations, "crates/core/src/metrics.rs", "counter-drift"),
+        vec![5]
+    );
+
+    // `orphan_knob` is swept by nothing; `used_knob` is referenced from
+    // the fixture bench crate and `excused_knob` carries a reasoned allow.
+    assert_eq!(
+        lines_of(&violations, "crates/core/src/config.rs", "config-drift"),
+        vec![7]
+    );
+
+    // --- allow auditing ------------------------------------------------
     // A reason-less (or typo'd) allow is flagged AND does not suppress
     // the underlying finding.
     let bad_allow = by_file(&violations, "crates/core/src/bad_allow.rs");
@@ -56,11 +122,24 @@ fn fixtures_produce_expected_diagnostics() {
         ],
         "{bad_allow:?}"
     );
+    // A well-formed allow that excuses nothing is reported as stale.
+    assert_eq!(
+        lines_of(
+            &violations,
+            "crates/core/src/unused_allow.rs",
+            "allow-unused"
+        ),
+        vec![4]
+    );
 
-    // Justified allows, cfg(test) code and out-of-scope crates are clean.
+    // Justified allows, cfg(test) code, the cqdrain exemption, and
+    // out-of-scope crates are all clean.
     for clean in [
         "crates/core/src/allowed.rs",
         "crates/core/src/test_only.rs",
+        "crates/core/src/cqdrain.rs",
+        "crates/bench/src/ablations.rs",
+        "crates/store/src/blocking_ok.rs",
         "crates/store/src/out_of_scope.rs",
     ] {
         assert!(
@@ -70,7 +149,47 @@ fn fixtures_produce_expected_diagnostics() {
         );
     }
 
-    assert_eq!(violations.len(), 14, "{violations:?}");
+    assert_eq!(violations.len(), 28, "{violations:?}");
+}
+
+#[test]
+fn severities_split_errors_from_warnings() {
+    let analysis = analyze_workspace(fixture_root()).expect("fixture walk");
+    // Exactly one warning: the stale allow. Everything else is an error.
+    assert_eq!(analysis.warnings(), 1);
+    assert_eq!(analysis.errors(), 27);
+    assert!(analysis
+        .violations
+        .iter()
+        .filter(|v| v.severity() == Severity::Warning)
+        .all(|v| v.rule == "allow-unused"));
+}
+
+#[test]
+fn json_report_round_trips_fixture_diagnostics() {
+    let analysis = analyze_workspace(fixture_root()).expect("fixture walk");
+    let json = to_json(&analysis);
+    // Cheap structural checks without a JSON parser: every rule name that
+    // fired appears, and the violation count matches.
+    for rule in [
+        "hashmap",
+        "wallclock",
+        "unwrap",
+        "blocking",
+        "pollcq",
+        "cast-truncate",
+        "index-unchecked",
+        "counter-drift",
+        "config-drift",
+        "allow-syntax",
+        "allow-unused",
+    ] {
+        assert!(
+            json.contains(&format!("\"rule\": \"{rule}\"")),
+            "missing rule {rule} in JSON:\n{json}"
+        );
+    }
+    assert_eq!(json.matches("\"rule\":").count(), 28, "{json}");
 }
 
 #[test]
@@ -93,10 +212,10 @@ fn real_workspace_is_clean() {
     let violations = check_workspace(root).expect("workspace walk");
     assert!(
         violations.is_empty(),
-        "skv-lint found violations in the real workspace:\n{}",
+        "skv-analyze found violations in the real workspace:\n{}",
         violations
             .iter()
-            .map(|v| v.to_string())
+            .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join("\n")
     );

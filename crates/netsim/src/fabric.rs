@@ -15,7 +15,9 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use skv_simcore::stats::Counters;
-use skv_simcore::{Actor, ActorId, Context, DetRng, Frame, Payload, SimDuration, SimTime, Simulation};
+use skv_simcore::{
+    Actor, ActorId, Context, DetRng, Frame, Payload, SimDuration, SimTime, Simulation,
+};
 
 use crate::det::DetMap;
 use crate::faults::{FaultPlan, Verdict};

@@ -76,9 +76,7 @@ pub struct LinkFault {
 
 impl LinkFault {
     fn matches(&self, now: SimTime, src: NodeId, dst: NodeId) -> bool {
-        self.src == src
-            && self.dst == dst
-            && self.window.is_none_or(|w| w.contains(now))
+        self.src == src && self.dst == dst && self.window.is_none_or(|w| w.contains(now))
     }
 }
 
@@ -161,13 +159,7 @@ impl FaultPlan {
     }
 
     /// Decide the fate of one `src → dst` message at instant `now`.
-    pub fn judge(
-        &self,
-        now: SimTime,
-        src: NodeId,
-        dst: NodeId,
-        rng: &mut DetRng,
-    ) -> Verdict {
+    pub fn judge(&self, now: SimTime, src: NodeId, dst: NodeId, rng: &mut DetRng) -> Verdict {
         if src == dst {
             return Verdict::Deliver;
         }
@@ -176,8 +168,11 @@ impl FaultPlan {
                 return Verdict::Drop;
             }
         }
-        let (mut drop_p, mut delay_p, mut delay) =
-            (self.default_loss, self.default_delay_prob, self.default_delay);
+        let (mut drop_p, mut delay_p, mut delay) = (
+            self.default_loss,
+            self.default_delay_prob,
+            self.default_delay,
+        );
         for l in &self.links {
             if l.matches(now, src, dst) {
                 drop_p = l.drop_prob;
@@ -239,9 +234,7 @@ mod tests {
         plan.default_loss = 0.10;
         let mut rng = DetRng::new(3);
         let drops = (0..10_000)
-            .filter(|_| {
-                plan.judge(SimTime::ZERO, n(0), n(1), &mut rng) == Verdict::Drop
-            })
+            .filter(|_| plan.judge(SimTime::ZERO, n(0), n(1), &mut rng) == Verdict::Drop)
             .count();
         assert!((800..1200).contains(&drops), "drops {drops}");
     }
@@ -251,8 +244,14 @@ mod tests {
         let mut plan = FaultPlan::new(4);
         plan.default_loss = 1.0;
         let mut rng = DetRng::new(4);
-        assert_eq!(plan.judge(SimTime::ZERO, n(3), n(3), &mut rng), Verdict::Deliver);
-        assert_eq!(plan.judge(SimTime::ZERO, n(3), n(4), &mut rng), Verdict::Drop);
+        assert_eq!(
+            plan.judge(SimTime::ZERO, n(3), n(3), &mut rng),
+            Verdict::Deliver
+        );
+        assert_eq!(
+            plan.judge(SimTime::ZERO, n(3), n(4), &mut rng),
+            Verdict::Drop
+        );
     }
 
     #[test]
@@ -273,7 +272,10 @@ mod tests {
             Verdict::Delay(SimDuration::from_micros(50))
         );
         // The reverse direction still sees the default.
-        assert_eq!(plan.judge(SimTime::ZERO, n(1), n(0), &mut rng), Verdict::Drop);
+        assert_eq!(
+            plan.judge(SimTime::ZERO, n(1), n(0), &mut rng),
+            Verdict::Drop
+        );
     }
 
     #[test]

@@ -35,8 +35,8 @@ pub use fabric::{Net, RNR_WR_ID};
 pub use faults::{FaultPlan, LinkFault, Partition, TimeWindow, Verdict};
 pub use params::{MachineParams, NetParams};
 pub use rdma::{CmError, PostError, PostListError};
-pub use topology::{NodeKind, Topology};
 pub use skv_simcore::Frame;
+pub use topology::{NodeKind, Topology};
 pub use types::{
     CmReqId, CqId, MrId, NetEvent, NodeId, QpId, SendOp, SendWr, SocketAddr, TcpConnId, Wc,
     WcOpcode, WcStatus,

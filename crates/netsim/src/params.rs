@@ -89,9 +89,11 @@ pub struct NetParams {
     // ---- fault injection (see `crate::FaultPlan`) ----
     /// Time for an RC QP to exhaust its retransmits and surface an error
     /// completion when the fault plan drops a message.
+    // skv-lint: allow(config-drift) -- fault-model constant (RC retry budget from the ConnectX manual); exercised by the chaos/probe-loss tests, not swept
     pub rc_retry_latency: SimDuration,
     /// Extra delivery delay modelling one TCP retransmission timeout when
     /// the fault plan drops a segment (the stream stays reliable).
+    // skv-lint: allow(config-drift) -- fault-model constant (minimum Linux RTO); exercised by the chaos tests, not swept
     pub tcp_rto: SimDuration,
 }
 

@@ -77,11 +77,14 @@ pub enum CmError {
     AlreadyAnswered,
 }
 
+/// Next 32-bit resource id from a table length. A truncating `as u32` cast
+/// would silently alias id 0 after 2^32 allocations; exhaustion is a
+/// simulation-scale bug, so it panics instead.
 impl Net {
     /// Create a completion queue owned by `owner`.
     pub fn create_cq(&self, owner: ActorId) -> CqId {
         let mut inner = self.inner.borrow_mut();
-        let id = CqId(inner.cqs.len() as u32);
+        let id = CqId(next_id(inner.cqs.len()));
         inner.cqs.push(CqState {
             owner,
             queue: Default::default(),
@@ -94,7 +97,7 @@ impl Net {
     /// Register a memory region of `len` zeroed bytes on `node`.
     pub fn register_mr(&self, node: NodeId, len: usize) -> MrId {
         let mut inner = self.inner.borrow_mut();
-        let id = MrId(inner.mrs.len() as u32);
+        let id = MrId(next_id(inner.mrs.len()));
         inner.mrs.push(MrState {
             node,
             buf: vec![0; len],
@@ -114,14 +117,10 @@ impl Net {
     pub fn mr_read(&self, mr: MrId, offset: usize, len: usize) -> Vec<u8> {
         let inner = self.inner.borrow();
         let buf = &inner.mrs[mr.0 as usize].buf;
-        assert!(
-            offset + len <= buf.len(),
-            "MR read out of bounds: {}+{} > {}",
-            offset,
-            len,
-            buf.len()
-        );
-        buf[offset..offset + len].to_vec()
+        let Some(view) = offset.checked_add(len).and_then(|end| buf.get(offset..end)) else {
+            panic!("MR read out of bounds: {}+{} > {}", offset, len, buf.len());
+        };
+        view.to_vec()
     }
 
     /// Write bytes into a local memory region.
@@ -131,14 +130,19 @@ impl Net {
     pub fn mr_write(&self, mr: MrId, offset: usize, data: &[u8]) {
         let mut inner = self.inner.borrow_mut();
         let buf = &mut inner.mrs[mr.0 as usize].buf;
-        assert!(
-            offset + data.len() <= buf.len(),
-            "MR write out of bounds: {}+{} > {}",
-            offset,
-            data.len(),
-            buf.len()
-        );
-        buf[offset..offset + data.len()].copy_from_slice(data);
+        let buf_len = buf.len();
+        let Some(dst) = offset
+            .checked_add(data.len())
+            .and_then(|end| buf.get_mut(offset..end))
+        else {
+            panic!(
+                "MR write out of bounds: {}+{} > {}",
+                offset,
+                data.len(),
+                buf_len
+            );
+        };
+        dst.copy_from_slice(data);
     }
 
     /// Register `actor` as the RDMA_CM listener on `addr`.
@@ -178,7 +182,7 @@ impl Net {
             return;
         }
         let port = inner.alloc_ephemeral();
-        let req = CmReqId(inner.cm_requests.len() as u32);
+        let req = CmReqId(next_id(inner.cm_requests.len()));
         inner.cm_requests.push(Some(CmRequest {
             from_actor,
             from_node,
@@ -212,7 +216,7 @@ impl Net {
         let acceptor = ctx.id();
         let acceptor_node = request.listener_addr.node;
 
-        let initiator_qp = QpId(inner.qps.len() as u32);
+        let initiator_qp = QpId(next_id(inner.qps.len()));
         inner.qps.push(QpState {
             node: request.from_node,
             actor: request.from_actor,
@@ -223,7 +227,7 @@ impl Net {
             open: true,
             error: false,
         });
-        let acceptor_qp = QpId(inner.qps.len() as u32);
+        let acceptor_qp = QpId(next_id(inner.qps.len()));
         inner.qps.push(QpState {
             node: acceptor_node,
             actor: acceptor,
@@ -512,7 +516,11 @@ fn post_one(
                 mr_offset: 0,
                 data: Frame::new(),
             };
-            ctx.send_in(inner.params.rc_retry_latency, fabric, FabricMsg::PushWc { cq, wc });
+            ctx.send_in(
+                inner.params.rc_retry_latency,
+                fabric,
+                FabricMsg::PushWc { cq, wc },
+            );
             return Ok(());
         }
         Verdict::Delay(d) => {
@@ -579,7 +587,11 @@ pub(crate) fn handle_arrival(
             mr_offset: 0,
             data: Frame::new(),
         };
-        ctx.send_in(path_latency, fabric, FabricMsg::PushWc { cq: sender_cq, wc });
+        ctx.send_in(
+            path_latency,
+            fabric,
+            FabricMsg::PushWc { cq: sender_cq, wc },
+        );
         return;
     }
 
@@ -602,21 +614,60 @@ pub(crate) fn handle_arrival(
                 data,
             };
             net.push_wc(ctx, dst_cq, wc);
-            push_sender_success(net, ctx, sender_cq, src_qp, wr_id, opcode, byte_len, path_latency);
+            push_sender_wc(
+                net,
+                ctx,
+                sender_cq,
+                src_qp,
+                wr_id,
+                opcode,
+                byte_len,
+                path_latency,
+                WcStatus::Success,
+            );
         }
         SendOp::Write {
             remote_mr,
             remote_offset,
         } => {
-            write_mr(net, dst_node, remote_mr, remote_offset, &data);
-            push_sender_success(net, ctx, sender_cq, src_qp, wr_id, opcode, byte_len, path_latency);
+            let status = if write_mr(net, dst_node, remote_mr, remote_offset, &data) {
+                WcStatus::Success
+            } else {
+                WcStatus::RemoteAccessError
+            };
+            push_sender_wc(
+                net,
+                ctx,
+                sender_cq,
+                src_qp,
+                wr_id,
+                opcode,
+                byte_len,
+                path_latency,
+                status,
+            );
         }
         SendOp::WriteImm {
             remote_mr,
             remote_offset,
             imm,
         } => {
-            write_mr(net, dst_node, remote_mr, remote_offset, &data);
+            if !write_mr(net, dst_node, remote_mr, remote_offset, &data) {
+                // The payload never landed: no receive is consumed and the
+                // receiver sees nothing, exactly like a NAKed verbs WRITE.
+                push_sender_wc(
+                    net,
+                    ctx,
+                    sender_cq,
+                    src_qp,
+                    wr_id,
+                    opcode,
+                    byte_len,
+                    path_latency,
+                    WcStatus::RemoteAccessError,
+                );
+                return;
+            }
             let recv_wr = pop_recv(net, dst_qp);
             let dst_cq = net.qps[dst_qp.0 as usize].cq;
             // The completion carries the sender's frame as well: the bytes
@@ -637,7 +688,17 @@ pub(crate) fn handle_arrival(
                 data,
             };
             net.push_wc(ctx, dst_cq, wc);
-            push_sender_success(net, ctx, sender_cq, src_qp, wr_id, opcode, byte_len, path_latency);
+            push_sender_wc(
+                net,
+                ctx,
+                sender_cq,
+                src_qp,
+                wr_id,
+                opcode,
+                byte_len,
+                path_latency,
+                WcStatus::Success,
+            );
         }
         SendOp::Read {
             remote_mr,
@@ -646,17 +707,34 @@ pub(crate) fn handle_arrival(
         } => {
             let mr = &net.mrs[remote_mr.0 as usize];
             assert_eq!(mr.node, dst_node, "READ must target an MR on the peer node");
-            assert!(
-                remote_offset + len <= mr.buf.len(),
-                "MR read out of bounds: {}+{} > {}",
-                remote_offset,
-                len,
-                mr.buf.len()
-            );
-            let payload = Frame::copy_from_slice(&mr.buf[remote_offset..remote_offset + len]);
+            // A requester-supplied range outside the MR is the requester's
+            // protocol error, not a target-host bug: complete with
+            // `RemoteAccessError` rather than panicking the simulation.
+            let payload = remote_offset
+                .checked_add(len)
+                .and_then(|end| mr.buf.get(remote_offset..end))
+                .map(Frame::copy_from_slice);
+            let Some(payload) = payload else {
+                net.counters.inc("rdma.access_errors");
+                let wc = Wc {
+                    wr_id,
+                    opcode: WcOpcode::RdmaRead,
+                    status: WcStatus::RemoteAccessError,
+                    qp: src_qp,
+                    byte_len: 0,
+                    imm: 0,
+                    mr_offset: remote_offset,
+                    data: Frame::new(),
+                };
+                ctx.send_in(
+                    path_latency,
+                    fabric,
+                    FabricMsg::PushWc { cq: sender_cq, wc },
+                );
+                return;
+            };
             // Response: serialization of the payload plus the return hop.
-            let resp_delay =
-                net.params.serialize_time(len) + path_latency + net.params.dma_delay;
+            let resp_delay = net.params.serialize_time(len) + path_latency + net.params.dma_delay;
             let wc = Wc {
                 wr_id,
                 opcode: WcOpcode::RdmaRead,
@@ -711,24 +789,32 @@ fn pop_recv(net: &mut NetInner, qp: QpId) -> Option<u64> {
     popped
 }
 
-fn write_mr(net: &mut NetInner, dst_node: NodeId, mr: MrId, offset: usize, data: &[u8]) {
+/// Apply a remote WRITE payload to the target MR.
+///
+/// Returns `false` — after counting an `rdma.access_errors` — when the
+/// remote-supplied range falls outside the region: that is the *requester's*
+/// protocol error and must surface as its completion status, not a panic on
+/// the target host.
+#[must_use]
+fn write_mr(net: &mut NetInner, dst_node: NodeId, mr: MrId, offset: usize, data: &[u8]) -> bool {
     let state = &mut net.mrs[mr.0 as usize];
     assert_eq!(
         state.node, dst_node,
         "WRITE must target an MR on the peer node"
     );
-    assert!(
-        offset + data.len() <= state.buf.len(),
-        "MR write out of bounds: {}+{} > {}",
-        offset,
-        data.len(),
-        state.buf.len()
-    );
-    state.buf[offset..offset + data.len()].copy_from_slice(data);
+    let wrote = offset
+        .checked_add(data.len())
+        .and_then(|end| state.buf.get_mut(offset..end))
+        .map(|dst| dst.copy_from_slice(data))
+        .is_some();
+    if !wrote {
+        net.counters.inc("rdma.access_errors");
+    }
+    wrote
 }
 
 #[allow(clippy::too_many_arguments)]
-fn push_sender_success(
+fn push_sender_wc(
     net: &mut NetInner,
     ctx: &mut Context<'_>,
     sender_cq: CqId,
@@ -737,12 +823,13 @@ fn push_sender_success(
     opcode: WcOpcode,
     byte_len: usize,
     path_latency: SimDuration,
+    status: WcStatus,
 ) {
     let fabric = net.fabric_actor;
     let wc = Wc {
         wr_id,
         opcode,
-        status: WcStatus::Success,
+        status,
         qp: src_qp,
         byte_len,
         imm: 0,
@@ -750,5 +837,9 @@ fn push_sender_success(
         data: Frame::new(),
     };
     // The sender observes completion one ACK-hop later.
-    ctx.send_in(path_latency, fabric, FabricMsg::PushWc { cq: sender_cq, wc });
+    ctx.send_in(
+        path_latency,
+        fabric,
+        FabricMsg::PushWc { cq: sender_cq, wc },
+    );
 }

@@ -17,7 +17,7 @@ use skv_simcore::{ActorId, Context, Frame, SimDuration};
 
 use crate::fabric::{Net, TcpConnState};
 use crate::faults::Verdict;
-use crate::types::{NetEvent, NodeId, SocketAddr, TcpConnId};
+use crate::types::{next_id, NetEvent, NodeId, SocketAddr, TcpConnId};
 
 impl Net {
     /// Register `actor` as the accept handler for TCP connections to `addr`.
@@ -66,7 +66,7 @@ impl Net {
         let local_addr = SocketAddr::new(from_node, local_port);
 
         let done = ctx.now() + handshake;
-        let client_id = TcpConnId(inner.tcp_conns.len() as u32);
+        let client_id = TcpConnId(next_id(inner.tcp_conns.len()));
         inner.tcp_conns.push(TcpConnState {
             node: from_node,
             actor: from_actor,
@@ -75,7 +75,7 @@ impl Net {
             next_delivery: done,
             open: true,
         });
-        let server_id = TcpConnId(inner.tcp_conns.len() as u32);
+        let server_id = TcpConnId(next_id(inner.tcp_conns.len()));
         inner.tcp_conns.push(TcpConnState {
             node: to.node,
             actor: listener,
@@ -179,9 +179,7 @@ impl Net {
                 if !p.open {
                     return;
                 }
-                inner
-                    .topo
-                    .base_latency(src, p.node, &inner.params)
+                inner.topo.base_latency(src, p.node, &inner.params)
             };
             let p = &mut inner.tcp_conns[peer_id.0 as usize];
             p.peer = None;

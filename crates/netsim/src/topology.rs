@@ -10,7 +10,7 @@
 use skv_simcore::SimDuration;
 
 use crate::params::NetParams;
-use crate::types::NodeId;
+use crate::types::{next_id, NodeId};
 
 /// What kind of machine a node is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +38,7 @@ impl Topology {
 
     /// Add a host node.
     pub fn add_host(&mut self) -> NodeId {
-        let id = NodeId(self.kinds.len() as u32);
+        let id = NodeId(next_id(self.kinds.len()));
         self.kinds.push(NodeKind::Host);
         id
     }
@@ -52,7 +52,7 @@ impl Topology {
             matches!(self.kind(host), NodeKind::Host),
             "SmartNICs install into hosts"
         );
-        let id = NodeId(self.kinds.len() as u32);
+        let id = NodeId(next_id(self.kinds.len()));
         self.kinds.push(NodeKind::SmartNicSoc { host });
         id
     }

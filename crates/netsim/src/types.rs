@@ -133,6 +133,10 @@ pub enum WcStatus {
     /// Transport retries were exhausted (injected loss); the QP has
     /// transitioned to the error state and must be re-established.
     RetryExceeded,
+    /// A one-sided READ/WRITE named a range outside the target MR, the
+    /// simulated analogue of `IBV_WC_REM_ACCESS_ERR`: a requester protocol
+    /// error is reported to the requester, not a panic on the target host.
+    RemoteAccessError,
 }
 
 /// A work completion, mirroring `ibv_wc`.
@@ -227,6 +231,15 @@ pub enum NetEvent {
         /// The completion queue with new completions.
         cq: CqId,
     },
+}
+
+/// Allocate the next dense resource id, panicking loudly if the 32-bit id
+/// space is ever exhausted (a simulation bug, not a recoverable error).
+pub(crate) fn next_id(len: usize) -> u32 {
+    match u32::try_from(len) {
+        Ok(id) => id,
+        Err(_) => panic!("resource id space exhausted ({len} allocated)"),
+    }
 }
 
 #[cfg(test)]

@@ -9,13 +9,13 @@
 //! polled at `t` unmoderated must be polled by `t + cq_notify_timer`
 //! moderated — the no-stranding guarantee.
 
+// Test payloads and loop counters are tiny literals; casts cannot truncate.
+#![allow(clippy::cast_possible_truncation)]
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use proptest::prelude::*;
-use skv_netsim::{
-    MrId, Net, NetEvent, NetParams, QpId, SendOp, SendWr, SocketAddr, Topology,
-};
+use skv_netsim::{MrId, Net, NetEvent, NetParams, QpId, SendOp, SendWr, SocketAddr, Topology};
 use skv_simcore::{FnActor, SimDuration, SimTime, Simulation};
 
 struct World {
@@ -47,54 +47,60 @@ fn establish_logged(w: &mut World, recvs: usize) -> (QpId, MrId, PollLog) {
 
     let net = w.net.clone();
     let log = server_log.clone();
-    let server = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
-        let Ok(ev) = msg.downcast::<NetEvent>() else {
-            return;
-        };
-        match *ev {
-            NetEvent::CmConnectRequest { req, .. } => {
-                let cq = net.create_cq(ctx.id());
-                let qp = net.rdma_accept(ctx, req, cq).expect("fresh CM request");
-                for i in 0..recvs {
-                    net.post_recv(qp, 1000 + i as u64).unwrap();
+    let server = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+            let Ok(ev) = msg.downcast::<NetEvent>() else {
+                return;
+            };
+            match *ev {
+                NetEvent::CmConnectRequest { req, .. } => {
+                    let cq = net.create_cq(ctx.id());
+                    let qp = net.rdma_accept(ctx, req, cq).expect("fresh CM request");
+                    for i in 0..recvs {
+                        net.post_recv(qp, 1000 + i as u64).unwrap();
+                    }
+                    net.req_notify_cq(ctx, cq);
                 }
-                net.req_notify_cq(ctx, cq);
+                NetEvent::CqNotify { cq } => {
+                    let now = ctx.now();
+                    log.borrow_mut()
+                        .extend(net.poll_cq(cq, 64).into_iter().map(|wc| (wc.wr_id, now)));
+                    net.req_notify_cq(ctx, cq);
+                }
+                _ => {}
             }
-            NetEvent::CqNotify { cq } => {
-                let now = ctx.now();
-                log.borrow_mut()
-                    .extend(net.poll_cq(cq, 64).into_iter().map(|wc| (wc.wr_id, now)));
-                net.req_notify_cq(ctx, cq);
-            }
-            _ => {}
-        }
-    })));
+        })));
     w.net.rdma_listen(addr, server);
 
     let net = w.net.clone();
     let cqp = client_qp.clone();
-    let client = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
-        let Ok(ev) = msg.downcast::<NetEvent>() else {
-            return;
-        };
-        match *ev {
-            NetEvent::CmEstablished { qp, .. } => {
-                *cqp.borrow_mut() = Some(qp);
+    let client = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+            let Ok(ev) = msg.downcast::<NetEvent>() else {
+                return;
+            };
+            match *ev {
+                NetEvent::CmEstablished { qp, .. } => {
+                    *cqp.borrow_mut() = Some(qp);
+                }
+                NetEvent::CqNotify { cq } => {
+                    net.poll_cq(cq, 64);
+                    net.req_notify_cq(ctx, cq);
+                }
+                _ => {}
             }
-            NetEvent::CqNotify { cq } => {
-                net.poll_cq(cq, 64);
-                net.req_notify_cq(ctx, cq);
-            }
-            _ => {}
-        }
-    })));
+        })));
     let net = w.net.clone();
     let a = w.a;
-    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
-        let cq = net.create_cq(client);
-        net.req_notify_cq(ctx, cq);
-        net.rdma_connect(ctx, a, client, cq, addr);
-    })));
+    let starter = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+            let cq = net.create_cq(client);
+            net.req_notify_cq(ctx, cq);
+            net.rdma_connect(ctx, a, client, cq, addr);
+        })));
     w.sim.schedule(SimTime::ZERO, starter, ());
     w.sim.run_to_completion();
 
@@ -118,9 +124,11 @@ fn post_schedule(w: &mut World, qp: QpId, mr: MrId, offsets_us: &[u64]) {
             },
             data: vec![i as u8; 8].into(),
         };
-        let helper = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
-            net.post_send(ctx, qp, wr.clone()).unwrap();
-        })));
+        let helper = w
+            .sim
+            .add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+                net.post_send(ctx, qp, wr.clone()).unwrap();
+            })));
         w.sim
             .schedule(base + SimDuration::from_micros(*off), helper, ());
     }

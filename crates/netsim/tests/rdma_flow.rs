@@ -1,5 +1,8 @@
 //! End-to-end behaviour of the simulated RDMA verbs.
 
+// Test payloads and loop counters are tiny literals; casts cannot truncate.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -48,28 +51,30 @@ fn establish(
     let swc = server_wcs.clone();
     let server_cq: Rc<RefCell<Option<skv_netsim::CqId>>> = Rc::default();
     let scq = server_cq.clone();
-    let server = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
-        let Ok(ev) = msg.downcast::<NetEvent>() else {
-            return;
-        };
-        match *ev {
-            NetEvent::CmConnectRequest { req, .. } => {
-                let cq = net.create_cq(ctx.id());
-                *scq.borrow_mut() = Some(cq);
-                let qp = net.rdma_accept(ctx, req, cq).expect("fresh CM request");
-                for i in 0..server_recvs {
-                    net.post_recv(qp, 1000 + i as u64).unwrap();
+    let server = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+            let Ok(ev) = msg.downcast::<NetEvent>() else {
+                return;
+            };
+            match *ev {
+                NetEvent::CmConnectRequest { req, .. } => {
+                    let cq = net.create_cq(ctx.id());
+                    *scq.borrow_mut() = Some(cq);
+                    let qp = net.rdma_accept(ctx, req, cq).expect("fresh CM request");
+                    for i in 0..server_recvs {
+                        net.post_recv(qp, 1000 + i as u64).unwrap();
+                    }
+                    *sq.borrow_mut() = Some(qp);
+                    net.req_notify_cq(ctx, cq);
                 }
-                *sq.borrow_mut() = Some(qp);
-                net.req_notify_cq(ctx, cq);
+                NetEvent::CqNotify { cq } => {
+                    swc.borrow_mut().extend(net.poll_cq(cq, 64));
+                    net.req_notify_cq(ctx, cq);
+                }
+                _ => {}
             }
-            NetEvent::CqNotify { cq } => {
-                swc.borrow_mut().extend(net.poll_cq(cq, 64));
-                net.req_notify_cq(ctx, cq);
-            }
-            _ => {}
-        }
-    })));
+        })));
     w.net.rdma_listen(addr, server);
 
     // Client: connect and record its QP / completions.
@@ -77,27 +82,31 @@ fn establish(
     let cqp = client_qp.clone();
     let cwc = client_wcs.clone();
     let a = w.a;
-    let client = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
-        let Ok(ev) = msg.downcast::<NetEvent>() else {
-            return;
-        };
-        match *ev {
-            NetEvent::CmEstablished { qp, .. } => {
-                *cqp.borrow_mut() = Some(qp);
+    let client = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+            let Ok(ev) = msg.downcast::<NetEvent>() else {
+                return;
+            };
+            match *ev {
+                NetEvent::CmEstablished { qp, .. } => {
+                    *cqp.borrow_mut() = Some(qp);
+                }
+                NetEvent::CqNotify { cq } => {
+                    cwc.borrow_mut().extend(net.poll_cq(cq, 64));
+                    net.req_notify_cq(ctx, cq);
+                }
+                _ => {}
             }
-            NetEvent::CqNotify { cq } => {
-                cwc.borrow_mut().extend(net.poll_cq(cq, 64));
-                net.req_notify_cq(ctx, cq);
-            }
-            _ => {}
-        }
-    })));
+        })));
     let net = w.net.clone();
-    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
-        let cq = net.create_cq(client);
-        net.req_notify_cq(ctx, cq);
-        net.rdma_connect(ctx, a, client, cq, addr);
-    })));
+    let starter = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+            let cq = net.create_cq(client);
+            net.req_notify_cq(ctx, cq);
+            net.rdma_connect(ctx, a, client, cq, addr);
+        })));
     w.sim.schedule(SimTime::ZERO, starter, ());
     w.sim.run_to_completion();
 
@@ -109,9 +118,11 @@ fn establish(
 /// Post a WR from a one-shot helper actor and run to completion.
 fn post_from_helper(w: &mut World, qp: QpId, wr: SendWr) {
     let net = w.net.clone();
-    let helper = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
-        net.post_send(ctx, qp, wr.clone()).unwrap();
-    })));
+    let helper = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+            net.post_send(ctx, qp, wr.clone()).unwrap();
+        })));
     w.sim.schedule(w.sim.now(), helper, ());
     w.sim.run_to_completion();
 }
@@ -315,20 +326,24 @@ fn connect_to_unbound_rdma_port_fails() {
     let mut w = world();
     let failed: Rc<RefCell<u32>> = Rc::default();
     let f2 = failed.clone();
-    let client = w.sim.add_actor(Box::new(FnActor::new(move |_ctx, _from, msg| {
-        if let Ok(ev) = msg.downcast::<NetEvent>() {
-            if matches!(*ev, NetEvent::CmConnectFailed { .. }) {
-                *f2.borrow_mut() += 1;
+    let client = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |_ctx, _from, msg| {
+            if let Ok(ev) = msg.downcast::<NetEvent>() {
+                if matches!(*ev, NetEvent::CmConnectFailed { .. }) {
+                    *f2.borrow_mut() += 1;
+                }
             }
-        }
-    })));
+        })));
     let net = w.net.clone();
     let a = w.a;
     let b = w.b;
-    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
-        let cq = net.create_cq(client);
-        net.rdma_connect(ctx, a, client, cq, SocketAddr::new(b, 12345));
-    })));
+    let starter = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+            let cq = net.create_cq(client);
+            net.rdma_connect(ctx, a, client, cq, SocketAddr::new(b, 12345));
+        })));
     w.sim.schedule(SimTime::ZERO, starter, ());
     w.sim.run_to_completion();
     assert_eq!(*failed.borrow(), 1);
@@ -339,30 +354,36 @@ fn rejected_connection_reports_failure() {
     let mut w = world();
     let addr = SocketAddr::new(w.b, 6380);
     let net = w.net.clone();
-    let server = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
-        if let Ok(ev) = msg.downcast::<NetEvent>() {
-            if let NetEvent::CmConnectRequest { req, .. } = *ev {
-                net.rdma_reject(ctx, req).expect("fresh CM request");
+    let server = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+            if let Ok(ev) = msg.downcast::<NetEvent>() {
+                if let NetEvent::CmConnectRequest { req, .. } = *ev {
+                    net.rdma_reject(ctx, req).expect("fresh CM request");
+                }
             }
-        }
-    })));
+        })));
     w.net.rdma_listen(addr, server);
 
     let failed: Rc<RefCell<u32>> = Rc::default();
     let f2 = failed.clone();
-    let client = w.sim.add_actor(Box::new(FnActor::new(move |_ctx, _from, msg| {
-        if let Ok(ev) = msg.downcast::<NetEvent>() {
-            if matches!(*ev, NetEvent::CmConnectFailed { .. }) {
-                *f2.borrow_mut() += 1;
+    let client = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |_ctx, _from, msg| {
+            if let Ok(ev) = msg.downcast::<NetEvent>() {
+                if matches!(*ev, NetEvent::CmConnectFailed { .. }) {
+                    *f2.borrow_mut() += 1;
+                }
             }
-        }
-    })));
+        })));
     let net = w.net.clone();
     let a = w.a;
-    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
-        let cq = net.create_cq(client);
-        net.rdma_connect(ctx, a, client, cq, addr);
-    })));
+    let starter = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+            let cq = net.create_cq(client);
+            net.rdma_connect(ctx, a, client, cq, addr);
+        })));
     w.sim.schedule(SimTime::ZERO, starter, ());
     w.sim.run_to_completion();
     assert_eq!(*failed.borrow(), 1);
@@ -378,17 +399,19 @@ fn destroyed_qp_rejects_posts() {
     let result: Rc<RefCell<Option<Result<(), skv_netsim::PostError>>>> = Rc::default();
     let r2 = result.clone();
     let net = w.net.clone();
-    let helper = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
-        *r2.borrow_mut() = Some(net.post_send(
-            ctx,
-            c,
-            SendWr {
-                wr_id: 0,
-                op: SendOp::Send,
-                data: skv_netsim::Frame::new(),
-            },
-        ));
-    })));
+    let helper = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+            *r2.borrow_mut() = Some(net.post_send(
+                ctx,
+                c,
+                SendWr {
+                    wr_id: 0,
+                    op: SendOp::Send,
+                    data: skv_netsim::Frame::new(),
+                },
+            ));
+        })));
     w.sim.schedule(w.sim.now(), helper, ());
     w.sim.run_to_completion();
     assert_eq!(
@@ -407,9 +430,11 @@ fn post_list_from_helper(
     let result: Rc<RefCell<Option<Result<(), skv_netsim::PostListError>>>> = Rc::default();
     let r2 = result.clone();
     let net = w.net.clone();
-    let helper = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
-        *r2.borrow_mut() = Some(net.post_send_list(ctx, qp, wrs.clone()));
-    })));
+    let helper = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+            *r2.borrow_mut() = Some(net.post_send_list(ctx, qp, wrs.clone()));
+        })));
     w.sim.schedule(w.sim.now(), helper, ());
     w.sim.run_to_completion();
     let r = result.borrow().expect("helper ran");

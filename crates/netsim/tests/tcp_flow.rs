@@ -26,13 +26,15 @@ fn world() -> World {
 fn spawn_echo_server(w: &mut World, port: u16) -> ActorId {
     let net = w.net.clone();
     let addr = SocketAddr::new(w.b, port);
-    let id = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
-        if let Ok(ev) = msg.downcast::<NetEvent>() {
-            if let NetEvent::TcpDelivered { conn, bytes } = *ev {
-                net.tcp_send(ctx, conn, bytes);
+    let id = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+            if let Ok(ev) = msg.downcast::<NetEvent>() {
+                if let NetEvent::TcpDelivered { conn, bytes } = *ev {
+                    net.tcp_send(ctx, conn, bytes);
+                }
             }
-        }
-    })));
+        })));
     w.net.tcp_listen(addr, id);
     id
 }
@@ -47,24 +49,28 @@ fn connect_send_echo_roundtrip() {
     let log2 = log.clone();
     let net = w.net.clone();
     let a = w.a;
-    let client = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
-        if let Ok(ev) = msg.downcast::<NetEvent>() {
-            match *ev {
-                NetEvent::TcpConnected { conn, .. } => {
-                    net.tcp_send(ctx, conn, b"hello skv".to_vec());
+    let client = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+            if let Ok(ev) = msg.downcast::<NetEvent>() {
+                match *ev {
+                    NetEvent::TcpConnected { conn, .. } => {
+                        net.tcp_send(ctx, conn, b"hello skv".to_vec());
+                    }
+                    NetEvent::TcpDelivered { bytes, .. } => {
+                        log2.borrow_mut().push((ctx.now(), bytes));
+                    }
+                    _ => {}
                 }
-                NetEvent::TcpDelivered { bytes, .. } => {
-                    log2.borrow_mut().push((ctx.now(), bytes));
-                }
-                _ => {}
             }
-        }
-    })));
+        })));
     // Kick off the connect from inside the client's own context.
     let net = w.net.clone();
-    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
-        net.tcp_connect(ctx, a, client, SocketAddr::new(skv_netsim::NodeId(1), 6379));
-    })));
+    let starter = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+            net.tcp_connect(ctx, a, client, SocketAddr::new(skv_netsim::NodeId(1), 6379));
+        })));
     w.sim.schedule(SimTime::ZERO, starter, ());
     w.sim.run_to_completion();
 
@@ -73,9 +79,13 @@ fn connect_send_echo_roundtrip() {
     assert_eq!(log[0].1, b"hello skv");
     // Round trip must cost at least the handshake plus two stack+wire hops.
     let p = w.net.params();
-    let min = p.connect_latency
-        + (p.tcp_stack_latency + p.tcp_stack_latency + p.tcp_base_latency) * 2;
-    assert!(log[0].0 >= SimTime::ZERO + min, "echo at {} < {min}", log[0].0);
+    let min =
+        p.connect_latency + (p.tcp_stack_latency + p.tcp_stack_latency + p.tcp_base_latency) * 2;
+    assert!(
+        log[0].0 >= SimTime::ZERO + min,
+        "echo at {} < {min}",
+        log[0].0
+    );
     assert_eq!(w.net.counters().get("tcp.messages"), 2);
 }
 
@@ -99,30 +109,35 @@ fn deliveries_are_in_order() {
     let got: Rc<RefCell<Vec<u8>>> = Rc::default();
     let got2 = got.clone();
     let net = w.net.clone();
-    let client = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
-        if let Ok(ev) = msg.downcast::<NetEvent>() {
-            match *ev {
-                NetEvent::TcpConnected { conn, .. } => {
-                    // Burst of differently-sized messages: a large one first,
-                    // then small ones that would overtake it were ordering
-                    // not enforced.
-                    net.tcp_send(ctx, conn, vec![0u8; 64 * 1024]);
-                    for i in 1..=5u8 {
-                        net.tcp_send(ctx, conn, vec![i]);
+    let client = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+            if let Ok(ev) = msg.downcast::<NetEvent>() {
+                match *ev {
+                    NetEvent::TcpConnected { conn, .. } => {
+                        // Burst of differently-sized messages: a large one first,
+                        // then small ones that would overtake it were ordering
+                        // not enforced.
+                        net.tcp_send(ctx, conn, vec![0u8; 64 * 1024]);
+                        for i in 1..=5u8 {
+                            net.tcp_send(ctx, conn, vec![i]);
+                        }
                     }
+                    NetEvent::TcpDelivered { bytes, .. } => {
+                        got2.borrow_mut()
+                            .push(if bytes.len() > 1 { 0 } else { bytes[0] });
+                    }
+                    _ => {}
                 }
-                NetEvent::TcpDelivered { bytes, .. } => {
-                    got2.borrow_mut().push(if bytes.len() > 1 { 0 } else { bytes[0] });
-                }
-                _ => {}
             }
-        }
-    })));
+        })));
     let net = w.net.clone();
     let a = w.a;
-    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
-        net.tcp_connect(ctx, a, client, SocketAddr::new(skv_netsim::NodeId(1), 7000));
-    })));
+    let starter = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+            net.tcp_connect(ctx, a, client, SocketAddr::new(skv_netsim::NodeId(1), 7000));
+        })));
     w.sim.schedule(SimTime::ZERO, starter, ());
     w.sim.run_to_completion();
     assert_eq!(*got.borrow(), vec![0, 1, 2, 3, 4, 5]);
@@ -133,19 +148,23 @@ fn connect_to_unbound_port_fails() {
     let mut w = world();
     let failed: Rc<RefCell<u32>> = Rc::default();
     let f2 = failed.clone();
-    let client = w.sim.add_actor(Box::new(FnActor::new(move |_ctx, _from, msg| {
-        if let Ok(ev) = msg.downcast::<NetEvent>() {
-            if matches!(*ev, NetEvent::TcpConnectFailed { .. }) {
-                *f2.borrow_mut() += 1;
+    let client = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |_ctx, _from, msg| {
+            if let Ok(ev) = msg.downcast::<NetEvent>() {
+                if matches!(*ev, NetEvent::TcpConnectFailed { .. }) {
+                    *f2.borrow_mut() += 1;
+                }
             }
-        }
-    })));
+        })));
     let net = w.net.clone();
     let a = w.a;
     let b = w.b;
-    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
-        net.tcp_connect(ctx, a, client, SocketAddr::new(b, 9999));
-    })));
+    let starter = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+            net.tcp_connect(ctx, a, client, SocketAddr::new(b, 9999));
+        })));
     w.sim.schedule(SimTime::ZERO, starter, ());
     w.sim.run_to_completion();
     assert_eq!(*failed.borrow(), 1);
@@ -159,19 +178,23 @@ fn connect_to_down_node_fails() {
 
     let failed: Rc<RefCell<u32>> = Rc::default();
     let f2 = failed.clone();
-    let client = w.sim.add_actor(Box::new(FnActor::new(move |_ctx, _from, msg| {
-        if let Ok(ev) = msg.downcast::<NetEvent>() {
-            if matches!(*ev, NetEvent::TcpConnectFailed { .. }) {
-                *f2.borrow_mut() += 1;
+    let client = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |_ctx, _from, msg| {
+            if let Ok(ev) = msg.downcast::<NetEvent>() {
+                if matches!(*ev, NetEvent::TcpConnectFailed { .. }) {
+                    *f2.borrow_mut() += 1;
+                }
             }
-        }
-    })));
+        })));
     let net = w.net.clone();
     let a = w.a;
     let b = w.b;
-    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
-        net.tcp_connect(ctx, a, client, SocketAddr::new(b, 6379));
-    })));
+    let starter = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+            net.tcp_connect(ctx, a, client, SocketAddr::new(b, 6379));
+        })));
     w.sim.schedule(SimTime::ZERO, starter, ());
     w.sim.run_to_completion();
     assert_eq!(*failed.borrow(), 1);
@@ -182,32 +205,38 @@ fn sends_to_down_node_are_dropped() {
     let mut w = world();
     let delivered: Rc<RefCell<u32>> = Rc::default();
     let d2 = delivered.clone();
-    let server = w.sim.add_actor(Box::new(FnActor::new(move |_ctx, _from, msg| {
-        if let Ok(ev) = msg.downcast::<NetEvent>() {
-            if matches!(*ev, NetEvent::TcpDelivered { .. }) {
-                *d2.borrow_mut() += 1;
+    let server = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |_ctx, _from, msg| {
+            if let Ok(ev) = msg.downcast::<NetEvent>() {
+                if matches!(*ev, NetEvent::TcpDelivered { .. }) {
+                    *d2.borrow_mut() += 1;
+                }
             }
-        }
-    })));
+        })));
     w.net.tcp_listen(SocketAddr::new(w.b, 6379), server);
 
     let conn_slot: Rc<RefCell<Option<TcpConnId>>> = Rc::default();
     let cs = conn_slot.clone();
     let net = w.net.clone();
-    let client = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
-        if let Ok(ev) = msg.downcast::<NetEvent>() {
-            if let NetEvent::TcpConnected { conn, .. } = *ev {
-                *cs.borrow_mut() = Some(conn);
-                net.tcp_send(ctx, conn, b"one".to_vec());
+    let client = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+            if let Ok(ev) = msg.downcast::<NetEvent>() {
+                if let NetEvent::TcpConnected { conn, .. } = *ev {
+                    *cs.borrow_mut() = Some(conn);
+                    net.tcp_send(ctx, conn, b"one".to_vec());
+                }
             }
-        }
-    })));
+        })));
     let net = w.net.clone();
     let a = w.a;
     let b = w.b;
-    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
-        net.tcp_connect(ctx, a, client, SocketAddr::new(b, 6379));
-    })));
+    let starter = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+            net.tcp_connect(ctx, a, client, SocketAddr::new(b, 6379));
+        })));
     w.sim.schedule(SimTime::ZERO, starter, ());
     w.sim.run_to_completion();
     assert_eq!(*delivered.borrow(), 1);
@@ -216,9 +245,11 @@ fn sends_to_down_node_are_dropped() {
     w.net.set_node_up(w.b, false);
     let conn = conn_slot.borrow().unwrap();
     let net = w.net.clone();
-    let sender = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
-        net.tcp_send(ctx, conn, b"two".to_vec());
-    })));
+    let sender = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+            net.tcp_send(ctx, conn, b"two".to_vec());
+        })));
     w.sim.schedule_in(SimDuration::from_millis(1), sender, ());
     w.sim.run_to_completion();
     assert_eq!(*delivered.borrow(), 1);
@@ -230,29 +261,35 @@ fn close_notifies_peer() {
     let mut w = world();
     let closed: Rc<RefCell<u32>> = Rc::default();
     let c2 = closed.clone();
-    let server = w.sim.add_actor(Box::new(FnActor::new(move |_ctx, _from, msg| {
-        if let Ok(ev) = msg.downcast::<NetEvent>() {
-            if matches!(*ev, NetEvent::TcpClosed { .. }) {
-                *c2.borrow_mut() += 1;
+    let server = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |_ctx, _from, msg| {
+            if let Ok(ev) = msg.downcast::<NetEvent>() {
+                if matches!(*ev, NetEvent::TcpClosed { .. }) {
+                    *c2.borrow_mut() += 1;
+                }
             }
-        }
-    })));
+        })));
     w.net.tcp_listen(SocketAddr::new(w.b, 6379), server);
 
     let net = w.net.clone();
-    let client = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
-        if let Ok(ev) = msg.downcast::<NetEvent>() {
-            if let NetEvent::TcpConnected { conn, .. } = *ev {
-                net.tcp_close(ctx, conn);
+    let client = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, msg| {
+            if let Ok(ev) = msg.downcast::<NetEvent>() {
+                if let NetEvent::TcpConnected { conn, .. } = *ev {
+                    net.tcp_close(ctx, conn);
+                }
             }
-        }
-    })));
+        })));
     let net = w.net.clone();
     let a = w.a;
     let b = w.b;
-    let starter = w.sim.add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
-        net.tcp_connect(ctx, a, client, SocketAddr::new(b, 6379));
-    })));
+    let starter = w
+        .sim
+        .add_actor(Box::new(FnActor::new(move |ctx, _from, _msg| {
+            net.tcp_connect(ctx, a, client, SocketAddr::new(b, 6379));
+        })));
     w.sim.schedule(SimTime::ZERO, starter, ());
     w.sim.run_to_completion();
     assert_eq!(*closed.borrow(), 1);

@@ -73,7 +73,8 @@ impl Simulation {
     /// Register an actor and immediately run its [`Actor::on_start`] hook at
     /// the current simulated time.
     pub fn add_actor(&mut self, actor: Box<dyn Actor>) -> ActorId {
-        let id = ActorId::from_raw(self.actors.len() as u32);
+        let raw = u32::try_from(self.actors.len()).expect("actor id space exhausted");
+        let id = ActorId::from_raw(raw);
         self.actors.push(Some(actor));
         // Run on_start with a full context so the actor can set timers.
         let mut slot = self.actors[id.index()].take();

@@ -154,7 +154,11 @@ impl Frame {
     /// # Panics
     /// If `n > self.len()`.
     pub fn advance(&mut self, n: usize) {
-        assert!(n <= self.len, "advance {n} past end of frame of {}", self.len);
+        assert!(
+            n <= self.len,
+            "advance {n} past end of frame of {}",
+            self.len
+        );
         self.off += n;
         self.len -= n;
     }

@@ -47,8 +47,8 @@
 
 mod actor;
 mod cpu;
-mod event;
 mod engine;
+mod event;
 pub mod frame;
 pub mod pool;
 mod rng;

@@ -31,6 +31,10 @@ impl Default for Histogram {
     }
 }
 
+// Bucket arithmetic: indices are `< RANGES * SUB_COUNT` by construction
+// and quantile targets are clamped into `[1, total]`, so the `as` casts
+// in this impl cannot truncate meaningfully.
+#[allow(clippy::cast_possible_truncation)]
 impl Histogram {
     /// Create an empty histogram.
     pub fn new() -> Self {
@@ -67,7 +71,9 @@ impl Histogram {
             let range = (idx - SUB_COUNT) / SUB_COUNT;
             let sub = idx & (SUB_COUNT - 1);
             // Bucket covers [(SUB_COUNT+sub) << range, (SUB_COUNT+sub+1) << range).
-            let base = (SUB_COUNT + sub).checked_shl(range as u32).unwrap_or(u64::MAX);
+            let base = (SUB_COUNT + sub)
+                .checked_shl(range as u32)
+                .unwrap_or(u64::MAX);
             let span = 1u64.checked_shl(range as u32).unwrap_or(u64::MAX);
             base.saturating_add(span / 2)
         }

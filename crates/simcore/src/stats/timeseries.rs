@@ -7,6 +7,12 @@
 
 use crate::time::{SimDuration, SimTime};
 
+/// Bucket index for a nanosecond count (a `u64` bucket number only
+/// overflows `usize` on 32-bit targets, and then it should be loud).
+fn bucket_index(nanos: u64, width: u64) -> usize {
+    usize::try_from(nanos / width).expect("time-series bucket index overflows usize")
+}
+
 /// Counts events into fixed-width time buckets.
 #[derive(Debug, Clone)]
 pub struct TimeSeries {
@@ -45,7 +51,7 @@ impl TimeSeries {
 
     /// Record one event at time `t`.
     pub fn record(&mut self, t: SimTime) {
-        let idx = (t.as_nanos() / self.bucket_width.as_nanos()) as usize;
+        let idx = bucket_index(t.as_nanos(), self.bucket_width.as_nanos());
         if idx >= self.counts.len() {
             self.counts.resize(idx + 1, 0);
         }
@@ -54,7 +60,7 @@ impl TimeSeries {
 
     /// Record `n` events at time `t`.
     pub fn record_n(&mut self, t: SimTime, n: u64) {
-        let idx = (t.as_nanos() / self.bucket_width.as_nanos()) as usize;
+        let idx = bucket_index(t.as_nanos(), self.bucket_width.as_nanos());
         if idx >= self.counts.len() {
             self.counts.resize(idx + 1, 0);
         }
@@ -84,15 +90,15 @@ impl TimeSeries {
 
     /// Count within the bucket containing `t` (0 if none recorded).
     pub fn count_at(&self, t: SimTime) -> u64 {
-        let idx = (t.as_nanos() / self.bucket_width.as_nanos()) as usize;
+        let idx = bucket_index(t.as_nanos(), self.bucket_width.as_nanos());
         self.counts.get(idx).copied().unwrap_or(0)
     }
 
     /// Total events recorded in `[from, to)`.
     pub fn count_between(&self, from: SimTime, to: SimTime) -> u64 {
         let w = self.bucket_width.as_nanos();
-        let lo = (from.as_nanos() / w) as usize;
-        let hi = (to.as_nanos().saturating_add(w - 1) / w) as usize;
+        let lo = bucket_index(from.as_nanos(), w);
+        let hi = bucket_index(to.as_nanos().saturating_add(w - 1), w);
         self.counts
             .iter()
             .enumerate()

@@ -85,6 +85,18 @@ impl SimTime {
     }
 }
 
+/// Round fractional nanoseconds to ticks. Non-finite and negative
+/// inputs clamp to zero; overflow saturates at `u64::MAX` (the defined
+/// behaviour of a float-to-int `as` cast), which is the intended clamp.
+#[allow(clippy::cast_possible_truncation)]
+fn ticks_from_f64(ns: f64) -> u64 {
+    if !ns.is_finite() || ns <= 0.0 {
+        0
+    } else {
+        ns.round() as u64
+    }
+}
+
 impl SimDuration {
     /// A zero-length span.
     pub const ZERO: SimDuration = SimDuration(0);
@@ -118,19 +130,13 @@ impl SimDuration {
     /// Negative or non-finite inputs clamp to zero: durations are lengths.
     #[inline]
     pub fn from_micros_f64(us: f64) -> Self {
-        if !us.is_finite() || us <= 0.0 {
-            return SimDuration(0);
-        }
-        SimDuration((us * 1_000.0).round() as u64)
+        SimDuration(ticks_from_f64(us * 1_000.0))
     }
 
     /// Construct from fractional seconds (rounds to nearest ns, clamps at 0).
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
-        if !s.is_finite() || s <= 0.0 {
-            return SimDuration(0);
-        }
-        SimDuration((s * 1_000_000_000.0).round() as u64)
+        SimDuration(ticks_from_f64(s * 1_000_000_000.0))
     }
 
     /// Raw nanoseconds.
@@ -161,11 +167,7 @@ impl SimDuration {
     /// Clamps negative and non-finite results to zero.
     #[inline]
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        let scaled = self.0 as f64 * factor;
-        if !scaled.is_finite() || scaled <= 0.0 {
-            return SimDuration(0);
-        }
-        SimDuration(scaled.round() as u64)
+        SimDuration(ticks_from_f64(self.0 as f64 * factor))
     }
 
     /// The longer of two spans.

@@ -47,7 +47,8 @@ pub(super) fn setbit(ctx: &mut ExecCtx<'_>, args: &[Vec<u8>]) -> Resp {
     } else {
         bytes[byte_idx] &= !(1 << bit_idx);
     }
-    ctx.db.set_keep_ttl(&args[1], RObj::Str(Sds::from_vec(bytes)));
+    ctx.db
+        .set_keep_ttl(&args[1], RObj::Str(Sds::from_vec(bytes)));
     Resp::Int(old as i64)
 }
 

@@ -107,7 +107,10 @@ pub(super) fn hdel(ctx: &mut ExecCtx<'_>, args: &[Vec<u8>]) -> Resp {
         Ok(None) => return Resp::Int(0),
         Err(e) => return e,
     };
-    let removed = args[2..].iter().filter(|f| hash.remove(f).is_some()).count();
+    let removed = args[2..]
+        .iter()
+        .filter(|f| hash.remove(f).is_some())
+        .count();
     ctx.db.mark_dirty(removed as u64);
     reap_if_empty(ctx, &args[1]);
     Resp::Int(removed as i64)
@@ -131,7 +134,7 @@ pub(super) fn hlen(ctx: &mut ExecCtx<'_>, args: &[Vec<u8>]) -> Resp {
 
 pub(super) fn hstrlen(ctx: &mut ExecCtx<'_>, args: &[Vec<u8>]) -> Resp {
     match with_hash(ctx, &args[1], false) {
-        Ok(Some(h)) => Resp::Int(h.get(&args[2]).map_or(0, |v| v.len()) as i64),
+        Ok(Some(h)) => Resp::Int(h.get(&args[2]).map_or(0, Sds::len) as i64),
         Ok(None) => Resp::Int(0),
         Err(e) => e,
     }

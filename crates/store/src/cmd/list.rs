@@ -82,7 +82,13 @@ fn pop_generic(ctx: &mut ExecCtx<'_>, args: &[Vec<u8>], front: bool) -> Resp {
     };
     let list = match with_list(ctx, &args[1], false) {
         Ok(Some(l)) => l,
-        Ok(None) => return if count.is_some() { Resp::NullArray } else { Resp::NullBulk },
+        Ok(None) => {
+            return if count.is_some() {
+                Resp::NullArray
+            } else {
+                Resp::NullBulk
+            }
+        }
         Err(e) => return e,
     };
     let mut popped = Vec::new();
@@ -176,7 +182,11 @@ pub(super) fn lindex(ctx: &mut ExecCtx<'_>, args: &[Vec<u8>]) -> Resp {
         Ok(None) => return Resp::NullBulk,
         Err(e) => return e,
     };
-    let real = if idx < 0 { list.len() as i64 + idx } else { idx };
+    let real = if idx < 0 {
+        list.len() as i64 + idx
+    } else {
+        idx
+    };
     if real < 0 || real as usize >= list.len() {
         Resp::NullBulk
     } else {
@@ -195,7 +205,11 @@ pub(super) fn lset(ctx: &mut ExecCtx<'_>, args: &[Vec<u8>]) -> Resp {
         Ok(None) => return Resp::err("no such key"),
         Err(e) => return e,
     };
-    let real = if idx < 0 { list.len() as i64 + idx } else { idx };
+    let real = if idx < 0 {
+        list.len() as i64 + idx
+    } else {
+        idx
+    };
     if real < 0 || real as usize >= list.len() {
         return Resp::err("index out of range");
     }

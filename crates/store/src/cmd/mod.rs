@@ -221,7 +221,7 @@ pub static COMMANDS: &[CommandSpec] = &[
 
 /// Look up a command by (case-insensitive) name.
 pub fn lookup(name: &[u8]) -> Option<&'static CommandSpec> {
-    let upper: Vec<u8> = name.iter().map(|b| b.to_ascii_uppercase()).collect();
+    let upper: Vec<u8> = name.iter().map(u8::to_ascii_uppercase).collect();
     COMMANDS.iter().find(|c| c.name.as_bytes() == upper)
 }
 

@@ -5,8 +5,8 @@
 //! hint bounds the *buckets* visited per call, not the elements returned,
 //! and compact encodings (intsets) are returned in one shot with cursor 0.
 
-use super::{format_f64, parse_i64, ExecCtx};
 use super::keyspace::glob_match;
+use super::{format_f64, parse_i64, ExecCtx};
 use crate::object::{RObj, SetObj};
 use crate::resp::Resp;
 

@@ -302,7 +302,9 @@ mod tests {
         }
         let mut state = 99u64;
         let mut rand = move |n: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // Use high bits: an LCG's low bits cycle too regularly to sample with.
             (state >> 16) % n.max(1)
         };

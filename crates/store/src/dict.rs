@@ -115,7 +115,10 @@ impl<V> Dict<V> {
         }
         let ht1 = self.ht1.as_ref()?;
         let idx = ht1.index(key);
-        ht1.buckets[idx].iter().find(|(k, _)| &**k == key).map(|(_, v)| v)
+        ht1.buckets[idx]
+            .iter()
+            .find(|(k, _)| &**k == key)
+            .map(|(_, v)| v)
     }
 
     /// Mutable lookup (performs a rehash step, as any Redis dict op would).
@@ -218,10 +221,11 @@ impl<V> Dict<V> {
             .buckets
             .iter()
             .flat_map(|b| b.iter().map(|(k, v)| (&**k, v)));
-        let t1 = self
-            .ht1
-            .iter()
-            .flat_map(|t| t.buckets.iter().flat_map(|b| b.iter().map(|(k, v)| (&**k, v))));
+        let t1 = self.ht1.iter().flat_map(|t| {
+            t.buckets
+                .iter()
+                .flat_map(|b| b.iter().map(|(k, v)| (&**k, v)))
+        });
         t0.chain(t1)
     }
 
@@ -253,8 +257,11 @@ impl<V> Dict<V> {
             let bucket = if idx < self.ht0.buckets.len() {
                 &self.ht0.buckets[idx]
             } else {
-                &self.ht1.as_ref().expect("idx beyond ht0 implies ht1").buckets
-                    [idx - self.ht0.buckets.len()]
+                &self
+                    .ht1
+                    .as_ref()
+                    .expect("idx beyond ht0 implies ht1")
+                    .buckets[idx - self.ht0.buckets.len()]
             };
             if !bucket.is_empty() {
                 let (k, v) = &bucket[r(bucket.len() as u64) as usize];
@@ -267,7 +274,7 @@ impl<V> Dict<V> {
     /// Remove entries for which `pred` returns false. Returns removed count.
     pub fn retain(&mut self, mut pred: impl FnMut(&[u8], &mut V) -> bool) -> usize {
         let mut removed = 0;
-        for bucket in self.ht0.buckets.iter_mut() {
+        for bucket in &mut self.ht0.buckets {
             let before = bucket.len();
             bucket.retain_mut(|(k, v)| pred(k, v));
             let delta = before - bucket.len();
@@ -275,7 +282,7 @@ impl<V> Dict<V> {
             removed += delta;
         }
         if let Some(ht1) = self.ht1.as_mut() {
-            for bucket in ht1.buckets.iter_mut() {
+            for bucket in &mut ht1.buckets {
                 let before = bucket.len();
                 bucket.retain_mut(|(k, v)| pred(k, v));
                 let delta = before - bucket.len();

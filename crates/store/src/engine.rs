@@ -64,7 +64,7 @@ impl Engine {
     /// Execute one parsed command at simulated time `now_ms`.
     pub fn execute(&mut self, now_ms: u64, args: &[Vec<u8>]) -> ExecResult {
         let dirty_before = self.db.dirty();
-        let bytes_touched = args.iter().map(|a| a.len()).sum();
+        let bytes_touched = args.iter().map(Vec::len).sum();
         let (reply, spec) = {
             let mut ctx = ExecCtx {
                 db: &mut self.db,

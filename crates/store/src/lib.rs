@@ -32,6 +32,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
+// RESP carries counts and ranges as i64; every cast below clamps to a
+// container length first, so the "32-bit pointer width" truncation this
+// lint fears cannot exceed what fits in memory. Wire-format casts (the
+// ones that corrupt frames) are enforced separately by skv-analyze.
+#![allow(clippy::cast_possible_truncation)]
 
 pub mod backlog;
 pub mod cmd;

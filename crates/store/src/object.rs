@@ -273,13 +273,17 @@ impl RObj {
         match self {
             RObj::Str(s) => s.len(),
             RObj::Int(_) => 8,
-            RObj::List(l) => l.iter().map(|s| s.len()).sum(),
+            RObj::List(l) => l.iter().map(Sds::len).sum(),
             RObj::Set(s) => match s {
                 SetObj::Ints(i) => i.memory_usage(),
                 SetObj::Dict(d) => d.iter().map(|(k, _)| k.len()).sum(),
             },
             RObj::Hash(h) => h.iter().map(|(k, v)| k.len() + v.len()).sum(),
-            RObj::ZSet(z) => z.range(0, usize::MAX - 1).iter().map(|(m, _)| m.len() + 8).sum(),
+            RObj::ZSet(z) => z
+                .range(0, usize::MAX - 1)
+                .iter()
+                .map(|(m, _)| m.len() + 8)
+                .sum(),
         }
     }
 }

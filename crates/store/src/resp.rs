@@ -51,9 +51,7 @@ impl Resp {
 
     /// The `WRONGTYPE` error Redis returns on type mismatches.
     pub fn wrongtype() -> Resp {
-        Resp::Error(
-            "WRONGTYPE Operation against a key holding the wrong kind of value".into(),
-        )
+        Resp::Error("WRONGTYPE Operation against a key holding the wrong kind of value".into())
     }
 
     /// Build a command frame: an array of bulk strings.
@@ -85,7 +83,7 @@ impl Resp {
     fn encoded_len_hint(&self) -> usize {
         match self {
             Resp::Bulk(b) => b.len() + 16,
-            Resp::Array(items) => items.iter().map(|i| i.encoded_len_hint()).sum::<usize>() + 16,
+            Resp::Array(items) => items.iter().map(Resp::encoded_len_hint).sum::<usize>() + 16,
             _ => 32,
         }
     }
@@ -188,10 +186,16 @@ fn parse_at(buf: &[u8], at: usize) -> ParseResult {
     }
     match buf[at] {
         b'+' => Ok(parse_line(buf, at + 1)?.map(|(line, next)| {
-            (Resp::Simple(String::from_utf8_lossy(line).into_owned()), next)
+            (
+                Resp::Simple(String::from_utf8_lossy(line).into_owned()),
+                next,
+            )
         })),
         b'-' => Ok(parse_line(buf, at + 1)?.map(|(line, next)| {
-            (Resp::Error(String::from_utf8_lossy(line).into_owned()), next)
+            (
+                Resp::Error(String::from_utf8_lossy(line).into_owned()),
+                next,
+            )
         })),
         b':' => Ok(parse_int_line(buf, at + 1)?.map(|(v, next)| (Resp::Int(v), next))),
         b'$' => {
@@ -211,7 +215,10 @@ fn parse_at(buf: &[u8], at: usize) -> ParseResult {
             if &buf[next + len..next + len + 2] != b"\r\n" {
                 return Err("bulk string not CRLF-terminated".into());
             }
-            Ok(Some((Resp::Bulk(buf[next..next + len].to_vec()), next + len + 2)))
+            Ok(Some((
+                Resp::Bulk(buf[next..next + len].to_vec()),
+                next + len + 2,
+            )))
         }
         b'*' => {
             let Some((n, mut next)) = parse_int_line(buf, at + 1)? else {
@@ -401,7 +408,9 @@ mod tests {
 
     #[test]
     fn into_command_args() {
-        let args = Resp::command(["SET", "k", "v"]).into_command_args().unwrap();
+        let args = Resp::command(["SET", "k", "v"])
+            .into_command_args()
+            .unwrap();
         assert_eq!(args, vec![b"SET".to_vec(), b"k".to_vec(), b"v".to_vec()]);
         assert!(Resp::Int(5).into_command_args().is_err());
         assert!(Resp::Array(vec![]).into_command_args().is_err());

@@ -221,10 +221,7 @@ mod tests {
         assert_eq!(Sds::from("1.5").parse_i64(), None);
         assert_eq!(Sds::from("").parse_i64(), None);
         assert_eq!(Sds::from("abc").parse_i64(), None);
-        assert_eq!(
-            Sds::from("9223372036854775807").parse_i64(),
-            Some(i64::MAX)
-        );
+        assert_eq!(Sds::from("9223372036854775807").parse_i64(), Some(i64::MAX));
         assert_eq!(Sds::from("9223372036854775808").parse_i64(), None);
     }
 

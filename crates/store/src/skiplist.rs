@@ -106,7 +106,11 @@ impl SkipList {
 
         let mut x = 0;
         for lvl in (0..self.level).rev() {
-            rank[lvl] = if lvl == self.level - 1 { 0 } else { rank[lvl + 1] };
+            rank[lvl] = if lvl == self.level - 1 {
+                0
+            } else {
+                rank[lvl + 1]
+            };
             loop {
                 let fwd = self.nodes[x].links[lvl].forward;
                 if fwd == NIL {
@@ -258,8 +262,7 @@ impl SkipList {
                     break;
                 }
                 let f = &self.nodes[fwd];
-                let go = f.score < score
-                    || (f.score == score && f.member.as_bytes() <= member);
+                let go = f.score < score || (f.score == score && f.member.as_bytes() <= member);
                 if go {
                     rank += self.nodes[x].links[lvl].span;
                     x = fwd;

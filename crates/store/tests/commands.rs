@@ -150,16 +150,16 @@ fn getrange_setrange() {
     r(&mut e, &["SET", "k", "This is a string"]);
     assert_eq!(r(&mut e, &["GETRANGE", "k", "0", "3"]), bulk("This"));
     assert_eq!(r(&mut e, &["GETRANGE", "k", "-3", "-1"]), bulk("ing"));
-    assert_eq!(r(&mut e, &["GETRANGE", "k", "0", "-1"]), bulk("This is a string"));
+    assert_eq!(
+        r(&mut e, &["GETRANGE", "k", "0", "-1"]),
+        bulk("This is a string")
+    );
     assert_eq!(r(&mut e, &["GETRANGE", "missing", "0", "-1"]), bulk(""));
     assert_eq!(r(&mut e, &["SETRANGE", "k", "10", "Rust!!"]), Resp::Int(16));
     assert_eq!(r(&mut e, &["GET", "k"]), bulk("This is a Rust!!"));
     // Zero-padding on extension.
     assert_eq!(r(&mut e, &["SETRANGE", "pad", "3", "x"]), Resp::Int(4));
-    assert_eq!(
-        r(&mut e, &["GET", "pad"]),
-        Resp::Bulk(vec![0, 0, 0, b'x'])
-    );
+    assert_eq!(r(&mut e, &["GET", "pad"]), Resp::Bulk(vec![0, 0, 0, b'x']));
     // SETRANGE with empty value on a missing key creates nothing.
     assert_eq!(r(&mut e, &["SETRANGE", "nada", "5", ""]), Resp::Int(0));
     assert_eq!(r(&mut e, &["EXISTS", "nada"]), Resp::Int(0));
@@ -236,7 +236,10 @@ fn keys_glob() {
     assert_eq!(r(&mut e, &["KEYS", "t*"]), array(&["three", "two"]));
     assert_eq!(r(&mut e, &["KEYS", "*o*"]), array(&["four", "one", "two"]));
     assert_eq!(r(&mut e, &["KEYS", "?????"]), array(&["three"]));
-    assert_eq!(r(&mut e, &["KEYS", "*"]), array(&["four", "one", "three", "two"]));
+    assert_eq!(
+        r(&mut e, &["KEYS", "*"]),
+        array(&["four", "one", "three", "two"])
+    );
 }
 
 #[test]
@@ -292,7 +295,10 @@ fn pop_with_count() {
 fn lrange_lindex_lset() {
     let mut e = eng();
     r(&mut e, &["RPUSH", "l", "a", "b", "c", "d", "e"]);
-    assert_eq!(r(&mut e, &["LRANGE", "l", "0", "2"]), array(&["a", "b", "c"]));
+    assert_eq!(
+        r(&mut e, &["LRANGE", "l", "0", "2"]),
+        array(&["a", "b", "c"])
+    );
     assert_eq!(r(&mut e, &["LRANGE", "l", "-2", "-1"]), array(&["d", "e"]));
     assert_eq!(r(&mut e, &["LRANGE", "l", "3", "1"]), Resp::Array(vec![]));
     assert_eq!(r(&mut e, &["LINDEX", "l", "0"]), bulk("a"));
@@ -309,14 +315,20 @@ fn ltrim_and_lrem() {
     let mut e = eng();
     r(&mut e, &["RPUSH", "l", "a", "b", "c", "d", "e"]);
     assert_eq!(r(&mut e, &["LTRIM", "l", "1", "3"]), Resp::ok());
-    assert_eq!(r(&mut e, &["LRANGE", "l", "0", "-1"]), array(&["b", "c", "d"]));
+    assert_eq!(
+        r(&mut e, &["LRANGE", "l", "0", "-1"]),
+        array(&["b", "c", "d"])
+    );
     // Trim to nothing reaps the key.
     assert_eq!(r(&mut e, &["LTRIM", "l", "5", "10"]), Resp::ok());
     assert_eq!(r(&mut e, &["EXISTS", "l"]), Resp::Int(0));
 
     r(&mut e, &["RPUSH", "m", "x", "y", "x", "y", "x"]);
     assert_eq!(r(&mut e, &["LREM", "m", "2", "x"]), Resp::Int(2));
-    assert_eq!(r(&mut e, &["LRANGE", "m", "0", "-1"]), array(&["y", "y", "x"]));
+    assert_eq!(
+        r(&mut e, &["LRANGE", "m", "0", "-1"]),
+        array(&["y", "y", "x"])
+    );
     assert_eq!(r(&mut e, &["LREM", "m", "-1", "y"]), Resp::Int(1));
     assert_eq!(r(&mut e, &["LRANGE", "m", "0", "-1"]), array(&["y", "x"]));
     assert_eq!(r(&mut e, &["LREM", "m", "0", "q"]), Resp::Int(0));
@@ -344,7 +356,11 @@ fn sadd_srem_scard_sismember() {
     assert_eq!(r(&mut e, &["SISMEMBER", "s", "z"]), Resp::Int(0));
     assert_eq!(r(&mut e, &["SREM", "s", "a", "z"]), Resp::Int(1));
     assert_eq!(r(&mut e, &["SREM", "s", "b"]), Resp::Int(1));
-    assert_eq!(r(&mut e, &["EXISTS", "s"]), Resp::Int(0), "empty set reaped");
+    assert_eq!(
+        r(&mut e, &["EXISTS", "s"]),
+        Resp::Int(0),
+        "empty set reaped"
+    );
 }
 
 #[test]
@@ -354,7 +370,10 @@ fn smembers_sorted_and_intset_transparency() {
     assert_eq!(r(&mut e, &["SMEMBERS", "s"]), array(&["1", "2", "3"]));
     // Adding a non-integer converts the encoding invisibly.
     r(&mut e, &["SADD", "s", "apple"]);
-    assert_eq!(r(&mut e, &["SMEMBERS", "s"]), array(&["1", "2", "3", "apple"]));
+    assert_eq!(
+        r(&mut e, &["SMEMBERS", "s"]),
+        array(&["1", "2", "3", "apple"])
+    );
     assert_eq!(r(&mut e, &["SCARD", "s"]), Resp::Int(4));
 }
 
@@ -394,14 +413,21 @@ fn spop_and_srandmember() {
 #[test]
 fn hset_hget_hdel() {
     let mut e = eng();
-    assert_eq!(r(&mut e, &["HSET", "h", "f1", "v1", "f2", "v2"]), Resp::Int(2));
+    assert_eq!(
+        r(&mut e, &["HSET", "h", "f1", "v1", "f2", "v2"]),
+        Resp::Int(2)
+    );
     assert_eq!(r(&mut e, &["HSET", "h", "f1", "v1b"]), Resp::Int(0));
     assert_eq!(r(&mut e, &["HGET", "h", "f1"]), bulk("v1b"));
     assert_eq!(r(&mut e, &["HGET", "h", "nope"]), Resp::NullBulk);
     assert_eq!(r(&mut e, &["HLEN", "h"]), Resp::Int(2));
     assert_eq!(r(&mut e, &["HEXISTS", "h", "f2"]), Resp::Int(1));
     assert_eq!(r(&mut e, &["HDEL", "h", "f1", "f2", "nope"]), Resp::Int(2));
-    assert_eq!(r(&mut e, &["EXISTS", "h"]), Resp::Int(0), "empty hash reaped");
+    assert_eq!(
+        r(&mut e, &["EXISTS", "h"]),
+        Resp::Int(0),
+        "empty hash reaped"
+    );
     assert!(r(&mut e, &["HSET", "h", "f1"]).is_error(), "odd arg count");
 }
 
@@ -457,7 +483,10 @@ fn zadd_nx_xx_ch_flags() {
     assert_eq!(r(&mut e, &["ZADD", "z", "XX", "5", "new"]), Resp::Int(0));
     assert_eq!(r(&mut e, &["ZCARD", "z"]), Resp::Int(1));
     // CH counts changes as well as adds.
-    assert_eq!(r(&mut e, &["ZADD", "z", "CH", "2", "a", "3", "b"]), Resp::Int(2));
+    assert_eq!(
+        r(&mut e, &["ZADD", "z", "CH", "2", "a", "3", "b"]),
+        Resp::Int(2)
+    );
     assert!(r(&mut e, &["ZADD", "z", "NX", "XX", "1", "m"]).is_error());
 }
 
@@ -468,7 +497,10 @@ fn zrank_zrange() {
     assert_eq!(r(&mut e, &["ZRANK", "z", "a"]), Resp::Int(0));
     assert_eq!(r(&mut e, &["ZRANK", "z", "c"]), Resp::Int(2));
     assert_eq!(r(&mut e, &["ZRANK", "z", "nope"]), Resp::NullBulk);
-    assert_eq!(r(&mut e, &["ZRANGE", "z", "0", "-1"]), array(&["a", "b", "c"]));
+    assert_eq!(
+        r(&mut e, &["ZRANGE", "z", "0", "-1"]),
+        array(&["a", "b", "c"])
+    );
     assert_eq!(r(&mut e, &["ZRANGE", "z", "1", "2"]), array(&["b", "c"]));
     assert_eq!(
         r(&mut e, &["ZRANGE", "z", "0", "0", "WITHSCORES"]),
@@ -506,7 +538,11 @@ fn zrem_and_zincrby() {
     assert_eq!(r(&mut e, &["ZINCRBY", "z", "2.5", "b"]), bulk("4.5"));
     assert_eq!(r(&mut e, &["ZINCRBY", "z", "1", "fresh"]), bulk("1"));
     assert_eq!(r(&mut e, &["ZREM", "z", "b", "fresh"]), Resp::Int(2));
-    assert_eq!(r(&mut e, &["EXISTS", "z"]), Resp::Int(0), "empty zset reaped");
+    assert_eq!(
+        r(&mut e, &["EXISTS", "z"]),
+        Resp::Int(0),
+        "empty zset reaped"
+    );
 }
 
 // ---------------------------------------------------------------------------

@@ -48,7 +48,7 @@ proptest! {
                 Decoded::Incomplete => {}
                 Decoded::Frame(_, used) => prop_assert!(used <= cut),
                 Decoded::ProtocolError(e) => {
-                    prop_assert!(false, "prefix len {} errored: {}", cut, e)
+                    prop_assert!(false, "prefix len {} errored: {}", cut, e);
                 }
             }
         }

@@ -3,6 +3,8 @@
 
 // HashMap is the *model* here (Dict ≡ HashMap); order is never compared.
 #![allow(clippy::disallowed_types)]
+// Generated offsets are tiny by construction; the casts cannot truncate.
+#![allow(clippy::cast_possible_truncation)]
 
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet, HashMap};

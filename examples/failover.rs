@@ -83,11 +83,10 @@ fn master_failover_demo() {
     }
     // A slave was promoted while the master was away; after the master's
     // return, Nic-KV downgraded it (§III-D).
-    let promoted_now_master = (0..cluster.slaves.len())
-        .any(|i| cluster.slave_server(i).is_master());
+    let promoted_now_master =
+        (0..cluster.slaves.len()).any(|i| cluster.slave_server(i).is_master());
     println!(
-        "  a slave is still master: {} (downgraded after the original returned)",
-        promoted_now_master
+        "  a slave is still master: {promoted_now_master} (downgraded after the original returned)"
     );
     println!("  node list at the end:");
     for entry in nic.node_list() {

@@ -40,10 +40,7 @@ fn main() {
     // 4. Inspect the distributed state.
     let master = cluster.master_server();
     println!("\nmaster executed {} commands", master.stat_commands);
-    println!(
-        "master replication offset: {} bytes",
-        master.repl_offset()
-    );
+    println!("master replication offset: {} bytes", master.repl_offset());
     for i in 0..cluster.slaves.len() {
         let s = cluster.slave_server(i);
         println!(

@@ -27,9 +27,7 @@ fn run(mode: Mode) -> (RunReport, f64, u64) {
     };
     let mut cluster = Cluster::build(spec);
     let report = cluster.run();
-    let util = cluster
-        .master_server()
-        .core0_utilization(cluster.sim.now());
+    let util = cluster.master_server().core0_utilization(cluster.sim.now());
     let nic_sends = cluster.nic_kv().map(|n| n.stat_fanout_sends).unwrap_or(0);
     (report, util, nic_sends)
 }

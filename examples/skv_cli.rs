@@ -82,7 +82,10 @@ fn main() {
     #[allow(clippy::disallowed_methods)]
     let start = std::time::Instant::now();
 
-    println!("skv-cli — embedded skv-store engine ({} commands)", skv_store::cmd::COMMANDS.len());
+    println!(
+        "skv-cli — embedded skv-store engine ({} commands)",
+        skv_store::cmd::COMMANDS.len()
+    );
     println!("type commands (QUIT to exit):");
     let stdin = io::stdin();
     loop {
@@ -110,7 +113,7 @@ fn main() {
         if args[0].eq_ignore_ascii_case(b"QUIT") || args[0].eq_ignore_ascii_case(b"EXIT") {
             break;
         }
-        let now_ms = start.elapsed().as_millis() as u64;
+        let now_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
         let result = engine.execute(now_ms, &args);
         println!("{}", render(&result.reply, 0));
     }

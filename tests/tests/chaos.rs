@@ -65,7 +65,11 @@ fn partition_heals_and_replicas_converge() {
     run_and_quiesce(&mut cluster, SimDuration::from_secs(2));
 
     let report = cluster.report();
-    assert!(report.ops > 1_000, "writes must keep flowing: {}", report.ops);
+    assert!(
+        report.ops > 1_000,
+        "writes must keep flowing: {}",
+        report.ops
+    );
     assert_converged(&cluster);
     // The cut-off slaves had to resync (partial or full) after the heal.
     let resyncs: u64 = (0..2)
@@ -138,7 +142,10 @@ fn nic_crash_degrades_master_but_writes_continue() {
     run_and_quiesce(&mut cluster, SimDuration::from_secs(2));
     let master = cluster.master_server();
     assert_eq!(master.stat_degradations, 1);
-    assert!(!master.is_degraded(), "master must re-offload after recovery");
+    assert!(
+        !master.is_degraded(),
+        "master must re-offload after recovery"
+    );
     let (entered, exited) = *master.degraded_periods.last().expect("one period");
     assert!(entered >= crash_at && exited.expect("closed") >= recover_at);
     // Fan-out went back to the SoC.

@@ -115,7 +115,10 @@ fn same_seed_same_bits_under_chaos() {
     };
     let a = execute(arm(Mode::Skv, 0xFACE), Some(&chaos));
     let b = execute(arm(Mode::Skv, 0xFACE), Some(&chaos));
-    assert_eq!(a, b, "identical chaos runs diverged: {a:#018x} vs {b:#018x}");
+    assert_eq!(
+        a, b,
+        "identical chaos runs diverged: {a:#018x} vs {b:#018x}"
+    );
 }
 
 #[test]
@@ -168,7 +171,10 @@ fn same_seed_same_bits_quorum_mode() {
     spec.cfg.repl_mode = skv_core::replmode::ReplModeKind::Quorum;
     let a = execute(spec.clone(), None);
     let b = execute(spec, None);
-    assert_eq!(a, b, "identical quorum runs diverged: {a:#018x} vs {b:#018x}");
+    assert_eq!(
+        a, b,
+        "identical quorum runs diverged: {a:#018x} vs {b:#018x}"
+    );
 }
 
 #[test]
@@ -188,5 +194,8 @@ fn same_seed_same_bits_chain_mode() {
     };
     let a = execute(spec.clone(), Some(&chaos));
     let b = execute(spec, Some(&chaos));
-    assert_eq!(a, b, "identical chain runs diverged: {a:#018x} vs {b:#018x}");
+    assert_eq!(
+        a, b,
+        "identical chain runs diverged: {a:#018x} vs {b:#018x}"
+    );
 }

@@ -45,10 +45,7 @@ fn nic_detects_slave_crash_within_waiting_time() {
     let bound = cluster.spec.cfg.waiting_time
         + cluster.spec.cfg.probe_interval
         + cluster.spec.cfg.probe_interval;
-    assert!(
-        delay <= bound,
-        "detection took {delay}, bound {bound}"
-    );
+    assert!(delay <= bound, "detection took {delay}, bound {bound}");
 }
 
 #[test]

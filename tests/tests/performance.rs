@@ -146,9 +146,7 @@ fn whole_experiments_are_deterministic() {
 fn master_core_is_the_bottleneck_at_saturation() {
     let mut cluster = skv_core::cluster::Cluster::build(spec(Mode::RdmaRedis, 3, 16, 1.0, 70));
     cluster.run();
-    let util = cluster
-        .master_server()
-        .core0_utilization(cluster.sim.now());
+    let util = cluster.master_server().core0_utilization(cluster.sim.now());
     // Utilization is measured over the whole run including startup and
     // drain, so full saturation in the window reads as ~0.7-0.9 overall.
     assert!(

@@ -144,10 +144,7 @@ fn backoff_stays_capped_under_long_partition() {
     plan.partitions.push(skv_netsim::Partition {
         a: vec![cluster.client_node],
         b: servers,
-        window: skv_netsim::TimeWindow::new(
-            SimTime::from_millis(500),
-            SimTime::from_millis(2_000),
-        ),
+        window: skv_netsim::TimeWindow::new(SimTime::from_millis(500), SimTime::from_millis(2_000)),
     });
     cluster.net.set_fault_plan(plan);
     run_and_quiesce(&mut cluster, SimDuration::from_secs(1));
@@ -171,7 +168,11 @@ fn backoff_stays_capped_under_long_partition() {
     );
     // After the heal the clients must reconnect and finish the run.
     let report = cluster.report();
-    assert!(report.ops > 500, "clients never recovered: {} ops", report.ops);
+    assert!(
+        report.ops > 500,
+        "clients never recovered: {} ops",
+        report.ops
+    );
 }
 
 /// Distinctness helper: no slave counted twice in an ack set.

@@ -9,7 +9,8 @@
 
 // Vendored benchmark harness: measuring wall-clock time is its job.
 #![allow(clippy::disallowed_methods)]
-
+// Wall-clock nanos fold into display units; truncation is harmless.
+#![allow(clippy::cast_possible_truncation)]
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -185,7 +186,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(
         .iter()
         .map(|d| d.as_nanos() as f64 / bencher.iters_per_sample as f64)
         .collect();
-    per_iter.sort_by(|a, b| a.total_cmp(b));
+    per_iter.sort_by(f64::total_cmp);
     let median = per_iter[per_iter.len() / 2];
     let best = per_iter[0];
     let rate = match throughput {
@@ -193,7 +194,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(
             format!("  {:>10.2} Melem/s", n as f64 / median * 1e3)
         }
         Some(Throughput::Bytes(n)) => {
-            format!("  {:>10.2} MiB/s", n as f64 / median * 1e9 / (1024.0 * 1024.0))
+            format!(
+                "  {:>10.2} MiB/s",
+                n as f64 / median * 1e9 / (1024.0 * 1024.0)
+            )
         }
         None => String::new(),
     };
@@ -283,7 +287,8 @@ mod tests {
 
     #[test]
     fn json_lines_emitted_when_env_set() {
-        let path = std::env::temp_dir().join(format!("criterion-shim-{}.jsonl", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("criterion-shim-{}.jsonl", std::process::id()));
         let _ = std::fs::remove_file(&path);
         std::env::set_var("CRITERION_JSON", &path);
         let mut c = Criterion::default()
@@ -298,7 +303,10 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("json file written");
         let _ = std::fs::remove_file(&path);
         assert!(text.contains("\"name\":\"json/emit\""), "got: {text}");
-        assert!(text.contains("\"throughput_kind\":\"bytes\""), "got: {text}");
+        assert!(
+            text.contains("\"throughput_kind\":\"bytes\""),
+            "got: {text}"
+        );
         assert!(text.contains("\"throughput_units\":128"), "got: {text}");
     }
 
@@ -315,7 +323,7 @@ mod tests {
             b.iter(|| {
                 count += 1;
                 count
-            })
+            });
         });
         g.finish();
         assert!(count > 0);

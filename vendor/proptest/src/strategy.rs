@@ -203,9 +203,11 @@ mod tests {
                 Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let strat = (0u8..8).prop_map(Tree::Leaf).prop_recursive(3, 32, 4, |inner| {
-            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
-        });
+        let strat = (0u8..8)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 32, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
         let mut rng = TestRng::for_case("recursive", 1);
         for _ in 0..100 {
             let t = strat.sample(&mut rng);
