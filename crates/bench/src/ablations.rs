@@ -25,6 +25,7 @@ fn spec(mode: Mode, slaves: usize, clients: usize, seed: u64) -> RunSpec {
         num_clients: clients,
         pipeline: 1,
         set_ratio: 1.0,
+        mset_keys: 0,
         value_size: 64,
         key_space: 100_000,
         warmup: WARMUP,
@@ -1031,6 +1032,80 @@ pub fn print_cq_budget(rows: &[CqBudgetRow]) {
         println!(
             "{:>8} {:>10.1} {:>10.1} {:>12}",
             r.budget, r.kops, r.p99_us, r.wcs_polled
+        );
+    }
+}
+
+// ===========================================================================
+// keyspace sharding (extension: hash-slot multi-core master engine)
+// ===========================================================================
+
+/// One shard-count (or MSET batch-width) setting.
+#[derive(Debug, Clone)]
+pub struct ShardRow {
+    /// Master/slave shard count (`ClusterConfig::num_shards`).
+    pub shards: usize,
+    /// Client pipeline depth used to saturate the shard cores.
+    pub pipeline_depth: usize,
+    /// Keys per MSET write batch (0 = plain SET workload).
+    pub mset_keys: usize,
+    /// Client-visible throughput (kops/s).
+    pub kops: f64,
+    /// Client-visible p99 latency (µs).
+    pub p99_us: f64,
+    /// Cross-shard fragment handoffs (`shard.cross_msgs`, all servers).
+    pub cross_msgs: u64,
+    /// Deepest slave parse→apply ring occupancy (`shard.queue_depth`).
+    pub queue_depth: u64,
+}
+
+/// Sweep the shard count 1→8 under a pipelined GET/SET workload (the
+/// scaling curve the tentpole buys), then hold 4 shards and widen the
+/// MSET batch (the cross-shard tax those wins are paid from). Pure
+/// GET/SET never crosses shards — `cross_msgs` stays 0 on those rows —
+/// while every batched row pays hop costs on the split writes.
+pub fn ablation_shards() -> Vec<ShardRow> {
+    let mut rows = Vec::new();
+    let mut arm = |shards: usize, mset_keys: usize, seed: u64| {
+        let mut s = spec(Mode::Skv, 2, 8, seed);
+        s.cfg.num_shards = shards;
+        s.pipeline = 8;
+        s.set_ratio = 0.5;
+        s.mset_keys = mset_keys;
+        s.key_space = 10_000;
+        let mut cluster = Cluster::build(s);
+        let report = cluster.run();
+        let counters = cluster.counters_snapshot();
+        rows.push(ShardRow {
+            shards,
+            pipeline_depth: 8,
+            mset_keys,
+            kops: report.throughput_kops,
+            p99_us: report.p99_latency_us,
+            cross_msgs: counters.get("shard.cross_msgs"),
+            queue_depth: counters.get("shard.queue_depth"),
+        });
+    };
+    for (i, &shards) in [1usize, 2, 4, 8].iter().enumerate() {
+        arm(shards, 0, 34_000 + i as u64);
+    }
+    for (i, &mset) in [2usize, 4].iter().enumerate() {
+        arm(4, mset, 35_000 + i as u64);
+    }
+    rows
+}
+
+/// Print the sharding ablation.
+pub fn print_shards(rows: &[ShardRow]) {
+    println!("Ablation — keyspace shards (SKV, 2 slaves, 8 clients, P=8, 50% SET)");
+    println!(
+        "{:>7} {:>9} {:>10} {:>10} {:>10} {:>11} {:>11}",
+        "shards", "P", "mset_keys", "kops/s", "p99(us)", "cross_msgs", "queue_depth"
+    );
+    for r in rows {
+        println!(
+            "{:>7} {:>9} {:>10} {:>10.1} {:>10.1} {:>11} {:>11}",
+            r.shards, r.pipeline_depth, r.mset_keys, r.kops, r.p99_us, r.cross_msgs, r.queue_depth
         );
     }
 }

@@ -34,6 +34,7 @@ fn run(which: &str) {
         "failparams" => abl::print_failure_params(&abl::ablation_failure_params()),
         "probeloss" => abl::print_probe_loss(&abl::ablation_probe_loss()),
         "pipeline" => abl::print_pipeline(&abl::ablation_pipeline()),
+        "shards" => abl::print_shards(&abl::ablation_shards()),
         other => eprintln!("unknown experiment {other:?}"),
     }
     println!();
@@ -64,6 +65,7 @@ fn main() {
             "failparams",
             "probeloss",
             "pipeline",
+            "shards",
         ]
     } else {
         args.iter().map(String::as_str).collect()

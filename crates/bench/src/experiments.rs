@@ -30,6 +30,7 @@ fn base_spec(mode: Mode, slaves: usize, clients: usize, seed: u64) -> RunSpec {
         num_clients: clients,
         pipeline: 1,
         set_ratio: 1.0,
+        mset_keys: 0,
         value_size: 64,
         key_space: 100_000,
         warmup: WARMUP,

@@ -41,6 +41,7 @@ pub fn fanout_spec_sized(
         num_clients: 4,
         pipeline: 4,
         set_ratio: 1.0,
+        mset_keys: 0,
         value_size,
         key_space: 1_000,
         warmup: SimDuration::from_millis(20),
@@ -73,6 +74,34 @@ pub fn fig10_style_spec(mode: Mode, seed: u64) -> RunSpec {
         num_clients: 8,
         pipeline: 1,
         set_ratio: 0.5,
+        mset_keys: 0,
+        value_size: 64,
+        key_space: 10_000,
+        warmup: SimDuration::from_millis(20),
+        measure: if smoke() {
+            SimDuration::from_millis(30)
+        } else {
+            SimDuration::from_millis(100)
+        },
+        seed,
+    }
+}
+
+/// Sharded-engine workload: mixed GET/SET at pipeline depth 8 against a
+/// 2-slave SKV cluster, swept over `num_shards`. The pipelined clients
+/// keep every shard core busy, so the sweep prices both the scaling win
+/// (more simulated work per simulated second means more host work per
+/// simulated run) and the routing overhead the shard layer adds.
+pub fn shards_spec(num_shards: usize, seed: u64) -> RunSpec {
+    let mut cfg = ClusterConfig::for_mode(Mode::Skv);
+    cfg.num_slaves = 2;
+    cfg.num_shards = num_shards;
+    RunSpec {
+        cfg,
+        num_clients: 8,
+        pipeline: 8,
+        set_ratio: 0.5,
+        mset_keys: 0,
         value_size: 64,
         key_space: 10_000,
         warmup: SimDuration::from_millis(20),

@@ -24,6 +24,11 @@ pub struct Workload {
     pub pipeline: usize,
     /// Fraction of operations that are SET (the rest are GET).
     pub set_ratio: f64,
+    /// Keys per write batch: 0 or 1 issues plain SETs; `n >= 2` issues
+    /// `MSET` over `n` uniform random keys instead (cross-shard stressor
+    /// on sharded clusters). The default workload (0) draws the exact
+    /// historical RNG sequence.
+    pub mset_keys: usize,
     /// Number of distinct keys (uniform access).
     pub key_space: u64,
     /// Value payload size in bytes for SET.
@@ -131,7 +136,21 @@ impl BenchClient {
         let rng = &mut self.rng;
         let key = format!("key:{:012}", rng.below(self.workload.key_space.max(1)));
         let is_write = rng.chance(self.workload.set_ratio);
-        let cmd = if is_write {
+        let cmd = if is_write && self.workload.mset_keys >= 2 {
+            // Batched write: MSET over `mset_keys` uniform keys (the first
+            // is the one already drawn, keeping the draw order stable).
+            let value = vec![b'x'; self.workload.value_size];
+            let mut parts: Vec<Vec<u8>> = Vec::with_capacity(1 + 2 * self.workload.mset_keys);
+            parts.push(b"MSET".to_vec());
+            parts.push(key.into_bytes());
+            parts.push(value.clone());
+            for _ in 1..self.workload.mset_keys {
+                let k = format!("key:{:012}", rng.below(self.workload.key_space.max(1)));
+                parts.push(k.into_bytes());
+                parts.push(value.clone());
+            }
+            Resp::command(parts)
+        } else if is_write {
             Resp::command([
                 b"SET".as_slice(),
                 key.as_bytes(),

@@ -33,6 +33,11 @@ pub struct RunSpec {
     pub pipeline: usize,
     /// Fraction of SET operations (1.0 = pure SET, 0.0 = pure GET).
     pub set_ratio: f64,
+    /// Keys per write batch: 0 or 1 issues plain SETs (the default);
+    /// `n >= 2` turns every write into an `MSET` of `n` uniform random
+    /// keys, which spans shards with high probability on a sharded
+    /// cluster — the cross-shard stressor.
+    pub mset_keys: usize,
     /// SET value size in bytes.
     pub value_size: usize,
     /// Number of distinct keys.
@@ -52,6 +57,7 @@ impl Default for RunSpec {
             num_clients: 8,
             pipeline: 1,
             set_ratio: 1.0,
+            mset_keys: 0,
             value_size: 64,
             key_space: 10_000,
             warmup: SimDuration::from_millis(500),
@@ -138,6 +144,9 @@ impl Cluster {
     pub fn build(spec: RunSpec) -> Cluster {
         let mut sim = Simulation::new(spec.seed);
         let cfg = &spec.cfg;
+        if let Err(e) = cfg.validate() {
+            panic!("invalid ClusterConfig: {e}");
+        }
 
         // --- topology: master + slaves + one client machine + SmartNIC ---
         let mut topo = Topology::new();
@@ -214,6 +223,7 @@ impl Cluster {
         let workload = Workload {
             pipeline: spec.pipeline,
             set_ratio: spec.set_ratio,
+            mset_keys: spec.mset_keys,
             key_space: spec.key_space,
             value_size: spec.value_size,
             start_at: clients_start,
@@ -445,6 +455,27 @@ impl Cluster {
                 .chaos
                 .add("server.released_replies", m.stat_released_replies);
         }
+        // Shard counters are gated the same way on the shard count, so a
+        // single-shard run's report — and its determinism digest — stays
+        // bit-identical to the pre-sharding engine.
+        if self.spec.cfg.num_shards > 1 {
+            let mut servers = vec![self.master_server()];
+            for i in 0..self.slaves.len() {
+                servers.push(self.slave_server(i));
+            }
+            for s in servers {
+                report
+                    .chaos
+                    .add("shard.ops", s.shard_ops().iter().sum::<u64>());
+                report.chaos.add("shard.cross_msgs", s.shard_cross_msgs());
+                report.chaos.add("shard.queue_depth", s.apply_queue_depth());
+            }
+            if let Some(nic) = self.nic_kv() {
+                report
+                    .chaos
+                    .add("shard.nic_ingress", nic.shard_ingress().iter().sum::<u64>());
+            }
+        }
         report
     }
 
@@ -477,12 +508,18 @@ impl Cluster {
             out.add("server.stat_wrs_posted", s.stat_wrs_posted);
             out.add("server.stat_deferred_replies", s.stat_deferred_replies);
             out.add("server.stat_released_replies", s.stat_released_replies);
-            let db = s.engine().db();
-            let (hits, misses) = db.stats_hit_miss();
-            out.add("store.stat_hits", hits);
-            out.add("store.stat_misses", misses);
-            out.add("store.stat_expired", db.stat_expired());
+            out.add("shard.ops", s.shard_ops().iter().sum::<u64>());
+            out.add("shard.cross_msgs", s.shard_cross_msgs());
+            out.add("shard.queue_depth", s.apply_queue_depth());
+            for engine in s.engines() {
+                let db = engine.db();
+                let (hits, misses) = db.stats_hit_miss();
+                out.add("store.stat_hits", hits);
+                out.add("store.stat_misses", misses);
+                out.add("store.stat_expired", db.stat_expired());
+            }
         }
+        out.add("shard.nic_ingress", 0);
         out.add("nic.stat_fanout_msgs", 0);
         out.add("nic.stat_fanout_sends", 0);
         out.add("nic.stat_doorbells", 0);
@@ -493,6 +530,7 @@ impl Cluster {
         out.add("nic.stat_retransmits", 0);
         out.add("nic.stat_chain_repairs", 0);
         if let Some(nic) = self.nic_kv() {
+            out.add("shard.nic_ingress", nic.shard_ingress().iter().sum::<u64>());
             out.add("nic.stat_fanout_msgs", nic.stat_fanout_msgs);
             out.add("nic.stat_fanout_sends", nic.stat_fanout_sends);
             out.add("nic.stat_doorbells", nic.stat_doorbells);
@@ -533,7 +571,7 @@ impl Cluster {
             .actor_mut::<KvServer>(self.master)
             .expect("master is a KvServer");
         for parts in commands {
-            let r = server.engine_mut().exec_str(0, parts);
+            let r = server.preload(parts);
             assert!(!r.reply.is_error(), "preload failed: {parts:?}");
         }
     }
@@ -559,9 +597,9 @@ impl Cluster {
 
     /// All keyspace digests (master first), for convergence checks.
     pub fn keyspace_digests(&self) -> Vec<u64> {
-        let mut out = vec![self.master_server().engine().keyspace_digest()];
+        let mut out = vec![self.master_server().keyspace_digest()];
         for i in 0..self.slaves.len() {
-            out.push(self.slave_server(i).engine().keyspace_digest());
+            out.push(self.slave_server(i).keyspace_digest());
         }
         out
     }
@@ -640,6 +678,9 @@ mod tests {
             }
         }
         for &name in catalog::RDMA_COUNTERS {
+            assert!(keys.contains(&name), "snapshot missing {name}");
+        }
+        for &name in catalog::SHARD_COUNTERS {
             assert!(keys.contains(&name), "snapshot missing {name}");
         }
         // And the busy ones really counted.

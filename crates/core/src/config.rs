@@ -160,6 +160,13 @@ pub struct ClusterConfig {
     /// bit-for-bit; `Quorum` and `Chain` defer client replies until the
     /// NIC commits the covering offset.
     pub repl_mode: ReplModeKind,
+    /// Number of keyspace shards per server (Redis-Cluster-style hash
+    /// slots, CRC16 → 16384 slots → `num_shards` contiguous ranges).
+    /// Each shard owns a slice of the store, a dedicated simulated core,
+    /// and its own CQ; cross-shard commands (MSET/MGET/DEL spanning
+    /// slots) pay an inter-shard hop. 1 (the default) reproduces the
+    /// historical single-loop schedule bit-for-bit.
+    pub num_shards: usize,
     /// Bounded in-flight window for the deferred modes: how many
     /// replicated segments the NIC tracks concurrently before queueing
     /// further launches behind commits. Ignored by `Async`.
@@ -199,6 +206,7 @@ impl Default for ClusterConfig {
             batch_wr_posts: true,
             cq_poll_budget: 64,
             repl_mode: ReplModeKind::Async,
+            num_shards: 1,
             repl_window: 256,
             record_commits: false,
             costs: CostParams::default(),
@@ -239,6 +247,50 @@ impl ClusterConfig {
         let delay = self.reconnect_base.mul_f64((1u64 << shift) as f64);
         let cap = self.reconnect_max_delay.max(self.reconnect_base);
         delay.min(cap)
+    }
+
+    /// Validate the shard/core/thread interplay before building a
+    /// cluster. The NIC-thread clamp in
+    /// [`ClusterConfig::effective_nic_threads`] silently shrinks an
+    /// oversized `thread_num` — fine for the paper's single-loop host,
+    /// but once the host engine is itself sharded a silently-clamped NIC
+    /// pool hides a real misconfiguration: the operator sized the NIC
+    /// for a host parallelism the machine cannot deliver. Sharded
+    /// configs therefore reject instead of clamping.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_shards == 0 {
+            return Err("num_shards must be at least 1".into());
+        }
+        if self.num_shards > crate::protocol::NUM_SLOTS {
+            return Err(format!(
+                "num_shards {} exceeds the {} hash slots",
+                self.num_shards,
+                crate::protocol::NUM_SLOTS
+            ));
+        }
+        // Each shard pins a dedicated host core and the background
+        // persist/load core rides alongside them.
+        if self.num_shards + 1 > self.machines.host_cores {
+            return Err(format!(
+                "num_shards {} needs {} host cores (one per shard plus the \
+                 persist core) but the machine has {}",
+                self.num_shards,
+                self.num_shards + 1,
+                self.machines.host_cores
+            ));
+        }
+        // Single-shard configs keep the historical silent clamp (the
+        // threadnum ablation sweeps past the core count on purpose);
+        // sharded configs must be explicit about the NIC pool.
+        if self.num_shards > 1 && self.thread_num > self.machines.nic_cores {
+            return Err(format!(
+                "thread_num {} exceeds the {} SmartNIC cores; sharded \
+                 configs (num_shards {}) must size the NIC pool explicitly \
+                 instead of relying on the clamp",
+                self.thread_num, self.machines.nic_cores, self.num_shards
+            ));
+        }
+        Ok(())
     }
 
     /// Client-side dial backoff: the same capped doubling, additionally
@@ -317,6 +369,79 @@ mod tests {
                 "attempt {attempts}"
             );
         }
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_sane_shard_counts() {
+        assert!(ClusterConfig::default().validate().is_ok());
+        for shards in [1usize, 2, 4, 8] {
+            let cfg = ClusterConfig {
+                num_shards: shards,
+                ..Default::default()
+            };
+            assert!(cfg.validate().is_ok(), "num_shards {shards} rejected");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_and_oversized_shard_counts() {
+        let cfg = ClusterConfig {
+            num_shards: 0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err(), "zero shards must be rejected");
+        let cfg = ClusterConfig {
+            num_shards: crate::protocol::NUM_SLOTS + 1,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err(), "more shards than slots");
+    }
+
+    #[test]
+    fn validate_requires_a_core_per_shard_plus_persist() {
+        // 32 host cores by default: 31 shards + persist core fits,
+        // 32 shards would leave no room for the background core.
+        let ok = ClusterConfig {
+            num_shards: 31,
+            ..Default::default()
+        };
+        assert!(ok.validate().is_ok());
+        let bad = ClusterConfig {
+            num_shards: 32,
+            ..Default::default()
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("host cores"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validate_rejects_overclamped_nic_threads_when_sharded() {
+        // The legacy single-shard path still clamps silently (the
+        // threadnum ablation sweeps thread_num past the core count),
+        // but a sharded config with the same oversize must error.
+        let legacy = ClusterConfig {
+            thread_num: 16,
+            num_shards: 1,
+            ..Default::default()
+        };
+        assert!(legacy.validate().is_ok(), "legacy clamp must survive");
+        assert_eq!(legacy.effective_nic_threads(), 3, "clamped to slaves");
+
+        let sharded = ClusterConfig {
+            thread_num: 16,
+            num_shards: 4,
+            ..Default::default()
+        };
+        let err = sharded.validate().unwrap_err();
+        assert!(err.contains("SmartNIC cores"), "unexpected error: {err}");
+
+        // An explicit, in-range NIC pool is fine alongside shards.
+        let sized = ClusterConfig {
+            thread_num: 8,
+            num_shards: 4,
+            ..Default::default()
+        };
+        assert!(sized.validate().is_ok());
     }
 
     #[test]

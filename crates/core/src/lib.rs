@@ -50,3 +50,4 @@ pub mod nickv;
 pub mod protocol;
 pub mod replmode;
 pub mod server;
+pub mod shard;

@@ -53,6 +53,18 @@ pub mod catalog {
     ];
     /// Storage-engine counters (`skv-store`'s `Db`), summed over engines.
     pub const STORE_STATS: &[&str] = &["stat_expired", "stat_hits", "stat_misses"];
+    /// Sharded-engine counters (`shard.rs` + the sharded `server.rs`
+    /// paths), kept under these exact names: commands executed per shard
+    /// (summed), cross-shard fragment handoffs, the deepest slave
+    /// parse→apply ring occupancy, and the NIC's per-shard replication
+    /// ingress. `shard.ops` counts at any shard count; the rest stay zero
+    /// when `num_shards = 1`.
+    pub const SHARD_COUNTERS: &[&str] = &[
+        "shard.cross_msgs",
+        "shard.nic_ingress",
+        "shard.ops",
+        "shard.queue_depth",
+    ];
     /// Fabric counters kept by `skv-netsim` under these exact names.
     pub const RDMA_COUNTERS: &[&str] = &[
         "rdma.access_errors",

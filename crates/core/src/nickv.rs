@@ -181,6 +181,12 @@ pub struct NicKv {
     /// when `ClusterConfig::record_commits` is set (the quorum
     /// intersection proptest reads these).
     pub committed_acks: Vec<(u64, Vec<SocketAddr>)>,
+    /// Replicated writes seen per master shard, classified by the hash
+    /// slot of the command's first key (index = shard). Only populated
+    /// when `num_shards > 1` — the NIC's view of how evenly the shard
+    /// mapping spreads replication ingress. Exported as
+    /// `shard.nic_ingress`.
+    shard_ingress: Vec<u64>,
 }
 
 impl NicKv {
@@ -188,6 +194,7 @@ impl NicKv {
     pub fn new(net: Net, cfg: ClusterConfig, node: NodeId, addr: SocketAddr) -> Self {
         let cores = cfg.machines.nic_cores.max(1);
         let speed = cfg.machines.nic_core_speed;
+        let shard_ingress = vec![0; cfg.num_shards.max(1)];
         NicKv {
             net,
             node,
@@ -222,7 +229,41 @@ impl NicKv {
             stat_retransmits: 0,
             stat_chain_repairs: 0,
             committed_acks: Vec::new(),
+            shard_ingress,
         }
+    }
+
+    /// Replication ingress per master shard (empty counts unless the
+    /// cluster runs with `num_shards > 1`).
+    pub fn shard_ingress(&self) -> &[u64] {
+        &self.shard_ingress
+    }
+
+    /// Classify one replicated stream frame by the owning master shard
+    /// (hash slot of the embedded command's first key) and bump its
+    /// ingress count. A no-op at one shard, keeping the unsharded
+    /// schedule's state untouched.
+    fn note_shard_ingress(&mut self, frame: &Frame) {
+        if self.shard_ingress.len() <= 1 {
+            return;
+        }
+        let Some((_, body)) = crate::server::parse_stream_frame(frame) else {
+            return;
+        };
+        use skv_store::resp::{Decoded, Resp};
+        let Decoded::Frame(v, _) = Resp::decode(body) else {
+            return;
+        };
+        let Ok(args) = v.into_command_args() else {
+            return;
+        };
+        let shard = args.get(1).map_or(0, |key| {
+            crate::protocol::slot_shard(
+                crate::protocol::key_hash_slot(key),
+                self.shard_ingress.len(),
+            )
+        });
+        self.shard_ingress[shard] += 1;
     }
 
     /// Whether the configured mode tracks per-write acks and defers the
@@ -506,6 +547,7 @@ impl NicKv {
     /// slave's send buffer and post one WRITE_WITH_IMM per slave, the work
     /// spread round-robin across `thread-num` ARM cores.
     fn fan_out(&mut self, ctx: &mut Context<'_>, frame: Frame) {
+        self.note_shard_ingress(&frame);
         if self.deferred() {
             // Quorum/chain modes track per-write acks; the async fast path
             // below stays bit-identical when `repl_mode` is `Async`.

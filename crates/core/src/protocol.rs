@@ -24,6 +24,60 @@ pub mod tag {
     pub const RDB_CHUNK: u32 = 5;
 }
 
+/// Total number of hash slots in the keyspace (Redis Cluster's constant:
+/// CRC16 of the key, modulo 16384).
+pub const NUM_SLOTS: usize = 16384;
+
+/// CRC16/XMODEM (poly 0x1021, init 0x0000, no reflection) — the exact
+/// checksum Redis Cluster uses for slot assignment, computed bitwise so
+/// the implementation is obviously table-free and allocation-free.
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0;
+    for &byte in data {
+        crc ^= u16::from(byte) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Map a key to its hash slot. Honors Redis Cluster hash tags: if the key
+/// contains a non-empty `{...}` section, only the bytes between the first
+/// `{` and the first following `}` are hashed, so callers can pin related
+/// keys (`user:{42}:name`, `user:{42}:age`) to one slot and keep
+/// multi-key commands single-shard.
+pub fn key_hash_slot(key: &[u8]) -> u16 {
+    let hashed = match key.iter().position(|&b| b == b'{') {
+        Some(open) => {
+            let rest = key.get(open + 1..).unwrap_or(&[]);
+            match rest.iter().position(|&b| b == b'}') {
+                // Empty tags (`{}`) hash the whole key, like Redis.
+                Some(0) | None => key,
+                Some(close) => rest.get(..close).unwrap_or(key),
+            }
+        }
+        None => key,
+    };
+    crc16(hashed) % 0x4000
+}
+
+/// Map a slot to its owning shard: contiguous ranges of
+/// `ceil(NUM_SLOTS / num_shards)` slots, the same split `CLUSTER
+/// ADDSLOTS` setups conventionally use. With one shard everything maps
+/// to shard 0.
+pub fn slot_shard(slot: u16, num_shards: usize) -> usize {
+    if num_shards <= 1 {
+        return 0;
+    }
+    let per_shard = NUM_SLOTS.div_ceil(num_shards);
+    (usize::from(slot) / per_shard).min(num_shards - 1)
+}
+
 /// Node-to-node coordination messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NodeMsg {
@@ -393,6 +447,53 @@ mod tests {
             let bytes = msg.encode();
             assert_eq!(NodeMsg::decode(&bytes), Some(msg.clone()), "{msg:?}");
         }
+    }
+
+    #[test]
+    fn crc16_matches_redis_reference_vector() {
+        // The vector Redis itself documents for CRC16/XMODEM.
+        assert_eq!(crc16(b"123456789"), 0x31C3);
+        // 0x31C3 < NUM_SLOTS, so the slot equals the raw CRC here.
+        assert_eq!(key_hash_slot(b"123456789"), 0x31C3);
+    }
+
+    #[test]
+    fn hash_tags_pin_related_keys_to_one_slot() {
+        assert_eq!(
+            key_hash_slot(b"user:{42}:name"),
+            key_hash_slot(b"user:{42}:age")
+        );
+        assert_eq!(key_hash_slot(b"user:{42}:name"), key_hash_slot(b"42"));
+        // Empty and unterminated tags hash the whole key.
+        assert_eq!(key_hash_slot(b"a{}b"), crc16(b"a{}b") % 0x4000);
+        assert_eq!(key_hash_slot(b"a{b"), crc16(b"a{b") % 0x4000);
+        // Only the first tag counts.
+        assert_eq!(key_hash_slot(b"{a}{b}"), key_hash_slot(b"a"));
+    }
+
+    #[test]
+    fn slot_shard_partitions_every_slot_exactly_once() {
+        for shards in [1usize, 2, 3, 4, 7, 8, 16] {
+            let mut counts = vec![0u32; shards];
+            for slot in 0..NUM_SLOTS {
+                let s = slot_shard(u16::try_from(slot).unwrap(), shards);
+                assert!(s < shards, "slot {slot} → shard {s} out of range");
+                counts[s] += 1;
+            }
+            assert!(
+                counts.iter().all(|&c| c > 0),
+                "{shards} shards: some shard owns no slots ({counts:?})"
+            );
+            let spread = counts.iter().max().unwrap() - counts.iter().min().unwrap();
+            let per = u32::try_from(NUM_SLOTS.div_ceil(shards)).unwrap();
+            assert!(
+                spread <= per,
+                "{shards} shards: uneven split {counts:?} (spread {spread})"
+            );
+        }
+        assert_eq!(slot_shard(16383, 1), 0);
+        assert_eq!(slot_shard(16383, 4), 3);
+        assert_eq!(slot_shard(0, 4), 0);
     }
 
     #[test]

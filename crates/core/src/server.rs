@@ -25,7 +25,8 @@ use skv_simcore::{
 };
 use skv_store::backlog::Backlog;
 use skv_store::cmd::CommandSpec;
-use skv_store::engine::Engine;
+use skv_store::db::Db;
+use skv_store::engine::{Engine, ExecResult};
 use skv_store::rdb;
 use skv_store::repl::{ReplicationId, ReplicationPosition};
 use skv_store::resp::{Decoded, Resp};
@@ -37,6 +38,7 @@ use crate::config::{ClusterConfig, Mode};
 use crate::cqdrain;
 use crate::protocol::{tag, NodeMsg};
 use crate::replmode::{self, ReplModeKind};
+use crate::shard::{ApplyRing, RoutePlan, ShardRouter, APPLY_RING_CAP, CROSS_SHARD_HOP};
 
 /// Maximum bytes per RDB transfer chunk.
 const RDB_CHUNK: usize = 64 * 1024;
@@ -160,9 +162,28 @@ pub struct KvServer {
     cfg: ClusterConfig,
     node: NodeId,
     addr: SocketAddr,
-    cq: Option<CqId>,
+    /// One CQ per shard; `cqs[0]` is the primary (listen/dial) CQ and the
+    /// only one at `num_shards = 1`. Inbound accepts round-robin across
+    /// the set, and each CQ's drain loop runs on its shard's core.
+    cqs: Vec<CqId>,
+    /// Round-robin cursor for spreading accepted QPs over `cqs`.
+    accept_cursor: usize,
     cpu: CorePool,
-    engine: Engine,
+    /// One engine per shard; `engines[0]` is the whole store at
+    /// `num_shards = 1` and holds shard 0's slot range otherwise.
+    engines: Vec<Engine>,
+    /// Slot-range router over `cfg.num_shards` shards.
+    router: ShardRouter,
+    /// Sharded slave apply pipeline: bounded ring between the parse core
+    /// and the apply core (unused at `num_shards = 1`).
+    apply_ring: ApplyRing,
+    /// Monotonic floor for REPL_STREAM emission times: shard cores finish
+    /// out of order, but the stream must leave in backlog-offset order.
+    repl_egress_at: SimTime,
+    /// Commands executed per shard (`shard.ops`).
+    shard_ops: Vec<u64>,
+    /// Cross-shard fragment handoffs (`shard.cross_msgs`).
+    shard_cross_msgs: u64,
     backlog: Backlog,
     repl_id: ReplicationId,
     role: Role,
@@ -242,14 +263,34 @@ pub struct KvServer {
 impl KvServer {
     /// Create a server bound to `addr` on `node`.
     pub fn new(net: Net, cfg: ClusterConfig, node: NodeId, addr: SocketAddr, seed: u64) -> Self {
-        let cores = cfg.machines.host_cores.max(2);
+        let num_shards = cfg.num_shards.max(1);
+        // One core per shard plus the background persist core; the legacy
+        // single-shard floor of 2 is unchanged.
+        let cores = cfg.machines.host_cores.max(num_shards + 1).max(2);
+        // Shard 0 keeps the historical seed byte-for-byte; extra shards
+        // derive theirs so no shared RNG draw order changes.
+        let engines = (0..num_shards)
+            .map(|s| {
+                if s == 0 {
+                    Engine::new(seed)
+                } else {
+                    Engine::new(seed ^ (0x51AD_0000 + s as u64))
+                }
+            })
+            .collect();
         KvServer {
             net,
             node,
             addr,
-            cq: None,
+            cqs: Vec::new(),
+            accept_cursor: 0,
             cpu: CorePool::new(cores, cfg.machines.host_core_speed),
-            engine: Engine::new(seed),
+            engines,
+            router: ShardRouter::new(num_shards),
+            apply_ring: ApplyRing::new(APPLY_RING_CAP),
+            repl_egress_at: SimTime::ZERO,
+            shard_ops: vec![0; num_shards],
+            shard_cross_msgs: 0,
             backlog: Backlog::new(cfg.backlog_size),
             repl_id: ReplicationId::from_seed(seed ^ 0xCAFE),
             role: Role::Master,
@@ -310,16 +351,57 @@ impl KvServer {
         self.addr
     }
 
-    /// The engine (for test inspection).
+    /// Shard 0's engine (the whole store at `num_shards = 1`), for test
+    /// inspection.
     pub fn engine(&self) -> &Engine {
-        &self.engine
+        &self.engines[0]
     }
 
-    /// Mutable engine access, for preloading data in tests and examples
-    /// *before* replication starts. Mutations made this way bypass the
-    /// backlog, so they only reach slaves through a subsequent full sync.
+    /// Mutable access to shard 0's engine, for tests that poke state
+    /// directly. Sharded callers should use [`KvServer::preload`], which
+    /// routes by key. Mutations made this way bypass the backlog, so they
+    /// only reach slaves through a subsequent full sync.
     pub fn engine_mut(&mut self) -> &mut Engine {
-        &mut self.engine
+        &mut self.engines[0]
+    }
+
+    /// Execute a command at simulated time zero, routed to the owning
+    /// shard(s) — for preloading data in tests, examples, and benches
+    /// *before* replication starts. Bypasses the backlog like
+    /// [`KvServer::engine_mut`] did.
+    pub fn preload(&mut self, parts: &[&str]) -> ExecResult {
+        let args: Vec<Vec<u8>> = parts.iter().map(|p| p.as_bytes().to_vec()).collect();
+        let (result, _, _) = self.execute_routed(0, &args);
+        result
+    }
+
+    /// Stable fingerprint of the full logical keyspace, merged across
+    /// shards (equal to the single engine's digest at `num_shards = 1`).
+    pub fn keyspace_digest(&self) -> u64 {
+        let engines: Vec<&Engine> = self.engines.iter().collect();
+        Engine::keyspace_digest_merged(&engines)
+    }
+
+    /// All shard engines, shard 0 first (one entry at `num_shards = 1`).
+    pub fn engines(&self) -> &[Engine] {
+        &self.engines
+    }
+
+    /// Commands executed per shard (the `shard.ops` counters).
+    pub fn shard_ops(&self) -> &[u64] {
+        &self.shard_ops
+    }
+
+    /// Cross-shard fragment handoffs performed (`shard.cross_msgs`).
+    pub fn shard_cross_msgs(&self) -> u64 {
+        self.shard_cross_msgs
+    }
+
+    /// Deepest occupancy the slave apply ring reached
+    /// (`shard.queue_depth`; 0 unless this server applied a stream with
+    /// `num_shards > 1`).
+    pub fn apply_queue_depth(&self) -> u64 {
+        u64::try_from(self.apply_ring.max_depth).unwrap_or(u64::MAX)
     }
 
     /// Master replication offset.
@@ -564,7 +646,7 @@ impl KvServer {
     fn connect_to(&mut self, ctx: &mut Context<'_>, to: SocketAddr) {
         let me = ctx.id();
         if self.cfg.mode.uses_rdma() {
-            let Some(cq) = self.cq else {
+            let Some(&cq) = self.cqs.first() else {
                 // Dial before on_start created the CQ: surface it as a
                 // failed connect so the backoff machinery retries.
                 ctx.send(me, NetEvent::CmConnectFailed { to });
@@ -588,13 +670,13 @@ impl KvServer {
                 Ok(args) => args,
                 Err(e) => {
                     let reply = Resp::err(e).encode();
-                    self.finish_command(ctx, conn, payload.len(), reply, None);
+                    self.finish_command(ctx, conn, payload.len(), reply, None, (0, SimDuration::ZERO));
                     return;
                 }
             },
             _ => {
                 let reply = Resp::err("protocol error").encode();
-                self.finish_command(ctx, conn, payload.len(), reply, None);
+                self.finish_command(ctx, conn, payload.len(), reply, None, (0, SimDuration::ZERO));
                 return;
             }
         };
@@ -605,19 +687,199 @@ impl KvServer {
         if is_write_cmd && self.write_gate_blocked() {
             self.stat_rejected += 1;
             let reply = Resp::Error("NOREPLICAS Not enough good replicas to write".into()).encode();
-            self.finish_command(ctx, conn, payload.len(), reply, None);
+            self.finish_command(ctx, conn, payload.len(), reply, None, (0, SimDuration::ZERO));
             return;
         }
 
-        let result = self.engine.execute(Self::now_ms(ctx), &args);
+        let (result, shard, cross_cost) = self.execute_routed(Self::now_ms(ctx), &args);
         self.stat_commands += 1;
         let replicate = if result.should_replicate() {
+            // The *original* command bytes are replicated even for split
+            // executions; slaves re-route them with the same slot map.
             Some(payload.clone())
         } else {
             None
         };
         let reply = result.reply.encode();
-        self.finish_command(ctx, conn, payload.len(), reply, replicate);
+        self.finish_command(ctx, conn, payload.len(), reply, replicate, (shard, cross_cost));
+    }
+
+    /// Execute one command against the shard set: route to the owning
+    /// shard, or split/broadcast a cross-shard command and merge replies.
+    /// Returns the merged result, the primary shard (whose core pays the
+    /// command cost), and the inter-shard hop cost (zero unless the
+    /// command actually crossed shards). With one shard this is exactly
+    /// the historical single-engine call.
+    fn execute_routed(
+        &mut self,
+        now_ms: u64,
+        args: &[Vec<u8>],
+    ) -> (ExecResult, usize, SimDuration) {
+        if self.engines.len() == 1 {
+            self.shard_ops[0] += 1;
+            return (self.engines[0].execute(now_ms, args), 0, SimDuration::ZERO);
+        }
+        let plan = self.router.plan(args);
+        match plan {
+            RoutePlan::Single(shard) => {
+                self.shard_ops[shard] += 1;
+                (self.engines[shard].execute(now_ms, args), shard, SimDuration::ZERO)
+            }
+            RoutePlan::Broadcast => {
+                let mut merged: Option<ExecResult> = None;
+                for shard in 0..self.engines.len() {
+                    self.shard_ops[shard] += 1;
+                    let r = self.engines[shard].execute(now_ms, args);
+                    merged = Some(match merged {
+                        None => r,
+                        Some(mut acc) => {
+                            acc.dirty_delta += r.dirty_delta;
+                            acc.bytes_touched += r.bytes_touched;
+                            acc
+                        }
+                    });
+                }
+                let hops = self.engines.len() - 1;
+                self.shard_cross_msgs += hops as u64;
+                let result = merged.unwrap_or_else(|| ExecResult {
+                    reply: Resp::ok(),
+                    dirty_delta: 0,
+                    is_write: true,
+                    bytes_touched: 0,
+                });
+                (result, 0, CROSS_SHARD_HOP * (hops as u64))
+            }
+            RoutePlan::SplitPairs => self.execute_split_pairs(now_ms, args),
+            RoutePlan::SplitSum | RoutePlan::SplitGather => {
+                self.execute_split_keys(now_ms, args, plan == RoutePlan::SplitGather)
+            }
+            RoutePlan::CrossSlot => {
+                let reply =
+                    Resp::Error("CROSSSLOT Keys in request don't hash to the same slot".into());
+                let shard = args.get(1).map_or(0, |k| self.router.shard_of_key(k));
+                (
+                    ExecResult {
+                        reply,
+                        dirty_delta: 0,
+                        is_write: false,
+                        bytes_touched: 0,
+                    },
+                    shard,
+                    SimDuration::ZERO,
+                )
+            }
+        }
+    }
+
+    /// MSET split: partition the `key value` pairs by owning shard and
+    /// run one sub-MSET per shard (ascending shard order, so the schedule
+    /// is a pure function of the key set).
+    fn execute_split_pairs(
+        &mut self,
+        now_ms: u64,
+        args: &[Vec<u8>],
+    ) -> (ExecResult, usize, SimDuration) {
+        let mut per_shard: Vec<Vec<Vec<u8>>> = vec![Vec::new(); self.engines.len()];
+        for pair in args[1..].chunks(2) {
+            if let [key, value] = pair {
+                let shard = self.router.shard_of_key(key);
+                per_shard[shard].push(key.clone());
+                per_shard[shard].push(value.clone());
+            }
+        }
+        let primary = args.get(1).map_or(0, |k| self.router.shard_of_key(k));
+        let mut dirty = 0u64;
+        let mut bytes = 0usize;
+        let mut touched = 0usize;
+        for (shard, mut sub) in per_shard.into_iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            touched += 1;
+            self.shard_ops[shard] += 1;
+            let mut sub_args = Vec::with_capacity(sub.len() + 1);
+            sub_args.push(args[0].clone());
+            sub_args.append(&mut sub);
+            let r = self.engines[shard].execute(now_ms, &sub_args);
+            dirty += r.dirty_delta;
+            bytes += r.bytes_touched;
+        }
+        let hops = touched.saturating_sub(1);
+        self.shard_cross_msgs += hops as u64;
+        (
+            ExecResult {
+                reply: Resp::ok(),
+                dirty_delta: dirty,
+                is_write: true,
+                bytes_touched: bytes,
+            },
+            primary,
+            CROSS_SHARD_HOP * (hops as u64),
+        )
+    }
+
+    /// Per-key split for DEL/UNLINK/EXISTS (summed integer replies) and
+    /// MGET (replies gathered back in original key order).
+    fn execute_split_keys(
+        &mut self,
+        now_ms: u64,
+        args: &[Vec<u8>],
+        gather: bool,
+    ) -> (ExecResult, usize, SimDuration) {
+        let keys = &args[1..];
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.engines.len()];
+        for (i, key) in keys.iter().enumerate() {
+            per_shard[self.router.shard_of_key(key)].push(i);
+        }
+        let primary = keys.first().map_or(0, |k| self.router.shard_of_key(k));
+        let mut sum = 0i64;
+        let mut slots: Vec<Resp> = vec![Resp::NullBulk; if gather { keys.len() } else { 0 }];
+        let mut dirty = 0u64;
+        let mut bytes = 0usize;
+        let mut is_write = false;
+        let mut touched = 0usize;
+        for (shard, indices) in per_shard.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            touched += 1;
+            self.shard_ops[shard] += 1;
+            let mut sub_args = Vec::with_capacity(indices.len() + 1);
+            sub_args.push(args[0].clone());
+            for &i in indices {
+                sub_args.push(keys[i].clone());
+            }
+            let r = self.engines[shard].execute(now_ms, &sub_args);
+            dirty += r.dirty_delta;
+            bytes += r.bytes_touched;
+            is_write |= r.is_write;
+            match r.reply {
+                Resp::Int(n) => sum += n,
+                Resp::Array(items) if gather => {
+                    for (slot, item) in indices.iter().zip(items) {
+                        slots[*slot] = item;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let reply = if gather {
+            Resp::Array(slots)
+        } else {
+            Resp::Int(sum)
+        };
+        let hops = touched.saturating_sub(1);
+        self.shard_cross_msgs += hops as u64;
+        (
+            ExecResult {
+                reply,
+                dirty_delta: dirty,
+                is_write,
+                bytes_touched: bytes,
+            },
+            primary,
+            CROSS_SHARD_HOP * (hops as u64),
+        )
     }
 
     fn write_gate_blocked(&self) -> bool {
@@ -639,6 +901,9 @@ impl KvServer {
     }
 
     /// Account CPU for a command and schedule its reply + replication.
+    /// `route` is `(shard, cross_cost)`: the core that executed the command
+    /// (always 0 unsharded) and the inter-shard hop overhead a split
+    /// command paid.
     fn finish_command(
         &mut self,
         ctx: &mut Context<'_>,
@@ -646,12 +911,14 @@ impl KvServer {
         req_bytes: usize,
         reply: Vec<u8>,
         replicate: Option<Frame>,
+        route: (usize, SimDuration),
     ) {
+        let (shard, cross_cost) = route;
         let costs = &self.cfg.costs;
         let net_p = &self.cfg.net;
         let payload_kib = req_bytes as f64 / 1024.0;
 
-        let mut cost = costs.cmd_base + costs.cmd_per_kib.mul_f64(payload_kib);
+        let mut cost = costs.cmd_base + costs.cmd_per_kib.mul_f64(payload_kib) + cross_cost;
         let mut wr_posts = 0u32; // WQEs built (the unit of replication work)
         let mut doorbells = 0u32; // post calls; each may stall (tail model)
         let mut frames: Vec<OutFrame> = Vec::with_capacity(2);
@@ -793,8 +1060,32 @@ impl KvServer {
         }
         self.stat_wrs_posted += u64::from(wr_posts);
         self.stat_doorbells += u64::from(doorbells);
-        let done = self.cpu.run_on(0, ctx.now(), cost).finished;
-        ctx.timer_at(done, ServerMsg::SendFrames(frames));
+        let done = self.cpu.run_on(shard, ctx.now(), cost).finished;
+        self.schedule_frames(ctx, done, frames);
+    }
+
+    /// Schedule a handler's staged frames for delivery at `done`. With one
+    /// shard this is exactly the historical single timer. With several,
+    /// replication-stream frames are serialized through a single egress
+    /// point (`repl_egress_at`): shards may finish out of order, but the
+    /// backlog is one stream, so stream frames must hit the wire in the
+    /// offset order they were fed — the sim's FIFO tie-break at equal
+    /// timestamps preserves feed order for frames released together.
+    fn schedule_frames(&mut self, ctx: &mut Context<'_>, done: SimTime, frames: Vec<OutFrame>) {
+        if self.engines.len() <= 1 {
+            ctx.timer_at(done, ServerMsg::SendFrames(frames));
+            return;
+        }
+        let (stream, other): (Vec<OutFrame>, Vec<OutFrame>) =
+            frames.into_iter().partition(|f| f.tag == tag::REPL_STREAM);
+        if !other.is_empty() {
+            ctx.timer_at(done, ServerMsg::SendFrames(other));
+        }
+        if !stream.is_empty() {
+            let at = done.max(self.repl_egress_at);
+            self.repl_egress_at = at;
+            ctx.timer_at(at, ServerMsg::SendFrames(stream));
+        }
     }
 
     /// Host CPU to post a replication fan-out of `n` WRs: `n` serial
@@ -903,7 +1194,7 @@ impl KvServer {
         }
         self.stat_doorbells += u64::from(doorbells);
         let done = self.cpu.run_on(0, ctx.now(), cost).finished;
-        ctx.timer_at(done, ServerMsg::SendFrames(frames));
+        self.schedule_frames(ctx, done, frames);
     }
 
     /// Deliver the frames a command handler staged. With batching off
@@ -969,11 +1260,15 @@ impl KvServer {
         // semantics) but charge the persist time on a background core, so
         // the event loop keeps serving clients (paper: "starts a child
         // process to persist all the data").
-        let snapshot = rdb::save(self.engine.db());
+        let dbs: Vec<&Db> = self.engines.iter().map(Engine::db).collect();
+        let snapshot = rdb::save_union(&dbs);
         let start_offset = self.backlog.offset();
-        let keys = self.engine.db().len() as u64;
+        let keys = dbs.iter().map(|db| db.len() as u64).sum::<u64>();
+        // The persist core sits just past the shard cores (core 1 when
+        // unsharded — the historical schedule).
+        let persist_core = self.engines.len().max(1);
         let cost = SimDuration::from_micros(150) + self.cfg.costs.persist_per_key * keys;
-        let done = self.cpu.run_on(1, ctx.now(), cost).finished;
+        let done = self.cpu.run_on(persist_core, ctx.now(), cost).finished;
         ctx.timer_at(
             done,
             ServerMsg::PersistDone {
@@ -1168,7 +1463,24 @@ impl KvServer {
         let start_offset = *rdb_start_offset;
         *syncing = false;
         let seed = self.rng().gen_u64();
-        let loaded = match rdb::load(self.engine.db_mut(), &snapshot, seed) {
+        let load_result = if self.engines.len() == 1 {
+            rdb::load(self.engines[0].db_mut(), &snapshot, seed)
+        } else {
+            // Route each snapshot key to its owning shard — a sharded
+            // slave's per-shard stores mirror the master's slot map.
+            let mut dbs: Vec<Db> = self
+                .engines
+                .iter_mut()
+                .map(|e| std::mem::replace(e.db_mut(), Db::new()))
+                .collect();
+            let router = self.router.clone();
+            let r = rdb::load_routed(&mut dbs, &snapshot, seed, &|key| router.shard_of_key(key));
+            for (e, db) in self.engines.iter_mut().zip(dbs) {
+                *e.db_mut() = db;
+            }
+            r
+        };
+        let loaded = match load_result {
             Ok(n) => n,
             Err(_) => {
                 // Corrupt snapshot (torn transfer): restart the sync from
@@ -1329,7 +1641,14 @@ impl KvServer {
             return; // entirely duplicate
         }
         let fresh = &bytes[skip..];
-        // Parse and execute each RESP command in the fresh region.
+        // Parse and execute each RESP command in the fresh region. The
+        // state change is applied synchronously (determinism: replica
+        // contents never depend on core timing); the CPU model differs by
+        // shard count. Unsharded: the historical single charge on core 0.
+        // Sharded: a two-stage pipeline — core 0 parses, core 1 applies,
+        // coupled by the bounded parse→apply ring, so parse of command
+        // k+1 overlaps apply of command k.
+        let pipelined = self.engines.len() > 1;
         let mut pos = 0;
         let now_ms = Self::now_ms(ctx);
         let mut applied = 0usize;
@@ -1339,9 +1658,17 @@ impl KvServer {
                 Decoded::Frame(v, used) => {
                     if let Ok(args) = v.into_command_args() {
                         let kib = used as f64 / 1024.0;
-                        total_cost +=
-                            self.cfg.costs.apply_base + self.cfg.costs.cmd_per_kib.mul_f64(kib);
-                        let _ = self.engine.execute(now_ms, &args);
+                        let parse_cost = self.cfg.costs.cmd_per_kib.mul_f64(kib);
+                        let apply_cost = self.cfg.costs.apply_base;
+                        if pipelined {
+                            let gate = self.apply_ring.admit(ctx.now());
+                            let parsed = self.cpu.run_on(0, gate, parse_cost).finished;
+                            let done = self.cpu.run_on(1, parsed, apply_cost).finished;
+                            self.apply_ring.complete(done);
+                        } else {
+                            total_cost += apply_cost + parse_cost;
+                        }
+                        let _ = self.execute_routed(now_ms, &args);
                     }
                     pos += used;
                     applied = pos;
@@ -1493,7 +1820,10 @@ impl KvServer {
         if self.crashed {
             return;
         }
-        self.engine.cron(Self::now_ms(ctx));
+        let now_ms = Self::now_ms(ctx);
+        for engine in &mut self.engines {
+            engine.cron(now_ms);
+        }
         // Slaves report progress on the master channel (Fig. 9 ③).
         if let Role::Slave { syncing: false, .. } = &self.role {
             let offset = self.slave_offset();
@@ -1666,10 +1996,18 @@ impl Actor for KvServer {
         self.started = true;
         let me = ctx.id();
         if self.cfg.mode.uses_rdma() {
+            // CQ 0 first, then listen, then arm — the seed's exact order.
+            // Extra per-shard CQs (sharded servers only) follow, each armed
+            // so its completions interrupt the owning shard's core.
             let cq = self.net.create_cq(me);
-            self.cq = Some(cq);
+            self.cqs.push(cq);
             self.net.rdma_listen(self.addr, me);
             self.net.req_notify_cq(ctx, cq);
+            for _ in 1..self.engines.len() {
+                let extra = self.net.create_cq(me);
+                self.cqs.push(extra);
+                self.net.req_notify_cq(ctx, extra);
+            }
         } else {
             self.net.tcp_listen(self.addr, me);
         }
@@ -1717,7 +2055,8 @@ impl Actor for KvServer {
                         // Notifications delivered while crashed were lost;
                         // drain stale completions (replenishing receive
                         // slots) and re-arm the completion channel.
-                        if let Some(cq) = self.cq {
+                        let cqs = self.cqs.clone();
+                        for cq in cqs {
                             let net = self.net.clone();
                             cqdrain::recover_drain(&net, ctx, cq, |ctx, wc| {
                                 if let Some(&conn) = self.by_qp.get(&wc.qp) {
@@ -1803,7 +2142,15 @@ impl Actor for KvServer {
                 // arrives, so both sides post receives before either
                 // side's handshake SEND can land. A request without a CQ
                 // (TCP mode race) or one already answered is ignored.
-                let Some(cq) = self.cq else { return };
+                // Sharded servers spread accepted connections across the
+                // per-shard CQs round-robin, so each shard core polls its
+                // own completion stream; with one CQ this picks cq 0 every
+                // time.
+                if self.cqs.is_empty() {
+                    return;
+                }
+                let cq = self.cqs[self.accept_cursor % self.cqs.len()];
+                self.accept_cursor += 1;
                 let _ = self.net.rdma_accept(ctx, req, cq);
             }
             NetEvent::CmEstablished { qp, peer } => {
@@ -1836,7 +2183,10 @@ impl Actor for KvServer {
                         self.on_conn_broken(ctx, conn);
                     }
                 });
-                let done = self.cpu.run_on(0, ctx.now(), out.cpu_cost).finished;
+                // Poll CPU lands on the core owning this CQ (cq 0 → core
+                // 0, the seed schedule; extra shard CQs → their cores).
+                let core = self.cqs.iter().position(|&c| c == cq).unwrap_or(0);
+                let done = self.cpu.run_on(core, ctx.now(), out.cpu_cost).finished;
                 if out.more {
                     ctx.timer_at(done, NetEvent::CqNotify { cq });
                 }

@@ -210,12 +210,13 @@ const SIM_CRATE_PREFIXES: [&str; 3] = [
 ];
 
 /// Protocol hot-path files (rule `unwrap` applies).
-const HOT_PATH_FILES: [&str; 10] = [
+const HOT_PATH_FILES: [&str; 11] = [
     "crates/core/src/server.rs",
     "crates/core/src/client.rs",
     "crates/core/src/channel.rs",
     "crates/core/src/cqdrain.rs",
     "crates/core/src/nickv.rs",
+    "crates/core/src/shard.rs",
     "crates/core/src/replmode.rs",
     "crates/core/src/histcheck.rs",
     "crates/netsim/src/rdma.rs",
@@ -607,7 +608,7 @@ fn suppress(allows: &mut [Allow], line: usize, rule: &str) -> bool {
 struct Facts {
     /// `stat_*` identifiers seen in code: (line, name, is-definition).
     counter_mentions: Vec<(usize, String, bool)>,
-    /// `"rdma.*"` counter literals seen in strings: (line, name).
+    /// `"rdma.*"` / `"shard.*"` counter literals seen in strings: (line, name).
     rdma_mentions: Vec<(usize, String)>,
     /// Catalog entries (metrics.rs only): (line, name).
     catalog: Vec<(usize, String)>,
@@ -678,6 +679,12 @@ fn counter_literal_stat(s: &str) -> bool {
             && rest
                 .chars()
                 .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    })
+}
+
+fn counter_literal_shard(s: &str) -> bool {
+    s.strip_prefix("shard.").is_some_and(|rest| {
+        !rest.is_empty() && rest.chars().all(|c| c.is_ascii_lowercase() || c == '_')
     })
 }
 
@@ -780,7 +787,7 @@ fn analyze_file(rel: &str, contents: &str) -> FileAnalysis {
         }
         if is_metrics {
             for s in &l.strings {
-                if counter_literal_rdma(s) || counter_literal_stat(s) {
+                if counter_literal_rdma(s) || counter_literal_stat(s) || counter_literal_shard(s) {
                     facts.catalog.push((idx + 1, s.clone()));
                 }
             }
@@ -794,7 +801,7 @@ fn analyze_file(rel: &str, contents: &str) -> FileAnalysis {
                 }
             }
             for s in &l.strings {
-                if counter_literal_rdma(s) {
+                if counter_literal_rdma(s) || counter_literal_shard(s) {
                     facts.rdma_mentions.push((idx + 1, s.clone()));
                 }
             }
@@ -1278,6 +1285,9 @@ mod tests {
         assert!(!counter_literal_rdma("faults.tcp_retrans"));
         assert!(counter_literal_stat("stat_commands"));
         assert!(!counter_literal_stat("stat_"));
+        assert!(counter_literal_shard("shard.cross_msgs"));
+        assert!(!counter_literal_shard("shard."));
+        assert!(!counter_literal_shard("shard.Ops"));
     }
 
     #[test]

@@ -111,11 +111,21 @@ impl Engine {
     /// Built on the canonical RDB encoding, so it depends only on logical
     /// content, never on hash-table internals or insertion history.
     pub fn keyspace_digest(&self) -> u64 {
+        Self::keyspace_digest_merged(&[self])
+    }
+
+    /// The same fingerprint computed over the union of several engines'
+    /// keyspaces — what a sharded server reports. For one engine this is
+    /// exactly [`Engine::keyspace_digest`], so a single-shard server and
+    /// a sharded server holding the same logical content agree.
+    pub fn keyspace_digest_merged(engines: &[&Engine]) -> u64 {
         use crate::hash::siphash13;
-        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = self
-            .db
+        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = engines
             .iter()
-            .map(|(k, v)| (k.to_vec(), crate::rdb::canonical_obj_bytes(v)))
+            .flat_map(|e| {
+                e.db.iter()
+                    .map(|(k, v)| (k.to_vec(), crate::rdb::canonical_obj_bytes(v)))
+            })
             .collect();
         entries.sort_unstable();
         let mut acc = 0u64;
@@ -188,6 +198,29 @@ mod tests {
         assert_eq!(a.keyspace_digest(), b.keyspace_digest());
         a.exec_str(0, &["SET", "z", "3"]);
         assert_ne!(a.keyspace_digest(), b.keyspace_digest());
+    }
+
+    #[test]
+    fn merged_digest_matches_single_engine_with_same_content() {
+        let mut whole = Engine::new(1);
+        whole.exec_str(0, &["SET", "a", "1"]);
+        whole.exec_str(0, &["SET", "b", "2"]);
+        whole.exec_str(0, &["RPUSH", "c", "x", "y"]);
+        let mut left = Engine::new(7);
+        let mut right = Engine::new(9);
+        left.exec_str(0, &["SET", "b", "2"]);
+        right.exec_str(0, &["RPUSH", "c", "x", "y"]);
+        right.exec_str(0, &["SET", "a", "1"]);
+        assert_eq!(
+            whole.keyspace_digest(),
+            Engine::keyspace_digest_merged(&[&left, &right]),
+            "union of shards must digest like the unsharded keyspace"
+        );
+        // Shard order must not matter — the digest sorts by key.
+        assert_eq!(
+            Engine::keyspace_digest_merged(&[&left, &right]),
+            Engine::keyspace_digest_merged(&[&right, &left]),
+        );
     }
 
     #[test]

@@ -236,11 +236,24 @@ fn get_obj(buf: &[u8], pos: &mut usize, seed: u64) -> Result<RObj, RdbError> {
 
 /// Serialize the whole keyspace to a canonical snapshot.
 pub fn save(db: &Db) -> Vec<u8> {
-    let mut body = Vec::with_capacity(64 + db.len() * 32);
+    save_union(&[db])
+}
+
+/// Serialize the union of several keyspaces (the shards of one logical
+/// store) to a canonical snapshot. Entries are globally sorted by key, so
+/// the output is byte-identical to [`save`] of a single keyspace holding
+/// the same content — receivers never need to know the sender's shard
+/// count.
+pub fn save_union(dbs: &[&Db]) -> Vec<u8> {
+    let total: usize = dbs.iter().map(|db| db.len()).sum();
+    let mut body = Vec::with_capacity(64 + total * 32);
     body.extend_from_slice(MAGIC);
-    let mut entries: Vec<(&[u8], &RObj)> = db.iter().collect();
-    entries.sort_unstable_by_key(|(k, _)| *k);
-    for (key, obj) in entries {
+    let mut entries: Vec<(&[u8], &RObj, &Db)> = dbs
+        .iter()
+        .flat_map(|db| db.iter().map(move |(k, v)| (k, v, *db)))
+        .collect();
+    entries.sort_unstable_by_key(|(k, _, _)| *k);
+    for (key, obj, db) in entries {
         if let Some(at) = db.expiry_of(key) {
             body.push(OP_EXPIRE_MS);
             put_len(&mut body, at);
@@ -258,6 +271,20 @@ pub fn save(db: &Db) -> Vec<u8> {
 ///
 /// `seed` initializes skiplist randomness for loaded sorted sets.
 pub fn load(db: &mut Db, bytes: &[u8], seed: u64) -> Result<usize, RdbError> {
+    load_routed(std::slice::from_mut(db), bytes, seed, &|_| 0)
+}
+
+/// Load a snapshot into a set of shard keyspaces, replacing all of their
+/// contents. Every decoded key is placed in `dbs[route(key)]` (clamped to
+/// the slice), so a sharded receiver can split one wire snapshot without
+/// re-serializing. With a single shard this is exactly [`load`]: same
+/// validation, same flush-then-insert order, same per-object seeds.
+pub fn load_routed(
+    dbs: &mut [Db],
+    bytes: &[u8],
+    seed: u64,
+    route: &dyn Fn(&[u8]) -> usize,
+) -> Result<usize, RdbError> {
     if bytes.len() < MAGIC.len() + 5 {
         return Err(RdbError::Truncated);
     }
@@ -270,7 +297,9 @@ pub fn load(db: &mut Db, bytes: &[u8], seed: u64) -> Result<usize, RdbError> {
         return Err(RdbError::BadMagic);
     }
 
-    db.flush();
+    for db in dbs.iter_mut() {
+        db.flush();
+    }
     let mut pos = MAGIC.len();
     let mut loaded = 0;
     let mut pending_expire: Option<u64> = None;
@@ -285,6 +314,8 @@ pub fn load(db: &mut Db, bytes: &[u8], seed: u64) -> Result<usize, RdbError> {
             _ => {
                 let key = get_bytes(body, &mut pos)?;
                 let obj = get_obj(body, &mut pos, seed.wrapping_add(loaded as u64))?;
+                let idx = route(&key).min(dbs.len().saturating_sub(1));
+                let db = dbs.get_mut(idx).ok_or(RdbError::Truncated)?;
                 db.set(&key, obj);
                 if let Some(at) = pending_expire.take() {
                     db.set_expire(&key, at);
@@ -320,6 +351,31 @@ mod tests {
         e.exec_str(0, &["HSET", "hash", "f1", "v1", "f2", "v2"]);
         e.exec_str(0, &["ZADD", "zset", "1.5", "a", "2.5", "b"]);
         e
+    }
+
+    #[test]
+    fn union_save_matches_single_save_and_routed_load_splits() {
+        let whole = populated_engine();
+        let single = save(whole.db());
+        // Split the same content across two shard engines by key parity.
+        let route = |key: &[u8]| usize::from(key.first().copied().unwrap_or(0) % 2 == 0);
+        let mut shards = [Engine::new(3), Engine::new(4)];
+        let mut dbs: Vec<crate::db::Db> = shards
+            .iter_mut()
+            .map(|e| std::mem::take(e.db_mut()))
+            .collect();
+        let n = load_routed(&mut dbs, &single, 7, &route).unwrap();
+        assert_eq!(n, 8);
+        assert!(!dbs[0].is_empty() && !dbs[1].is_empty(), "both shards populated");
+        // The union snapshot of the shards is byte-identical to the
+        // unsharded snapshot: global key sort erases the shard split.
+        let union = save_union(&[&dbs[0], &dbs[1]]);
+        assert_eq!(union, single, "union snapshot must be canonical");
+        // Misrouted indexes clamp to the last shard instead of panicking.
+        let mut one = [crate::db::Db::new()];
+        let n = load_routed(&mut one, &single, 7, &|_| 99).unwrap();
+        assert_eq!(n, 8);
+        assert_eq!(one[0].len(), 8);
     }
 
     #[test]

@@ -22,6 +22,7 @@ fn main() {
         num_clients: 8,
         pipeline: 1,
         set_ratio: 0.7,
+        mset_keys: 0,
         value_size: 64,
         key_space: 50_000,
         warmup: SimDuration::from_millis(300),

@@ -19,6 +19,7 @@ fn run(mode: Mode) -> (RunReport, f64, u64) {
         num_clients: 8,
         pipeline: 1,
         set_ratio: 1.0,
+        mset_keys: 0,
         value_size: 64,
         key_space: 100_000,
         warmup: SimDuration::from_millis(400),

@@ -25,6 +25,7 @@ BENCHES=(
   wallclock_fanout
   wallclock_fig10
   wallclock_replmode
+  wallclock_shards
 )
 
 for b in "${BENCHES[@]}"; do

@@ -27,6 +27,7 @@ fn spec(slaves: usize, clients: usize, measure_ms: u64, seed: u64) -> RunSpec {
         num_clients: clients,
         pipeline: 1,
         set_ratio: 1.0,
+        mset_keys: 0,
         value_size: 64,
         key_space: 1_000,
         warmup: SimDuration::from_millis(100),

@@ -22,6 +22,7 @@ fn spec(threshold: usize, timer_us: u64, seed: u64) -> RunSpec {
         num_clients: 8,
         pipeline: 4,
         set_ratio: 1.0, // pure SET: every command fans out
+        mset_keys: 0,
         value_size: 64,
         key_space: 500,
         warmup: SimDuration::from_millis(100),

@@ -72,6 +72,7 @@ fn arm(mode: Mode, seed: u64) -> RunSpec {
         num_clients: 2,
         pipeline: 1,
         set_ratio: 0.5,
+        mset_keys: 0,
         value_size: 64,
         key_space: 500,
         warmup: SimDuration::from_millis(50),
@@ -151,6 +152,40 @@ fn same_seed_same_bits_with_cq_moderation() {
     assert_eq!(
         a, b,
         "identical moderated runs diverged: {a:#018x} vs {b:#018x}"
+    );
+}
+
+#[test]
+fn single_shard_digest_matches_pre_shard_baseline() {
+    // The sharding refactor's contract: at `num_shards = 1` (the default)
+    // every routed path degenerates to the historical single-engine code,
+    // leaving the event schedule — and therefore these digests, captured
+    // from the commit *before* the shard engine landed — bit-identical.
+    let skv = execute(arm(Mode::Skv, 0xD00D), None);
+    assert_eq!(
+        skv, 0x5cbf_7139_6270_5489,
+        "single-shard SKV schedule drifted from the pre-shard baseline: {skv:#018x}"
+    );
+    let tcp = execute(arm(Mode::TcpRedis, 0xBEEF), None);
+    assert_eq!(
+        tcp, 0xa23d_0199_5d6a_1cec,
+        "single-shard TCP schedule drifted from the pre-shard baseline: {tcp:#018x}"
+    );
+}
+
+#[test]
+fn same_seed_same_bits_sharded() {
+    // Four shard cores, per-shard CQs, split MSETs, the pipelined slave
+    // apply ring and the serialized replication egress all engaged, plus
+    // pipelined clients to keep every shard busy. Still bit-for-bit.
+    let mut spec = arm(Mode::Skv, 0x5A4D);
+    spec.cfg.num_shards = 4;
+    spec.pipeline = 4;
+    let a = execute(spec.clone(), None);
+    let b = execute(spec, None);
+    assert_eq!(
+        a, b,
+        "identical sharded runs diverged: {a:#018x} vs {b:#018x}"
     );
 }
 

@@ -14,6 +14,7 @@ fn spec(mode: Mode, slaves: usize, clients: usize, set_ratio: f64, seed: u64) ->
         num_clients: clients,
         pipeline: 1,
         set_ratio,
+        mset_keys: 0,
         value_size: 64,
         key_space: 50_000,
         warmup: SimDuration::from_millis(200),

@@ -2,6 +2,7 @@
 //! simulated RDMA fabric, through Nic-KV, into slave engines — and every
 //! replica must end up byte-identical to the master.
 
+use proptest::prelude::*;
 use skv_core::cluster::{Cluster, RunSpec};
 use skv_core::config::{ClusterConfig, Mode};
 use skv_simcore::SimDuration;
@@ -15,6 +16,7 @@ fn spec(mode: Mode, slaves: usize, clients: usize) -> RunSpec {
         num_clients: clients,
         pipeline: 1,
         set_ratio: 0.8,
+        mset_keys: 0,
         value_size: 64,
         key_space: 2_000,
         warmup: SimDuration::from_millis(100),
@@ -180,4 +182,69 @@ fn resp_errors_do_not_poison_the_stream() {
     assert!(report.ops > 100);
     assert_converged(&mut cluster);
     let _ = Resp::wrongtype(); // (documented behaviour under test)
+}
+
+#[test]
+fn sharded_replicas_converge_with_split_msets() {
+    // Deterministic end-to-end pass over the sharded pipeline: 4 master
+    // shards, batched MSET writes spanning shards, pipelined clients, two
+    // sharded slaves applying through the parse→apply ring.
+    let mut s = spec(Mode::Skv, 2, 4);
+    s.cfg.num_shards = 4;
+    s.mset_keys = 3;
+    s.pipeline = 4;
+    let mut cluster = Cluster::build(s);
+    let report = cluster.run();
+    assert!(report.ops > 500);
+    assert_eq!(report.errors, 0);
+    assert_converged(&mut cluster);
+    let master = cluster.master_server();
+    assert!(
+        master.shard_cross_msgs() > 0,
+        "MSET batch of 3 uniform keys should cross shards"
+    );
+    let ops = master.shard_ops();
+    assert_eq!(ops.len(), 4);
+    assert!(
+        ops.iter().all(|&n| n > 0),
+        "hash-slot routing should spread load over every shard: {ops:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Randomized shard counts, MSET batch widths and seeds: every write
+    /// is an MSET whose keys land on arbitrary shards, split on the
+    /// master, re-routed on each sharded slave — and all replicas must
+    /// still converge to the master's keyspace, bit for bit.
+    #[test]
+    fn cross_shard_msets_converge_on_all_replicas(
+        shards in 2u64..9,
+        batch in 2u64..6,
+        seed in 0u64..1_000,
+    ) {
+        let mut s = spec(Mode::Skv, 2, 2);
+        s.cfg.num_shards = usize::try_from(shards).unwrap_or(1);
+        s.mset_keys = usize::try_from(batch).unwrap_or(0);
+        s.pipeline = 2;
+        s.key_space = 300;
+        s.measure = SimDuration::from_millis(300);
+        s.seed = seed;
+        let mut cluster = Cluster::build(s);
+        let report = cluster.run();
+        prop_assert!(report.ops > 0);
+        prop_assert_eq!(report.errors, 0);
+        cluster
+            .sim
+            .run_until(cluster.measure_until + SimDuration::from_secs(1));
+        let digests = cluster.keyspace_digests();
+        prop_assert!(
+            digests.iter().all(|&d| d == digests[0]),
+            "replicas diverged at {} shards (batch {}): {:x?}",
+            shards,
+            batch,
+            digests
+        );
+    }
 }

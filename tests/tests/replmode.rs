@@ -28,6 +28,7 @@ fn spec(mode: ReplModeKind, slaves: usize, measure_ms: u64, seed: u64) -> RunSpe
         num_clients: 2,
         pipeline: 1,
         set_ratio: 1.0,
+        mset_keys: 0,
         value_size: 64,
         key_space: 1_000,
         warmup: SimDuration::from_millis(100),

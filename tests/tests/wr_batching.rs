@@ -26,6 +26,7 @@ fn spec(mode: Mode, slaves: usize, batched: bool, seed: u64) -> RunSpec {
         num_clients: 4,
         pipeline: 1,
         set_ratio: 1.0, // pure SET: every command replicates
+        mset_keys: 0,
         value_size: 128,
         key_space: 500,
         warmup: SimDuration::from_millis(100),
