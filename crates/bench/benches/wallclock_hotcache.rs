@@ -1,0 +1,42 @@
+//! Wall-clock: SoC hot-key GET cache under a Zipf-skewed read-heavy
+//! workload. Same spec per arm; only the cache budget and admission
+//! policy differ. The `off` arm is the legacy client→master path (and
+//! must stay schedule-identical to it); the cache-on arms route every
+//! client command through the NIC front end — forwarding, admission,
+//! stream-driven invalidation — so the sweep prices the cache layer in
+//! host CPU per simulated run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use skv_bench::wallclock::hotcache_spec;
+use skv_core::cluster::run_spec;
+use std::time::Duration;
+
+fn hotcache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotcache");
+    g.sample_size(5);
+    for (label, cache_bytes, policy) in [
+        ("skv-hotcache-off", 0usize, "lru"),
+        ("skv-hotcache-lru-1m", 1 << 20, "lru"),
+        ("skv-hotcache-tinylfu-1m", 1 << 20, "tinylfu"),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let report = run_spec(hotcache_spec(cache_bytes, policy, 0.99, 0x5EED));
+                assert!(report.ops > 0, "hot-cache run produced no operations");
+                assert_eq!(report.errors, 0, "hot-cache run saw error replies");
+                black_box(report.ops)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(1))
+        .measurement_time(Duration::from_millis(2_000))
+        .sample_size(5);
+    targets = hotcache
+}
+criterion_main!(benches);

@@ -31,6 +31,8 @@ fn spec(mode: Mode, slaves: usize, clients: usize, seed: u64) -> RunSpec {
         warmup: WARMUP,
         measure: MEASURE,
         seed,
+        zipf_theta: 0.0,
+        zipf_shift_every: 0,
     }
 }
 
@@ -1106,6 +1108,141 @@ pub fn print_shards(rows: &[ShardRow]) {
         println!(
             "{:>7} {:>9} {:>10} {:>10.1} {:>10.1} {:>11} {:>11}",
             r.shards, r.pipeline_depth, r.mset_keys, r.kops, r.p99_us, r.cross_msgs, r.queue_depth
+        );
+    }
+}
+
+// ===========================================================================
+// hot-key cache (extension: SoC-resident GET cache + admission policies)
+// ===========================================================================
+
+/// One hot-cache setting under a Zipf-skewed, read-heavy workload.
+#[derive(Debug, Clone)]
+pub struct HotCacheRow {
+    /// Admission policy label (`ClusterConfig::hot_cache_policy`), or
+    /// `"off"` for the cache-disabled baseline.
+    pub policy: String,
+    /// Zipf skew of the client key stream (`RunSpec::zipf_theta`).
+    pub theta: f64,
+    /// Cache budget in KiB (`ClusterConfig::hot_cache_bytes`); 0 = off.
+    pub cache_kib: usize,
+    /// Hot-set rotation period in key draws (`RunSpec::zipf_shift_every`).
+    pub shift_every: u64,
+    /// Client-visible throughput (kops/s).
+    pub kops: f64,
+    /// Client-visible p99 latency (µs).
+    pub p99_us: f64,
+    /// GETs served from SoC memory (`cache.hits`).
+    pub hits: u64,
+    /// GETs forwarded to the host (`cache.misses`).
+    pub misses: u64,
+    /// Admissions, evictions, stream-driven invalidations.
+    pub admits: u64,
+    /// Entries evicted under the byte budget.
+    pub evicts: u64,
+    /// Entries dropped/refreshed off the replication stream.
+    pub invalidations: u64,
+    /// Resident cache bytes at run end.
+    pub bytes: u64,
+}
+
+impl HotCacheRow {
+    /// Hit fraction over all front-end GET lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// Sweep the SoC hot-key cache under a read-heavy (5% SET) Zipf-skewed
+/// stream: policy (LRU vs TinyLFU admission) × skew theta × byte budget,
+/// against a cache-off baseline on the *same* workload. The headline row
+/// pair is `off` vs any cache-on arm at theta 0.99 — the SoC answers the
+/// hot head of the distribution without crossing to the host, so the
+/// host core stops being the GET bottleneck. The last arm rotates the
+/// hot set mid-run (`zipf_shift_every`) to price re-warming: admissions
+/// and evictions churn while the steady-state arms sit at a full,
+/// quiet cache.
+pub fn ablation_hotcache() -> Vec<HotCacheRow> {
+    let mut rows = Vec::new();
+    let mut arm =
+        |policy: &str, theta: f64, cache_kib: usize, shift_every: u64, seed: u64| {
+            let mut s = spec(Mode::Skv, 2, 8, seed);
+            s.pipeline = 4;
+            s.set_ratio = 0.05;
+            s.key_space = 10_000;
+            s.value_size = 64;
+            s.zipf_theta = theta;
+            s.zipf_shift_every = shift_every;
+            s.cfg.hot_cache_bytes = cache_kib << 10;
+            s.cfg.hot_cache_policy = policy.to_string();
+            // Values are small here; cap single entries well below the
+            // budget so one oversized reply can never pin the whole cache.
+            s.cfg.hot_cache_max_value = 4 << 10;
+            let mut cluster = Cluster::build(s);
+            let report = cluster.run();
+            let counters = cluster.counters_snapshot();
+            rows.push(HotCacheRow {
+                policy: if cache_kib == 0 {
+                    "off".to_string()
+                } else {
+                    policy.to_string()
+                },
+                theta,
+                cache_kib,
+                shift_every,
+                kops: report.throughput_kops,
+                p99_us: report.p99_latency_us,
+                hits: counters.get("cache.hits"),
+                misses: counters.get("cache.misses"),
+                admits: counters.get("cache.admits"),
+                evicts: counters.get("cache.evicts"),
+                invalidations: counters.get("cache.invalidations"),
+                bytes: counters.get("cache.bytes"),
+            });
+        };
+    // Cache-off baseline on the exact headline workload.
+    arm("lru", 0.99, 0, 0, 36_000);
+    // Policy × budget at the headline skew.
+    arm("lru", 0.99, 64, 0, 36_001);
+    arm("tinylfu", 0.99, 64, 0, 36_002);
+    arm("lru", 0.99, 1024, 0, 36_003);
+    arm("tinylfu", 0.99, 1024, 0, 36_004);
+    // Skew sweep at a fixed budget (0.0 = the uniform legacy stream).
+    arm("lru", 0.6, 1024, 0, 36_005);
+    arm("lru", 0.0, 1024, 0, 36_006);
+    // Shifting hot set: rotate every 50k key draws.
+    arm("lru", 0.99, 1024, 50_000, 36_007);
+    rows
+}
+
+/// Print the hot-key cache ablation.
+pub fn print_hotcache(rows: &[HotCacheRow]) {
+    println!("Ablation — SoC hot-key GET cache (SKV, 2 slaves, 8 clients, P=4, 5% SET)");
+    println!(
+        "{:>8} {:>6} {:>7} {:>7} {:>9} {:>8} {:>9} {:>9} {:>6} {:>8} {:>8} {:>7} {:>9}",
+        "policy", "theta", "KiB", "shift", "kops/s", "p99(us)", "hits", "misses", "hit%", "admits",
+        "evicts", "invals", "bytes"
+    );
+    for r in rows {
+        println!(
+            "{:>8} {:>6.2} {:>7} {:>7} {:>9.1} {:>8.1} {:>9} {:>9} {:>6.1} {:>8} {:>8} {:>7} {:>9}",
+            r.policy,
+            r.theta,
+            r.cache_kib,
+            r.shift_every,
+            r.kops,
+            r.p99_us,
+            r.hits,
+            r.misses,
+            r.hit_rate() * 100.0,
+            r.admits,
+            r.evicts,
+            r.invalidations,
+            r.bytes
         );
     }
 }

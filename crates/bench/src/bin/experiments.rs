@@ -35,6 +35,7 @@ fn run(which: &str) {
         "probeloss" => abl::print_probe_loss(&abl::ablation_probe_loss()),
         "pipeline" => abl::print_pipeline(&abl::ablation_pipeline()),
         "shards" => abl::print_shards(&abl::ablation_shards()),
+        "hotcache" => abl::print_hotcache(&abl::ablation_hotcache()),
         other => eprintln!("unknown experiment {other:?}"),
     }
     println!();
@@ -66,6 +67,7 @@ fn main() {
             "probeloss",
             "pipeline",
             "shards",
+            "hotcache",
         ]
     } else {
         args.iter().map(String::as_str).collect()

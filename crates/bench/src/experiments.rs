@@ -36,6 +36,8 @@ fn base_spec(mode: Mode, slaves: usize, clients: usize, seed: u64) -> RunSpec {
         warmup: WARMUP,
         measure: MEASURE,
         seed,
+        zipf_theta: 0.0,
+        zipf_shift_every: 0,
     }
 }
 

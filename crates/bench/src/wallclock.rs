@@ -51,6 +51,8 @@ pub fn fanout_spec_sized(
             SimDuration::from_millis(100)
         },
         seed,
+        zipf_theta: 0.0,
+        zipf_shift_every: 0,
     }
 }
 
@@ -84,6 +86,39 @@ pub fn fig10_style_spec(mode: Mode, seed: u64) -> RunSpec {
             SimDuration::from_millis(100)
         },
         seed,
+        zipf_theta: 0.0,
+        zipf_shift_every: 0,
+    }
+}
+
+/// Hot-key cache workload: read-heavy (5% SET) Zipf-skewed stream against
+/// a 2-slave SKV cluster with the SoC GET cache's budget and policy
+/// exposed. The cache-off arm prices the legacy client→master path; the
+/// cache-on arms add the NIC front end (forwarding, admission, the
+/// invalidation scan on every stream frame), so the sweep measures what
+/// the cache layer costs in host CPU per simulated run.
+pub fn hotcache_spec(cache_bytes: usize, policy: &str, theta: f64, seed: u64) -> RunSpec {
+    let mut cfg = ClusterConfig::for_mode(Mode::Skv);
+    cfg.num_slaves = 2;
+    cfg.hot_cache_bytes = cache_bytes;
+    cfg.hot_cache_policy = policy.to_string();
+    RunSpec {
+        cfg,
+        num_clients: 8,
+        pipeline: 4,
+        set_ratio: 0.05,
+        mset_keys: 0,
+        value_size: 64,
+        key_space: 10_000,
+        warmup: SimDuration::from_millis(20),
+        measure: if smoke() {
+            SimDuration::from_millis(30)
+        } else {
+            SimDuration::from_millis(100)
+        },
+        seed,
+        zipf_theta: theta,
+        zipf_shift_every: 0,
     }
 }
 
@@ -111,5 +146,7 @@ pub fn shards_spec(num_shards: usize, seed: u64) -> RunSpec {
             SimDuration::from_millis(100)
         },
         seed,
+        zipf_theta: 0.0,
+        zipf_shift_every: 0,
     }
 }

@@ -42,6 +42,12 @@ pub struct RunSpec {
     pub value_size: usize,
     /// Number of distinct keys.
     pub key_space: u64,
+    /// Zipf skew exponent θ for client key draws; 0 (the default) keeps
+    /// the historical uniform workload bit-identical. See
+    /// [`crate::client::Workload::zipf_theta`].
+    pub zipf_theta: f64,
+    /// Rotate the Zipf hot set every this many key draws (0 = static).
+    pub zipf_shift_every: u64,
     /// Warm-up time before measurement starts (after sync grace).
     pub warmup: SimDuration,
     /// Measurement window length.
@@ -60,6 +66,8 @@ impl Default for RunSpec {
             mset_keys: 0,
             value_size: 64,
             key_space: 10_000,
+            zipf_theta: 0.0,
+            zipf_shift_every: 0,
             warmup: SimDuration::from_millis(500),
             measure: SimDuration::from_secs(4),
             seed: 42,
@@ -226,8 +234,18 @@ impl Cluster {
             mset_keys: spec.mset_keys,
             key_space: spec.key_space,
             value_size: spec.value_size,
+            zipf_theta: spec.zipf_theta,
+            zipf_shift_every: spec.zipf_shift_every,
             start_at: clients_start,
             stop_at: measure_until,
+        };
+        // With the SoC hot-key cache on, clients dial the Nic-KV front
+        // end instead of the host master: hot GETs are answered from SoC
+        // memory, everything else is proxied through (see
+        // `crate::hotcache`). Cache off keeps the historical direct path.
+        let client_target = match nic_addr {
+            Some(nic) if cfg.hot_cache_enabled() => nic,
+            _ => master_addr,
         };
         let clients: Vec<ActorId> = (0..spec.num_clients)
             .map(|_| {
@@ -235,7 +253,7 @@ impl Cluster {
                     net.clone(),
                     cfg.clone(),
                     client_node,
-                    master_addr,
+                    client_target,
                     workload.clone(),
                     metrics.clone(),
                 )))
@@ -318,16 +336,24 @@ impl Cluster {
         let history = histcheck::new_history();
         let cfg = self.spec.cfg.clone();
         let master_addr = SocketAddr::new(self.master_node, KV_PORT);
+        // With the hot-key cache on, the history probes exercise the NIC
+        // front end exactly like the bench clients: writers and
+        // master-anchored readers dial the Nic-KV, so stale cache hits
+        // surface as single-writer monotonicity violations.
+        let front_addr = match self.nic_node {
+            Some(n) if cfg.hot_cache_enabled() => SocketAddr::new(n, NIC_PORT),
+            _ => master_addr,
+        };
         let slave_addrs: Vec<SocketAddr> = self
             .slave_nodes
             .iter()
             .map(|&n| SocketAddr::new(n, KV_PORT))
             .collect();
         let (targets, read_quorum) = match spec.anchor {
-            ReadAnchor::Master => (vec![master_addr], 1),
+            ReadAnchor::Master => (vec![front_addr], 1),
             ReadAnchor::Slave(i) => (vec![slave_addrs[i]], 1),
             ReadAnchor::MasterQuorum => {
-                let mut t = vec![master_addr];
+                let mut t = vec![front_addr];
                 t.extend(slave_addrs.iter().copied());
                 (t, quorum_slave_acks(cfg.num_slaves) + 1)
             }
@@ -339,7 +365,7 @@ impl Cluster {
                 self.net.clone(),
                 cfg.clone(),
                 self.client_node,
-                master_addr,
+                front_addr,
                 history.clone(),
                 w,
                 spec.keys_per_writer,
@@ -476,6 +502,20 @@ impl Cluster {
                     .add("shard.nic_ingress", nic.shard_ingress().iter().sum::<u64>());
             }
         }
+        // Cache counters are gated on the cache being enabled, so every
+        // cache-off run's report — and its determinism digest — stays
+        // bit-identical to the pre-cache baseline.
+        if self.spec.cfg.hot_cache_enabled() {
+            if let Some((stats, bytes)) = self.nic_kv().and_then(crate::nickv::NicKv::cache_stats)
+            {
+                report.chaos.add("cache.hits", stats.hits);
+                report.chaos.add("cache.misses", stats.misses);
+                report.chaos.add("cache.admits", stats.admits);
+                report.chaos.add("cache.evicts", stats.evicts);
+                report.chaos.add("cache.invalidations", stats.invalidations);
+                report.chaos.add("cache.bytes", bytes as u64);
+            }
+        }
         report
     }
 
@@ -540,6 +580,17 @@ impl Cluster {
             out.add("nic.stat_commits", nic.stat_commits);
             out.add("nic.stat_retransmits", nic.stat_retransmits);
             out.add("nic.stat_chain_repairs", nic.stat_chain_repairs);
+        }
+        for &name in crate::metrics::catalog::CACHE_COUNTERS {
+            out.add(name, 0);
+        }
+        if let Some((stats, bytes)) = self.nic_kv().and_then(crate::nickv::NicKv::cache_stats) {
+            out.add("cache.hits", stats.hits);
+            out.add("cache.misses", stats.misses);
+            out.add("cache.admits", stats.admits);
+            out.add("cache.evicts", stats.evicts);
+            out.add("cache.invalidations", stats.invalidations);
+            out.add("cache.bytes", bytes as u64);
         }
         out.add("client.stat_issued", 0);
         out.add("client.stat_replies", 0);
@@ -681,6 +732,9 @@ mod tests {
             assert!(keys.contains(&name), "snapshot missing {name}");
         }
         for &name in catalog::SHARD_COUNTERS {
+            assert!(keys.contains(&name), "snapshot missing {name}");
+        }
+        for &name in catalog::CACHE_COUNTERS {
             assert!(keys.contains(&name), "snapshot missing {name}");
         }
         // And the busy ones really counted.

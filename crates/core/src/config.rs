@@ -69,6 +69,15 @@ pub struct CostParams {
     pub post_spike_cost: SimDuration,
     /// Client-side per-op overhead (request build + reply parse).
     pub client_op: SimDuration,
+    /// Nic-KV cost to answer a GET from the SoC hot-key cache (hash
+    /// lookup + refcount bump + reply post, reference-core time; the
+    /// SmartNIC pool scales it by the ARM speed factor). Only charged
+    /// when `hot_cache_bytes > 0`.
+    pub nic_cache_hit: SimDuration,
+    /// Nic-KV cost to proxy one command between a client and the host
+    /// master (cookie bookkeeping + re-post each way). Charged on the
+    /// forward and on the reply relay. Only on the cache-on path.
+    pub nic_fwd: SimDuration,
 }
 
 impl Default for CostParams {
@@ -85,6 +94,8 @@ impl Default for CostParams {
             post_spike_prob: 0.006,
             post_spike_cost: SimDuration::from_micros(6),
             client_op: SimDuration::from_nanos(2_000),
+            nic_cache_hit: SimDuration::from_nanos(600),
+            nic_fwd: SimDuration::from_nanos(250),
         }
     }
 }
@@ -172,6 +183,23 @@ pub struct ClusterConfig {
     /// further launches behind commits. Ignored by `Async`.
     // skv-lint: allow(config-drift) -- deep enough that the replmode ablation never queues behind it; a sweep would measure the queue, not the protocol
     pub repl_window: usize,
+    /// Byte budget for the SoC-resident hot-key GET cache on the
+    /// Nic-KV (see [`crate::hotcache`]). 0 (the default) disables the
+    /// cache entirely: clients dial the host master directly and every
+    /// schedule stays bit-identical to the cache-less baseline. Nonzero
+    /// (SKV mode only) routes clients through the NIC, which answers
+    /// hot GETs from SoC memory and proxies everything else to the
+    /// host, invalidating cached entries off the replication stream.
+    pub hot_cache_bytes: usize,
+    /// Admission policy for the hot-key cache: `"lru"` (admit always,
+    /// evict by recency) or `"tinylfu"` (Count-Min-Sketch frequency
+    /// gate against the eviction victim). Validated by
+    /// [`ClusterConfig::validate`]; ignored when `hot_cache_bytes` is 0.
+    pub hot_cache_policy: String,
+    /// Largest value (bytes) the cache will ever be asked to hold; the
+    /// budget must fit at least one entry of this size plus overhead,
+    /// or admission could never succeed. Defaults to 16 KiB.
+    pub hot_cache_max_value: usize,
     /// Record per-commit ack sets on the NIC (`NicKv::committed_acks`).
     /// Test-only instrumentation for the quorum-intersection proptest;
     /// off by default to keep long runs lean.
@@ -207,6 +235,9 @@ impl Default for ClusterConfig {
             cq_poll_budget: 64,
             repl_mode: ReplModeKind::Async,
             num_shards: 1,
+            hot_cache_bytes: 0,
+            hot_cache_policy: "lru".into(),
+            hot_cache_max_value: 16 << 10,
             repl_window: 256,
             record_commits: false,
             costs: CostParams::default(),
@@ -290,7 +321,63 @@ impl ClusterConfig {
                 self.thread_num, self.machines.nic_cores, self.num_shards
             ));
         }
+        // Hot-cache knobs. The policy name is checked even with the
+        // cache off so a typo'd sweep config fails at build time, not
+        // silently on the first cache-on arm.
+        if crate::hotcache::CachePolicyKind::parse(&self.hot_cache_policy).is_none() {
+            return Err(format!(
+                "unknown hot_cache_policy {:?}; expected one of: lru, tinylfu",
+                self.hot_cache_policy
+            ));
+        }
+        if self.hot_cache_bytes > 0 {
+            if self.mode != Mode::Skv {
+                return Err(format!(
+                    "hot_cache_bytes {} requires SKV mode (the cache lives on \
+                     the Nic-KV); mode is {}",
+                    self.hot_cache_bytes,
+                    self.mode.label()
+                ));
+            }
+            let min_entry = self.hot_cache_max_value + crate::hotcache::ENTRY_OVERHEAD;
+            if self.hot_cache_bytes < min_entry {
+                return Err(format!(
+                    "hot_cache_bytes {} cannot fit one max-size entry \
+                     (hot_cache_max_value {} + {} overhead = {}); a budget \
+                     that admits nothing is a misconfiguration, not a cache",
+                    self.hot_cache_bytes,
+                    self.hot_cache_max_value,
+                    crate::hotcache::ENTRY_OVERHEAD,
+                    min_entry
+                ));
+            }
+            // The cache front-end pins a NIC core for GET serving and
+            // proxying; a sharded config (already in the explicit-sizing
+            // regime above) must leave room for it next to the
+            // replication pool.
+            if self.num_shards > 1 && self.thread_num + 1 > self.machines.nic_cores {
+                return Err(format!(
+                    "hot cache with num_shards {} needs a SmartNIC core for \
+                     the cache front-end next to the {} replication threads, \
+                     but the NIC has only {} cores",
+                    self.num_shards, self.thread_num, self.machines.nic_cores
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// Is the SoC hot-key cache active in this config?
+    pub fn hot_cache_enabled(&self) -> bool {
+        self.hot_cache_bytes > 0 && self.mode == Mode::Skv
+    }
+
+    /// The parsed cache admission policy. Panics on an unvalidated
+    /// unknown name — call [`ClusterConfig::validate`] first (the
+    /// cluster builder does).
+    pub fn hot_cache_policy_kind(&self) -> crate::hotcache::CachePolicyKind {
+        crate::hotcache::CachePolicyKind::parse(&self.hot_cache_policy)
+            .unwrap_or(crate::hotcache::CachePolicyKind::Lru)
     }
 
     /// Client-side dial backoff: the same capped doubling, additionally
@@ -442,6 +529,89 @@ mod tests {
             ..Default::default()
         };
         assert!(sized.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_cache_policy() {
+        let cfg = ClusterConfig {
+            hot_cache_policy: "arc".into(),
+            ..Default::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("hot_cache_policy"), "unexpected error: {err}");
+        for policy in ["lru", "tinylfu"] {
+            let cfg = ClusterConfig {
+                hot_cache_policy: policy.into(),
+                hot_cache_bytes: 1 << 20,
+                ..Default::default()
+            };
+            assert!(cfg.validate().is_ok(), "policy {policy} rejected");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_budget_below_one_max_entry() {
+        let cfg = ClusterConfig {
+            hot_cache_bytes: 1 << 10,
+            hot_cache_max_value: 16 << 10,
+            ..Default::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("max-size entry"), "unexpected error: {err}");
+        // Exactly one entry is the floor.
+        let cfg = ClusterConfig {
+            hot_cache_bytes: (16 << 10) + crate::hotcache::ENTRY_OVERHEAD,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_cache_outside_skv_mode() {
+        for mode in [Mode::TcpRedis, Mode::RdmaRedis] {
+            let cfg = ClusterConfig {
+                mode,
+                hot_cache_bytes: 1 << 20,
+                ..Default::default()
+            };
+            let err = cfg.validate().unwrap_err();
+            assert!(err.contains("SKV mode"), "unexpected error: {err}");
+        }
+        let cfg = ClusterConfig {
+            hot_cache_bytes: 1 << 20,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.hot_cache_enabled());
+        assert!(!ClusterConfig::default().hot_cache_enabled());
+    }
+
+    #[test]
+    fn validate_cache_shard_interplay_reserves_a_nic_core() {
+        // 8 NIC cores: a sharded cache-on config may use at most 7
+        // replication threads so the cache front-end gets a core.
+        let full = ClusterConfig {
+            hot_cache_bytes: 1 << 20,
+            num_shards: 4,
+            thread_num: 8,
+            ..Default::default()
+        };
+        let err = full.validate().unwrap_err();
+        assert!(err.contains("cache front-end"), "unexpected error: {err}");
+        let sized = ClusterConfig {
+            hot_cache_bytes: 1 << 20,
+            num_shards: 4,
+            thread_num: 7,
+            ..Default::default()
+        };
+        assert!(sized.validate().is_ok());
+        // Cache-off sharded configs keep the historical bound.
+        let off = ClusterConfig {
+            num_shards: 4,
+            thread_num: 8,
+            ..Default::default()
+        };
+        assert!(off.validate().is_ok());
     }
 
     #[test]

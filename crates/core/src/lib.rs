@@ -45,6 +45,7 @@ pub mod cluster;
 pub mod config;
 pub mod cqdrain;
 pub mod histcheck;
+pub mod hotcache;
 pub mod metrics;
 pub mod nickv;
 pub mod protocol;

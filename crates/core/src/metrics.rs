@@ -65,6 +65,20 @@ pub mod catalog {
         "shard.ops",
         "shard.queue_depth",
     ];
+    /// NIC-resident hot-key GET cache counters (`hotcache.rs`, surfaced
+    /// through `nickv.rs`): request outcomes (`cache.hits` served from
+    /// the SoC, `cache.misses` forwarded to the host), admission-plane
+    /// decisions (`cache.admits`, `cache.evicts`), invalidations applied
+    /// off the replication stream, and the resident byte footprint at
+    /// run end. All stay zero when `hot_cache_bytes = 0`.
+    pub const CACHE_COUNTERS: &[&str] = &[
+        "cache.admits",
+        "cache.bytes",
+        "cache.evicts",
+        "cache.hits",
+        "cache.invalidations",
+        "cache.misses",
+    ];
     /// Fabric counters kept by `skv-netsim` under these exact names.
     pub const RDMA_COUNTERS: &[&str] = &[
         "rdma.access_errors",

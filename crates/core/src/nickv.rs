@@ -25,6 +25,7 @@ use skv_store::repl::ReplicationPosition;
 use crate::channel::{Channel, ChannelMsg};
 use crate::config::ClusterConfig;
 use crate::cqdrain;
+use crate::hotcache::{CacheStats, HotCache};
 use crate::protocol::{tag, NodeMsg};
 use crate::replmode::{quorum_slave_acks, ReplModeKind};
 
@@ -66,6 +67,20 @@ enum NicMsg {
     /// Chain-mode per-hop work finished; post the write to its current
     /// head hop.
     ChainHop { seq: u64 },
+    /// Front-end ARM work for a client-bound reply finished (a cache hit
+    /// or a relayed forwarded reply); send it on the client channel now.
+    CacheReply { conn: usize, frame: Frame },
+    /// Front-end forwarding work for a missed/non-GET client command
+    /// finished; relay the cookie-framed `FWD_CMD` to the master.
+    FwdSend { cookie: u64, frame: Frame },
+}
+
+/// One outstanding forwarded client command: where its reply goes, and —
+/// when the command was a single-key GET — the key whose bulk reply is a
+/// cache admission candidate.
+struct FwdCtx {
+    conn: usize,
+    key: Option<Vec<u8>>,
 }
 
 /// One in-flight tracked write (quorum or chain mode). The frame is kept
@@ -187,6 +202,14 @@ pub struct NicKv {
     /// mapping spreads replication ingress. Exported as
     /// `shard.nic_ingress`.
     shard_ingress: Vec<u64>,
+    // -- hot-key GET cache (SoC-resident front-end) ------------------------
+    /// The NIC-resident hot-key cache; `None` unless
+    /// `ClusterConfig::hot_cache_enabled()`.
+    cache: Option<HotCache>,
+    /// Cookie source for forwarded client commands.
+    fwd_seq: u64,
+    /// Outstanding forwarded commands by cookie.
+    fwd_pending: DetMap<u64, FwdCtx>,
 }
 
 impl NicKv {
@@ -195,6 +218,9 @@ impl NicKv {
         let cores = cfg.machines.nic_cores.max(1);
         let speed = cfg.machines.nic_core_speed;
         let shard_ingress = vec![0; cfg.num_shards.max(1)];
+        let cache = cfg
+            .hot_cache_enabled()
+            .then(|| HotCache::new(cfg.hot_cache_bytes, cfg.hot_cache_policy_kind()));
         NicKv {
             net,
             node,
@@ -230,7 +256,27 @@ impl NicKv {
             stat_chain_repairs: 0,
             committed_acks: Vec::new(),
             shard_ingress,
+            cache,
+            fwd_seq: 0,
+            fwd_pending: DetMap::new(),
         }
+    }
+
+    /// Cache counters and the resident byte footprint, when the hot
+    /// cache is enabled.
+    pub fn cache_stats(&self) -> Option<(CacheStats, usize)> {
+        self.cache.as_ref().map(|c| (c.stats, c.bytes()))
+    }
+
+    /// The hot cache itself (test observability).
+    pub fn hot_cache(&self) -> Option<&HotCache> {
+        self.cache.as_ref()
+    }
+
+    /// The ARM core running the cache front-end: the last one, which
+    /// `ClusterConfig::validate` keeps clear of sharded fan-out threads.
+    fn fe_core(&self) -> usize {
+        self.cfg.machines.nic_cores.max(1) - 1
     }
 
     /// Replication ingress per master shard (empty counts unless the
@@ -336,7 +382,7 @@ impl NicKv {
         let net = self.net.clone();
         let posted = self.conns[conn].channel.send(&net, ctx, tag, payload);
         if self.conns[conn].channel.broken() {
-            self.close_conn(conn);
+            self.close_conn(ctx, conn);
             return 0;
         }
         posted
@@ -344,11 +390,17 @@ impl NicKv {
 
     /// Tear down a failed connection; the node it belonged to stays in the
     /// list (validity is the probe machinery's business) but loses its
-    /// channel until it re-registers.
-    fn close_conn(&mut self, conn: usize) {
+    /// channel until it re-registers. Losing the *master* channel also
+    /// takes the hot cache cold and fails outstanding forwards over to
+    /// error replies (see [`NicKv::on_master_channel_lost`]).
+    fn close_conn(&mut self, ctx: &mut Context<'_>, conn: usize) {
         if !self.conns[conn].open {
             return;
         }
+        let was_master = self
+            .nodes
+            .iter()
+            .any(|n| n.is_master && n.conn == Some(conn));
         self.conns[conn].open = false;
         // Whatever was queued behind the handshake dies with the channel;
         // forget its statistics bookkeeping too.
@@ -360,6 +412,34 @@ impl NicKv {
         for e in &mut self.nodes {
             if e.conn == Some(conn) {
                 e.conn = None;
+            }
+        }
+        if was_master {
+            self.on_master_channel_lost(ctx);
+        }
+    }
+
+    /// The master channel died. Cached entries can no longer be kept
+    /// coherent — a failover master may lag the stream the entries were
+    /// versioned against — so the cache goes cold. Outstanding forwarded
+    /// commands will never see their cookie replies; answer them with an
+    /// error so closed-loop clients keep running (the same liveness a
+    /// directly-connected client gets from its broken channel).
+    fn on_master_channel_lost(&mut self, ctx: &mut Context<'_>) {
+        if let Some(cache) = self.cache.as_mut() {
+            cache.clear();
+        }
+        if self.fwd_pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::replace(&mut self.fwd_pending, DetMap::new());
+        let err: Frame = skv_store::resp::Resp::Error("ERR master unavailable".into())
+            .encode()
+            .into();
+        let conns: Vec<usize> = pending.iter().map(|(_, f)| f.conn).collect();
+        for conn in conns {
+            if self.conns[conn].open {
+                self.send_on(ctx, conn, tag::REPLY, err.clone());
             }
         }
     }
@@ -398,7 +478,206 @@ impl NicKv {
             }
             // Steady-state replication request from the master (Fig. 9 ①).
             tag::REPL_STREAM => self.fan_out(ctx, msg.payload),
+            // Client command landing on the SoC front-end (cache-on runs
+            // route clients at the NIC instead of the master).
+            tag::CMD => self.on_client_cmd(ctx, conn, msg.payload),
+            // Cookie-framed reply for a command we forwarded to the host.
+            tag::FWD_REPLY => self.on_fwd_reply(ctx, msg.payload),
             _ => {}
+        }
+    }
+
+    // -- hot-key GET cache front-end --------------------------------------------
+
+    /// One client command at the SoC front-end. A single-key GET probes
+    /// the hot cache: a hit is answered straight from SoC memory after
+    /// the ARM lookup cost — the host is never involved. Everything else
+    /// (miss, write, multi-key) is relayed to the master as a
+    /// cookie-framed [`tag::FWD_CMD`] after the forwarding cost.
+    fn on_client_cmd(&mut self, ctx: &mut Context<'_>, conn: usize, payload: Frame) {
+        use skv_store::resp::{Decoded, Resp};
+        let get_key = match Resp::decode(&payload) {
+            Decoded::Frame(v, _) => match v.into_command_args() {
+                Ok(mut args)
+                    if args.len() == 2 && args[0].eq_ignore_ascii_case(b"GET") =>
+                {
+                    Some(args.swap_remove(1))
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+        if let (Some(key), Some(cache)) = (get_key.as_deref(), self.cache.as_mut()) {
+            // The sketch tracks GET demand whether or not the key is
+            // resident — admission needs hotness for misses too.
+            cache.touch(key);
+            if let Some(reply) = cache.get(key) {
+                let done = self
+                    .cpu
+                    .run_on(self.fe_core(), ctx.now(), self.cfg.costs.nic_cache_hit)
+                    .finished;
+                ctx.timer_at(done, NicMsg::CacheReply { conn, frame: reply });
+                return;
+            }
+        }
+        self.fwd_seq += 1;
+        let cookie = self.fwd_seq;
+        self.fwd_pending.insert(cookie, FwdCtx { conn, key: get_key });
+        let mut fwd = Vec::with_capacity(8 + payload.len());
+        fwd.extend_from_slice(&cookie.to_le_bytes());
+        fwd.extend_from_slice(&payload);
+        let done = self
+            .cpu
+            .run_on(self.fe_core(), ctx.now(), self.cfg.costs.nic_fwd)
+            .finished;
+        ctx.timer_at(
+            done,
+            NicMsg::FwdSend {
+                cookie,
+                frame: fwd.into(),
+            },
+        );
+    }
+
+    /// Relay a cookie-framed client command to the master once the
+    /// front-end work is done. With no live master channel the client
+    /// gets an immediate error reply instead of hanging its closed loop.
+    fn fwd_to_master(&mut self, ctx: &mut Context<'_>, cookie: u64, frame: Frame) {
+        if let Some(mconn) = self.master_conn() {
+            self.send_on(ctx, mconn, tag::FWD_CMD, frame);
+            // A send that broke the master channel already failed every
+            // outstanding cookie over to an error reply in `close_conn`.
+            return;
+        }
+        let Some(fwd) = self.fwd_pending.remove(&cookie) else {
+            return;
+        };
+        if self.conns[fwd.conn].open {
+            let err = skv_store::resp::Resp::Error("ERR master unavailable".into()).encode();
+            self.send_on(ctx, fwd.conn, tag::REPLY, err);
+        }
+    }
+
+    /// A cookie-framed reply came back from the host: pop the pending
+    /// forward, offer a successful bulk GET reply for admission, and
+    /// relay the inner RESP reply to the waiting client. The admission
+    /// version is the replication high-water the NIC has applied — every
+    /// write the master acked before producing this reply travelled the
+    /// same FIFO channel ahead of it, so the entry is current as of that
+    /// offset.
+    fn on_fwd_reply(&mut self, ctx: &mut Context<'_>, payload: Frame) {
+        if payload.len() < 8 {
+            return;
+        }
+        let Ok(cookie_bytes) = <[u8; 8]>::try_from(&payload[..8]) else {
+            return;
+        };
+        let cookie = u64::from_le_bytes(cookie_bytes);
+        let Some(fwd) = self.fwd_pending.remove(&cookie) else {
+            return; // stale reply from before a recovery
+        };
+        let body: Frame = payload[8..].to_vec().into();
+        if let (Some(key), Some(cache)) = (fwd.key.as_deref(), self.cache.as_mut()) {
+            // Only a present bulk value is a candidate; errors and null
+            // bulks (missing key) are not worth a slot.
+            if body.first() == Some(&b'$') && !body.starts_with(b"$-1") {
+                let version = self.master_offset;
+                cache.admit(key, body.clone(), version);
+            }
+        }
+        if !self.conns[fwd.conn].open {
+            return; // the client went away; drop the reply
+        }
+        let done = self
+            .cpu
+            .run_on(self.fe_core(), ctx.now(), self.cfg.costs.nic_fwd)
+            .finished;
+        ctx.timer_at(
+            done,
+            NicMsg::CacheReply {
+                conn: fwd.conn,
+                frame: body,
+            },
+        );
+    }
+
+    /// The invalidation seam: every replicated dirty command piggybacks
+    /// on its stream frame, so the cache drops, refreshes, or taints the
+    /// affected keys *before* the master's ack for that write can reach
+    /// any client — stream frames precede cookie replies on the FIFO
+    /// master channel. A no-op (no state, no CPU) with the cache off.
+    fn apply_cache_invalidations(&mut self, frame: &Frame) {
+        if self.cache.is_none() {
+            return;
+        }
+        use skv_store::resp::{Decoded, Resp};
+        let Some((from_offset, body)) = crate::server::parse_stream_frame(frame) else {
+            return;
+        };
+        let version = from_offset + body.len() as u64;
+        let Decoded::Frame(v, _) = Resp::decode(body) else {
+            return;
+        };
+        let Ok(args) = v.into_command_args() else {
+            return;
+        };
+        let Some(cache) = self.cache.as_mut() else {
+            return;
+        };
+        let Some(cmd) = args.first() else { return };
+        match cmd.to_ascii_uppercase().as_slice() {
+            b"SET" => {
+                let Some(key) = args.get(1) else { return };
+                // A SET carrying any TTL clause taints the key: its host
+                // expiry is silent (no stream traffic), so it must never
+                // be cached. A plain SET clears old taint and refreshes a
+                // resident entry in place.
+                let ttl = args.iter().skip(3).any(|a| {
+                    let u = a.to_ascii_uppercase();
+                    matches!(u.as_slice(), b"EX" | b"PX" | b"EXAT" | b"PXAT" | b"KEEPTTL")
+                });
+                if ttl {
+                    cache.taint(key);
+                } else if let Some(value) = args.get(2) {
+                    cache.untaint(key);
+                    let reply = Resp::Bulk(value.clone()).encode();
+                    cache.refresh(key, reply.into(), version);
+                }
+            }
+            b"SETEX" | b"PSETEX" | b"GETEX" | b"EXPIRE" | b"PEXPIRE" | b"EXPIREAT"
+            | b"PEXPIREAT" => {
+                if let Some(key) = args.get(1) {
+                    cache.taint(key);
+                }
+            }
+            b"PERSIST" => {
+                if let Some(key) = args.get(1) {
+                    cache.untaint(key);
+                }
+            }
+            b"DEL" | b"UNLINK" => {
+                for key in &args[1..] {
+                    cache.untaint(key);
+                    cache.invalidate(key);
+                }
+            }
+            b"MSET" => {
+                let mut i = 1;
+                while i + 1 < args.len() {
+                    cache.untaint(&args[i]);
+                    let reply = Resp::Bulk(args[i + 1].clone()).encode();
+                    cache.refresh(&args[i], reply.into(), version);
+                    i += 2;
+                }
+            }
+            b"FLUSHALL" | b"FLUSHDB" => cache.clear(),
+            _ => {
+                // Unknown mutator: conservatively drop every key-looking
+                // argument.
+                for key in &args[1..] {
+                    cache.invalidate(key);
+                }
+            }
         }
     }
 
@@ -548,6 +827,7 @@ impl NicKv {
     /// spread round-robin across `thread-num` ARM cores.
     fn fan_out(&mut self, ctx: &mut Context<'_>, frame: Frame) {
         self.note_shard_ingress(&frame);
+        self.apply_cache_invalidations(&frame);
         if self.deferred() {
             // Quorum/chain modes track per-write acks; the async fast path
             // below stays bit-identical when `repl_mode` is `Async`.
@@ -644,7 +924,7 @@ impl NicKv {
         for (conn, outcome) in staged.into_iter().zip(outcomes) {
             if outcome.is_err() {
                 self.conns[conn].channel.mark_broken();
-                self.close_conn(conn);
+                self.close_conn(ctx, conn);
             }
         }
     }
@@ -778,7 +1058,7 @@ impl NicKv {
             if outcome.is_err() {
                 self.wr_acks.remove(&(qp, wr_id));
                 self.conns[conn].channel.mark_broken();
-                self.close_conn(conn);
+                self.close_conn(ctx, conn);
             }
         }
     }
@@ -852,7 +1132,7 @@ impl NicKv {
             if net.post_send(ctx, qp, wr).is_err() {
                 self.wr_acks.remove(&(qp, wr_id));
                 self.conns[conn].channel.mark_broken();
-                self.close_conn(conn);
+                self.close_conn(ctx, conn);
                 self.pending[idx].hop_inflight = false;
                 self.chain_repair(ctx);
             }
@@ -1172,10 +1452,20 @@ impl Actor for NicKv {
                         // The SoC restarted: transport state and the node
                         // list are gone. The master's Hello redial and the
                         // slaves' re-registration polls rebuild the list.
-                        for i in 0..self.conns.len() {
-                            self.close_conn(i);
+                        // Front-end state first — a restarted process has
+                        // no cookies to answer and rejoins with a *cold*
+                        // cache — and before the close loop, so tearing
+                        // down the master conn doesn't fire error replies
+                        // into already-dead client channels.
+                        if let Some(cache) = self.cache.as_mut() {
+                            cache.clear();
                         }
+                        self.fwd_seq = 0;
+                        self.fwd_pending = DetMap::new();
                         self.nodes.clear();
+                        for i in 0..self.conns.len() {
+                            self.close_conn(ctx, i);
+                        }
                         self.promoted = None;
                         self.master_offset = 0;
                         self.last_update_sent = None;
@@ -1245,6 +1535,14 @@ impl Actor for NicKv {
                     NicMsg::ChainHop { .. } if self.crashed => {}
                     NicMsg::ChainHop { seq } => {
                         self.chain_hop_post(ctx, seq);
+                    }
+                    NicMsg::CacheReply { .. } if self.crashed => {}
+                    NicMsg::CacheReply { conn, frame } => {
+                        self.send_on(ctx, conn, tag::REPLY, frame);
+                    }
+                    NicMsg::FwdSend { .. } if self.crashed => {}
+                    NicMsg::FwdSend { cookie, frame } => {
+                        self.fwd_to_master(ctx, cookie, frame);
                     }
                 }
                 return;
@@ -1318,7 +1616,7 @@ impl Actor for NicKv {
                     if let Some(m) = msg {
                         self.on_channel_msg(ctx, conn, m);
                     } else if self.conns[conn].channel.broken() {
-                        self.close_conn(conn);
+                        self.close_conn(ctx, conn);
                     }
                 });
                 // Completion errors may have torn connections down; give

@@ -22,6 +22,14 @@ pub mod tag {
     pub const REPL_STREAM: u32 = 4;
     /// A chunk of an RDB snapshot transfer.
     pub const RDB_CHUNK: u32 = 5;
+    /// A client command proxied by the Nic-KV cache front-end to the
+    /// host master: `[u64 cookie][RESP command bytes]`. The cookie maps
+    /// the out-of-order shard replies back to the originating client
+    /// connection on the NIC.
+    pub const FWD_CMD: u32 = 6;
+    /// The host master's reply to a proxied command, echoing the
+    /// cookie: `[u64 cookie][RESP reply bytes]`.
+    pub const FWD_REPLY: u32 = 7;
 }
 
 /// Total number of hash slots in the keyspace (Redis Cluster's constant:

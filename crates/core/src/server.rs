@@ -100,6 +100,9 @@ struct PendingReply {
     /// Backlog offset one past the write this reply acknowledges.
     end_offset: u64,
     conn: usize,
+    /// `REPLY` for a direct client, `FWD_REPLY` (cookie-framed payload)
+    /// for a command relayed by the SoC front-end.
+    tag: u32,
     payload: Frame,
 }
 
@@ -665,18 +668,40 @@ impl KvServer {
         if matches!(self.conns[conn].kind, ConnKind::Unknown) {
             self.conns[conn].kind = ConnKind::Client;
         }
+        self.run_command(ctx, conn, payload, None);
+    }
+
+    /// Handle one SoC-relayed command frame (TAG_FWD_CMD): an 8-byte LE
+    /// cookie followed by the original RESP command. The connection keeps
+    /// its Nic kind — the front-end multiplexes many clients over it.
+    fn on_forwarded_command(&mut self, ctx: &mut Context<'_>, conn: usize, payload: &Frame) {
+        let Some(header) = payload.get(..8) else {
+            return;
+        };
+        let Ok(cookie_bytes) = <[u8; 8]>::try_from(header) else {
+            return;
+        };
+        let cookie = u64::from_le_bytes(cookie_bytes);
+        let body: Frame = payload[8..].to_vec().into();
+        self.run_command(ctx, conn, body, Some(cookie));
+    }
+
+    /// The shared command path behind both entry points. `fwd` carries a
+    /// relay cookie when the command came through the SoC front-end; its
+    /// reply then leaves as a cookie-framed `FWD_REPLY` on `conn`.
+    fn run_command(&mut self, ctx: &mut Context<'_>, conn: usize, payload: Frame, fwd: Option<u64>) {
         let args = match Resp::decode(&payload) {
             Decoded::Frame(v, _) => match v.into_command_args() {
                 Ok(args) => args,
                 Err(e) => {
                     let reply = Resp::err(e).encode();
-                    self.finish_command(ctx, conn, payload.len(), reply, None, (0, SimDuration::ZERO));
+                    self.finish_command(ctx, conn, payload.len(), reply, None, (0, SimDuration::ZERO), fwd);
                     return;
                 }
             },
             _ => {
                 let reply = Resp::err("protocol error").encode();
-                self.finish_command(ctx, conn, payload.len(), reply, None, (0, SimDuration::ZERO));
+                self.finish_command(ctx, conn, payload.len(), reply, None, (0, SimDuration::ZERO), fwd);
                 return;
             }
         };
@@ -687,7 +712,7 @@ impl KvServer {
         if is_write_cmd && self.write_gate_blocked() {
             self.stat_rejected += 1;
             let reply = Resp::Error("NOREPLICAS Not enough good replicas to write".into()).encode();
-            self.finish_command(ctx, conn, payload.len(), reply, None, (0, SimDuration::ZERO));
+            self.finish_command(ctx, conn, payload.len(), reply, None, (0, SimDuration::ZERO), fwd);
             return;
         }
 
@@ -701,7 +726,7 @@ impl KvServer {
             None
         };
         let reply = result.reply.encode();
-        self.finish_command(ctx, conn, payload.len(), reply, replicate, (shard, cross_cost));
+        self.finish_command(ctx, conn, payload.len(), reply, replicate, (shard, cross_cost), fwd);
     }
 
     /// Execute one command against the shard set: route to the owning
@@ -904,6 +929,7 @@ impl KvServer {
     /// `route` is `(shard, cross_cost)`: the core that executed the command
     /// (always 0 unsharded) and the inter-shard hop overhead a split
     /// command paid.
+    #[allow(clippy::too_many_arguments)]
     fn finish_command(
         &mut self,
         ctx: &mut Context<'_>,
@@ -912,6 +938,7 @@ impl KvServer {
         reply: Vec<u8>,
         replicate: Option<Frame>,
         route: (usize, SimDuration),
+        fwd: Option<u64>,
     ) {
         let (shard, cross_cost) = route;
         let costs = &self.cfg.costs;
@@ -930,8 +957,18 @@ impl KvServer {
         let defer = replicate.is_some()
             && self.is_master()
             && replmode::replication_mode(self.cfg.repl_mode).defers_replies();
-        let reply_len = reply.len();
-        let reply_frame: Frame = reply.into();
+        // A forwarded command's reply is re-framed with its relay cookie
+        // and leaves under FWD_REPLY.
+        let (reply_tag, reply_frame): (u32, Frame) = match fwd {
+            Some(cookie) => {
+                let mut framed = Vec::with_capacity(8 + reply.len());
+                framed.extend_from_slice(&cookie.to_le_bytes());
+                framed.extend_from_slice(&reply);
+                (tag::FWD_REPLY, framed.into())
+            }
+            None => (tag::REPLY, reply.into()),
+        };
+        let reply_len = reply_frame.len();
 
         // Transport costs for receiving the request and posting the reply.
         match self.cfg.mode {
@@ -952,10 +989,16 @@ impl KvServer {
                 }
             }
         }
-        if !defer {
+        // A forwarded *dirty* command's ack must chase its own stream
+        // frame down the master→NIC channel (the front-end invalidates
+        // off the stream before relaying acks), so its reply frame is
+        // appended after the replication block instead of here. Direct
+        // replies keep the seed's reply-first order bit for bit.
+        let reply_after_stream = fwd.is_some() && replicate.is_some();
+        if !defer && !reply_after_stream {
             frames.push(OutFrame {
                 conn,
-                tag: tag::REPLY,
+                tag: reply_tag,
                 payload: reply_frame.clone(),
             });
         }
@@ -969,7 +1012,8 @@ impl KvServer {
                 self.pending_replies.push_back(PendingReply {
                     end_offset: self.backlog.offset(),
                     conn,
-                    payload: reply_frame,
+                    tag: reply_tag,
+                    payload: reply_frame.clone(),
                 });
             }
             // The stream frame is built in a recycled send-ring buffer —
@@ -1043,6 +1087,16 @@ impl KvServer {
                 }
             }
         }
+        if !defer && reply_after_stream {
+            // The deferred-from-above forwarded ack, now ordered behind
+            // its stream frame (its post cost was charged with the reply
+            // branch above; only the emission order moved).
+            frames.push(OutFrame {
+                conn,
+                tag: reply_tag,
+                payload: reply_frame,
+            });
+        }
 
         let jitter = self.cfg.costs.jitter;
         let spike_prob = self.cfg.costs.post_spike_prob;
@@ -1074,6 +1128,17 @@ impl KvServer {
     fn schedule_frames(&mut self, ctx: &mut Context<'_>, done: SimTime, frames: Vec<OutFrame>) {
         if self.engines.len() <= 1 {
             ctx.timer_at(done, ServerMsg::SendFrames(frames));
+            return;
+        }
+        if self.cfg.hot_cache_enabled() && frames.iter().any(|f| f.tag == tag::REPL_STREAM) {
+            // Cache-coherency ordering: a forwarded write's ack must not
+            // outrun its own stream frame through the egress point (the
+            // front-end invalidates off the stream *before* relaying
+            // acks), so the whole batch — already stream-first — moves
+            // through `repl_egress_at` together.
+            let at = done.max(self.repl_egress_at);
+            self.repl_egress_at = at;
+            ctx.timer_at(at, ServerMsg::SendFrames(frames));
             return;
         }
         let (stream, other): (Vec<OutFrame>, Vec<OutFrame>) =
@@ -1176,7 +1241,7 @@ impl KvServer {
             }
             frames.push(OutFrame {
                 conn: p.conn,
-                tag: tag::REPLY,
+                tag: p.tag,
                 payload: p.payload,
             });
         }
@@ -1213,8 +1278,12 @@ impl KvServer {
         }
         let mut staged_conns = Vec::new();
         let mut wrs = Vec::new();
+        // With the hot cache on, cookie replies ride the same linked post
+        // list as the stream frames they must trail — the list preserves
+        // per-QP order, where an early `send_on` would overtake the batch.
+        let cache_on = self.cfg.hot_cache_enabled();
         for f in frames {
-            let batchable = f.tag == tag::REPL_STREAM
+            let batchable = (f.tag == tag::REPL_STREAM || (cache_on && f.tag == tag::FWD_REPLY))
                 && self.conns[f.conn].open
                 && self.conns[f.conn].channel.qp().is_some();
             if batchable {
@@ -1963,6 +2032,10 @@ impl KvServer {
         }
         match msg.tag {
             tag::CMD => self.on_client_command(ctx, conn, msg.payload),
+            // A client command relayed by the SoC front-end: strip the
+            // cookie and run the ordinary command path; the reply goes
+            // back cookie-framed as FWD_REPLY on the same channel.
+            tag::FWD_CMD => self.on_forwarded_command(ctx, conn, &msg.payload),
             tag::NODE => {
                 if let Some(m) = NodeMsg::decode(&msg.payload) {
                     self.on_node_msg(ctx, conn, m);

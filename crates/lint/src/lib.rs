@@ -210,11 +210,12 @@ const SIM_CRATE_PREFIXES: [&str; 3] = [
 ];
 
 /// Protocol hot-path files (rule `unwrap` applies).
-const HOT_PATH_FILES: [&str; 11] = [
+const HOT_PATH_FILES: [&str; 12] = [
     "crates/core/src/server.rs",
     "crates/core/src/client.rs",
     "crates/core/src/channel.rs",
     "crates/core/src/cqdrain.rs",
+    "crates/core/src/hotcache.rs",
     "crates/core/src/nickv.rs",
     "crates/core/src/shard.rs",
     "crates/core/src/replmode.rs",
@@ -225,9 +226,13 @@ const HOT_PATH_FILES: [&str; 11] = [
 ];
 
 /// Frame-codec files (rules `cast-truncate` and `index-unchecked`).
-const WIRE_FILES: [&str; 3] = [
+/// `hotcache.rs` qualifies through its reply-frame store: admission
+/// slices incoming cookie-framed replies, so a malformed frame must
+/// degrade to a miss, never a panic.
+const WIRE_FILES: [&str; 4] = [
     "crates/core/src/protocol.rs",
     "crates/core/src/channel.rs",
+    "crates/core/src/hotcache.rs",
     "crates/netsim/src/rdma.rs",
 ];
 
@@ -688,6 +693,12 @@ fn counter_literal_shard(s: &str) -> bool {
     })
 }
 
+fn counter_literal_cache(s: &str) -> bool {
+    s.strip_prefix("cache.").is_some_and(|rest| {
+        !rest.is_empty() && rest.chars().all(|c| c.is_ascii_lowercase() || c == '_')
+    })
+}
+
 fn analyze_file(rel: &str, contents: &str) -> FileAnalysis {
     let lines = lex(contents);
     let scope = scope_of(rel);
@@ -787,7 +798,11 @@ fn analyze_file(rel: &str, contents: &str) -> FileAnalysis {
         }
         if is_metrics {
             for s in &l.strings {
-                if counter_literal_rdma(s) || counter_literal_stat(s) || counter_literal_shard(s) {
+                if counter_literal_rdma(s)
+                    || counter_literal_stat(s)
+                    || counter_literal_shard(s)
+                    || counter_literal_cache(s)
+                {
                     facts.catalog.push((idx + 1, s.clone()));
                 }
             }
@@ -801,7 +816,7 @@ fn analyze_file(rel: &str, contents: &str) -> FileAnalysis {
                 }
             }
             for s in &l.strings {
-                if counter_literal_rdma(s) || counter_literal_shard(s) {
+                if counter_literal_rdma(s) || counter_literal_shard(s) || counter_literal_cache(s) {
                     facts.rdma_mentions.push((idx + 1, s.clone()));
                 }
             }
@@ -1288,6 +1303,9 @@ mod tests {
         assert!(counter_literal_shard("shard.cross_msgs"));
         assert!(!counter_literal_shard("shard."));
         assert!(!counter_literal_shard("shard.Ops"));
+        assert!(counter_literal_cache("cache.hits"));
+        assert!(!counter_literal_cache("cache."));
+        assert!(!counter_literal_cache("cache.Hits"));
     }
 
     #[test]

@@ -28,6 +28,8 @@ fn main() {
         warmup: SimDuration::from_millis(300),
         measure: SimDuration::from_secs(2),
         seed: 7,
+        zipf_theta: 0.0,
+        zipf_shift_every: 0,
     };
 
     // 3. Build and run. Everything is deterministic: same spec, same result.

@@ -25,6 +25,8 @@ fn run(mode: Mode) -> (RunReport, f64, u64) {
         warmup: SimDuration::from_millis(400),
         measure: SimDuration::from_secs(3),
         seed: 99,
+        zipf_theta: 0.0,
+        zipf_shift_every: 0,
     };
     let mut cluster = Cluster::build(spec);
     let report = cluster.run();

@@ -26,6 +26,7 @@ BENCHES=(
   wallclock_fig10
   wallclock_replmode
   wallclock_shards
+  wallclock_hotcache
 )
 
 for b in "${BENCHES[@]}"; do

@@ -33,6 +33,8 @@ fn spec(slaves: usize, clients: usize, measure_ms: u64, seed: u64) -> RunSpec {
         warmup: SimDuration::from_millis(100),
         measure: SimDuration::from_millis(measure_ms),
         seed,
+        zipf_theta: 0.0,
+        zipf_shift_every: 0,
     }
 }
 

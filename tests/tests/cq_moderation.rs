@@ -28,6 +28,8 @@ fn spec(threshold: usize, timer_us: u64, seed: u64) -> RunSpec {
         warmup: SimDuration::from_millis(100),
         measure: SimDuration::from_millis(300),
         seed,
+        zipf_theta: 0.0,
+        zipf_shift_every: 0,
     }
 }
 

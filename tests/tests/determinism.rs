@@ -78,6 +78,8 @@ fn arm(mode: Mode, seed: u64) -> RunSpec {
         warmup: SimDuration::from_millis(50),
         measure: SimDuration::from_millis(150),
         seed,
+        zipf_theta: 0.0,
+        zipf_shift_every: 0,
     }
 }
 
@@ -232,5 +234,26 @@ fn same_seed_same_bits_chain_mode() {
     assert_eq!(
         a, b,
         "identical chain runs diverged: {a:#018x} vs {b:#018x}"
+    );
+}
+
+#[test]
+fn same_seed_same_bits_with_hot_cache() {
+    // The SoC cache adds a whole front-end plane — forwarded commands,
+    // cookie maps, admission sketches, stream-driven invalidation — all
+    // of which must stay pure functions of the seed. Zipf draws engage
+    // the split key stream; the cache counters fold into the report's
+    // chaos set, so any nondeterminism in the cache itself also breaks
+    // the digest.
+    let mut spec = arm(Mode::Skv, 0xCACE);
+    spec.cfg.hot_cache_bytes = 1 << 20;
+    spec.cfg.hot_cache_policy = "tinylfu".into();
+    spec.set_ratio = 0.1;
+    spec.zipf_theta = 0.99;
+    let a = execute(spec.clone(), None);
+    let b = execute(spec, None);
+    assert_eq!(
+        a, b,
+        "identical hot-cache runs diverged: {a:#018x} vs {b:#018x}"
     );
 }

@@ -20,6 +20,8 @@ fn spec(mode: Mode, slaves: usize, clients: usize, set_ratio: f64, seed: u64) ->
         warmup: SimDuration::from_millis(200),
         measure: SimDuration::from_millis(500),
         seed,
+        zipf_theta: 0.0,
+        zipf_shift_every: 0,
     }
 }
 

@@ -22,6 +22,8 @@ fn spec(mode: Mode, slaves: usize, clients: usize) -> RunSpec {
         warmup: SimDuration::from_millis(100),
         measure: SimDuration::from_millis(400),
         seed: 7,
+        zipf_theta: 0.0,
+        zipf_shift_every: 0,
     }
 }
 

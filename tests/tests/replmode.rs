@@ -34,6 +34,8 @@ fn spec(mode: ReplModeKind, slaves: usize, measure_ms: u64, seed: u64) -> RunSpe
         warmup: SimDuration::from_millis(100),
         measure: SimDuration::from_millis(measure_ms),
         seed,
+        zipf_theta: 0.0,
+        zipf_shift_every: 0,
     }
 }
 

@@ -32,6 +32,8 @@ fn spec(mode: Mode, slaves: usize, batched: bool, seed: u64) -> RunSpec {
         warmup: SimDuration::from_millis(100),
         measure: SimDuration::from_millis(300),
         seed,
+        zipf_theta: 0.0,
+        zipf_shift_every: 0,
     }
 }
 
