@@ -10,6 +10,7 @@
 
 use skv_core::cluster::{Cluster, RunSpec};
 use skv_core::config::{ClusterConfig, Mode};
+use skv_core::histcheck;
 use skv_core::metrics::RunReport;
 use skv_core::replmode::ReplModeKind;
 use skv_netsim::{FaultPlan, LinkFault, TimeWindow};
@@ -399,6 +400,12 @@ pub struct ReplModeRow {
     /// Replies the master deferred until the NIC's commit frontier (and
     /// the slave census) caught up.
     pub deferred_replies: u64,
+    /// Ops in the history the bench clients recorded of themselves
+    /// (`record_history`): the linearizability checker's input size.
+    pub hist_ops: u64,
+    /// Violations `histcheck::check_linearizable` found in that history
+    /// (0 is the expected verdict for every fault-free arm).
+    pub violations: usize,
 }
 
 /// Sweep the replication protocol at a fixed fan-out: the async stream is
@@ -413,6 +420,18 @@ pub fn ablation_replmode() -> Vec<ReplModeRow> {
         .map(|(i, &mode)| {
             let mut s = spec(Mode::Skv, 3, 8, 31_000 + i as u64);
             s.cfg.repl_mode = mode;
+            // Every arm records its own client traffic and runs the
+            // linearizability checker over it: the verdict column proves
+            // the protocol (not just prices it). Mixed GET/SET so reads
+            // actually constrain the order.
+            s.cfg.record_history = true;
+            s.set_ratio = 0.5;
+            // The quorum arm carries the cross-mode failover knob too;
+            // with no faults injected the mode never moves, so the knob's
+            // steady-state cost shows up here as exactly zero transitions.
+            if mode == ReplModeKind::Quorum {
+                s.cfg.mode_failover = true;
+            }
             let mut cluster = Cluster::build(s);
             let report = cluster.run();
             let (commits, retransmits, chain_repairs) = cluster
@@ -420,6 +439,14 @@ pub fn ablation_replmode() -> Vec<ReplModeRow> {
                 .map(|n| (n.stat_commits, n.stat_retransmits, n.stat_chain_repairs))
                 .unwrap_or((0, 0, 0));
             let deferred_replies = cluster.master_server().stat_deferred_replies;
+            let (hist_ops, violations) = cluster
+                .bench_history
+                .as_ref()
+                .map(|h| {
+                    let hb = h.borrow();
+                    (hb.ops.len() as u64, histcheck::check_linearizable(&hb).len())
+                })
+                .unwrap_or((0, 0));
             ReplModeRow {
                 mode,
                 report,
@@ -427,6 +454,8 @@ pub fn ablation_replmode() -> Vec<ReplModeRow> {
                 retransmits,
                 chain_repairs,
                 deferred_replies,
+                hist_ops,
+                violations,
             }
         })
         .collect()
@@ -434,21 +463,23 @@ pub fn ablation_replmode() -> Vec<ReplModeRow> {
 
 /// Print the replication-mode ablation.
 pub fn print_replmode(rows: &[ReplModeRow]) {
-    println!("Ablation — replication protocol (SKV, 3 slaves, 8 clients, SET)");
+    println!("Ablation — replication protocol (SKV, 3 slaves, 8 clients, GET/SET)");
     println!(
-        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>10}",
-        "mode", "kops/s", "p99(us)", "commits", "deferred", "rexmit", "repairs"
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8}",
+        "mode", "kops/s", "p99(us)", "commits", "deferred", "rexmit", "repairs", "hist ops", "lin"
     );
     for r in rows {
         println!(
-            "{:>8} {:>10.1} {:>10.1} {:>10} {:>10} {:>8} {:>10}",
+            "{:>8} {:>10.1} {:>10.1} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8}",
             r.mode.label(),
             r.report.throughput_kops,
             r.report.p99_latency_us,
             r.commits,
             r.deferred_replies,
             r.retransmits,
-            r.chain_repairs
+            r.chain_repairs,
+            r.hist_ops,
+            if r.violations == 0 { "ok" } else { "FAIL" }
         );
     }
 }

@@ -8,11 +8,12 @@
 
 use skv_netsim::{CqId, Net, NetEvent, NodeId, SocketAddr};
 use skv_simcore::{Actor, ActorId, Context, DetRng, Payload, SimDuration, SimTime};
-use skv_store::resp::Resp;
+use skv_store::resp::{Decoded, Resp};
 
 use crate::channel::{Channel, ChannelMsg};
 use crate::config::{ClusterConfig, Mode};
 use crate::cqdrain;
+use crate::histcheck::{OpKind, OpRecord, SharedHistory};
 use crate::metrics::SharedMetrics;
 use crate::protocol::tag;
 
@@ -172,32 +173,93 @@ impl WorkloadGen {
 
     /// Produce the next command and whether it is a write.
     pub fn next_command(&mut self) -> (Resp, bool) {
+        let (cmd, is_write, _) = self.next_command_stamped(None);
+        (cmd, is_write)
+    }
+
+    /// Like [`WorkloadGen::next_command`], but also returns the keys the
+    /// command touches and — when `stamp` is given and the op is a write
+    /// — replaces the `xxxx…` filler value with [`stamp_value`] so a
+    /// recorded history can match reads back to writes. Stamping draws
+    /// no RNG and reorders nothing: with `stamp = None` the byte stream
+    /// is identical to the historical one (the pinned trace digests
+    /// prove it).
+    pub fn next_command_stamped(&mut self, stamp: Option<u64>) -> (Resp, bool, Vec<String>) {
         let key = format!("key:{:012}", self.key_index());
         let is_write = self.rng.chance(self.w.set_ratio);
-        let cmd = if is_write && self.w.mset_keys >= 2 {
+        let make_value = |size: usize| match stamp {
+            Some(s) => stamp_value(s, size),
+            None => vec![b'x'; size],
+        };
+        if is_write && self.w.mset_keys >= 2 {
             // Batched write: MSET over `mset_keys` keys (the first is
             // the one already drawn, keeping the draw order stable).
-            let value = vec![b'x'; self.w.value_size];
+            let value = make_value(self.w.value_size);
+            let mut keys = Vec::with_capacity(self.w.mset_keys);
             let mut parts: Vec<Vec<u8>> = Vec::with_capacity(1 + 2 * self.w.mset_keys);
             parts.push(b"MSET".to_vec());
-            parts.push(key.into_bytes());
+            parts.push(key.clone().into_bytes());
             parts.push(value.clone());
+            keys.push(key);
             for _ in 1..self.w.mset_keys {
                 let k = format!("key:{:012}", self.key_index());
-                parts.push(k.into_bytes());
+                parts.push(k.clone().into_bytes());
                 parts.push(value.clone());
+                keys.push(k);
             }
-            Resp::command(parts)
+            (Resp::command(parts), true, keys)
         } else if is_write {
-            Resp::command([
+            let cmd = Resp::command([
                 b"SET".as_slice(),
                 key.as_bytes(),
-                &vec![b'x'; self.w.value_size],
-            ])
+                &make_value(self.w.value_size),
+            ]);
+            (cmd, true, vec![key])
         } else {
-            Resp::command([b"GET".as_slice(), key.as_bytes()])
-        };
-        (cmd, is_write)
+            let cmd = Resp::command([b"GET".as_slice(), key.as_bytes()]);
+            (cmd, false, vec![key])
+        }
+    }
+}
+
+/// History stamp for a recorded write: globally unique per (client, op)
+/// — the client id lives in the high bits, a per-client counter in the
+/// low 40. Stamp 0 never occurs (`0` means "key absent" to the checker).
+pub fn history_stamp(client_id: usize, counter: u64) -> u64 {
+    ((client_id as u64 + 1) << 40) | (counter & ((1 << 40) - 1))
+}
+
+/// Render a stamp as a SET value: its decimal digits, padded with `x` up
+/// to `value_size` so recorded runs keep the configured payload sizes.
+pub fn stamp_value(stamp: u64, value_size: usize) -> Vec<u8> {
+    let mut v = stamp.to_string().into_bytes();
+    if v.len() < value_size {
+        v.resize(value_size, b'x');
+    }
+    v
+}
+
+/// Parse a stamped value back: the leading decimal digits. Unstamped
+/// (`xxxx…`) values parse to `None`.
+pub fn parse_stamp(bytes: &[u8]) -> Option<u64> {
+    let end = bytes
+        .iter()
+        .position(|b| !b.is_ascii_digit())
+        .unwrap_or(bytes.len());
+    if end == 0 {
+        return None;
+    }
+    std::str::from_utf8(bytes.get(..end)?).ok()?.parse().ok()
+}
+
+/// Parse a GET reply into the observed stamp: `NullBulk` (key absent)
+/// observes 0, a stamped bulk observes its stamp, anything else (errors,
+/// unstamped values) observes nothing and is dropped from the history.
+fn parse_reply_stamp(payload: &[u8]) -> Option<u64> {
+    match Resp::decode(payload) {
+        Decoded::Frame(Resp::NullBulk, _) => Some(0),
+        Decoded::Frame(Resp::Bulk(b), _) => parse_stamp(&b),
+        _ => None,
     }
 }
 
@@ -227,6 +289,16 @@ pub struct BenchClient {
     gen: WorkloadGen,
     /// FIFO of (send instant, is_write) for commands awaiting replies.
     in_flight: std::collections::VecDeque<(SimTime, bool)>,
+    /// Stable id for history stamps (set by [`BenchClient::record_into`]).
+    client_id: usize,
+    /// When recording, the shared history sink every op lands in.
+    history: Option<SharedHistory>,
+    /// Monotone per-client stamp counter (recording only).
+    stamp_counter: u64,
+    /// History op indices per in-flight command, parallel to
+    /// `in_flight` (one index per key an MSET touches; empty vec and
+    /// untouched unless recording).
+    rec_in_flight: std::collections::VecDeque<Vec<usize>>,
     /// Consecutive failed dials since the last established connection;
     /// drives the capped exponential redial backoff
     /// (`ClusterConfig::client_dial_delay`).
@@ -265,12 +337,24 @@ impl BenchClient {
             channel: None,
             gen,
             in_flight: Default::default(),
+            client_id: 0,
+            history: None,
+            stamp_counter: 0,
+            rec_in_flight: Default::default(),
             dial_attempts: 0,
             stat_issued: 0,
             stat_replies: 0,
             stat_reconnects: 0,
             stat_dial_failures: 0,
         }
+    }
+
+    /// Route this client's operations into a shared history for the
+    /// linearizability checker (see `ClusterConfig::record_history`).
+    /// `client_id` keys the write stamps; it must be unique per client.
+    pub fn record_into(&mut self, client_id: usize, history: SharedHistory) {
+        self.client_id = client_id;
+        self.history = Some(history);
     }
 
     /// Abandon the current connection (commands in flight are lost, like a
@@ -282,6 +366,21 @@ impl BenchClient {
             }
             if let Some(conn) = ch.tcp_conn() {
                 self.net.tcp_close(ctx, conn);
+            }
+        }
+        if let Some(h) = &self.history {
+            // In-flight reads were provably never observed — record
+            // explicit aborts so the checker drops them. Writes stay
+            // open: they may have applied before the channel died.
+            let mut h = h.borrow_mut();
+            for idxs in self.rec_in_flight.drain(..) {
+                for idx in idxs {
+                    if let Some(op) = h.ops.get_mut(idx) {
+                        if op.kind == OpKind::Read {
+                            op.aborted = true;
+                        }
+                    }
+                }
             }
         }
         self.in_flight.clear();
@@ -297,7 +396,33 @@ impl BenchClient {
         let Some(channel) = self.channel.as_mut() else {
             return;
         };
-        let (cmd, is_write) = self.gen.next_command();
+        let (cmd, is_write) = if let Some(history) = &self.history {
+            self.stamp_counter += 1;
+            let stamp = history_stamp(self.client_id, self.stamp_counter);
+            let (cmd, is_write, keys) = self.gen.next_command_stamped(Some(stamp));
+            let now = ctx.now();
+            let mut idxs = Vec::with_capacity(keys.len());
+            {
+                let mut h = history.borrow_mut();
+                for key in keys {
+                    h.ops.push(OpRecord {
+                        key,
+                        kind: if is_write { OpKind::Write } else { OpKind::Read },
+                        seq: if is_write { stamp } else { 0 },
+                        invoked: now,
+                        completed: None,
+                        ok: false,
+                        aborted: false,
+                        read_set: Vec::new(),
+                    });
+                    idxs.push(h.ops.len() - 1);
+                }
+            }
+            self.rec_in_flight.push_back(idxs);
+            (cmd, is_write)
+        } else {
+            self.gen.next_command()
+        };
         self.in_flight.push_back((ctx.now(), is_write));
         self.stat_issued += 1;
         let net = self.net.clone();
@@ -322,6 +447,38 @@ impl BenchClient {
         };
         let latency = ctx.now().saturating_since(sent_at);
         let is_error = payload.first() == Some(&b'-');
+        if let Some(h) = &self.history {
+            if let Some(idxs) = self.rec_in_flight.pop_front() {
+                // One reply closes every record the command opened
+                // (MSET: one per key, sharing the stamp). Replies served
+                // by the NIC cache or relayed off FWD_CMD cookies arrive
+                // on this same channel and are recorded identically.
+                let observed = if is_write {
+                    None
+                } else {
+                    parse_reply_stamp(payload)
+                };
+                let mut h = h.borrow_mut();
+                for idx in idxs {
+                    if let Some(op) = h.ops.get_mut(idx) {
+                        op.completed = Some(ctx.now());
+                        match op.kind {
+                            OpKind::Write => op.ok = !is_error,
+                            OpKind::Read => {
+                                if let Some(v) = observed {
+                                    op.ok = true;
+                                    op.seq = v;
+                                    op.read_set = vec![self.server];
+                                }
+                                // Unparseable replies observe nothing:
+                                // the record completes with ok = false
+                                // and is dropped from checking.
+                            }
+                        }
+                    }
+                }
+            }
+        }
         self.metrics
             .borrow_mut()
             .record(ctx.now(), latency, is_write, is_error);
@@ -579,6 +736,54 @@ mod tests {
             uniform_hot < 100,
             "uniform draws should spread out, saw {uniform_hot}/10000"
         );
+    }
+
+    /// Stamps roundtrip through the value encoding at any size, are
+    /// unique across clients, and never collide with "key absent" (0).
+    #[test]
+    fn history_stamps_roundtrip() {
+        for (client, counter) in [(0usize, 1u64), (7, 42), (255, (1 << 40) - 1)] {
+            let s = history_stamp(client, counter);
+            assert_ne!(s, 0);
+            assert_eq!(parse_stamp(&stamp_value(s, 16)), Some(s));
+            assert_eq!(parse_stamp(&stamp_value(s, 0)), Some(s));
+            assert_eq!(parse_stamp(&stamp_value(s, 64)), Some(s));
+        }
+        assert_ne!(history_stamp(0, 5), history_stamp(1, 5));
+        assert_eq!(parse_stamp(b"xxxx"), None);
+        assert_eq!(parse_stamp(b""), None);
+        assert_eq!(parse_reply_stamp(&Resp::NullBulk.encode()), Some(0));
+        assert_eq!(
+            parse_reply_stamp(&Resp::Bulk(stamp_value(99, 8)).encode()),
+            Some(99)
+        );
+        assert_eq!(parse_reply_stamp(b"-ERR nope\r\n"), None);
+    }
+
+    /// Stamping changes only the written value bytes: same seed, same
+    /// keys, same read/write sequence — so the recorded path exercises
+    /// the exact schedule the unstamped path would.
+    #[test]
+    fn stamping_preserves_draw_order() {
+        for w in [workload(0.0, 0), workload(0.99, 0)] {
+            let mut plain = WorkloadGen::new(&w, DetRng::new(11));
+            let mut stamped = WorkloadGen::new(&w, DetRng::new(11));
+            for i in 0..512u64 {
+                let (p_cmd, p_write) = plain.next_command();
+                let (s_cmd, s_write, keys) = stamped.next_command_stamped(Some(i + 1));
+                assert_eq!(p_write, s_write);
+                assert_eq!(keys.len(), 1);
+                let enc = s_cmd.encode();
+                assert!(
+                    enc.windows(keys[0].len())
+                        .any(|win| win == keys[0].as_bytes()),
+                    "returned key must appear in the command"
+                );
+                if !p_write {
+                    assert_eq!(p_cmd.encode(), enc, "reads are byte-identical");
+                }
+            }
+        }
     }
 
     /// The hot-set rotation moves the head of the distribution without

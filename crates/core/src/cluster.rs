@@ -135,6 +135,11 @@ pub struct Cluster {
     pub nic_node: Option<NodeId>,
     /// Client actors.
     pub clients: Vec<ActorId>,
+    /// Op history recorded by the bench clients themselves, when
+    /// `ClusterConfig::record_history` is set — the linearizability
+    /// checker's input. `None` otherwise (recording off is the default
+    /// and leaves the client schedule bit-identical).
+    pub bench_history: Option<SharedHistory>,
     /// Shared metrics sink.
     pub metrics: SharedMetrics,
     /// The spec this cluster was built from.
@@ -247,16 +252,21 @@ impl Cluster {
             Some(nic) if cfg.hot_cache_enabled() => nic,
             _ => master_addr,
         };
+        let bench_history = cfg.record_history.then(histcheck::new_history);
         let clients: Vec<ActorId> = (0..spec.num_clients)
-            .map(|_| {
-                sim.add_actor(Box::new(BenchClient::new(
+            .map(|i| {
+                let mut client = BenchClient::new(
                     net.clone(),
                     cfg.clone(),
                     client_node,
                     client_target,
                     workload.clone(),
                     metrics.clone(),
-                )))
+                );
+                if let Some(history) = &bench_history {
+                    client.record_into(i, history.clone());
+                }
+                sim.add_actor(Box::new(client))
             })
             .collect();
 
@@ -271,6 +281,7 @@ impl Cluster {
             client_node,
             nic_node,
             clients,
+            bench_history,
             metrics,
             spec,
             clients_start,
@@ -472,6 +483,9 @@ impl Cluster {
                 report
                     .chaos
                     .add("nic.chain_repairs", nic.stat_chain_repairs);
+                report
+                    .chaos
+                    .add("nic.chain_rejoins", nic.stat_chain_rejoins);
             }
             let m = self.master_server();
             report
@@ -515,6 +529,36 @@ impl Cluster {
                 report.chaos.add("cache.invalidations", stats.invalidations);
                 report.chaos.add("cache.bytes", bytes as u64);
             }
+            if let Some(nic) = self.nic_kv() {
+                report
+                    .chaos
+                    .add("nic.fwd_stale_drops", nic.stat_fwd_stale_drops);
+            }
+        }
+        // Mode-failover counters exist only when the knob is on, keeping
+        // every fixed-mode report (and digest) untouched.
+        if self.spec.cfg.mode_failover {
+            if let Some(nic) = self.nic_kv() {
+                report.chaos.add("nic.mode_changes", nic.stat_mode_changes);
+            }
+            report
+                .chaos
+                .add("server.mode_changes", self.master_server().stat_mode_changes);
+        }
+        // History-recording counters: sizes of the recorded event log,
+        // present only when the recorder ran.
+        if let Some(history) = &self.bench_history {
+            let h = history.borrow();
+            let reads = h
+                .ops
+                .iter()
+                .filter(|o| o.kind == histcheck::OpKind::Read)
+                .count() as u64;
+            let aborts = h.ops.iter().filter(|o| o.aborted).count() as u64;
+            report.chaos.add("hist.ops", h.ops.len() as u64);
+            report.chaos.add("hist.reads", reads);
+            report.chaos.add("hist.writes", h.ops.len() as u64 - reads);
+            report.chaos.add("hist.aborts", aborts);
         }
         report
     }
@@ -548,6 +592,7 @@ impl Cluster {
             out.add("server.stat_wrs_posted", s.stat_wrs_posted);
             out.add("server.stat_deferred_replies", s.stat_deferred_replies);
             out.add("server.stat_released_replies", s.stat_released_replies);
+            out.add("server.stat_mode_changes", s.stat_mode_changes);
             out.add("shard.ops", s.shard_ops().iter().sum::<u64>());
             out.add("shard.cross_msgs", s.shard_cross_msgs());
             out.add("shard.queue_depth", s.apply_queue_depth());
@@ -569,6 +614,9 @@ impl Cluster {
         out.add("nic.stat_commits", 0);
         out.add("nic.stat_retransmits", 0);
         out.add("nic.stat_chain_repairs", 0);
+        out.add("nic.stat_chain_rejoins", 0);
+        out.add("nic.stat_mode_changes", 0);
+        out.add("nic.stat_fwd_stale_drops", 0);
         if let Some(nic) = self.nic_kv() {
             out.add("shard.nic_ingress", nic.shard_ingress().iter().sum::<u64>());
             out.add("nic.stat_fanout_msgs", nic.stat_fanout_msgs);
@@ -580,6 +628,9 @@ impl Cluster {
             out.add("nic.stat_commits", nic.stat_commits);
             out.add("nic.stat_retransmits", nic.stat_retransmits);
             out.add("nic.stat_chain_repairs", nic.stat_chain_repairs);
+            out.add("nic.stat_chain_rejoins", nic.stat_chain_rejoins);
+            out.add("nic.stat_mode_changes", nic.stat_mode_changes);
+            out.add("nic.stat_fwd_stale_drops", nic.stat_fwd_stale_drops);
         }
         for &name in crate::metrics::catalog::CACHE_COUNTERS {
             out.add(name, 0);
@@ -603,6 +654,22 @@ impl Cluster {
                 out.add("client.stat_reconnects", c.stat_reconnects);
                 out.add("client.stat_dial_failures", c.stat_dial_failures);
             }
+        }
+        for &name in crate::metrics::catalog::HIST_COUNTERS {
+            out.add(name, 0);
+        }
+        if let Some(history) = &self.bench_history {
+            let h = history.borrow();
+            let reads = h
+                .ops
+                .iter()
+                .filter(|o| o.kind == histcheck::OpKind::Read)
+                .count() as u64;
+            let aborts = h.ops.iter().filter(|o| o.aborted).count() as u64;
+            out.add("hist.ops", h.ops.len() as u64);
+            out.add("hist.reads", reads);
+            out.add("hist.writes", h.ops.len() as u64 - reads);
+            out.add("hist.aborts", aborts);
         }
         for &name in crate::metrics::catalog::RDMA_COUNTERS {
             out.add(name, 0);
@@ -735,6 +802,9 @@ mod tests {
             assert!(keys.contains(&name), "snapshot missing {name}");
         }
         for &name in catalog::CACHE_COUNTERS {
+            assert!(keys.contains(&name), "snapshot missing {name}");
+        }
+        for &name in catalog::HIST_COUNTERS {
             assert!(keys.contains(&name), "snapshot missing {name}");
         }
         // And the busy ones really counted.

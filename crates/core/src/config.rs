@@ -205,6 +205,23 @@ pub struct ClusterConfig {
     /// off by default to keep long runs lean.
     // skv-lint: allow(config-drift) -- test-only instrumentation flag, never a performance knob
     pub record_commits: bool,
+    /// Record every bench client's operations (invocation/response
+    /// windows, stamped write values, observed read values — including
+    /// NIC-cache-served GETs and forwarded FWD_CMD replies) into a
+    /// shared history for the multi-writer linearizability checker
+    /// (`histcheck::check_linearizable`). Off by default: recording
+    /// changes the written *values* (stamps replace the `xxxx…` filler),
+    /// so the pinned workload trace digests only hold with it off.
+    pub record_history: bool,
+    /// Cross-mode failover: allow the NIC to demote a quorum cluster to
+    /// the async stream when fewer than a write quorum of slaves are
+    /// reachable, and re-promote once a quorum heals. The demotion
+    /// instant is recorded (`NicKv::mode_changes`) as the declared
+    /// degradation point: the history before it must still linearize,
+    /// after it only async's eventual convergence is promised. Off by
+    /// default — quorum stalls (and sheds load via `min-slaves`-style
+    /// timeouts) rather than silently weakening its guarantee.
+    pub mode_failover: bool,
     /// CPU cost model.
     pub costs: CostParams,
     /// Fabric calibration.
@@ -240,6 +257,8 @@ impl Default for ClusterConfig {
             hot_cache_max_value: 16 << 10,
             repl_window: 256,
             record_commits: false,
+            record_history: false,
+            mode_failover: false,
             costs: CostParams::default(),
             net: NetParams::default(),
             machines: MachineParams::default(),

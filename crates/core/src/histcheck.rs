@@ -19,13 +19,25 @@
 //!   is a linearizability witness for the probe keys; for the async
 //!   arm the *expected* stale-read violations are the evidence that it
 //!   only converges eventually.
+//! * [`check_linearizable`] — the full multi-writer checker: a Wing &
+//!   Gong–style per-key partitioned search over invocation/response
+//!   windows with memoized state pruning. It ingests *bench* client
+//!   histories (recorded behind `ClusterConfig::record_history`,
+//!   including NIC-cache-served GETs and forwarded FWD_CMD replies),
+//!   not just the side probes. [`check_linearizable_upto`] checks a
+//!   prefix only — the tool for proving a history linearizable up to a
+//!   declared cross-mode degradation point.
 //!
 //! Everything is deterministic: actors draw from split [`DetRng`]s, the
 //! history lives in a [`SharedHistory`] the test inspects after the run.
 //!
 //! The checker is deliberately conservative about incomplete operations:
 //! a write whose reply never arrived may or may not have taken effect,
-//! so its value is *allowed* but never *required* to be observed.
+//! so its value is *allowed* but never *required* to be observed. A
+//! client that provably gave up *before observing anything* records an
+//! explicit abort instead (see [`OpRecord::aborted`]) — without it, a
+//! probe abandoned mid-plan under a partition would read as an
+//! infinite-window op and over-constrain the search forever.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
@@ -66,6 +78,12 @@ pub struct OpRecord {
     pub completed: Option<SimTime>,
     /// Whether the completion was a success reply.
     pub ok: bool,
+    /// Explicit abort: the client gave up on the operation *and* its
+    /// outcome is provably unobservable (a reader watchdog firing, a
+    /// bench read dropped on reconnect). Aborted reads observed nothing
+    /// and are excluded from checking. A write that was actually sent is
+    /// never aborted — it stays `completed: None` (maybe-applied).
+    pub aborted: bool,
     /// For reads: the servers whose responses formed the read quorum.
     pub read_set: Vec<SocketAddr>,
 }
@@ -197,6 +215,371 @@ pub fn stale_reads(violations: &[Violation]) -> usize {
         .iter()
         .filter(|v| v.detail.starts_with("stale read"))
         .count()
+}
+
+// ---------------------------------------------------------------------------
+// Multi-writer linearizability (Wing & Gong-style search)
+// ---------------------------------------------------------------------------
+
+/// Per-key state budget for the exhaustive search: the maximum number of
+/// memoized states explored before the checker gives up *loudly*.
+/// Mostly-sequential histories (closed-loop clients) stay near-linear in
+/// ops; only a genuinely ambiguous — or non-linearizable — history gets
+/// anywhere near this.
+const SEARCH_BUDGET: usize = 200_000;
+
+/// One operation as the search sees it after classification.
+struct SearchOp {
+    /// Invocation instant.
+    inv: SimTime,
+    /// Response instant; `SimTime::MAX` marks an open window (a
+    /// maybe-applied write may linearize at any point after `inv`).
+    resp: SimTime,
+    /// Write (sets the register) or read (must observe it).
+    is_write: bool,
+    /// Value written or observed (`0` = key absent).
+    value: u64,
+    /// Required ops must appear in the linearization; optional ops
+    /// (maybe-applied writes) may be dropped.
+    required: bool,
+}
+
+/// Classify a key's records into search operations.
+///
+/// * Completed successful writes are **required** with their real window.
+/// * Incomplete and error-reply writes are **optional** with an open
+///   window — they may have applied, so their effect is allowed from
+///   invocation on but never demanded. (Extending an errored write's
+///   window past its reply is deliberate slack: it only *admits* more
+///   schedules, so it can never produce a false rejection.)
+/// * Completed successful reads are **required** — the register must
+///   hold their observed value at the chosen point.
+/// * Aborted, incomplete and error reads observed nothing: dropped.
+fn classify(recs: &[&OpRecord]) -> Vec<SearchOp> {
+    let mut out = Vec::new();
+    for op in recs {
+        if op.aborted {
+            continue;
+        }
+        match op.kind {
+            OpKind::Write => {
+                let (resp, required) = match op.completed {
+                    Some(t) if op.ok => (t, true),
+                    _ => (SimTime::MAX, false),
+                };
+                out.push(SearchOp {
+                    inv: op.invoked,
+                    resp,
+                    is_write: true,
+                    value: op.seq,
+                    required,
+                });
+            }
+            OpKind::Read => {
+                if let Some(t) = op.completed {
+                    if op.ok {
+                        out.push(SearchOp {
+                            inv: op.invoked,
+                            resp: t,
+                            is_write: false,
+                            value: op.seq,
+                            required: true,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[inline]
+fn bit_get(words: &[u64], i: usize) -> bool {
+    words[i / 64] & (1u64 << (i % 64)) != 0
+}
+
+#[inline]
+fn bit_set(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1u64 << (i % 64);
+}
+
+/// Cheap register-semantics screens run before the exhaustive search.
+/// Every condition here is implied by linearizability (given unique
+/// per-key write values and no deletions — both guaranteed by the
+/// recording paths), so a hit is a definite counterexample with a
+/// legible message: `stale read`, `phantom read` or `non-monotone`.
+fn quick_register_checks(key: &str, recs: &[&OpRecord]) -> Vec<Violation> {
+    let writes: Vec<&OpRecord> = recs
+        .iter()
+        .copied()
+        .filter(|o| o.kind == OpKind::Write && !o.aborted)
+        .collect();
+    let reads: Vec<&OpRecord> = recs
+        .iter()
+        .copied()
+        .filter(|o| o.kind == OpKind::Read && o.ok && o.completed.is_some() && !o.aborted)
+        .collect();
+    // value → (invoked, completed-if-ok) for O(log) precedence lookups.
+    let mut wmap: BTreeMap<u64, (SimTime, Option<SimTime>)> = BTreeMap::new();
+    for w in &writes {
+        let done = if w.ok { w.completed } else { None };
+        wmap.entry(w.seq)
+            .and_modify(|e| {
+                e.0 = e.0.min(w.invoked);
+                e.1 = match (e.1, done) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            })
+            .or_insert((w.invoked, done));
+    }
+    // `a` strictly precedes instant `t` when its success reply landed
+    // before `t`.
+    let done_before = |v: u64, t: SimTime| {
+        wmap.get(&v)
+            .and_then(|&(_, done)| done)
+            .is_some_and(|d| d < t)
+    };
+    let mut out = Vec::new();
+    for r in &reads {
+        let r_done = r.completed.unwrap_or(SimTime::MAX);
+        // 1. Provenance: the observed value must come from a write that
+        //    was invoked before the read completed.
+        if r.seq != 0 && wmap.get(&r.seq).is_none_or(|&(inv, _)| inv >= r_done) {
+            out.push(Violation {
+                key: key.to_string(),
+                detail: format!(
+                    "phantom read: observed {} at {:?} which no write before it produced",
+                    r.seq, r_done
+                ),
+            });
+            continue;
+        }
+        // 2. Freshness: if some write w_new completed successfully
+        //    strictly before the read was invoked, the read may not
+        //    observe nothing, nor a value whose write strictly preceded
+        //    w_new (the register never reverts).
+        for w_new in writes.iter().filter(|w| w.ok && done_before(w.seq, r.invoked)) {
+            let stale = if r.seq == 0 {
+                true
+            } else {
+                r.seq != w_new.seq && done_before(r.seq, w_new.invoked)
+            };
+            if stale {
+                out.push(Violation {
+                    key: key.to_string(),
+                    detail: format!(
+                        "stale read: observed {} at {:?} but write {} completed before {:?}",
+                        r.seq, r_done, w_new.seq, r.invoked
+                    ),
+                });
+                break;
+            }
+        }
+    }
+    // 3. Monotonicity across non-overlapping reads: the later read never
+    //    observes a strictly older value than the earlier.
+    for (i, r1) in reads.iter().enumerate() {
+        let r1_done = r1.completed.unwrap_or(SimTime::MAX);
+        for r2 in &reads[i + 1..] {
+            let r2_done = r2.completed.unwrap_or(SimTime::MAX);
+            let (first, second) = if r1_done < r2.invoked {
+                (r1, r2)
+            } else if r2_done < r1.invoked {
+                (r2, r1)
+            } else {
+                continue; // overlapping — either order is legal
+            };
+            if first.seq == second.seq {
+                continue;
+            }
+            let regress = (second.seq == 0 && first.seq != 0)
+                || (second.seq != 0 && done_before(second.seq, wmap.get(&first.seq).map_or(SimTime::ZERO, |e| e.0)));
+            if regress {
+                out.push(Violation {
+                    key: key.to_string(),
+                    detail: format!("non-monotone reads: {} then {}", first.seq, second.seq),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Exhaustive per-key search. Returns `None` when a valid linearization
+/// exists, or one violation describing why not (or that the budget ran
+/// out — treated as a failure, never a silent pass).
+fn search_key(key: &str, recs: &[&OpRecord]) -> Option<Violation> {
+    let ops = classify(recs);
+    let n = ops.len();
+    if n == 0 {
+        return None;
+    }
+    let req_total = ops.iter().filter(|o| o.required).count();
+    if req_total == 0 {
+        return None; // only maybe-applied writes: trivially fine
+    }
+    let words = n.div_ceil(64);
+    let mut visited: std::collections::BTreeSet<(Vec<u64>, u64)> = std::collections::BTreeSet::new();
+    let mut stack: Vec<(Vec<u64>, u64)> = Vec::new();
+    let init = (vec![0u64; words], 0u64);
+    visited.insert(init.clone());
+    stack.push(init);
+    let mut best_done = 0usize;
+    let mut best_note = String::new();
+    while let Some((done, reg)) = stack.pop() {
+        if visited.len() > SEARCH_BUDGET {
+            return Some(Violation {
+                key: key.to_string(),
+                detail: format!(
+                    "search budget exceeded: {} states over {n} ops without a verdict — treating as a failure",
+                    visited.len()
+                ),
+            });
+        }
+        let done_req = ops
+            .iter()
+            .enumerate()
+            .filter(|(i, o)| o.required && bit_get(&done, *i))
+            .count();
+        if done_req == req_total {
+            return None; // all required ops linearized — witness found
+        }
+        if done_req >= best_done {
+            best_done = done_req;
+            if let Some((_, o)) = ops
+                .iter()
+                .enumerate()
+                .filter(|(i, o)| o.required && !bit_get(&done, *i))
+                .min_by_key(|(_, o)| o.inv)
+            {
+                let kind = if o.is_write { "write" } else { "read" };
+                best_note = format!(
+                    "first unplaced op: {kind} of {} invoked at {:?} (register held {reg})",
+                    o.value, o.inv
+                );
+            }
+        }
+        // An op may be linearized next iff no *required* unlinearized op
+        // responded strictly before its invocation.
+        let min_resp = ops
+            .iter()
+            .enumerate()
+            .filter(|(i, o)| o.required && !bit_get(&done, *i))
+            .map(|(_, o)| o.resp)
+            .min()
+            .unwrap_or(SimTime::MAX);
+        for (i, o) in ops.iter().enumerate() {
+            if bit_get(&done, i) || o.inv > min_resp {
+                continue;
+            }
+            if !o.is_write && o.value != reg {
+                continue; // a read must observe the current register
+            }
+            let mut nd = done.clone();
+            bit_set(&mut nd, i);
+            let nreg = if o.is_write { o.value } else { reg };
+            let st = (nd, nreg);
+            if visited.insert(st.clone()) {
+                stack.push(st);
+            }
+        }
+    }
+    Some(Violation {
+        key: key.to_string(),
+        detail: format!(
+            "not linearizable: no valid order for {req_total} required ops (best schedule placed {best_done}; {best_note})"
+        ),
+    })
+}
+
+/// Full multi-writer linearizability check against atomic-register
+/// semantics, partitioned per key. Returns every violation found; an
+/// empty list is a linearizability witness for the recorded history.
+///
+/// Assumes per-key write values are unique and keys are never deleted —
+/// both guaranteed by the recording paths (probe writers use strictly
+/// increasing per-writer sequences; bench recording stamps values with
+/// `client-id ≪ 40 | counter`).
+pub fn check_linearizable(history: &History) -> Vec<Violation> {
+    let mut by_key: BTreeMap<&str, Vec<&OpRecord>> = BTreeMap::new();
+    for op in &history.ops {
+        by_key.entry(op.key.as_str()).or_default().push(op);
+    }
+    let mut violations = Vec::new();
+    for (key, recs) in by_key {
+        let quick = quick_register_checks(key, &recs);
+        if !quick.is_empty() {
+            // Definite counterexamples with legible messages; skip the
+            // expensive search for an already-rejected key.
+            violations.extend(quick);
+            continue;
+        }
+        if let Some(v) = search_key(key, &recs) {
+            violations.push(v);
+        }
+    }
+    violations
+}
+
+/// Check only the prefix of the history before `cutoff` — the tool for
+/// proving a run linearizable *up to a declared degradation point*
+/// (cross-mode failover demotes quorum to async mid-run; everything
+/// invoked before the demotion instant must still linearize).
+///
+/// Ops invoked at or after `cutoff` are outside the claim and dropped;
+/// ops that completed at or after it are treated as still-open within
+/// the prefix (maybe-applied writes, unobserved reads).
+pub fn check_linearizable_upto(history: &History, cutoff: SimTime) -> Vec<Violation> {
+    let trimmed = History {
+        ops: history
+            .ops
+            .iter()
+            .filter(|op| op.invoked < cutoff)
+            .map(|op| {
+                let mut op = (*op).clone();
+                if op.completed.is_some_and(|t| t >= cutoff) {
+                    op.completed = None;
+                    op.ok = false;
+                }
+                op
+            })
+            .collect(),
+    };
+    check_linearizable(&trimmed)
+}
+
+impl History {
+    /// Serialize the history as a JSON event log, one object per
+    /// operation in record order — the artifact `scripts/check.sh`
+    /// uploads when the histcheck smoke fails. Hand-rolled on purpose
+    /// (no serde in the workspace): keys are ASCII identifiers with no
+    /// characters needing escapes.
+    pub fn event_log_json(&self) -> String {
+        let mut s = String::from("[\n");
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                s.push_str(",\n");
+            }
+            let kind = match op.kind {
+                OpKind::Write => "write",
+                OpKind::Read => "read",
+            };
+            let completed = op
+                .completed
+                .map_or_else(|| "null".to_string(), |t| t.as_nanos().to_string());
+            s.push_str(&format!(
+                "  {{\"key\":\"{}\",\"kind\":\"{kind}\",\"value\":{},\"invoked_ns\":{},\"completed_ns\":{completed},\"ok\":{},\"aborted\":{}}}",
+                op.key,
+                op.seq,
+                op.invoked.as_nanos(),
+                op.ok,
+                op.aborted
+            ));
+        }
+        s.push_str("\n]\n");
+        s
+    }
 }
 
 /// The probe key for `(writer, key_idx)`; namespaced away from the
@@ -350,6 +733,12 @@ impl HistWriter {
         let Some(channel) = self.channel.as_mut() else {
             return;
         };
+        if channel.broken() {
+            // Don't record an op we provably cannot send: a dangling
+            // invocation would read as an infinite-window maybe-applied
+            // write. The watchdog redials and re-issues.
+            return;
+        }
         self.seq += 1;
         let key = probe_key(
             self.writer_id,
@@ -366,6 +755,7 @@ impl HistWriter {
                 invoked: ctx.now(),
                 completed: None,
                 ok: false,
+                aborted: false,
                 read_set: Vec::new(),
             });
             h.ops.len() - 1
@@ -645,6 +1035,7 @@ impl HistReader {
                 invoked: ctx.now(),
                 completed: None,
                 ok: false,
+                aborted: false,
                 read_set: Vec::new(),
             });
             h.ops.len() - 1
@@ -741,9 +1132,19 @@ impl Actor for HistReader {
                                 .is_some_and(|op| now.saturating_since(op.invoked) > timeout)
                         });
                         if stuck {
-                            // Abandon the read (left incomplete) and move
-                            // on; redial anything broken.
-                            self.cur_op = None;
+                            // Abandon the read and record an *explicit
+                            // abort*: its value was provably never
+                            // observed, so the checker drops it instead
+                            // of treating it as an infinite-window op
+                            // (which a dial backoff under a partition
+                            // would otherwise leave behind every time a
+                            // probe gives up mid-plan).
+                            if let Some(idx) = self.cur_op.take() {
+                                let mut h = self.history.borrow_mut();
+                                if let Some(op) = h.ops.get_mut(idx) {
+                                    op.aborted = true;
+                                }
+                            }
                             self.dial_missing(ctx);
                             ctx.timer(self.op_gap, ProbeMsg::IssueNext);
                         }
@@ -821,6 +1222,7 @@ mod tests {
             invoked: t(inv),
             completed: Some(t(done)),
             ok: true,
+            aborted: false,
             read_set: Vec::new(),
         }
     }
@@ -833,6 +1235,7 @@ mod tests {
             invoked: t(inv),
             completed: Some(t(done)),
             ok: true,
+            aborted: false,
             read_set: Vec::new(),
         }
     }
@@ -942,5 +1345,143 @@ mod tests {
     fn probe_keys_are_namespaced_and_stable() {
         assert_eq!(probe_key(1, 2), "h:01:0002");
         assert_ne!(probe_key(1, 2), probe_key(2, 1));
+    }
+
+    // -- multi-writer checker -------------------------------------------
+
+    #[test]
+    fn multi_writer_clean_history_is_linearizable() {
+        // Two writers with unique values, overlapping windows, reads that
+        // can all be ordered consistently.
+        let h = History {
+            ops: vec![
+                write("k", 101, 0, 30),
+                write("k", 201, 10, 40), // concurrent with 101
+                read("k", 201, 50, 60),
+                write("k", 102, 55, 70),
+                read("k", 102, 80, 90),
+                read("k", 102, 85, 95),
+            ],
+        };
+        let v = check_linearizable(&h);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn known_bad_stale_read_fixture_is_rejected() {
+        // The seeded known-bad fixture: write 2 completed before the read
+        // was invoked, yet the read observed the older value 1. The
+        // checker must produce a counterexample, not a pass.
+        let h = History {
+            ops: vec![
+                write("k", 1, 0, 10),
+                write("k", 2, 20, 30),
+                read("k", 1, 40, 50),
+            ],
+        };
+        let v = check_linearizable(&h);
+        assert!(!v.is_empty(), "checker passed a stale-read history");
+        assert!(stale_reads(&v) >= 1, "{v:?}");
+    }
+
+    #[test]
+    fn concurrent_write_order_contradiction_is_rejected() {
+        // Both writes complete before any read, so the register order of
+        // (1, 2) is fixed by read time — observing 1, then 2, then 1
+        // again has no valid schedule. The quick screens cannot see this
+        // (neither write strictly precedes the other); only the search
+        // rejects it.
+        let h = History {
+            ops: vec![
+                write("k", 1, 0, 100),
+                write("k", 2, 0, 100),
+                read("k", 1, 110, 120),
+                read("k", 2, 130, 140),
+                read("k", 1, 150, 160),
+            ],
+        };
+        let v = check_linearizable(&h);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].detail.contains("not linearizable"), "{v:?}");
+    }
+
+    #[test]
+    fn maybe_applied_write_windows_are_honored() {
+        // The incomplete write 2 may linearize anywhere after its
+        // invocation; reads observing it are legal, and it is never
+        // required.
+        let h = History {
+            ops: vec![
+                write("k", 1, 0, 10),
+                OpRecord {
+                    completed: None,
+                    ok: false,
+                    ..write("k", 2, 15, 0)
+                },
+                read("k", 2, 20, 30),
+                read("k", 2, 25, 40),
+                read("k", 2, 50, 60),
+            ],
+        };
+        let v = check_linearizable(&h);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn aborted_reads_are_dropped() {
+        // An aborted read carries garbage; with the abort flag the
+        // checker excludes it, without the flag the same record would
+        // fail provenance.
+        let mut bad = read("k", 999, 20, 30);
+        bad.aborted = true;
+        let h = History {
+            ops: vec![write("k", 1, 0, 10), bad, read("k", 1, 40, 50)],
+        };
+        let v = check_linearizable(&h);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn prefix_check_stops_at_the_degradation_point() {
+        // The stale read happens after the cutoff: the full check rejects
+        // the history, the prefix check accepts it.
+        let h = History {
+            ops: vec![
+                write("k", 1, 0, 10),
+                write("k", 2, 20, 30),
+                read("k", 1, 40, 50),
+            ],
+        };
+        assert!(!check_linearizable(&h).is_empty());
+        assert!(check_linearizable_upto(&h, t(35)).is_empty());
+        // An op spanning the cutoff is treated as still-open: write 2
+        // becomes maybe-applied, so the read of 1 stays legal even when
+        // it slips inside the prefix.
+        let h2 = History {
+            ops: vec![
+                write("k", 1, 0, 10),
+                write("k", 2, 20, 60),
+                read("k", 1, 30, 40),
+            ],
+        };
+        assert!(check_linearizable_upto(&h2, t(50)).is_empty());
+    }
+
+    #[test]
+    fn event_log_json_lists_every_op() {
+        let mut aborted = read("k", 0, 20, 0);
+        aborted.completed = None;
+        aborted.ok = false;
+        aborted.aborted = true;
+        let h = History {
+            ops: vec![write("k", 1, 0, 10), aborted],
+        };
+        let json = h.event_log_json();
+        assert!(json.starts_with("[\n"), "{json}");
+        assert!(json.trim_end().ends_with(']'), "{json}");
+        assert!(json.contains("\"kind\":\"write\""), "{json}");
+        assert!(json.contains("\"completed_ns\":null"), "{json}");
+        assert!(json.contains("\"aborted\":true"), "{json}");
+        assert_eq!(json.matches("\"key\":").count(), 2, "{json}");
     }
 }

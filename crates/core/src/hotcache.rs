@@ -553,12 +553,53 @@ impl HotCache {
     }
 }
 
+// ---------------------------------------------------------------------------
+// FWD_CMD cookie framing
+// ---------------------------------------------------------------------------
+
+/// Bits of a forward cookie carrying the per-boot epoch. A FWD_REPLY is
+/// only answerable by the front-end *incarnation* that issued its
+/// cookie: the SoC bumps the epoch on every cold rejoin, so a reply to a
+/// cookie minted before a crash can never resolve a pending forward
+/// issued after it — without the epoch, a rejoined front end restarting
+/// its sequence at 1 would hand stale host replies to fresh clients.
+pub const FWD_EPOCH_BITS: u32 = 16;
+
+/// Pack a forward cookie from the front end's boot epoch and its
+/// per-epoch sequence number. The sequence occupies the low 48 bits —
+/// at millions of forwards per second that is decades of headroom.
+pub fn fwd_cookie(epoch: u64, seq: u64) -> u64 {
+    (epoch << (64 - FWD_EPOCH_BITS)) | (seq & ((1 << (64 - FWD_EPOCH_BITS)) - 1))
+}
+
+/// The epoch a cookie was minted under.
+pub fn fwd_cookie_epoch(cookie: u64) -> u64 {
+    cookie >> (64 - FWD_EPOCH_BITS)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn frame(n: usize) -> Frame {
         Frame::from_vec(vec![b'v'; n])
+    }
+
+    #[test]
+    fn fwd_cookies_carry_the_boot_epoch() {
+        for epoch in [0u64, 1, 7, (1 << FWD_EPOCH_BITS) - 1] {
+            for seq in [0u64, 1, 42, (1 << (64 - FWD_EPOCH_BITS)) - 1] {
+                let c = fwd_cookie(epoch, seq);
+                assert_eq!(fwd_cookie_epoch(c), epoch);
+                assert_eq!(c & ((1 << (64 - FWD_EPOCH_BITS)) - 1), seq);
+            }
+        }
+        // Equal sequence numbers from different boots never collide —
+        // the property that makes stale FWD_REPLYs detectable.
+        assert_ne!(fwd_cookie(0, 1), fwd_cookie(1, 1));
+        // Epoch 0 cookies are the bare sequence: the pre-epoch framing
+        // is a strict subset, so old traces still parse.
+        assert_eq!(fwd_cookie(0, 99), 99);
     }
 
     #[test]

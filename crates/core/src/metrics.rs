@@ -31,6 +31,7 @@ pub mod catalog {
         "stat_wrs_posted",
         "stat_deferred_replies",
         "stat_released_replies",
+        "stat_mode_changes",
     ];
     /// Nic-KV fan-out and replication-mode counters (`nickv.rs`).
     pub const NIC_STATS: &[&str] = &[
@@ -43,6 +44,9 @@ pub mod catalog {
         "stat_commits",
         "stat_retransmits",
         "stat_chain_repairs",
+        "stat_chain_rejoins",
+        "stat_mode_changes",
+        "stat_fwd_stale_drops",
     ];
     /// Bench-client counters (`client.rs`), summed over all clients.
     pub const CLIENT_STATS: &[&str] = &[
@@ -78,6 +82,17 @@ pub mod catalog {
         "cache.hits",
         "cache.invalidations",
         "cache.misses",
+    ];
+    /// History-recorder counters (`histcheck.rs` event logs produced by
+    /// the bench clients under `ClusterConfig::record_history`): total
+    /// recorded ops, the read/write split, and reads abandoned by a
+    /// dial-away (`hist.aborts` — excluded from the linearizability
+    /// search). All stay zero when recording is off.
+    pub const HIST_COUNTERS: &[&str] = &[
+        "hist.aborts",
+        "hist.ops",
+        "hist.reads",
+        "hist.writes",
     ];
     /// Fabric counters kept by `skv-netsim` under these exact names.
     pub const RDMA_COUNTERS: &[&str] = &[

@@ -25,7 +25,7 @@ use skv_store::repl::ReplicationPosition;
 use crate::channel::{Channel, ChannelMsg};
 use crate::config::ClusterConfig;
 use crate::cqdrain;
-use crate::hotcache::{CacheStats, HotCache};
+use crate::hotcache::{fwd_cookie, fwd_cookie_epoch, CacheStats, HotCache};
 use crate::protocol::{tag, NodeMsg};
 use crate::replmode::{quorum_slave_acks, ReplModeKind};
 
@@ -192,6 +192,26 @@ pub struct NicKv {
     pub stat_retransmits: u64,
     /// Chain-repair actions: dead hops spliced out of in-flight chains.
     pub stat_chain_repairs: u64,
+    /// Chain-rejoin actions: a re-registering slave spliced back onto the
+    /// tail of in-flight chains (only the writes its cumulative offset
+    /// does not already cover — no overlapping window).
+    pub stat_chain_rejoins: u64,
+    // -- cross-mode failover (`ClusterConfig::mode_failover`) --------------
+    /// The replication mode currently *in force*. Starts at
+    /// `cfg.repl_mode` and diverges only under `mode_failover`: a quorum
+    /// cluster that cannot assemble a write quorum degrades to the async
+    /// stream, and re-promotes when enough slaves return.
+    active_mode: ReplModeKind,
+    /// Every mode transition `(instant, new mode)`, in order. The history
+    /// checker cuts its linearizability claim at the first entry — the
+    /// declared degradation point.
+    pub mode_changes: Vec<(SimTime, ReplModeKind)>,
+    /// Mode transitions performed (degradations + re-promotions).
+    pub stat_mode_changes: u64,
+    /// Highest simultaneously-valid slave count ever observed; degrading
+    /// below quorum is only meaningful once a full quorum existed
+    /// (otherwise cluster start-up would read as a partition).
+    peak_slaves: usize,
     /// Per-commit ack sets `(end_offset, acked slaves)`, recorded only
     /// when `ClusterConfig::record_commits` is set (the quorum
     /// intersection proptest reads these).
@@ -206,8 +226,16 @@ pub struct NicKv {
     /// The NIC-resident hot-key cache; `None` unless
     /// `ClusterConfig::hot_cache_enabled()`.
     cache: Option<HotCache>,
-    /// Cookie source for forwarded client commands.
+    /// Cookie source for forwarded client commands (low bits; resets to 0
+    /// on every SoC restart).
     fwd_seq: u64,
+    /// SoC boot counter carried in every cookie's high bits — the one
+    /// piece of state that survives a crash. A `FWD_REPLY` minted under an
+    /// older epoch can never resolve a forward issued after the rejoin.
+    fwd_epoch: u64,
+    /// Replies for forwarded commands dropped because their cookie carried
+    /// a stale (pre-restart) epoch.
+    pub stat_fwd_stale_drops: u64,
     /// Outstanding forwarded commands by cookie.
     fwd_pending: DetMap<u64, FwdCtx>,
 }
@@ -221,6 +249,7 @@ impl NicKv {
         let cache = cfg
             .hot_cache_enabled()
             .then(|| HotCache::new(cfg.hot_cache_bytes, cfg.hot_cache_policy_kind()));
+        let active_mode = cfg.repl_mode;
         NicKv {
             net,
             node,
@@ -254,12 +283,25 @@ impl NicKv {
             stat_commits: 0,
             stat_retransmits: 0,
             stat_chain_repairs: 0,
+            stat_chain_rejoins: 0,
+            active_mode,
+            mode_changes: Vec::new(),
+            stat_mode_changes: 0,
+            peak_slaves: 0,
             committed_acks: Vec::new(),
             shard_ingress,
             cache,
             fwd_seq: 0,
+            fwd_epoch: 0,
+            stat_fwd_stale_drops: 0,
             fwd_pending: DetMap::new(),
         }
+    }
+
+    /// The replication mode currently in force (== `cfg.repl_mode` unless
+    /// a `mode_failover` transition happened).
+    pub fn active_mode(&self) -> ReplModeKind {
+        self.active_mode
     }
 
     /// Cache counters and the resident byte footprint, when the hot
@@ -312,10 +354,11 @@ impl NicKv {
         self.shard_ingress[shard] += 1;
     }
 
-    /// Whether the configured mode tracks per-write acks and defers the
-    /// master's client replies (quorum and chain; not the async stream).
+    /// Whether the mode *currently in force* tracks per-write acks and
+    /// defers the master's client replies (quorum and chain; not the
+    /// async stream, including a quorum cluster degraded into it).
     fn deferred(&self) -> bool {
-        self.cfg.repl_mode != ReplModeKind::Async
+        self.active_mode != ReplModeKind::Async
     }
 
     /// Highest backlog offset committed under the active replication mode
@@ -455,6 +498,9 @@ impl NicKv {
     }
 
     fn notify_available(&mut self, ctx: &mut Context<'_>) {
+        // Every availability change funnels through here — the natural
+        // seam for the cross-mode failover policy.
+        self.maybe_mode_transition(ctx);
         let available = u32::try_from(self.available_slaves()).unwrap_or(u32::MAX);
         let lagging = self.any_valid_slave_lagging();
         if self.last_update_sent == Some((available, lagging)) {
@@ -521,7 +567,7 @@ impl NicKv {
             }
         }
         self.fwd_seq += 1;
-        let cookie = self.fwd_seq;
+        let cookie = fwd_cookie(self.fwd_epoch, self.fwd_seq);
         self.fwd_pending.insert(cookie, FwdCtx { conn, key: get_key });
         let mut fwd = Vec::with_capacity(8 + payload.len());
         fwd.extend_from_slice(&cookie.to_le_bytes());
@@ -573,8 +619,16 @@ impl NicKv {
             return;
         };
         let cookie = u64::from_le_bytes(cookie_bytes);
+        if fwd_cookie_epoch(cookie) != self.fwd_epoch {
+            // The cookie was minted by a previous SoC incarnation. Without
+            // the epoch check a post-restart `fwd_seq` restarting at 1
+            // would collide with pre-crash cookies still in flight on the
+            // host, handing some new client another command's reply.
+            self.stat_fwd_stale_drops += 1;
+            return;
+        }
         let Some(fwd) = self.fwd_pending.remove(&cookie) else {
-            return; // stale reply from before a recovery
+            return; // duplicate or already answered-by-error
         };
         let body: Frame = payload[8..].to_vec().into();
         if let (Some(key), Some(cache)) = (fwd.key.as_deref(), self.cache.as_mut()) {
@@ -691,6 +745,16 @@ impl NicKv {
                     self.demote_promoted(ctx);
                     // Tell the master how many slaves are already valid.
                     self.notify_available(ctx);
+                    if self.cfg.mode_failover && self.active_mode != self.cfg.repl_mode {
+                        // A (re)connecting master defaults to the
+                        // configured mode; bring it up to date with the
+                        // mode actually in force.
+                        let msg = NodeMsg::ModeChange {
+                            mode: self.active_mode,
+                        }
+                        .encode();
+                        self.send_on(ctx, conn, tag::NODE, msg);
+                    }
                     if self.deferred() {
                         // A reconnecting master lost any earlier commit
                         // notification state; resend the frontier.
@@ -716,8 +780,23 @@ impl NicKv {
                 self.notify_available(ctx);
                 if self.deferred() {
                     self.apply_ack(ctx, slave, position.offset);
-                    if self.cfg.repl_mode == ReplModeKind::Quorum {
-                        self.retransmit_pending(ctx, slave);
+                    match self.active_mode {
+                        ReplModeKind::Quorum => self.retransmit_pending(ctx, slave),
+                        ReplModeKind::Chain => {
+                            // A healed slave re-enters the replication
+                            // topology here: splice it onto the *tail* of
+                            // every in-flight chain its cumulative offset
+                            // does not already cover.
+                            let spliced = Self::splice_rejoined_hops(
+                                &mut self.pending,
+                                slave,
+                                position.offset,
+                            );
+                            if spliced > 0 {
+                                self.stat_chain_rejoins += 1;
+                            }
+                        }
+                        ReplModeKind::Async => {}
                     }
                 }
             }
@@ -840,6 +919,15 @@ impl NicKv {
         if let Some((from_offset, body)) = crate::server::parse_stream_frame(&frame) {
             self.master_offset = self.master_offset.max(from_offset + body.len() as u64);
         }
+        self.async_send(ctx, frame);
+    }
+
+    /// The async-stream send body: per-slave ARM work then one
+    /// WRITE_WITH_IMM per valid slave (batched under one doorbell in
+    /// `batch_wr_posts` mode). Shared by the steady-state fast path and
+    /// the degrade flush, which re-launches window-parked tracked frames
+    /// under async semantics (already counted in `stat_fanout_msgs`).
+    fn async_send(&mut self, ctx: &mut Context<'_>, frame: Frame) {
         let threads = self.cfg.effective_nic_threads();
         let base = self.cfg.costs.nic_fanout_base;
         let per_slave = self.cfg.costs.nic_per_slave;
@@ -962,7 +1050,7 @@ impl NicKv {
             .filter_map(|n| n.conn.map(|c| (c, n.addr)))
             .filter(|&(c, _)| self.conns[c].open)
             .collect();
-        match self.cfg.repl_mode {
+        match self.active_mode {
             ReplModeKind::Quorum => {
                 let needed = quorum_slave_acks(self.cfg.num_slaves);
                 self.pending.push_back(PendingWrite {
@@ -1146,7 +1234,7 @@ impl NicKv {
     /// A tracked WR completed successfully: `slave` holds the write's
     /// bytes (RC semantics — a send-side success means remote placement).
     fn on_wr_ack(&mut self, ctx: &mut Context<'_>, seq: u64, slave: SocketAddr) {
-        match self.cfg.repl_mode {
+        match self.active_mode {
             ReplModeKind::Quorum => {
                 if let Some(p) = self.pending.iter_mut().find(|p| p.seq == seq) {
                     if !p.acked.contains(&slave) {
@@ -1165,7 +1253,7 @@ impl NicKv {
     /// progress is the backstop); chain must splice the dead hop out and
     /// move the write along.
     fn on_wr_error(&mut self, ctx: &mut Context<'_>, seq: u64, slave: SocketAddr) {
-        if self.cfg.repl_mode != ReplModeKind::Chain {
+        if self.active_mode != ReplModeKind::Chain {
             return;
         }
         let mut advance = false;
@@ -1193,7 +1281,7 @@ impl NicKv {
         if self.pending.is_empty() {
             return;
         }
-        let chain = self.cfg.repl_mode == ReplModeKind::Chain;
+        let chain = self.active_mode == ReplModeKind::Chain;
         let mut advance: Vec<u64> = Vec::new();
         for p in &mut self.pending {
             if p.end_offset > upto {
@@ -1228,7 +1316,7 @@ impl NicKv {
         if !self.deferred() {
             return;
         }
-        let chain = self.cfg.repl_mode == ReplModeKind::Chain;
+        let chain = self.active_mode == ReplModeKind::Chain;
         let mut committed = false;
         loop {
             let done = match self.pending.front() {
@@ -1315,7 +1403,7 @@ impl NicKv {
     /// re-drive stalled writes. Run after completion drains and failure
     /// detections — any path that can tear a conn down.
     fn chain_repair(&mut self, ctx: &mut Context<'_>) {
-        if self.cfg.repl_mode != ReplModeKind::Chain {
+        if self.active_mode != ReplModeKind::Chain {
             return;
         }
         let alive: Vec<SocketAddr> = self
@@ -1347,6 +1435,107 @@ impl NicKv {
             self.advance_chain(ctx, seq);
         }
         self.check_commits(ctx);
+    }
+
+    /// Chain mode: splice a re-registering slave back into the hop order.
+    /// The slave resumes at the *tail* of every in-flight chain — never
+    /// mid-chain, which would reorder hops under writes already past it —
+    /// and only for writes its cumulative applied offset does not cover.
+    /// The historical bug was re-adding the slave to every pending write:
+    /// writes below its resync offset were then delivered twice, once by
+    /// the master's resync stream and once by the replayed chain hop, and
+    /// the chain stalled waiting for an applied ack the slave's offset
+    /// dedupe had already swallowed. Returns the number of chains spliced.
+    fn splice_rejoined_hops(
+        pending: &mut VecDeque<PendingWrite>,
+        slave: SocketAddr,
+        acked_upto: u64,
+    ) -> usize {
+        let mut spliced = 0;
+        for p in pending.iter_mut() {
+            // `end_offset <= acked_upto`: the resync stream already
+            // carried these bytes — replaying the hop would open an
+            // overlapping delivery window.
+            if p.end_offset <= acked_upto
+                || p.acked.contains(&slave)
+                || p.hops.contains(&slave)
+                // A chain whose hop list already drained is committed (or
+                // about to be); un-committing it would regress the
+                // frontier announced to the master.
+                || p.hops.is_empty()
+            {
+                continue;
+            }
+            p.hops.push_back(slave);
+            spliced += 1;
+        }
+        spliced
+    }
+
+    // -- cross-mode failover (`ClusterConfig::mode_failover`) -------------------
+
+    /// The failover policy, run on every availability change: a quorum
+    /// cluster that can no longer assemble a write quorum degrades to the
+    /// async stream rather than stalling every client, and re-promotes to
+    /// the configured mode once enough slaves return. Linearizability is
+    /// promised only up to the first degradation instant; `mode_changes`
+    /// is the seam `histcheck::check_linearizable_upto` cuts at.
+    fn maybe_mode_transition(&mut self, ctx: &mut Context<'_>) {
+        if !self.cfg.mode_failover || self.cfg.repl_mode != ReplModeKind::Quorum {
+            return;
+        }
+        let need = quorum_slave_acks(self.cfg.num_slaves);
+        let avail = self.available_slaves();
+        self.peak_slaves = self.peak_slaves.max(avail);
+        if self.active_mode == self.cfg.repl_mode && avail < need && self.peak_slaves >= need {
+            self.degrade_to_async(ctx);
+        } else if self.active_mode == ReplModeKind::Async && avail >= need {
+            self.promote_to_configured(ctx);
+        }
+    }
+
+    /// Degrade to the async stream. Every byte the master has streamed so
+    /// far is re-declared committed under async semantics (the master's
+    /// deferred replies release), tracked-write state is dropped, and
+    /// window-parked frames are flushed through the async fast path so no
+    /// write is lost in the transition.
+    fn degrade_to_async(&mut self, ctx: &mut Context<'_>) {
+        self.active_mode = ReplModeKind::Async;
+        self.stat_mode_changes += 1;
+        self.mode_changes.push((ctx.now(), ReplModeKind::Async));
+        self.committed_upto = self.committed_upto.max(self.master_offset);
+        self.pending.clear();
+        self.wr_acks = DetMap::new();
+        let queued: Vec<Frame> = self.window_queue.drain(..).collect();
+        for frame in queued {
+            self.async_send(ctx, frame);
+        }
+        if let Some(conn) = self.master_conn() {
+            let msg = NodeMsg::ModeChange {
+                mode: ReplModeKind::Async,
+            }
+            .encode();
+            self.send_on(ctx, conn, tag::NODE, msg);
+        }
+        self.notify_committed(ctx);
+    }
+
+    /// Re-promote to the configured mode. The async interlude's bytes
+    /// commit by the semantics they were written under; tracking starts
+    /// fresh at the current stream frontier.
+    fn promote_to_configured(&mut self, ctx: &mut Context<'_>) {
+        self.active_mode = self.cfg.repl_mode;
+        self.stat_mode_changes += 1;
+        self.mode_changes.push((ctx.now(), self.active_mode));
+        self.committed_upto = self.committed_upto.max(self.master_offset);
+        if let Some(conn) = self.master_conn() {
+            let msg = NodeMsg::ModeChange {
+                mode: self.active_mode,
+            }
+            .encode();
+            self.send_on(ctx, conn, tag::NODE, msg);
+        }
+        self.notify_committed(ctx);
     }
 
     // -- failure detection (§III-D) ---------------------------------------------
@@ -1461,6 +1650,9 @@ impl Actor for NicKv {
                             cache.clear();
                         }
                         self.fwd_seq = 0;
+                        // The boot counter is the one durable datum: it
+                        // fences every cookie minted before this restart.
+                        self.fwd_epoch += 1;
                         self.fwd_pending = DetMap::new();
                         self.nodes.clear();
                         for i in 0..self.conns.len() {
@@ -1850,5 +2042,54 @@ mod tests {
     #[test]
     fn deferred_fanout_stats_agree_with_fabric_batched() {
         deferred_fanout_stats_agree(true);
+    }
+
+    fn pending_write(seq: u64, end_offset: u64, hops: &[SocketAddr]) -> PendingWrite {
+        PendingWrite {
+            seq,
+            end_offset,
+            frame: Frame::copy_from_slice(b"w"),
+            acked: Vec::new(),
+            needed: 0,
+            hops: hops.iter().copied().collect(),
+            hop_inflight: false,
+        }
+    }
+
+    #[test]
+    fn chain_rejoin_splices_at_the_tail_without_overlap() {
+        let node = skv_netsim::NodeId(0);
+        let s1 = SocketAddr::new(node, 1);
+        let s2 = SocketAddr::new(node, 2);
+        let rejoiner = SocketAddr::new(node, 3);
+        let mut pending: VecDeque<PendingWrite> = VecDeque::new();
+        // Covered by the rejoiner's resync offset: must NOT be replayed.
+        pending.push_back(pending_write(1, 100, &[s1]));
+        // Past the offset with live hops: rejoiner appends at the tail.
+        pending.push_back(pending_write(2, 200, &[s1, s2]));
+        // Chain already drained (committing): must stay empty.
+        pending.push_back(pending_write(3, 300, &[]));
+        // Rejoiner already listed (registered twice): no duplicate hop.
+        pending.push_back(pending_write(4, 400, &[s1, rejoiner]));
+
+        let spliced = NicKv::splice_rejoined_hops(&mut pending, rejoiner, 150);
+        assert_eq!(spliced, 1, "only the uncovered live chain is spliced");
+        assert_eq!(pending[0].hops, VecDeque::from([s1]), "covered write untouched");
+        assert_eq!(
+            pending[1].hops,
+            VecDeque::from([s1, s2, rejoiner]),
+            "rejoiner resumes at the tail, after every existing hop"
+        );
+        assert!(pending[2].hops.is_empty(), "committed chain stays committed");
+        assert_eq!(
+            pending[3].hops,
+            VecDeque::from([s1, rejoiner]),
+            "no duplicate hop for a double registration"
+        );
+
+        // A second registration at a higher offset covers writes 1–2 and
+        // adds nothing new.
+        let again = NicKv::splice_rejoined_hops(&mut pending, rejoiner, 250);
+        assert_eq!(again, 0);
     }
 }

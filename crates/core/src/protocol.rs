@@ -9,6 +9,8 @@
 use skv_netsim::SocketAddr;
 use skv_store::repl::{ReplicationId, ReplicationPosition};
 
+use crate::replmode::ReplModeKind;
+
 /// Message tags carried in the RDMA immediate field (and as the first byte
 /// of TCP frames) to route payloads without peeking inside.
 pub mod tag {
@@ -193,6 +195,15 @@ pub enum NodeMsg {
         /// Cumulative committed replication offset.
         upto: u64,
     },
+    /// Nic-KV → master Host-KV (cross-mode failover): the replication
+    /// guarantee in force changed at runtime. Demotion to `Async`
+    /// releases every deferred reply (the degradation point is declared,
+    /// not silent); re-promotion to the configured mode resumes
+    /// deferring from the next write on.
+    ModeChange {
+        /// The replication mode now in force.
+        mode: ReplModeKind,
+    },
 }
 
 impl NodeMsg {
@@ -269,6 +280,10 @@ impl NodeMsg {
                 out.push(13);
                 out.extend_from_slice(&upto.to_le_bytes());
             }
+            NodeMsg::ModeChange { mode } => {
+                out.push(14);
+                out.push(mode.code());
+            }
         }
         out
     }
@@ -327,6 +342,9 @@ impl NodeMsg {
             }),
             13 => Some(NodeMsg::WriteCommitted {
                 upto: get_u64(buf, &mut pos)?,
+            }),
+            14 => Some(NodeMsg::ModeChange {
+                mode: ReplModeKind::from_code(*buf.get(pos)?)?,
             }),
             _ => None,
         }
@@ -450,6 +468,15 @@ mod tests {
                 offset: 987_654,
             },
             NodeMsg::WriteCommitted { upto: u64::MAX - 1 },
+            NodeMsg::ModeChange {
+                mode: ReplModeKind::Async,
+            },
+            NodeMsg::ModeChange {
+                mode: ReplModeKind::Quorum,
+            },
+            NodeMsg::ModeChange {
+                mode: ReplModeKind::Chain,
+            },
         ];
         for msg in msgs {
             let bytes = msg.encode();
@@ -510,5 +537,7 @@ mod tests {
         assert_eq!(NodeMsg::decode(&[255]), None);
         assert_eq!(NodeMsg::decode(&[0, 1]), None, "truncated");
         assert_eq!(NodeMsg::decode(&[2, 0, 0]), None, "truncated repl id");
+        assert_eq!(NodeMsg::decode(&[14]), None, "truncated mode change");
+        assert_eq!(NodeMsg::decode(&[14, 9]), None, "unknown mode code");
     }
 }

@@ -72,6 +72,26 @@ impl ReplModeKind {
             _ => None,
         }
     }
+
+    /// Stable wire code for `NodeMsg::ModeChange` frames. Part of the
+    /// node protocol: never renumber.
+    pub fn code(self) -> u8 {
+        match self {
+            ReplModeKind::Async => 0,
+            ReplModeKind::Quorum => 1,
+            ReplModeKind::Chain => 2,
+        }
+    }
+
+    /// Decode a wire code; `None` for unknown bytes.
+    pub fn from_code(c: u8) -> Option<Self> {
+        match c {
+            0 => Some(ReplModeKind::Async),
+            1 => Some(ReplModeKind::Quorum),
+            2 => Some(ReplModeKind::Chain),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ReplModeKind {
@@ -243,6 +263,18 @@ mod tests {
             assert_eq!(format!("{kind}"), kind.label());
         }
         assert_eq!(ReplModeKind::parse("paxos"), None);
+    }
+
+    #[test]
+    fn wire_codes_roundtrip_and_are_pinned() {
+        for kind in ReplModeKind::ALL {
+            assert_eq!(ReplModeKind::from_code(kind.code()), Some(kind));
+        }
+        // Protocol constants — renumbering breaks mixed-version decode.
+        assert_eq!(ReplModeKind::Async.code(), 0);
+        assert_eq!(ReplModeKind::Quorum.code(), 1);
+        assert_eq!(ReplModeKind::Chain.code(), 2);
+        assert_eq!(ReplModeKind::from_code(3), None);
     }
 
     #[test]

@@ -258,6 +258,12 @@ pub struct KvServer {
     pub stat_deferred_replies: u64,
     /// Deferred replies released after a commit or census advance.
     pub stat_released_replies: u64,
+    /// The replication mode currently in force. Equals `cfg.repl_mode`
+    /// unless a `NodeMsg::ModeChange` from Nic-KV moved it (the
+    /// `mode_failover` degrade/re-promote path).
+    active_mode: ReplModeKind,
+    /// Mode transitions applied from `NodeMsg::ModeChange`.
+    pub stat_mode_changes: u64,
     /// Send-ring pool for wire frames (TCP framing) and replication
     /// stream frames; shared by every channel this server owns.
     pool: FramePool,
@@ -315,6 +321,8 @@ impl KvServer {
             sync_request_at: None,
             rng: DetRng::new(seed ^ 0xD1CE),
             started: false,
+            active_mode: cfg.repl_mode,
+            stat_mode_changes: 0,
             cfg,
             stat_commands: 0,
             stat_rejected: 0,
@@ -956,7 +964,7 @@ impl KvServer {
         // immediate-reply schedule bit for bit.
         let defer = replicate.is_some()
             && self.is_master()
-            && replmode::replication_mode(self.cfg.repl_mode).defers_replies();
+            && replmode::replication_mode(self.active_mode).defers_replies();
         // A forwarded command's reply is re-framed with its relay cookie
         // and leaves under FWD_REPLY.
         let (reply_tag, reply_frame): (u32, Frame) = match fwd {
@@ -1181,7 +1189,7 @@ impl KvServer {
     /// slave conns (k = required slave acks) is replicated on a majority;
     /// under chain, the minimum over all open slave conns (every hop).
     fn census_commit_upto(&self) -> u64 {
-        let mode = self.cfg.repl_mode;
+        let mode = self.active_mode;
         let mut offs: Vec<u64> = self
             .conns
             .iter()
@@ -1639,7 +1647,7 @@ impl KvServer {
     /// application — so the tail ack certifies the whole chain has the
     /// write applied when the client reply releases.
     fn maybe_send_write_ack(&mut self, ctx: &mut Context<'_>) {
-        if self.cfg.mode != Mode::Skv || self.cfg.repl_mode != ReplModeKind::Chain {
+        if self.cfg.mode != Mode::Skv || self.active_mode != ReplModeKind::Chain {
             return;
         }
         if !self.is_synced_slave() {
@@ -1818,7 +1826,7 @@ impl KvServer {
                 }
                 // Progress may have advanced the census commit point.
                 if self.is_master()
-                    && replmode::replication_mode(self.cfg.repl_mode).defers_replies()
+                    && replmode::replication_mode(self.active_mode).defers_replies()
                 {
                     self.release_ready_replies(ctx);
                 }
@@ -1875,6 +1883,21 @@ impl KvServer {
                     self.release_ready_replies(ctx);
                 }
             }
+            NodeMsg::ModeChange { mode } => {
+                // Nic-KV's cross-mode failover policy moved the cluster's
+                // replication mode. Gated on the knob so a stray frame
+                // cannot flip a fixed-mode cluster.
+                if self.cfg.mode_failover && self.is_master() && mode != self.active_mode {
+                    self.active_mode = mode;
+                    self.stat_mode_changes += 1;
+                    if !replmode::replication_mode(mode).defers_replies() {
+                        // Degraded to async: every held reply releases
+                        // under the weaker (immediate-ack) contract.
+                        self.commit_upto = self.commit_upto.max(self.backlog.offset());
+                        self.release_ready_replies(ctx);
+                    }
+                }
+            }
             NodeMsg::ProbeReply { .. }
             | NodeMsg::Replicate { .. }
             | NodeMsg::Hello { .. }
@@ -1907,7 +1930,7 @@ impl KvServer {
             // Deferred modes: Nic-KV also consumes progress as cumulative
             // acks (covers acks lost to QP errors between retransmits).
             if self.cfg.mode == Mode::Skv
-                && replmode::replication_mode(self.cfg.repl_mode).defers_replies()
+                && replmode::replication_mode(self.active_mode).defers_replies()
             {
                 if let Some(conn) = self.conn_of_kind(|k| matches!(k, ConnKind::Nic)) {
                     let msg = NodeMsg::ProgressReport {
@@ -1922,7 +1945,7 @@ impl KvServer {
         // Deferred modes, master side: drop replies whose client conn died
         // (undeliverable) and re-check the census commit point so a
         // lost `WriteCommitted` cannot wedge the reply queue.
-        if self.is_master() && replmode::replication_mode(self.cfg.repl_mode).defers_replies() {
+        if self.is_master() && replmode::replication_mode(self.active_mode).defers_replies() {
             let conns = &self.conns;
             self.pending_replies.retain(|p| conns[p.conn].open);
             self.release_ready_replies(ctx);

@@ -699,6 +699,12 @@ fn counter_literal_cache(s: &str) -> bool {
     })
 }
 
+fn counter_literal_hist(s: &str) -> bool {
+    s.strip_prefix("hist.").is_some_and(|rest| {
+        !rest.is_empty() && rest.chars().all(|c| c.is_ascii_lowercase() || c == '_')
+    })
+}
+
 fn analyze_file(rel: &str, contents: &str) -> FileAnalysis {
     let lines = lex(contents);
     let scope = scope_of(rel);
@@ -802,6 +808,7 @@ fn analyze_file(rel: &str, contents: &str) -> FileAnalysis {
                     || counter_literal_stat(s)
                     || counter_literal_shard(s)
                     || counter_literal_cache(s)
+                    || counter_literal_hist(s)
                 {
                     facts.catalog.push((idx + 1, s.clone()));
                 }
@@ -816,7 +823,11 @@ fn analyze_file(rel: &str, contents: &str) -> FileAnalysis {
                 }
             }
             for s in &l.strings {
-                if counter_literal_rdma(s) || counter_literal_shard(s) || counter_literal_cache(s) {
+                if counter_literal_rdma(s)
+                    || counter_literal_shard(s)
+                    || counter_literal_cache(s)
+                    || counter_literal_hist(s)
+                {
                     facts.rdma_mentions.push((idx + 1, s.clone()));
                 }
             }
@@ -1306,6 +1317,9 @@ mod tests {
         assert!(counter_literal_cache("cache.hits"));
         assert!(!counter_literal_cache("cache."));
         assert!(!counter_literal_cache("cache.Hits"));
+        assert!(counter_literal_hist("hist.aborts"));
+        assert!(!counter_literal_hist("hist."));
+        assert!(!counter_literal_hist("hist.Ops"));
     }
 
     #[test]

@@ -17,6 +17,16 @@ if ! cargo run -q -p skv-analyze -- --format json > target/skv-analyze.json; the
   exit 1
 fi
 
+echo "==> histcheck smoke (bounded linearizability gate, all repl modes)"
+# Small recorded bench runs (async/quorum/chain) fed through the
+# multi-writer checker. On a violation the failing test writes the full
+# event log to target/histcheck_events.json — CI uploads it as the
+# counterexample artifact.
+if ! cargo test -q --test histcheck_smoke; then
+  echo "FAIL: linearizability smoke (event log: target/histcheck_events.json)"
+  exit 1
+fi
+
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 

@@ -226,7 +226,9 @@ proptest! {
 
 // -- per-protocol fault arms (replication modes) ------------------------------
 
-use skv_core::histcheck::{check_single_writer, stale_reads, HistSpec, ReadAnchor};
+use skv_core::histcheck::{
+    check_linearizable, check_single_writer, stale_reads, HistSpec, ReadAnchor,
+};
 use skv_core::replmode::ReplModeKind;
 use skv_netsim::{FaultPlan, Partition, TimeWindow};
 
@@ -307,8 +309,58 @@ fn slave_crash_async_serves_stale_reads_then_converges() {
          ({} ops recorded)",
         h.ops.len()
     );
+    // The known-bad fixture for the full checker: the same history fed
+    // through the multi-writer search must also be rejected — async
+    // staleness reproduces as a concrete counterexample, not just a
+    // single-writer screen hit.
+    let mw = check_linearizable(&h);
+    assert!(
+        stale_reads(&mw) > 0,
+        "multi-writer checker accepted a known-stale history \
+         ({} single-writer violations)",
+        violations.len()
+    );
     drop(h);
     // ...but once the partition heals, every replica converges.
+    assert_converged(&cluster);
+}
+
+#[test]
+fn chain_rejoin_splices_recovered_slave_without_overlap() {
+    // Satellite regression: a chain slave crashes mid-delivery-window
+    // and rejoins while later writes are still in flight. The NIC must
+    // splice it back in at the TAIL of each open chain, skipping every
+    // write already covered by its resync offset — re-delivering one
+    // would hand the slave an overlapping backlog window. Commits keep
+    // flowing, nothing wedges behind the rejoiner, and the tail-anchored
+    // history stays linearizable through crash, rejoin, and resync.
+    let mut s = spec(3, 2, 2_000, 44);
+    s.cfg.repl_mode = ReplModeKind::Chain;
+    let mut cluster = Cluster::build(s);
+    let history = cluster.add_history(&HistSpec {
+        anchor: ReadAnchor::Slave(2),
+        ..HistSpec::default()
+    });
+    // Crash the middle hop with writes in flight; recover it mid-run so
+    // it rejoins under load.
+    cluster.schedule_slave_crash(1, SimTime::from_millis(700));
+    cluster.schedule_slave_recover(1, SimTime::from_millis(1_100));
+    run_and_quiesce(&mut cluster, SimDuration::from_secs(2));
+
+    let nic = cluster.nic_kv().expect("nic");
+    assert!(
+        nic.stat_chain_rejoins >= 1,
+        "recovered slave never spliced back into an in-flight chain"
+    );
+    assert!(nic.stat_commits > 0, "chain stopped committing");
+    assert_eq!(nic.pending_writes(), 0, "writes stuck behind the rejoiner");
+    let h = history.borrow();
+    let violations = check_linearizable(&h);
+    assert!(
+        violations.is_empty(),
+        "chain rejoin violations: {violations:?}"
+    );
+    drop(h);
     assert_converged(&cluster);
 }
 

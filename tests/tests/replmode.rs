@@ -8,7 +8,9 @@ use proptest::prelude::*;
 use skv_core::client::BenchClient;
 use skv_core::cluster::{ChaosSpec, Cluster, RunSpec};
 use skv_core::config::{ClusterConfig, Mode};
-use skv_core::histcheck::{check_single_writer, HistSpec, ReadAnchor};
+use skv_core::histcheck::{
+    check_linearizable, check_linearizable_upto, check_single_writer, HistSpec, OpKind, ReadAnchor,
+};
 use skv_core::replmode::{quorum_slave_acks, ReplModeKind};
 use skv_netsim::SocketAddr;
 use skv_simcore::{SimDuration, SimTime};
@@ -178,6 +180,127 @@ fn backoff_stays_capped_under_long_partition() {
     );
 }
 
+// -- multi-writer linearizability on live bench traffic -----------------------
+
+/// Distinct writers (bench clients) that stamped at least one write into
+/// the recorded history. Stamps embed `client_id + 1` in the top bits.
+fn distinct_writers(h: &skv_core::histcheck::History) -> usize {
+    let mut writers: Vec<u64> = h
+        .ops
+        .iter()
+        .filter(|o| o.kind == OpKind::Write)
+        .map(|o| o.seq >> 40)
+        .collect();
+    writers.sort_unstable();
+    writers.dedup();
+    writers.len()
+}
+
+/// Tentpole acceptance arm: ≥2 writers, 2 shards, hot cache on, history
+/// recorded straight off the bench clients (cache-served GETs and
+/// FWD_CMD replies included) — the multi-writer checker must find the
+/// whole history linearizable.
+fn bench_history_linearizable(mode: ReplModeKind, seed: u64) {
+    let mut s = spec(mode, 2, 1_000, seed);
+    s.cfg.record_history = true;
+    s.cfg.num_shards = 2;
+    s.cfg.hot_cache_bytes = 64 * 1024;
+    s.set_ratio = 0.5; // the checker needs reads, not a pure SET stream
+    let mut cluster = Cluster::build(s);
+    run_and_quiesce(&mut cluster, SimDuration::from_secs(1));
+
+    let report = cluster.report();
+    assert!(report.ops > 500, "{mode}: only {} ops", report.ops);
+    assert!(
+        report.chaos.get("cache.hits") > 0,
+        "{mode}: no cache-served GETs in the recorded traffic"
+    );
+    let history = cluster.bench_history.clone().expect("recording on");
+    let h = history.borrow();
+    assert!(
+        distinct_writers(&h) >= 2,
+        "{mode}: need a multi-writer history"
+    );
+    let reads = h.ops.iter().filter(|o| o.kind == OpKind::Read).count();
+    assert!(reads > 100, "{mode}: only {reads} reads recorded");
+    let violations = check_linearizable(&h);
+    assert!(
+        violations.is_empty(),
+        "{mode}: bench history not linearizable: {violations:?}"
+    );
+}
+
+#[test]
+fn quorum_bench_history_multi_writer_linearizable() {
+    bench_history_linearizable(ReplModeKind::Quorum, 36);
+}
+
+#[test]
+fn chain_bench_history_multi_writer_linearizable() {
+    bench_history_linearizable(ReplModeKind::Chain, 37);
+}
+
+#[test]
+fn cross_mode_failover_degrades_and_promotes() {
+    // Start quorum, cut off both slaves mid-run: the NIC must degrade to
+    // async (writes keep flowing), then re-promote once the partition
+    // heals — and the recorded history must be provably linearizable up
+    // to the declared degradation point.
+    let mut s = spec(ReplModeKind::Quorum, 2, 2_500, 38);
+    s.cfg.mode_failover = true;
+    s.cfg.record_history = true;
+    s.set_ratio = 0.5;
+    let mut cluster = Cluster::build(s);
+    let cut = SimTime::from_millis(800);
+    let heal = SimTime::from_millis(1_600);
+    cluster.apply_chaos(&ChaosSpec {
+        partition: Some((vec![0, 1], cut, heal)),
+        ..ChaosSpec::default()
+    });
+    run_and_quiesce(&mut cluster, SimDuration::from_secs(2));
+
+    let nic = cluster.nic_kv().expect("nic");
+    assert_eq!(
+        nic.stat_mode_changes, 2,
+        "expected degrade + promote, got {:?}",
+        nic.mode_changes
+    );
+    let (degraded_at, degraded_to) = nic.mode_changes[0];
+    let (promoted_at, promoted_to) = nic.mode_changes[1];
+    assert_eq!(degraded_to, ReplModeKind::Async);
+    assert_eq!(promoted_to, ReplModeKind::Quorum);
+    assert!(degraded_at >= cut && promoted_at >= heal && degraded_at < promoted_at);
+    assert_eq!(nic.active_mode(), ReplModeKind::Quorum, "must end promoted");
+    assert_eq!(nic.pending_writes(), 0, "stuck in-flight writes");
+    // The master tracked both transitions (it releases deferred replies
+    // on degrade and resumes deferring on promote).
+    assert_eq!(cluster.master_server().stat_mode_changes, 2);
+
+    // Writes kept completing while the quorum was unreachable.
+    let hub = cluster.metrics.borrow();
+    let degraded_ops = hub
+        .completions
+        .count_between(degraded_at + SimDuration::from_millis(100), heal);
+    drop(hub);
+    assert!(
+        degraded_ops > 200,
+        "async degradation must keep serving, got {degraded_ops} ops"
+    );
+
+    // The pre-degradation prefix carries the full quorum guarantee.
+    let history = cluster.bench_history.clone().expect("recording on");
+    let h = history.borrow();
+    let before = h.ops.iter().filter(|o| o.invoked < degraded_at).count();
+    assert!(before > 100, "only {before} ops before the degradation point");
+    let violations = check_linearizable_upto(&h, degraded_at);
+    assert!(
+        violations.is_empty(),
+        "pre-degradation prefix not linearizable: {violations:?}"
+    );
+    drop(h);
+    assert_converged(&cluster);
+}
+
 /// Distinctness helper: no slave counted twice in an ack set.
 fn all_distinct(addrs: &[SocketAddr]) -> bool {
     let mut seen: Vec<SocketAddr> = Vec::with_capacity(addrs.len());
@@ -243,5 +366,35 @@ proptest! {
                 prop_assert!(joint > slaves + 1, "quorums of {a:?}/{b:?} may miss");
             }
         }
+    }
+
+    /// seed × mode × shards × cache: every healthy run's recorded bench
+    /// history — all writers, all shards, cache hits included — must
+    /// pass the multi-writer checker under all three replication modes.
+    #[test]
+    fn recorded_bench_histories_linearizable(
+        seed in 0u64..1_000,
+        mode_ix in 0usize..3,
+        shards in 1usize..3,
+        cache_on in any::<bool>(),
+    ) {
+        let mode = [ReplModeKind::Async, ReplModeKind::Quorum, ReplModeKind::Chain][mode_ix];
+        let mut s = spec(mode, 2, 600, 4_000 + seed);
+        s.cfg.record_history = true;
+        s.cfg.num_shards = shards;
+        s.cfg.hot_cache_bytes = if cache_on { 64 * 1024 } else { 0 };
+        s.set_ratio = 0.5;
+        let mut cluster = Cluster::build(s);
+        run_and_quiesce(&mut cluster, SimDuration::from_secs(1));
+
+        let history = cluster.bench_history.clone().expect("recording on");
+        let h = history.borrow();
+        prop_assert!(h.ops.len() > 200, "{mode}: only {} ops recorded", h.ops.len());
+        prop_assert!(distinct_writers(&h) >= 2, "{mode}: single-writer history");
+        let violations = check_linearizable(&h);
+        prop_assert!(
+            violations.is_empty(),
+            "{mode} shards={shards} cache={cache_on}: {violations:?}"
+        );
     }
 }
